@@ -1,0 +1,163 @@
+(* Benchmark harness: regenerates the series behind every table and
+   figure of the paper's evaluation (one target per figure), plus
+   Bechamel micro-benchmarks of the simulator hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 -- all figures, quick mode
+     dune exec bench/main.exe -- --only fig3a -- one figure
+     dune exec bench/main.exe -- --full       -- full sweeps (slow)
+     dune exec bench/main.exe -- --micro      -- Bechamel microbenchmarks *)
+
+module E = Pdq_experiments
+open E
+
+let ppf = Format.std_formatter
+
+let targets : (string * (quick:bool -> unit)) list =
+  [
+    ( "fig1",
+      fun ~quick:_ ->
+        Common.pp_table ppf (Fig1.completion_table ());
+        Common.pp_table ppf (Fig1.deadline_table ()) );
+    ("fig3a", fun ~quick -> Common.pp_table ppf (Fig3.fig3a ~quick ()));
+    ("fig3b", fun ~quick -> Common.pp_table ppf (Fig3.fig3b ~quick ()));
+    ("fig3c", fun ~quick -> Common.pp_table ppf (Fig3.fig3c ~quick ()));
+    ("fig3d", fun ~quick -> Common.pp_table ppf (Fig3.fig3d ~quick ()));
+    ("fig3e", fun ~quick -> Common.pp_table ppf (Fig3.fig3e ~quick ()));
+    ("fig4a", fun ~quick -> Common.pp_table ppf (Fig4.fig4a ~quick ()));
+    ("fig4b", fun ~quick -> Common.pp_table ppf (Fig4.fig4b ~quick ()));
+    ("fig5a", fun ~quick -> Common.pp_table ppf (Fig5.fig5a ~quick ()));
+    ("fig5b", fun ~quick -> Common.pp_table ppf (Fig5.fig5b ~quick ()));
+    ("fig5c", fun ~quick -> Common.pp_table ppf (Fig5.fig5c ~quick ()));
+    ("fig6", fun ~quick:_ -> Common.pp_table ppf (Dynamics.fig6_table ()));
+    ("fig7", fun ~quick:_ -> Common.pp_table ppf (Dynamics.fig7_table ()));
+    ("fig8a", fun ~quick -> Common.pp_table ppf (Fig8.fig8a ~quick ()));
+    ("fig8b", fun ~quick -> Common.pp_table ppf (Fig8.fig8b ~quick ()));
+    ("fig8c", fun ~quick -> Common.pp_table ppf (Fig8.fig8c ~quick ()));
+    ("fig8d", fun ~quick -> Common.pp_table ppf (Fig8.fig8d ~quick ()));
+    ("fig8e", fun ~quick -> Common.pp_table ppf (Fig8.fig8e ~quick ()));
+    ( "fig9",
+      fun ~quick ->
+        Common.pp_table ppf (Fig9.fig9a ~quick ());
+        Common.pp_table ppf (Fig9.fig9b ~quick ()) );
+    ("fig10", fun ~quick -> Common.pp_table ppf (Fig10.fig10 ~quick ()));
+    ("fig11a", fun ~quick -> Common.pp_table ppf (Fig11.fig11a ~quick ()));
+    ("fig11bc", fun ~quick -> Common.pp_table ppf (Fig11.fig11bc ~quick ()));
+    ("fig12", fun ~quick -> Common.pp_table ppf (Fig12.fig12 ~quick ()));
+    ( "ablation",
+      fun ~quick ->
+        Common.pp_table ppf (Ablation.early_start_k ~quick ());
+        Common.pp_table ppf (Ablation.probing ~quick ());
+        Common.pp_table ppf (Ablation.dampening ~quick ()) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot paths. *)
+
+let micro () =
+  let open Bechamel in
+  let heap_bench =
+    Test.make ~name:"heap push/pop x1000"
+      (Staged.stage (fun () ->
+           let h = Pdq_engine.Heap.create () in
+           for i = 0 to 999 do
+             Pdq_engine.Heap.push h (float_of_int ((i * 7919) mod 1000)) i
+           done;
+           while Pdq_engine.Heap.pop h <> None do
+             ()
+           done))
+  in
+  let switch_bench =
+    Test.make ~name:"switch_port forward x100"
+      (Staged.stage (fun () ->
+           let port =
+             Pdq_core.Switch_port.create ~config:Pdq_core.Config.full
+               ~switch_id:1 ~link_rate:1e9 ~init_rtt:1.5e-4
+           in
+           for i = 0 to 99 do
+             let h =
+               Pdq_core.Header.make ~rate:1e9
+                 ~expected_tx_time:(float_of_int (i + 1) *. 1e-4)
+                 ~rtt:1.5e-4 ()
+             in
+             Pdq_core.Switch_port.process_forward port h ~flow_id:i
+               ~now:(float_of_int i *. 1e-5)
+           done))
+  in
+  let sim_bench =
+    Test.make ~name:"pdq 2-flow bottleneck run"
+      (Staged.stage (fun () ->
+           let sim = Pdq_engine.Sim.create () in
+           let built, rx =
+             Pdq_topo.Builder.single_bottleneck ~sim ~senders:2 ()
+           in
+           let spec src =
+             {
+               Pdq_transport.Context.src;
+               dst = rx;
+               size = 50_000;
+               deadline = None;
+               start = 0.;
+             }
+           in
+           ignore
+             (Pdq_transport.Runner.run ~topo:built.Pdq_topo.Builder.topo
+                (Pdq_transport.Runner.Pdq Pdq_core.Config.full)
+                [
+                  spec built.Pdq_topo.Builder.hosts.(0);
+                  spec built.Pdq_topo.Builder.hosts.(1);
+                ])))
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-32s %12.1f ns/run@." name est
+          | _ -> Format.printf "%-32s (no estimate)@." name)
+        results)
+    [ heap_bench; switch_bench; sim_bench ]
+
+let () =
+  let only = ref None and full = ref false and run_micro = ref false in
+  let args =
+    [
+      ("--only", Arg.String (fun s -> only := Some s), "FIG run a single target");
+      ("--full", Arg.Set full, " full sweeps (slow)");
+      ("--micro", Arg.Set run_micro, " Bechamel micro-benchmarks");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "pdq bench";
+  if !run_micro then micro ()
+  else begin
+    let quick = not !full in
+    let selected =
+      match !only with
+      | None -> targets
+      | Some name -> List.filter (fun (n, _) -> n = name) targets
+    in
+    if selected = [] then begin
+      Format.printf "unknown target; available:@.";
+      List.iter (fun (n, _) -> Format.printf "  %s@." n) targets
+    end
+    else
+      List.iter
+        (fun (name, f) ->
+          let t0 = Unix.gettimeofday () in
+          f ~quick;
+          Format.printf "[%s done in %.1fs]@.@." name
+            (Unix.gettimeofday () -. t0))
+        selected
+  end

@@ -1,0 +1,148 @@
+(* pdq_sim: command-line front end for single packet-level experiments.
+
+   Examples:
+     pdq_sim --proto pdq --flows 10 --deadline-mean 20
+     pdq_sim --proto tcp --topo bottleneck --flows 8 --no-deadlines
+     pdq_sim --proto mpdq --subflows 4 --topo bcube --mean-size 400 *)
+
+open Cmdliner
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Pattern = Pdq_workload.Pattern
+
+type topo_kind = Tree | Bottleneck | Fat_tree | Bcube | Jellyfish
+
+let build kind ~sim ~seed =
+  match kind with
+  | Tree -> Builder.single_rooted_tree ~sim ()
+  | Bottleneck -> fst (Builder.single_bottleneck ~sim ~senders:16 ())
+  | Fat_tree -> Builder.fat_tree ~sim ~k:4 ()
+  | Bcube -> Builder.bcube ~sim ~n:2 ~k:3 ()
+  | Jellyfish ->
+      Builder.jellyfish ~sim ~rng:(Rng.create seed) ~switches:8 ~ports:24
+        ~net_ports:16 ()
+
+let protocol_of name subflows =
+  match String.lowercase_ascii name with
+  | "pdq" | "pdq-full" -> Ok (Runner.Pdq Pdq_core.Config.full)
+  | "pdq-basic" -> Ok (Runner.Pdq Pdq_core.Config.basic)
+  | "pdq-es" -> Ok (Runner.Pdq Pdq_core.Config.es)
+  | "pdq-es-et" -> Ok (Runner.Pdq Pdq_core.Config.es_et)
+  | "mpdq" | "m-pdq" ->
+      Ok (Runner.mpdq ~subflows ())
+  | "rcp" -> Ok Runner.Rcp
+  | "d3" -> Ok Runner.D3
+  | "tcp" -> Ok Runner.Tcp
+  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+
+let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
+    no_deadlines pattern seed =
+  let topo_kind =
+    match String.lowercase_ascii topo_name with
+    | "tree" -> Tree
+    | "bottleneck" -> Bottleneck
+    | "fat-tree" | "fattree" -> Fat_tree
+    | "bcube" -> Bcube
+    | "jellyfish" -> Jellyfish
+    | other -> failwith (Printf.sprintf "unknown topology %S" other)
+  in
+  match protocol_of proto_name subflows with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok protocol ->
+      let sim = Sim.create () in
+      let built = build topo_kind ~sim ~seed in
+      let hosts = built.Builder.hosts in
+      let rng = Rng.create seed in
+      let sizes = Size_dist.uniform_paper ~mean_bytes:(mean_size_kb * 1000) in
+      let ddist = Deadline_dist.exponential ~mean:(deadline_mean_ms /. 1e3) () in
+      let pairs =
+        match String.lowercase_ascii pattern with
+        | "aggregation" ->
+            Pattern.aggregation ~hosts ~receiver:hosts.(0) ~flows
+        | "permutation" ->
+            Pattern.random_permutation ~hosts ~rng
+        | "pairs" -> Pattern.random_pairs ~hosts ~flows ~rng
+        | other -> failwith (Printf.sprintf "unknown pattern %S" other)
+      in
+      let pairs = Array.of_list pairs in
+      let specs =
+        List.init flows (fun i ->
+            let p = pairs.(i mod Array.length pairs) in
+            {
+              Context.src = p.Pattern.src;
+              dst = p.Pattern.dst;
+              size = Size_dist.sample sizes rng;
+              deadline =
+                (if no_deadlines then None
+                 else Some (Deadline_dist.sample ddist rng));
+              start = 0.;
+            })
+      in
+      let options = { Runner.default_options with Runner.seed } in
+      let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
+      Printf.printf "%s on %s: %d flows (%s)\n"
+        (Runner.protocol_name protocol)
+        topo_name flows pattern;
+      Array.iteri
+        (fun i (f : Runner.flow_result) ->
+          Printf.printf
+            "  flow %2d  %3d->%3d  %7dB  %s%s%s\n" i f.Runner.spec.Context.src
+            f.Runner.spec.Context.dst f.Runner.spec.Context.size
+            (match f.Runner.fct with
+            | Some x -> Printf.sprintf "fct %7.2f ms" (1e3 *. x)
+            | None -> "incomplete   ")
+            (match f.Runner.spec.Context.deadline with
+            | Some d ->
+                Printf.sprintf "  deadline %5.1f ms %s" (1e3 *. d)
+                  (if f.Runner.met_deadline then "MET" else "MISSED")
+            | None -> "")
+            (if f.Runner.terminated then "  [early terminated]" else ""))
+        r.Runner.flows;
+      Printf.printf "mean FCT %.3f ms | application throughput %.1f%% | %d/%d \
+                     completed\n"
+        (1e3 *. r.Runner.mean_fct)
+        (100. *. r.Runner.application_throughput)
+        r.Runner.completed (Array.length r.Runner.flows);
+      0
+
+let cmd =
+  let proto =
+    Arg.(value & opt string "pdq"
+         & info [ "proto" ] ~doc:"pdq, pdq-basic, pdq-es, pdq-es-et, mpdq, rcp, d3, tcp")
+  in
+  let subflows =
+    Arg.(value & opt int 3 & info [ "subflows" ] ~doc:"M-PDQ subflows")
+  in
+  let topo =
+    Arg.(value & opt string "tree"
+         & info [ "topo" ] ~doc:"tree, bottleneck, fat-tree, bcube, jellyfish")
+  in
+  let flows = Arg.(value & opt int 10 & info [ "flows" ] ~doc:"number of flows") in
+  let mean_size =
+    Arg.(value & opt int 100 & info [ "mean-size" ] ~doc:"mean flow size [KB]")
+  in
+  let deadline_mean =
+    Arg.(value & opt float 20. & info [ "deadline-mean" ] ~doc:"mean deadline [ms]")
+  in
+  let no_deadlines =
+    Arg.(value & flag & info [ "no-deadlines" ] ~doc:"deadline-unconstrained flows")
+  in
+  let pattern =
+    Arg.(value & opt string "aggregation"
+         & info [ "pattern" ] ~doc:"aggregation, permutation, pairs")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed") in
+  Cmd.v
+    (Cmd.info "pdq_sim" ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
+    Term.(
+      const run $ proto $ subflows $ topo $ flows $ mean_size $ deadline_mean
+      $ no_deadlines $ pattern $ seed)
+
+let () = exit (Cmd.eval' cmd)

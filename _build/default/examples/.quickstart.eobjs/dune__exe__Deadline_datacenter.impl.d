@@ -1,0 +1,1 @@
+examples/deadline_datacenter.ml: Array List Pdq_core Pdq_engine Pdq_topo Pdq_transport Pdq_workload Printf

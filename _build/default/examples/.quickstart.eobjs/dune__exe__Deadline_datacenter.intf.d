@@ -1,0 +1,1 @@
+examples/deadline_datacenter.mli:

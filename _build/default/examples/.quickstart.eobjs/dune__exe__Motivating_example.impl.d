@@ -1,0 +1,1 @@
+examples/motivating_example.ml: Format Pdq_experiments

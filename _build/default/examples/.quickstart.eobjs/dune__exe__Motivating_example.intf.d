@@ -1,0 +1,1 @@
+examples/motivating_example.mli:

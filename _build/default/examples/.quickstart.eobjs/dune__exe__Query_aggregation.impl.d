@@ -1,0 +1,1 @@
+examples/query_aggregation.ml: Array List Pdq_experiments Pdq_transport Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Pdq_core Pdq_engine Pdq_topo Pdq_transport Printf

@@ -1,0 +1,7 @@
+(* The paper's Figure 1, reproduced analytically with the fluid
+   schedulers: three flows (sizes 1/2/3, deadlines 1/4/6) on a
+   unit-rate bottleneck under fair sharing, SJF/EDF and D3.
+
+   Run with: dune exec examples/motivating_example.exe *)
+
+let () = Pdq_experiments.Fig1.run Format.std_formatter

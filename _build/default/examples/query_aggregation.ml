@@ -1,0 +1,35 @@
+(* Query aggregation (partition/aggregate): N workers answer one
+   aggregator at the same instant, each response carrying a deadline —
+   the scenario motivating the paper's evaluation (§5.2).
+
+   This example runs the full protocol roster on the default 12-server
+   single-rooted tree and reports application throughput (% of flows
+   meeting their deadline), including the omniscient Optimal scheduler
+   (EDF + Moore-Hodgson).
+
+   Run with: dune exec examples/query_aggregation.exe [-- flows] *)
+
+module Common = Pdq_experiments.Common
+module Runner = Pdq_transport.Runner
+
+let () =
+  let flows =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 12
+  in
+  Printf.printf
+    "Query aggregation: %d flows, sizes U[2KB,198KB], deadlines Exp(20ms, \
+     floor 3ms)\n\n"
+    flows;
+  let optimal =
+    100. *. Common.optimal_aggregation_throughput ~seeds:[ 1; 2; 3 ] ~flows ()
+  in
+  Printf.printf "  %-12s %6.1f %% of deadlines met (upper bound)\n" "Optimal"
+    optimal;
+  List.iter
+    (fun (name, proto) ->
+      let at =
+        Common.run_aggregation ~seeds:[ 1; 2; 3 ] ~flows proto (fun r ->
+            100. *. r.Runner.application_throughput)
+      in
+      Printf.printf "  %-12s %6.1f %% of deadlines met\n" name at)
+    Common.packet_protocols

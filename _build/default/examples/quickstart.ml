@@ -1,0 +1,41 @@
+(* Quickstart: build a tiny network, run two PDQ flows through one
+   bottleneck, and watch preemptive scheduling finish the short flow
+   first while fair sharing (RCP) delays it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Sim = Pdq_engine.Sim
+module Units = Pdq_engine.Units
+module Builder = Pdq_topo.Builder
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+
+(* One experiment: two senders, one switch, one receiver, 1 Gbps links
+   (the single-bottleneck topology of Fig. 2b); a 1 MB and a 100 KB
+   flow start simultaneously. *)
+let run protocol =
+  let sim = Sim.create () in
+  let built, receiver = Builder.single_bottleneck ~sim ~senders:2 () in
+  let hosts = built.Builder.hosts in
+  let flow src size =
+    { Context.src; dst = receiver; size; deadline = None; start = 0. }
+  in
+  Runner.run ~topo:built.Builder.topo protocol
+    [ flow hosts.(0) (Units.mbyte 1.); flow hosts.(1) (Units.kbyte 100.) ]
+
+let show name (r : Runner.result) =
+  Printf.printf "%s:\n" name;
+  Array.iteri
+    (fun i (f : Runner.flow_result) ->
+      Printf.printf "  flow %d (%7d bytes): completed in %s\n" i
+        f.Runner.spec.Context.size
+        (match f.Runner.fct with
+        | Some fct -> Printf.sprintf "%5.2f ms" (1e3 *. fct)
+        | None -> "never"))
+    r.Runner.flows;
+  Printf.printf "  mean FCT: %.2f ms\n\n" (1e3 *. r.Runner.mean_fct)
+
+let () =
+  show "PDQ(Full) - the short flow preempts the long one"
+    (run (Runner.Pdq Pdq_core.Config.full));
+  show "RCP - fair sharing delays the short flow" (run Runner.Rcp)

@@ -1,0 +1,1 @@
+lib/core/flow_list.ml: Array Criticality Flow_state

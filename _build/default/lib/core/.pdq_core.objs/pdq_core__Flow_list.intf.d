@@ -1,0 +1,1 @@
+lib/core/flow_list.mli: Flow_state

@@ -1,0 +1,1 @@
+lib/core/flow_state.mli: Criticality Header

@@ -1,0 +1,1 @@
+lib/core/sender.ml: Header Pdq_engine

@@ -1,0 +1,1 @@
+lib/core/sender.mli: Header

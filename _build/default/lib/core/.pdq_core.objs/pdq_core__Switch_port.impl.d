@@ -1,0 +1,1 @@
+lib/core/switch_port.ml: Config Criticality Flow_list Flow_state Hashtbl Header List Pdq_engine

@@ -1,0 +1,1 @@
+lib/core/switch_port.mli: Config Flow_list Header

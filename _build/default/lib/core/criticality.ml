@@ -1,0 +1,33 @@
+type key = { deadline : float option; expected_tx_time : float; flow_id : int }
+
+let compare a b =
+  let by_deadline =
+    match (a.deadline, b.deadline) with
+    | Some da, Some db -> Stdlib.compare da db
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
+  in
+  if by_deadline <> 0 then by_deadline
+  else begin
+    let by_ttx = Stdlib.compare a.expected_tx_time b.expected_tx_time in
+    if by_ttx <> 0 then by_ttx else Stdlib.compare a.flow_id b.flow_id
+  end
+
+let more_critical a b = compare a b < 0
+
+let aged_tx_time ~aging_rate ~wait ~expected_tx_time =
+  (* T_H is divided by 2^(alpha * t) with t in units of 100 ms. *)
+  let t = wait /. 0.1 in
+  expected_tx_time /. (2. ** (aging_rate *. t))
+
+let compare_aged ~aging_rate ~now (ka, wa) (kb, wb) =
+  let age k since =
+    {
+      k with
+      expected_tx_time =
+        aged_tx_time ~aging_rate ~wait:(max 0. (now -. since))
+          ~expected_tx_time:k.expected_tx_time;
+    }
+  in
+  compare (age ka wa) (age kb wb)

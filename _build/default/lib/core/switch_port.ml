@@ -1,0 +1,234 @@
+type t = {
+  config : Config.t;
+  switch_id : int;
+  link_rate : float;
+  mutable rpdq : float;
+  mutable c : float;
+  flows : Flow_list.t;
+  mutable rtt_avg : float;
+  mutable rtt_min : float;
+  mutable last_accept : float;
+  mutable last_accepted_flow : int;
+  fallback_seen : (int, float) Hashtbl.t;
+}
+
+let create ~config ~switch_id ~link_rate ~init_rtt =
+  {
+    config;
+    switch_id;
+    link_rate;
+    rpdq = link_rate;
+    c = link_rate;
+    flows = Flow_list.create ();
+    rtt_avg = init_rtt;
+    rtt_min = init_rtt;
+    last_accept = neg_infinity;
+    last_accepted_flow = -1;
+    fallback_seen = Hashtbl.create 16;
+  }
+
+let switch_id t = t.switch_id
+let config t = t.config
+let set_rpdq t r = t.rpdq <- min r t.link_rate
+let rtt_avg t = t.rtt_avg
+let available_rate t = t.c
+let flow_list t = t.flows
+let kappa t = Flow_list.sending_count t.flows
+
+let observe_rtt t rtt =
+  if rtt > 0. then begin
+    let w = t.config.Config.rtt_ewma in
+    t.rtt_avg <- ((1. -. w) *. t.rtt_avg) +. (w *. rtt);
+    if rtt < t.rtt_min then t.rtt_min <- rtt
+  end
+
+(* Flow-list capacity: the 2κ most critical flows (κ sending flows),
+   floored so a link always remembers a few waiting flows, and capped by
+   the hard memory bound M (§3.3.1). *)
+let list_capacity t =
+  let kappa = Flow_list.sending_count t.flows in
+  min t.config.Config.max_list_size
+    (max t.config.Config.min_list_size (t.config.Config.kappa_multiplier * kappa))
+
+(* Algorithm 2. Early Start: more critical flows that will finish within
+   K RTTs do not count against the available bandwidth, up to an
+   aggregate transmission-time budget of K RTTs. *)
+let availbw t j ~now:_ =
+  let k_budget = if t.config.Config.features.Config.early_start then t.config.Config.k_early_start else 0. in
+  let x = ref 0. and a = ref 0. in
+  (try
+     for i = 0 to j - 1 do
+       let e = Flow_list.get t.flows i in
+       let rtt = max e.Flow_state.rtt 1e-9 in
+       let ttx_rtts = e.Flow_state.expected_tx_time /. rtt in
+       if ttx_rtts < k_budget && !x < k_budget then x := !x +. ttx_rtts
+       else begin
+         a := !a +. e.Flow_state.rate;
+         if !a >= t.c then raise Exit
+       end
+     done
+   with Exit -> ());
+  if !a >= t.c then 0. else t.c -. !a
+
+let dampening_active t ~now ~flow_id =
+  flow_id <> t.last_accepted_flow
+  && now -. t.last_accept < t.config.Config.dampening
+
+(* RCP fallback (§3.3.1): flows beyond the memory bound share whatever
+   capacity the stored PDQ flows leave unused. Flow membership is
+   tracked by last-seen time with a 2-RTT horizon. *)
+let fallback_purge t ~now =
+  let horizon = 4. *. t.rtt_avg in
+  let stale =
+    Hashtbl.fold
+      (fun id seen acc -> if now -. seen > horizon then id :: acc else acc)
+      t.fallback_seen []
+  in
+  List.iter (Hashtbl.remove t.fallback_seen) stale
+
+let fallback_rate t ~flow_id ~now =
+  Hashtbl.replace t.fallback_seen flow_id now;
+  fallback_purge t ~now;
+  let n = max 1 (Hashtbl.length t.fallback_seen) in
+  let leftover = t.c -. Flow_list.total_rate t.flows in
+  max 0. (leftover /. float_of_int n)
+
+let fallback_flow_count t = Hashtbl.length t.fallback_seen
+
+(* Store a new flow if the list has room or the flow outranks the least
+   critical stored one; returns its index, or None when it must use the
+   RCP fallback. *)
+let try_store t (h : Header.t) ~flow_id ~now =
+  let cap = list_capacity t in
+  let key =
+    {
+      Criticality.deadline = h.deadline;
+      expected_tx_time = h.expected_tx_time;
+      flow_id;
+    }
+  in
+  let admissible =
+    Flow_list.length t.flows < cap
+    ||
+    match Flow_list.least_critical t.flows with
+    | None -> true
+    | Some worst -> Criticality.more_critical key (Flow_state.key worst)
+  in
+  if not admissible then None
+  else begin
+    let entry =
+      Flow_state.create ?deadline:h.deadline ~flow_id
+        ~expected_tx_time:h.expected_tx_time ~rtt:h.rtt ~now ()
+    in
+    ignore (Flow_list.insert t.flows entry);
+    let removed_self = ref false in
+    while Flow_list.length t.flows > max cap 1 do
+      match Flow_list.remove_least_critical t.flows with
+      | Some dropped when dropped.Flow_state.flow_id = flow_id ->
+          removed_self := true
+      | Some _ | None -> ()
+    done;
+    if !removed_self then None
+    else
+      match Flow_list.find t.flows flow_id with
+      | Some (i, _) -> Some i
+      | None -> None
+  end
+
+(* Algorithm 1: forward-path processing of a data/probe header. *)
+let process_forward t (h : Header.t) ~flow_id ~now =
+  observe_rtt t h.rtt;
+  match h.pause_by with
+  | Some sid when sid <> t.switch_id ->
+      (* Paused by another switch: drop our state for it so its share
+         can be given to other flows. *)
+      ignore (Flow_list.remove t.flows flow_id)
+  | Some _ | None -> (
+      let located =
+        match Flow_list.find t.flows flow_id with
+        | Some (_, e) ->
+            Flow_state.update_from_header e h ~now;
+            (match Flow_list.reposition t.flows flow_id with
+            | Some i -> Some (i, e)
+            | None -> None)
+        | None -> (
+            match try_store t h ~flow_id ~now with
+            | Some i -> Some (i, Flow_list.get t.flows i)
+            | None -> None)
+      in
+      match located with
+      | None ->
+          (* Memory bound exceeded: degrade to RCP fair sharing. *)
+          h.rate <- min h.rate (fallback_rate t ~flow_id ~now);
+          if h.rate <= 0. then h.pause_by <- Some t.switch_id
+      | Some (i, e) ->
+          Hashtbl.remove t.fallback_seen flow_id;
+          let w = min (availbw t i ~now) h.rate in
+          let pause () =
+            h.pause_by <- Some t.switch_id;
+            e.Flow_state.pause_by <- Some t.switch_id
+          in
+          if w > 0. then begin
+            let sending = Flow_state.is_sending e in
+            if (not sending) && dampening_active t ~now ~flow_id then pause ()
+            else begin
+              h.pause_by <- None;
+              h.rate <- w;
+              if not sending then begin
+                t.last_accept <- now;
+                t.last_accepted_flow <- flow_id
+              end
+            end
+          end
+          else pause ())
+
+(* Algorithm 3: reverse-path (ACK) processing. *)
+let process_reverse t (h : Header.t) ~flow_id ~now:_ =
+  (match h.pause_by with
+  | Some sid when sid <> t.switch_id -> ignore (Flow_list.remove t.flows flow_id)
+  | Some _ | None -> ());
+  if h.pause_by <> None then h.rate <- 0.;
+  match Flow_list.find t.flows flow_id with
+  | None -> ()
+  | Some (i, e) ->
+      e.Flow_state.pause_by <- h.pause_by;
+      if t.config.Config.features.Config.suppressed_probing then
+        h.inter_probe_rtts <-
+          max h.inter_probe_rtts (t.config.Config.probe_x *. float_of_int i);
+      e.Flow_state.rate <- h.rate
+
+(* Stale-entry purge: a lost TERM (or a crashed sender) would otherwise
+   leave a flow occupying bandwidth in the list forever. Paused flows
+   probe at least every [probe_x * index] RTTs, so a generous multiple
+   of the average RTT cannot evict a live flow. *)
+let purge_stale t ~now =
+  let horizon = max (60. *. t.rtt_avg) 0.01 in
+  let stale =
+    Flow_list.fold
+      (fun acc e ->
+        if now -. e.Flow_state.last_seen > horizon then
+          e.Flow_state.flow_id :: acc
+        else acc)
+      [] t.flows
+  in
+  List.iter (fun id -> ignore (Flow_list.remove t.flows id)) stale
+
+let update_rate_controller t ~queue_bytes ~now =
+  purge_stale t ~now;
+  (* A store-and-forward output always holds the packet in service, so
+     one MTU of "queue" is not congestion; penalizing it would shave a
+     permanent margin off every link. *)
+  let q_bits =
+    Pdq_engine.Units.bytes_to_bits
+      (max 0 (queue_bytes - t.config.Config.queue_allowance_bytes))
+  in
+  (* Drain against the min-filtered RTT: the smoothed estimate inflates
+     with the very congestion the controller must remove, which would
+     weaken the drain exactly when it is needed. *)
+  t.c <- max 0. (t.rpdq -. (q_bits /. (2. *. max t.rtt_min 1e-9)))
+
+let rate_update_interval t = t.config.Config.rate_update_rtts *. t.rtt_avg
+
+let remove_flow t flow_id ~now:_ =
+  ignore (Flow_list.remove t.flows flow_id);
+  Hashtbl.remove t.fallback_seen flow_id

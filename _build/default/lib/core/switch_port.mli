@@ -1,0 +1,71 @@
+(** PDQ switch logic for one output link (§3.3).
+
+    A switch instantiates one [Switch_port] per output queue. The port
+    owns the per-link flow list, the flow controller (Algorithms 1–3:
+    pausing/acceptance, Early Start via {!availbw}, dampening,
+    Suppressed Probing), the rate controller (C = rPDQ − q/(2·RTT)) and
+    the RCP fallback for flows beyond the memory bound [M].
+
+    This module is substrate-independent: the packet-level simulator
+    calls {!process_forward}/{!process_reverse} with the scheduling
+    header of each traversing packet, and the flow-level simulator can
+    drive the same state machine directly. *)
+
+type t
+
+val create :
+  config:Config.t -> switch_id:int -> link_rate:float -> init_rtt:float -> t
+(** A fresh port. [link_rate] is the output line rate in bits/s; rPDQ
+    defaults to it ({!set_rpdq} overrides for multi-protocol links).
+    [init_rtt] seeds the average-RTT estimate before any header is
+    seen. *)
+
+val switch_id : t -> int
+val config : t -> Config.t
+
+val set_rpdq : t -> float -> unit
+(** Cap the aggregate rate handed out to PDQ flows (§3.3.3 —
+    multi-protocol friendliness). *)
+
+val rtt_avg : t -> float
+(** Current average-RTT estimate (EWMA over header RTT fields). *)
+
+val available_rate : t -> float
+(** Current value of the rate-controller variable [C]. *)
+
+val flow_list : t -> Flow_list.t
+(** The stored flows, most critical first (exposed for inspection and
+    tests; mutating it directly is unsupported). *)
+
+val kappa : t -> int
+(** Number of stored flows currently sending (rate > 0). *)
+
+val process_forward : t -> Header.t -> flow_id:int -> now:float -> unit
+(** Algorithm 1 — run on every data/probe/SYN header travelling
+    source→destination: updates stored flow state, decides
+    pause/accept, rewrites [rate]/[pause_by] in the header, or applies
+    the RCP fallback when the flow cannot be stored. *)
+
+val process_reverse : t -> Header.t -> flow_id:int -> now:float -> unit
+(** Algorithm 3 — run on every ACK header travelling back: commits the
+    global accept/pause decision into the flow list and stretches the
+    inter-probe interval (Suppressed Probing). *)
+
+val availbw : t -> int -> now:float -> float
+(** Algorithm 2 — bandwidth available to the flow at the given list
+    index, skipping up to [K] RTTs' worth of nearly-completed more
+    critical flows (Early Start). *)
+
+val update_rate_controller : t -> queue_bytes:int -> now:float -> unit
+(** Rate-controller step (§3.3.3): set [C ← max(0, rPDQ − q/(2·RTT))].
+    Call every {!rate_update_interval}. *)
+
+val rate_update_interval : t -> float
+(** Seconds until the next rate-controller update (2 average RTTs by
+    default). *)
+
+val remove_flow : t -> int -> now:float -> unit
+(** Forget a flow (on TERM or timeout); frees its bandwidth share. *)
+
+val fallback_flow_count : t -> int
+(** Number of flows currently handled by the RCP fallback (§3.3.1). *)

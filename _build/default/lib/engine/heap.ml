@@ -1,0 +1,80 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  initial_capacity : int;
+}
+
+let create ?(capacity = 256) () =
+  { data = [||]; size = 0; next_seq = 0; initial_capacity = max 1 capacity }
+
+(* Entry [a] sorts before [b] on priority, then on insertion order. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* The backing array is allocated on first push (using that entry as
+   filler) so no dummy element is ever needed. *)
+let ensure_room h filler =
+  if Array.length h.data = 0 then h.data <- Array.make h.initial_capacity filler
+  else if h.size = Array.length h.data then begin
+    let data = Array.make (2 * Array.length h.data) filler in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push h prio value =
+  let e = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  ensure_room h e;
+  (* Sift up. *)
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before e h.data.(parent) then begin
+      h.data.(!i) <- h.data.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  h.data.(!i) <- e
+
+let sift_down h =
+  let e = h.data.(0) in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      h.data.(!i) <- h.data.(!smallest);
+      h.data.(!smallest) <- e;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+
+let clear h =
+  h.size <- 0;
+  h.next_seq <- 0

@@ -1,0 +1,31 @@
+(** Binary min-heap keyed by float priority, with stable tie-breaking.
+
+    This is the event queue underlying {!Sim}. Elements inserted with
+    equal priority are popped in insertion order, which makes simulation
+    runs deterministic. *)
+
+type 'a t
+(** A mutable min-heap holding values of type ['a]. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap. [capacity] pre-sizes the backing
+    array (default 256). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio]. O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns the minimum-priority element, breaking
+    priority ties by insertion order. [None] on an empty heap. O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** [peek h] is the element [pop] would return, without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let float t =
+  (* 53 high-quality bits into [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: nonpositive bound";
+  (* Rejection-free for our purposes: bound is far below 2^53. *)
+  int_of_float (float t *. float_of_int bound)
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  let u = 1. -. float t in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  let u = 1. -. float t in
+  scale /. (u ** (1. /. shape))
+
+let bool t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let derangement t n =
+  if n < 2 then invalid_arg "Rng.derangement: need n >= 2";
+  (* Rejection sampling: a uniform permutation is a derangement with
+     probability ~1/e, so a handful of attempts suffice. *)
+  let rec attempt () =
+    let a = permutation t n in
+    let fixed = ref false in
+    Array.iteri (fun i v -> if i = v then fixed := true) a;
+    if !fixed then attempt () else a
+  in
+  attempt ()

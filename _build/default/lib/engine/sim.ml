@@ -1,0 +1,48 @@
+type handle = { mutable live : bool; action : unit -> unit }
+
+type t = { mutable clock : float; queue : handle Heap.t; mutable stopped : bool }
+
+let create () = { clock = 0.; queue = Heap.create (); stopped = false }
+let stop t = t.stopped <- true
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
+  let h = { live = true; action = f } in
+  Heap.push t.queue time h;
+  h
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel h = h.live <- false
+let cancelled h = not h.live
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, h) ->
+      t.clock <- time;
+      if h.live then begin
+        h.live <- false;
+        h.action ()
+      end;
+      true
+
+let run ?until t =
+  t.stopped <- false;
+  match until with
+  | None -> while (not t.stopped) && step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue && not t.stopped do
+        match Heap.peek t.queue with
+        | Some (time, _) when time <= horizon -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- max t.clock horizon;
+            continue := false
+      done

@@ -1,0 +1,49 @@
+(** Discrete-event simulation core.
+
+    A simulator owns a virtual clock and an event queue. Events are
+    thunks scheduled at absolute or relative virtual times; [run]
+    executes them in nondecreasing time order (ties broken by
+    scheduling order, so runs are deterministic). *)
+
+type t
+(** A simulator instance. *)
+
+type handle
+(** A handle on a scheduled event, usable to {!cancel} it. *)
+
+val create : unit -> t
+(** A fresh simulator with clock at time [0.]. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule sim ~delay f] runs [f] at time [now sim +. delay].
+    Raises [Invalid_argument] if [delay < 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at sim ~time f] runs [f] at absolute [time]. Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event. Cancelling an already-fired or cancelled
+    event is a no-op. *)
+
+val cancelled : handle -> bool
+(** Whether the event was cancelled (or already consumed). *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled placeholders). *)
+
+val step : t -> bool
+(** Execute the next event, advancing the clock to its timestamp.
+    Returns [false] when the queue is empty. *)
+
+val stop : t -> unit
+(** Make the current (or next) {!run} return after the event being
+    executed; pending events stay queued. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue drains, or — when [until] is given —
+    until the next event would fire strictly after [until] (the clock is
+    then left at [until]). *)

@@ -1,0 +1,88 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let median xs = percentile xs 50.
+
+type cdf = (float * float) array
+
+let cdf xs =
+  let n = Array.length xs in
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  Array.mapi (fun i x -> (x, float_of_int (i + 1) /. float_of_int n)) sorted
+
+let cdf_at c x =
+  (* Binary search for the largest value <= x. *)
+  let n = Array.length c in
+  if n = 0 || fst c.(0) > x then 0.
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if fst c.(mid) <= x then lo := mid else hi := mid - 1
+    done;
+    snd c.(!lo)
+  end
+
+let fraction pred xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let k = Array.fold_left (fun acc x -> if pred x then acc + 1 else acc) 0 xs in
+    float_of_int k /. float_of_int n
+  end
+
+module Counter = struct
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () = { n = 0; sum = 0.; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let n t = t.n
+  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+  let min t = t.min_v
+  let max t = t.max_v
+end

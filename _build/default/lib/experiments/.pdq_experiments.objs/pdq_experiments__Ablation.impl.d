@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Common List Pdq_core Pdq_transport

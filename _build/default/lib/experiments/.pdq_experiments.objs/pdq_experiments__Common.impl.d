@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Float Format List Pdq_core Pdq_engine Pdq_sched Pdq_topo Pdq_transport Pdq_workload Printf String

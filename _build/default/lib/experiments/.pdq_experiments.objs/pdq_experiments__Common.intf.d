@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Format Pdq_sched Pdq_transport Pdq_workload

@@ -1,0 +1,1 @@
+lib/experiments/dynamics.ml: Array Common Fun List Pdq_core Pdq_engine Pdq_net Pdq_topo Pdq_transport Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Common List Option Pdq_sched

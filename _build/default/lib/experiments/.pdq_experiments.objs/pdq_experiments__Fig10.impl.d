@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Common Fig8 List Pdq_engine Pdq_flowsim Pdq_topo Pdq_workload

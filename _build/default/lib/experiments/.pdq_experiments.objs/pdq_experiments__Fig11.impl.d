@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Common List Pdq_core Pdq_engine Pdq_topo Pdq_transport Pdq_workload

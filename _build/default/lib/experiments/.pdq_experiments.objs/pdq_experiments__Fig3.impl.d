@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Common List Pdq_transport Pdq_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Common List Pdq_engine Pdq_net Pdq_topo Pdq_transport Pdq_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Common Float List Pdq_engine Pdq_topo Pdq_transport Pdq_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Common Fun List Option Pdq_core Pdq_engine Pdq_flowsim Pdq_net Pdq_topo Pdq_transport Pdq_workload Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig8.mli: Common Pdq_flowsim Pdq_topo Pdq_workload

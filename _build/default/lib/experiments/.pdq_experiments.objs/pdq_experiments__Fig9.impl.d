@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Common List Pdq_core Pdq_engine Pdq_net Pdq_topo Pdq_transport

@@ -1,0 +1,63 @@
+module Runner = Pdq_transport.Runner
+module Config = Pdq_core.Config
+
+let sweep ~title ~param_name ~configs ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let flows = 10 in
+  let rows =
+    List.map
+      (fun (label, config) ->
+        let at =
+          Common.run_aggregation ~seeds ~flows (Runner.Pdq config) (fun r ->
+              100. *. r.Runner.application_throughput)
+        in
+        let fct =
+          Common.run_aggregation ~seeds ~deadlines:false ~flows
+            (Runner.Pdq config) (fun r -> r.Runner.mean_fct)
+        in
+        [ label; Common.cell at; Common.cell (1e3 *. fct) ])
+      configs
+  in
+  {
+    Common.title;
+    header = [ param_name; "app tput [%]"; "mean FCT [ms]" ];
+    rows;
+  }
+
+let early_start_k ?quick () =
+  sweep
+    ~title:"Ablation - Early Start budget K (10-flow aggregation)"
+    ~param_name:"K"
+    ~configs:
+      (List.map
+         (fun k -> (Common.cell k, Config.with_k Config.full k))
+         [ 0.; 1.; 2.; 4. ])
+    ?quick ()
+
+let probing ?quick () =
+  sweep
+    ~title:"Ablation - Suppressed Probing factor X"
+    ~param_name:"X"
+    ~configs:
+      (List.map
+         (fun x ->
+           ( Common.cell x,
+             if x = 0. then
+               {
+                 Config.full with
+                 Config.features =
+                   { Config.full.Config.features with Config.suppressed_probing = false };
+               }
+             else { Config.full with Config.probe_x = x } ))
+         [ 0.; 0.1; 0.2; 0.5; 1. ])
+    ?quick ()
+
+let dampening ?quick () =
+  sweep
+    ~title:"Ablation - dampening window"
+    ~param_name:"window[us]"
+    ~configs:
+      (List.map
+         (fun d -> (Common.cell (d *. 1e6), { Config.full with Config.dampening = d }))
+         [ 0.; 10e-6; 20e-6; 100e-6; 500e-6 ])
+    ?quick ()

@@ -1,0 +1,150 @@
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Config = Pdq_core.Config
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Fluid = Pdq_sched.Fluid
+module Rng = Pdq_engine.Rng
+module Sim = Pdq_engine.Sim
+
+let pdq_variants =
+  [
+    ("PDQ(Full)", Runner.Pdq Config.full);
+    ("PDQ(ES+ET)", Runner.Pdq Config.es_et);
+    ("PDQ(ES)", Runner.Pdq Config.es);
+    ("PDQ(Basic)", Runner.Pdq Config.basic);
+  ]
+
+let packet_protocols =
+  pdq_variants @ [ ("D3", Runner.D3); ("RCP", Runner.Rcp); ("TCP", Runner.Tcp) ]
+
+let goodput_rate = 1e9 *. 1460. /. 1500.
+
+type agg_workload = {
+  specs : Context.flow_spec list;
+  jobs : Fluid.job list;
+}
+
+let aggregation_workload ?(deadline_mean = 0.02) ?sizes ?(deadlines = true)
+    ~seed ~hosts ~receiver ~flows () =
+  let sizes =
+    match sizes with
+    | Some s -> s
+    | None -> Size_dist.uniform_paper ~mean_bytes:100_000
+  in
+  let rng = Rng.create (0x5EED + (seed * 7919)) in
+  let ddist = Deadline_dist.exponential ~mean:deadline_mean () in
+  let pairs = Pdq_workload.Pattern.aggregation ~hosts ~receiver ~flows in
+  let specs, jobs =
+    List.mapi
+      (fun i (p : Pdq_workload.Pattern.pair) ->
+        let size = Size_dist.sample sizes rng in
+        let deadline =
+          if deadlines then Some (Deadline_dist.sample ddist rng) else None
+        in
+        ( {
+            Context.src = p.Pdq_workload.Pattern.src;
+            dst = p.Pdq_workload.Pattern.dst;
+            size;
+            deadline;
+            start = 0.;
+          },
+          Fluid.job ?deadline ~id:i ~size:(float_of_int size) () ))
+      pairs
+    |> List.split
+  in
+  { specs; jobs }
+
+let default_seeds = [ 1; 2; 3 ]
+
+let run_aggregation ?(seeds = default_seeds) ?(deadline_mean = 0.02) ?sizes
+    ?(deadlines = true) ~flows protocol metric =
+  let per_seed seed =
+    let sim = Sim.create () in
+    let built = Builder.single_rooted_tree ~sim () in
+    let hosts = built.Builder.hosts in
+    let receiver = hosts.(0) in
+    let wl =
+      aggregation_workload ~deadline_mean ?sizes ~deadlines ~seed ~hosts
+        ~receiver ~flows ()
+    in
+    let options =
+      { Runner.default_options with Runner.seed; horizon = 5. }
+    in
+    metric (Runner.run ~options ~topo:built.Builder.topo protocol wl.specs)
+  in
+  let xs = List.map per_seed seeds in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let optimal_aggregation_throughput ?(seeds = default_seeds)
+    ?(deadline_mean = 0.02) ?sizes ~flows () =
+  let per_seed seed =
+    let sim = Sim.create () in
+    let built = Builder.single_rooted_tree ~sim () in
+    let hosts = built.Builder.hosts in
+    let wl =
+      aggregation_workload ~deadline_mean ?sizes ~deadlines:true ~seed ~hosts
+        ~receiver:hosts.(0) ~flows ()
+    in
+    (* Fluid job sizes are bytes: rate in bytes/second. *)
+    Fluid.optimal_deadline_throughput ~rate:(goodput_rate /. 8.) wl.jobs
+  in
+  let xs = List.map per_seed seeds in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let optimal_aggregation_fct ?(seeds = default_seeds) ?sizes ~flows () =
+  let per_seed seed =
+    let sim = Sim.create () in
+    let built = Builder.single_rooted_tree ~sim () in
+    let hosts = built.Builder.hosts in
+    let wl =
+      aggregation_workload ?sizes ~deadlines:false ~seed ~hosts
+        ~receiver:hosts.(0) ~flows ()
+    in
+    Fluid.mean_completion_time (Fluid.srpt ~rate:(goodput_rate /. 8.) wl.jobs)
+  in
+  let xs = List.map per_seed seeds in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let search_max_flows ?(lo = 1) ?(hi = 64) ~target f =
+  if f lo < target then 0
+  else begin
+    (* Invariant: f lo >= target; answer in [lo, hi]. *)
+    let lo = ref lo and hi = ref hi in
+    (* If even hi passes, report hi. *)
+    if f !hi >= target then !hi
+    else begin
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if f mid >= target then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
+
+type table = { title : string; header : string list; rows : string list list }
+
+let pp_table ppf t =
+  Format.fprintf ppf "@.== %s ==@." t.title;
+  let all = t.header :: t.rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i c -> width.(i) <- max width.(i) (String.length c)))
+    all;
+  let print_row r =
+    List.iteri
+      (fun i c -> Format.fprintf ppf "%-*s  " width.(i) c)
+      r;
+    Format.fprintf ppf "@."
+  in
+  print_row t.header;
+  print_row (List.init ncols (fun i -> String.make width.(i) '-'));
+  List.iter print_row t.rows
+
+let cell v =
+  if Float.is_integer v && abs_float v < 1e7 then Printf.sprintf "%.0f" v
+  else if abs_float v >= 100. then Printf.sprintf "%.1f" v
+  else if abs_float v >= 1. then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v

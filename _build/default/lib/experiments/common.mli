@@ -1,0 +1,86 @@
+(** Shared plumbing for the per-figure experiment drivers: protocol
+    rosters, workload construction, repeated-seed averaging, binary
+    search for the paper's "number of flows at 99% application
+    throughput" metric, and tabular output. *)
+
+val pdq_variants : (string * Pdq_transport.Runner.protocol) list
+(** PDQ(Full), PDQ(ES+ET), PDQ(ES), PDQ(Basic) — most complete first. *)
+
+val packet_protocols : (string * Pdq_transport.Runner.protocol) list
+(** The full roster of Fig. 3: the PDQ variants, D3, RCP, TCP. *)
+
+val goodput_rate : float
+(** Effective goodput of a 1 Gbps link under the 40-byte TCP/IP
+    header (the omniscient scheduler pays payload efficiency but no
+    scheduling header). *)
+
+type agg_workload = {
+  specs : Pdq_transport.Context.flow_spec list;
+  jobs : Pdq_sched.Fluid.job list;
+      (** The same flows as single-bottleneck fluid jobs (sizes in
+          bytes, deadlines in seconds) for the Optimal baseline. *)
+}
+
+val aggregation_workload :
+  ?deadline_mean:float ->
+  ?sizes:Pdq_workload.Size_dist.t ->
+  ?deadlines:bool ->
+  seed:int ->
+  hosts:int array ->
+  receiver:int ->
+  flows:int ->
+  unit ->
+  agg_workload
+(** Query-aggregation flows: sizes from [sizes] (default the paper's
+    U[2 KB,198 KB]), all starting at t=0 towards [receiver]; when
+    [deadlines] (default true) each flow gets an Exp([deadline_mean],
+    floor 3 ms) deadline (default mean 20 ms). *)
+
+val run_aggregation :
+  ?seeds:int list ->
+  ?deadline_mean:float ->
+  ?sizes:Pdq_workload.Size_dist.t ->
+  ?deadlines:bool ->
+  flows:int ->
+  Pdq_transport.Runner.protocol ->
+  (Pdq_transport.Runner.result -> float) ->
+  float
+(** Build the default 12-server tree, run the aggregation workload and
+    average the extracted metric over the seeds (default [1;2;3]). *)
+
+val optimal_aggregation_throughput :
+  ?seeds:int list ->
+  ?deadline_mean:float ->
+  ?sizes:Pdq_workload.Size_dist.t ->
+  flows:int ->
+  unit ->
+  float
+(** Moore–Hodgson application throughput of the omniscient scheduler on
+    the same workloads. *)
+
+val optimal_aggregation_fct :
+  ?seeds:int list ->
+  ?sizes:Pdq_workload.Size_dist.t ->
+  flows:int ->
+  unit ->
+  float
+(** SRPT mean flow completion time of the omniscient scheduler
+    (deadline-unconstrained case). *)
+
+val search_max_flows :
+  ?lo:int ->
+  ?hi:int ->
+  target:float ->
+  (int -> float) ->
+  int
+(** Largest [n] in [lo..hi] whose measured application throughput is at
+    least [target] (binary search assuming monotonicity, as the paper's
+    procedure does). Returns [lo - 1]... returns 0 if even [lo] fails. *)
+
+type table = { title : string; header : string list; rows : string list list }
+
+val pp_table : Format.formatter -> table -> unit
+(** Render as aligned, tab-friendly text. *)
+
+val cell : float -> string
+(** Format a numeric cell with sensible precision. *)

@@ -1,0 +1,159 @@
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Series = Pdq_engine.Series
+module Sim = Pdq_engine.Sim
+module Units = Pdq_engine.Units
+
+type trace = {
+  per_flow_gbps : (int * (float * float) array) list;
+  utilization : (float * float) array;
+  queue_pkts : (float * float) array;
+  completions : (int * float) list;
+}
+
+let run_traced ~senders ~specs_of ~t_end ~bin =
+  let sim = Sim.create () in
+  let built, rx = Builder.single_bottleneck ~sim ~senders () in
+  let hosts = built.Builder.hosts in
+  let bottleneck =
+    Pdq_net.Link.id (Pdq_net.Topology.link_to built.Builder.topo ~src:0 ~dst:rx)
+  in
+  let options =
+    {
+      Runner.default_options with
+      Runner.horizon = t_end +. 1.;
+      trace = Some (bottleneck, bin /. 4.);
+    }
+  in
+  let r =
+    Runner.run ~options ~topo:built.Builder.topo
+      (Runner.Pdq Pdq_core.Config.full) (specs_of hosts rx)
+  in
+  let per_flow =
+    List.map
+      (fun (id, s) ->
+        let bins = Series.integrate_rate s ~width:bin ~t_end in
+        (id, Array.map (fun (t, bps) -> (t, bps *. 8. /. 1e9)) bins))
+      (Context.rx_series r.Runner.ctx)
+  in
+  let utilization =
+    match Context.trace_tx r.Runner.ctx with
+    | Some tx ->
+        Series.integrate_rate tx ~width:bin ~t_end
+        |> Array.map (fun (t, bps) -> (t, bps *. 8. /. 1e9))
+    | None -> [||]
+  in
+  let queue_pkts =
+    match Context.trace_queue r.Runner.ctx with
+    | Some q ->
+        Series.bin_mean q ~width:bin ~t_end
+        |> Array.map (fun (t, b) -> (t, b /. 1500.))
+    | None -> [||]
+  in
+  let completions =
+    Array.to_list r.Runner.flows
+    |> List.mapi (fun i (f : Runner.flow_result) ->
+           match f.Runner.fct with
+           | Some fct -> Some (i, f.Runner.spec.Context.start +. fct)
+           | None -> None)
+    |> List.filter_map Fun.id
+  in
+  { per_flow_gbps = per_flow; utilization; queue_pkts; completions }
+
+(* Fig 6: five ~1MB flows, perturbed so smaller index = more critical,
+   all starting at t = 0. The perturbation is a few packets wide so the
+   criticality order is robust against the slivers of bandwidth that
+   paused flows pick up while the rate controller oscillates. *)
+let fig6 ?(bin = 1e-3) () =
+  run_traced ~senders:5 ~t_end:0.05 ~bin ~specs_of:(fun hosts rx ->
+      List.init 5 (fun i ->
+          {
+            Context.src = hosts.(i);
+            dst = rx;
+            size = 1_000_000 + (i * 25_000);
+            deadline = None;
+            start = 0.;
+          }))
+
+(* Fig 7: a long-lived flow plus 50 short 20KB flows at t = 10 ms. *)
+let fig7 ?(bin = 1e-3) () =
+  run_traced ~senders:51 ~t_end:0.05 ~bin ~specs_of:(fun hosts rx ->
+      {
+        Context.src = hosts.(0);
+        dst = rx;
+        size = 5_000_000;
+        deadline = None;
+        start = 0.;
+      }
+      :: List.init 50 (fun i ->
+             {
+               Context.src = hosts.(1 + i);
+               dst = rx;
+               size = 20_000 + (i * 13);
+               deadline = None;
+               start = 0.010;
+             }))
+
+let table_of_trace ~title (t : trace) ~flows_shown =
+  let bins =
+    match t.utilization with [||] -> [||] | u -> Array.map fst u
+  in
+  let header =
+    "t[ms]"
+    :: (List.map (fun id -> Printf.sprintf "flow%d[Gb/s]" id) flows_shown
+       @ [ "util"; "queue[pkts]" ])
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i t_bin ->
+           let flow_cells =
+             List.map
+               (fun id ->
+                 match List.assoc_opt id t.per_flow_gbps with
+                 | Some series when i < Array.length series ->
+                     Common.cell (snd series.(i))
+                 | _ -> "0"
+               )
+               flows_shown
+           in
+           let util =
+             if i < Array.length t.utilization then
+               Common.cell (snd t.utilization.(i))
+             else "-"
+           in
+           let queue =
+             if i < Array.length t.queue_pkts then
+               Common.cell (snd t.queue_pkts.(i))
+             else "-"
+           in
+           (Common.cell (t_bin *. 1e3) :: flow_cells) @ [ util; queue ])
+         bins)
+  in
+  { Common.title = title; header; rows }
+
+let fig6_table () =
+  let t = fig6 () in
+  let completions =
+    String.concat ", "
+      (List.map (fun (i, c) -> Printf.sprintf "flow%d@%.1fms" i (c *. 1e3))
+         t.completions)
+  in
+  table_of_trace
+    ~title:
+      ("Fig 6 - seamless flow switching (completions: " ^ completions ^ ")")
+    t ~flows_shown:[ 0; 1; 2; 3; 4 ]
+
+let fig7_table () =
+  let t = fig7 () in
+  let shorts_done =
+    List.length (List.filter (fun (i, _) -> i > 0) t.completions)
+  in
+  table_of_trace
+    ~title:
+      (Printf.sprintf
+         "Fig 7 - burst robustness (long flow + 50 shorts at 10ms; %d shorts \
+          completed)"
+         shorts_done)
+    t ~flows_shown:[ 0 ]

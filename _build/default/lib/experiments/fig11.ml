@@ -1,0 +1,132 @@
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Pattern = Pdq_workload.Pattern
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Rng = Pdq_engine.Rng
+module Sim = Pdq_engine.Sim
+
+(* Larger flows than the query workload so path diversity (not
+   handshake latency) dominates the completion time. *)
+let sizes = Size_dist.uniform_paper ~mean_bytes:500_000
+let capacity_sizes = Size_dist.uniform_paper ~mean_bytes:100_000
+
+(* Random permutation over a [load] fraction of the BCube(2,3) hosts. *)
+let specs_at_load ~load ~deadlines ~seed ~hosts =
+  let rng = Rng.create (0xF11 + (seed * 53)) in
+  let n = Array.length hosts in
+  let k = max 2 (int_of_float (float_of_int n *. load)) in
+  let chosen = Array.sub (let a = Array.copy hosts in Rng.shuffle rng a; a) 0 k in
+  let ddist = Deadline_dist.exponential ~mean:0.02 () in
+  Pattern.random_permutation ~hosts:chosen ~rng
+  |> List.map (fun (p : Pattern.pair) ->
+         {
+           Context.src = p.Pattern.src;
+           dst = p.Pattern.dst;
+           size = Size_dist.sample sizes rng;
+           deadline =
+             (if deadlines then Some (Deadline_dist.sample ddist rng) else None);
+           start = 0.;
+         })
+
+let run ~load ~deadlines ~seed protocol metric =
+  let sim = Sim.create () in
+  let built = Builder.bcube ~sim ~n:2 ~k:3 () in
+  let specs = specs_at_load ~load ~deadlines ~seed ~hosts:built.Builder.hosts in
+  let options = { Runner.default_options with Runner.seed; horizon = 5. } in
+  metric (Runner.run ~options ~topo:built.Builder.topo protocol specs)
+
+let avg f seeds =
+  let xs = List.map f seeds in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* BCube node ids are deterministic, so one throwaway instance provides
+   the address-based parallel paths for every run. *)
+let bcube_multipath =
+  let sim = Sim.create () in
+  let built = Builder.bcube ~sim ~n:2 ~k:3 () in
+  fun ~src ~dst -> Builder.bcube_paths ~n:2 ~k:3 built ~src ~dst
+
+let mpdq subflows = Runner.mpdq ~subflows ~paths:bcube_multipath ()
+
+let fig11a ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let loads = if quick then [ 0.25; 0.5; 1.0 ] else [ 0.125; 0.25; 0.5; 0.75; 1.0 ] in
+  let fct proto load =
+    avg (fun seed -> run ~load ~deadlines:false ~seed proto (fun r -> r.Runner.mean_fct)) seeds
+  in
+  let rows =
+    List.map
+      (fun load ->
+        [
+          Common.cell (100. *. load);
+          Common.cell (1e3 *. fct (Runner.Pdq Pdq_core.Config.full) load);
+          Common.cell (1e3 *. fct (mpdq 3) load);
+        ])
+      loads
+  in
+  {
+    Common.title = "Fig 11a - mean FCT [ms] vs load (BCube(2,3), random perm)";
+    header = [ "load[%hosts]"; "PDQ"; "M-PDQ(3)" ];
+    rows;
+  }
+
+let fig11bc ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let subflow_counts = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let proto k = if k = 1 then Runner.Pdq Pdq_core.Config.full else mpdq k in
+  let rows =
+    List.map
+      (fun k ->
+        let fct =
+          avg
+            (fun seed ->
+              run ~load:1.0 ~deadlines:false ~seed (proto k) (fun r ->
+                  r.Runner.mean_fct))
+            seeds
+        in
+        (* (c): capacity search with extra deadline flows layered on the
+           permutation by scaling the sending population. *)
+        let cap =
+          Common.search_max_flows ~hi:24 ~target:99. (fun n ->
+              avg
+                (fun seed ->
+                  let sim = Sim.create () in
+                  let built = Builder.bcube ~sim ~n:2 ~k:3 () in
+                  let rng = Rng.create (0xF11 + (seed * 53)) in
+                  let ddist = Deadline_dist.exponential ~mean:0.02 () in
+                  let pairs =
+                    Pattern.random_pairs ~hosts:built.Builder.hosts ~flows:n ~rng
+                  in
+                  let specs =
+                    List.map
+                      (fun (p : Pattern.pair) ->
+                        {
+                          Context.src = p.Pattern.src;
+                          dst = p.Pattern.dst;
+                          size = Size_dist.sample capacity_sizes rng;
+                          deadline = Some (Deadline_dist.sample ddist rng);
+                          start = 0.;
+                        })
+                      pairs
+                  in
+                  let options =
+                    { Runner.default_options with Runner.seed; horizon = 5. }
+                  in
+                  100.
+                  *. (Runner.run ~options ~topo:built.Builder.topo (proto k) specs)
+                       .Runner.application_throughput)
+                seeds)
+        in
+        [ (if k = 1 then "PDQ" else string_of_int k); Common.cell (1e3 *. fct);
+          string_of_int cap ])
+      subflow_counts
+  in
+  {
+    Common.title =
+      "Fig 11b/c - mean FCT [ms] and flows at 99% application throughput vs \
+       subflow count (100% load)";
+    header = [ "subflows"; "FCT[ms]"; "flows@99%AT" ];
+    rows;
+  }

@@ -1,0 +1,58 @@
+module Builder = Pdq_topo.Builder
+module Flowsim = Pdq_flowsim.Flowsim
+module Pattern = Pdq_workload.Pattern
+module Size_dist = Pdq_workload.Size_dist
+module Rng = Pdq_engine.Rng
+module Sim = Pdq_engine.Sim
+
+(* Heavier-than-average sizes so that without aging the least critical
+   flows visibly starve behind a stream of smaller ones. *)
+let sizes = Size_dist.uniform_paper ~mean_bytes:500_000
+
+let run ~aging_rate ~seed proto_of =
+  let sim = Sim.create () in
+  let built = Builder.fat_tree_for_servers ~sim ~servers:128 () in
+  let rng = Rng.create (0xF12 + seed) in
+  let pairs =
+    List.concat
+      (List.init 4 (fun _ ->
+           Pattern.random_permutation ~hosts:built.Builder.hosts ~rng))
+  in
+  let specs =
+    Fig8.flowsim_specs ~built ~pairs ~sizes ~deadline_mean:None ~seed
+  in
+  let net = Flowsim.net_of_topology built.Builder.topo in
+  Flowsim.run ~seed net (proto_of aging_rate) specs
+
+let fig12 ?(quick = true) () =
+  let rates = if quick then [ 0.; 1.; 4.; 10. ] else [ 0.; 0.5; 1.; 2.; 4.; 6.; 8.; 10. ] in
+  let seed = 1 in
+  let pdq alpha =
+    Flowsim.Pdq
+      {
+        Flowsim.pdq_defaults with
+        Flowsim.early_termination = false;
+        aging_rate = (if alpha > 0. then Some alpha else None);
+      }
+  in
+  let rcp = run ~aging_rate:0. ~seed (fun _ -> Flowsim.Rcp) in
+  let rows =
+    List.map
+      (fun alpha ->
+        let r = run ~aging_rate:alpha ~seed pdq in
+        [
+          Common.cell alpha;
+          Common.cell (1e3 *. r.Flowsim.mean_fct);
+          Common.cell (1e3 *. r.Flowsim.max_fct);
+          Common.cell (1e3 *. rcp.Flowsim.mean_fct);
+          Common.cell (1e3 *. rcp.Flowsim.max_fct);
+        ])
+      rates
+  in
+  {
+    Common.title =
+      "Fig 12 - flow aging: FCT [ms] vs aging rate (128-server fat-tree, \
+       flow level)";
+    header = [ "alpha"; "PDQ mean"; "PDQ max"; "RCP/D3 mean"; "RCP/D3 max" ];
+    rows;
+  }

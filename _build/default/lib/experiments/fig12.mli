@@ -1,0 +1,10 @@
+(** Figure 12 — flow aging (§7): the operator-overridable comparator
+    divides a flow's expected transmission time by 2^(α·wait/100 ms) so
+    starving flows gain criticality. Flow-level simulation on a
+    128-server fat-tree with random-permutation traffic.
+
+    Expected shape: max FCT drops steeply with the aging rate (≈ −48%
+    in the paper) while mean FCT inflates only marginally (≈ +1.7%);
+    RCP max/mean shown for reference. *)
+
+val fig12 : ?quick:bool -> unit -> Common.table

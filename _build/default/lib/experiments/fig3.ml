@@ -1,0 +1,179 @@
+module Runner = Pdq_transport.Runner
+module Size_dist = Pdq_workload.Size_dist
+
+let seeds ~quick = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ]
+
+let at_metric (r : Runner.result) = 100. *. r.Runner.application_throughput
+let fct_metric (r : Runner.result) = r.Runner.mean_fct
+
+(* (a): application throughput vs number of flows. *)
+let fig3a ?(quick = true) () =
+  let flows_list = if quick then [ 2; 5; 10; 15; 20 ] else [ 2; 5; 10; 15; 20; 25 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let optimal =
+          100. *. Common.optimal_aggregation_throughput ~seeds:(seeds ~quick) ~flows:n ()
+        in
+        let cells =
+          List.map
+            (fun (_, proto) ->
+              Common.cell
+                (Common.run_aggregation ~seeds:(seeds ~quick) ~flows:n proto
+                   at_metric))
+            Common.packet_protocols
+        in
+        (string_of_int n :: Common.cell optimal :: cells))
+      flows_list
+  in
+  {
+    Common.title = "Fig 3a - application throughput [%] vs number of flows";
+    header = "flows" :: "Optimal" :: List.map fst Common.packet_protocols;
+    rows;
+  }
+
+(* (b): 3 flows, growing mean size. *)
+let fig3b ?(quick = true) () =
+  let means =
+    if quick then [ 100_000; 200_000; 300_000 ]
+    else [ 100_000; 150_000; 200_000; 250_000; 300_000; 350_000 ]
+  in
+  let rows =
+    List.map
+      (fun mean ->
+        let sizes = Size_dist.uniform_paper ~mean_bytes:mean in
+        let optimal =
+          100.
+          *. Common.optimal_aggregation_throughput ~seeds:(seeds ~quick) ~sizes
+               ~flows:3 ()
+        in
+        let cells =
+          List.map
+            (fun (_, proto) ->
+              Common.cell
+                (Common.run_aggregation ~seeds:(seeds ~quick) ~sizes ~flows:3
+                   proto at_metric))
+            Common.packet_protocols
+        in
+        (string_of_int (mean / 1000) :: Common.cell optimal :: cells))
+      means
+  in
+  {
+    Common.title = "Fig 3b - application throughput [%] vs mean flow size (3 flows)";
+    header = "size[KB]" :: "Optimal" :: List.map fst Common.packet_protocols;
+    rows;
+  }
+
+(* (c): flows sustainable at 99% application throughput vs deadline. *)
+let fig3c ?(quick = true) () =
+  let deadline_means =
+    if quick then [ 0.02; 0.04; 0.06 ] else [ 0.02; 0.03; 0.04; 0.05; 0.06 ]
+  in
+  let hi = if quick then 48 else 64 in
+  let protos =
+    if quick then
+      [
+        List.nth Common.packet_protocols 0 (* PDQ(Full) *);
+        List.nth Common.packet_protocols 3 (* PDQ(Basic) *);
+        ("D3", Runner.D3);
+        ("RCP", Runner.Rcp);
+        ("TCP", Runner.Tcp);
+      ]
+    else Common.packet_protocols
+  in
+  let rows =
+    List.map
+      (fun dmean ->
+        let optimal =
+          Common.search_max_flows ~hi ~target:0.99 (fun n ->
+              Common.optimal_aggregation_throughput ~seeds:(seeds ~quick)
+                ~deadline_mean:dmean ~flows:n ())
+        in
+        let cells =
+          List.map
+            (fun (_, proto) ->
+              string_of_int
+                (Common.search_max_flows ~hi ~target:99. (fun n ->
+                     Common.run_aggregation ~seeds:(seeds ~quick)
+                       ~deadline_mean:dmean ~flows:n proto at_metric)))
+            protos
+        in
+        (Common.cell (dmean *. 1e3) :: string_of_int optimal :: cells))
+      deadline_means
+  in
+  {
+    Common.title = "Fig 3c - number of flows at 99% application throughput";
+    header = "deadline[ms]" :: "Optimal" :: List.map fst protos;
+    rows;
+  }
+
+(* (d): mean FCT normalized to optimal (no deadlines). *)
+let fct_protocols =
+  [
+    List.nth Common.packet_protocols 0;
+    (* PDQ(Full) *)
+    List.nth Common.packet_protocols 2;
+    (* PDQ(ES) *)
+    List.nth Common.packet_protocols 3;
+    (* PDQ(Basic) *)
+    ("RCP/D3", Runner.Rcp);
+    ("TCP", Runner.Tcp);
+  ]
+
+let fig3d ?(quick = true) () =
+  let flows_list = if quick then [ 1; 5; 10; 20 ] else [ 1; 5; 10; 15; 20; 25 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let optimal =
+          Common.optimal_aggregation_fct ~seeds:(seeds ~quick) ~flows:n ()
+        in
+        let cells =
+          List.map
+            (fun (_, proto) ->
+              let fct =
+                Common.run_aggregation ~seeds:(seeds ~quick) ~deadlines:false
+                  ~flows:n proto fct_metric
+              in
+              Common.cell (fct /. optimal))
+            fct_protocols
+        in
+        (string_of_int n :: cells))
+      flows_list
+  in
+  {
+    Common.title = "Fig 3d - mean FCT normalized to optimal vs number of flows";
+    header = "flows" :: List.map fst fct_protocols;
+    rows;
+  }
+
+let fig3e ?(quick = true) () =
+  let means =
+    if quick then [ 100_000; 200_000; 300_000 ]
+    else [ 100_000; 150_000; 200_000; 250_000; 300_000; 350_000 ]
+  in
+  let rows =
+    List.map
+      (fun mean ->
+        let sizes = Size_dist.uniform_paper ~mean_bytes:mean in
+        let optimal =
+          Common.optimal_aggregation_fct ~seeds:(seeds ~quick) ~sizes ~flows:3 ()
+        in
+        let cells =
+          List.map
+            (fun (_, proto) ->
+              let fct =
+                Common.run_aggregation ~seeds:(seeds ~quick) ~deadlines:false
+                  ~sizes ~flows:3 proto fct_metric
+              in
+              Common.cell (fct /. optimal))
+            fct_protocols
+        in
+        (string_of_int (mean / 1000) :: cells))
+      means
+  in
+  {
+    Common.title = "Fig 3e - mean FCT normalized to optimal vs mean flow size";
+    header = "size[KB]" :: List.map fst fct_protocols;
+    rows;
+  }

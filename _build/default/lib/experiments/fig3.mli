@@ -1,0 +1,17 @@
+(** Figure 3 — query aggregation on the default 12-server tree.
+
+    (a) application throughput vs number of concurrent flows;
+    (b) application throughput vs mean flow size (3 flows);
+    (c) number of flows at 99% application throughput vs mean deadline;
+    (d) mean FCT normalized to optimal vs number of flows (no
+        deadlines);
+    (e) normalized FCT vs mean flow size (3 flows, no deadlines).
+
+    [quick] trims sweep points and seeds so the whole bench stays
+    interactive; the shapes are unaffected. *)
+
+val fig3a : ?quick:bool -> unit -> Common.table
+val fig3b : ?quick:bool -> unit -> Common.table
+val fig3c : ?quick:bool -> unit -> Common.table
+val fig3d : ?quick:bool -> unit -> Common.table
+val fig3e : ?quick:bool -> unit -> Common.table

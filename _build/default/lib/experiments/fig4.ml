@@ -1,0 +1,140 @@
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Pattern = Pdq_workload.Pattern
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Rng = Pdq_engine.Rng
+module Sim = Pdq_engine.Sim
+
+type pattern_name = string
+
+let patterns =
+  [
+    "Aggregation";
+    "Stride(1)";
+    "Stride(N/2)";
+    "Staggered(0.7)";
+    "Staggered(0.3)";
+    "RandPerm";
+  ]
+
+(* Source/destination pairs of a named pattern; cycled to produce the
+   requested number of flows. *)
+let pattern_pairs name ~topo ~hosts ~rng =
+  let n = Array.length hosts in
+  match name with
+  | "Aggregation" -> Pattern.aggregation ~hosts ~receiver:hosts.(0) ~flows:n
+  | "Stride(1)" -> Pattern.stride ~hosts ~i:1
+  | "Stride(N/2)" -> Pattern.stride ~hosts ~i:(n / 2)
+  | "Staggered(0.7)" ->
+      Pattern.staggered ~rack_of:(Pdq_net.Topology.rack_of topo) ~hosts ~p:0.7 ~rng
+  | "Staggered(0.3)" ->
+      Pattern.staggered ~rack_of:(Pdq_net.Topology.rack_of topo) ~hosts ~p:0.3 ~rng
+  | "RandPerm" -> Pattern.random_permutation ~hosts ~rng
+  | other -> invalid_arg ("Fig4.pattern_pairs: " ^ other)
+
+let specs_of_pattern name ~deadlines ~flows ~seed ~topo ~hosts =
+  let rng = Rng.create (0xF16 + (seed * 131)) in
+  let sizes = Size_dist.uniform_paper ~mean_bytes:100_000 in
+  let ddist = Deadline_dist.exponential ~mean:0.02 () in
+  let pairs = Array.of_list (pattern_pairs name ~topo ~hosts ~rng) in
+  List.init flows (fun i ->
+      let p = pairs.(i mod Array.length pairs) in
+      {
+        Context.src = p.Pattern.src;
+        dst = p.Pattern.dst;
+        size = Size_dist.sample sizes rng;
+        deadline =
+          (if deadlines then Some (Deadline_dist.sample ddist rng) else None);
+        start = 0.;
+      })
+
+let run_pattern name ~deadlines ~flows ~seed protocol metric =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let specs =
+    specs_of_pattern name ~deadlines ~flows ~seed ~topo:built.Builder.topo
+      ~hosts:built.Builder.hosts
+  in
+  let options = { Runner.default_options with Runner.seed; horizon = 5. } in
+  metric (Runner.run ~options ~topo:built.Builder.topo protocol specs)
+
+let avg f seeds =
+  let xs = List.map f seeds in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let fig4a ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let protos =
+    if quick then
+      [
+        List.nth Common.packet_protocols 0;
+        List.nth Common.packet_protocols 3;
+        ("D3", Runner.D3);
+        ("RCP", Runner.Rcp);
+        ("TCP", Runner.Tcp);
+      ]
+    else Common.packet_protocols
+  in
+  let capacity name proto =
+    Common.search_max_flows ~hi:(if quick then 36 else 64) ~target:99.
+      (fun flows ->
+        avg
+          (fun seed ->
+            run_pattern name ~deadlines:true ~flows ~seed proto (fun r ->
+                100. *. r.Runner.application_throughput))
+          seeds)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let base = max 1 (capacity name (snd (List.hd protos))) in
+        let cells =
+          List.map
+            (fun (_, proto) ->
+              Common.cell (float_of_int (capacity name proto) /. float_of_int base))
+            protos
+        in
+        name :: cells)
+      patterns
+  in
+  {
+    Common.title =
+      "Fig 4a - flows at 99% application throughput, normalized to PDQ(Full)";
+    header = "pattern" :: List.map fst protos;
+    rows;
+  }
+
+let fig4b ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let protos =
+    [
+      List.nth Common.packet_protocols 0;
+      List.nth Common.packet_protocols 2;
+      List.nth Common.packet_protocols 3;
+      ("RCP/D3", Runner.Rcp);
+      ("TCP", Runner.Tcp);
+    ]
+  in
+  let flows = 12 in
+  let rows =
+    List.map
+      (fun name ->
+        let fct proto =
+          avg
+            (fun seed ->
+              run_pattern name ~deadlines:false ~flows ~seed proto (fun r ->
+                  r.Runner.mean_fct))
+            seeds
+        in
+        let base = fct (snd (List.hd protos)) in
+        let cells = List.map (fun (_, p) -> Common.cell (fct p /. base)) protos in
+        name :: cells)
+      patterns
+  in
+  {
+    Common.title = "Fig 4b - mean FCT normalized to PDQ(Full)";
+    header = "pattern" :: List.map fst protos;
+    rows;
+  }

@@ -1,0 +1,143 @@
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Pattern = Pdq_workload.Pattern
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Arrivals = Pdq_workload.Arrivals
+module Rng = Pdq_engine.Rng
+module Sim = Pdq_engine.Sim
+
+let short_flow_bytes = 40_000
+
+(* Poisson trace of [dist]-sized flows over random pairs; short flows
+   get deadlines. *)
+let trace_specs ~dist ~deadline_mean ~rate ~duration ~seed ~hosts =
+  let rng = Rng.create (0xF5 + (seed * 1009)) in
+  let ddist = Deadline_dist.exponential ~mean:deadline_mean () in
+  let starts = Arrivals.poisson ~rng ~rate ~horizon:duration in
+  let pairs = Pattern.random_pairs ~hosts ~flows:(List.length starts) ~rng in
+  List.map2
+    (fun start (p : Pattern.pair) ->
+      let size = Size_dist.sample dist rng in
+      {
+        Context.src = p.Pattern.src;
+        dst = p.Pattern.dst;
+        size;
+        deadline =
+          (if size < short_flow_bytes then Some (Deadline_dist.sample ddist rng)
+           else None);
+        start;
+      })
+    starts pairs
+
+let run_trace ~dist ~deadline_mean ~rate ~duration ~seed protocol metric =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let specs =
+    trace_specs ~dist ~deadline_mean ~rate ~duration ~seed
+      ~hosts:built.Builder.hosts
+  in
+  if specs = [] then nan
+  else begin
+    let options =
+      { Runner.default_options with Runner.seed; horizon = duration +. 3. }
+    in
+    metric (Runner.run ~options ~topo:built.Builder.topo protocol specs)
+  end
+
+let avg f seeds =
+  let xs = List.map f seeds |> List.filter (fun x -> not (Float.is_nan x)) in
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let fig5a ?(quick = true) () =
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  let duration = if quick then 0.05 else 0.2 in
+  let deadline_means = if quick then [ 0.02; 0.04 ] else [ 0.015; 0.02; 0.03; 0.04 ] in
+  let protos =
+    if quick then
+      [
+        List.nth Common.packet_protocols 0;
+        List.nth Common.packet_protocols 1;
+        ("D3", Runner.D3);
+        ("RCP", Runner.Rcp);
+        ("TCP", Runner.Tcp);
+      ]
+    else Common.packet_protocols
+  in
+  let dist = Size_dist.vl2 () in
+  (* Binary search over the arrival rate (flows/s), geometric grid. *)
+  let rates = [ 250.; 500.; 1000.; 2000.; 4000.; 8000. ] in
+  let max_rate deadline_mean proto =
+    let ok rate =
+      avg
+        (fun seed ->
+          run_trace ~dist ~deadline_mean ~rate ~duration ~seed proto (fun r ->
+              r.Runner.application_throughput))
+        seeds
+      >= 0.99
+    in
+    List.fold_left (fun acc r -> if ok r then r else acc) 0. rates
+  in
+  let rows =
+    List.map
+      (fun dmean ->
+        Common.cell (dmean *. 1e3)
+        :: List.map (fun (_, p) -> Common.cell (max_rate dmean p)) protos)
+      deadline_means
+  in
+  {
+    Common.title =
+      "Fig 5a - short-flow arrival rate [flows/s] at 99% application \
+       throughput (VL2-like workload)";
+    header = "deadline[ms]" :: List.map fst protos;
+    rows;
+  }
+
+let long_fct (r : Runner.result) =
+  let longs =
+    Array.to_list r.Runner.flows
+    |> List.filter_map (fun (f : Runner.flow_result) ->
+           if f.Runner.spec.Context.size >= 1_000_000 then f.Runner.fct else None)
+  in
+  match longs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. longs /. float_of_int (List.length longs)
+
+let norm_table ~title ~dist ~metric ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let duration = if quick then 0.05 else 0.2 in
+  let rate = 1500. in
+  let protos =
+    [
+      List.nth Common.packet_protocols 0;
+      List.nth Common.packet_protocols 2;
+      List.nth Common.packet_protocols 3;
+      ("RCP/D3", Runner.Rcp);
+      ("TCP", Runner.Tcp);
+    ]
+  in
+  let value proto =
+    avg
+      (fun seed ->
+        run_trace ~dist ~deadline_mean:0.02 ~rate ~duration ~seed proto metric)
+      seeds
+  in
+  let base = value (snd (List.hd protos)) in
+  let rows =
+    [ "normalized" :: List.map (fun (_, p) -> Common.cell (value p /. base)) protos ]
+  in
+  { Common.title = title; header = "metric" :: List.map fst protos; rows }
+
+let fig5b ?(quick = true) () =
+  norm_table
+    ~title:"Fig 5b - FCT of long flows, normalized to PDQ(Full) (VL2-like)"
+    ~dist:(Size_dist.vl2 ()) ~metric:long_fct ~quick ()
+
+let fig5c ?(quick = true) () =
+  norm_table ~title:"Fig 5c - mean FCT normalized to PDQ(Full) (EDU1-like)"
+    ~dist:(Size_dist.edu1 ())
+    ~metric:(fun r -> r.Runner.mean_fct)
+    ~quick ()

@@ -1,0 +1,264 @@
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Router = Pdq_net.Router
+module Pattern = Pdq_workload.Pattern
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Flowsim = Pdq_flowsim.Flowsim
+module Rng = Pdq_engine.Rng
+module Sim = Pdq_engine.Sim
+module Stats = Pdq_engine.Stats
+
+let flowsim_specs ~built ~pairs ~sizes ~deadline_mean ~seed =
+  let router = Router.create built.Builder.topo in
+  let rng = Rng.create (0xF8 + (seed * 37)) in
+  let ddist =
+    Option.map (fun mean -> Deadline_dist.exponential ~mean ()) deadline_mean
+  in
+  List.mapi
+    (fun i (p : Pattern.pair) ->
+      {
+        Flowsim.fs_id = i;
+        path =
+          Router.path_links router ~src:p.Pattern.src ~dst:p.Pattern.dst
+            ~choice:i;
+        size = Size_dist.sample sizes rng;
+        deadline = Option.map (fun d -> Deadline_dist.sample d rng) ddist;
+        start = 0.;
+      })
+    pairs
+
+let packet_specs ~pairs ~sizes ~deadline_mean ~seed =
+  let rng = Rng.create (0xF8 + (seed * 37)) in
+  let ddist =
+    Option.map (fun mean -> Deadline_dist.exponential ~mean ()) deadline_mean
+  in
+  List.map
+    (fun (p : Pattern.pair) ->
+      {
+        Context.src = p.Pattern.src;
+        dst = p.Pattern.dst;
+        size = Size_dist.sample sizes rng;
+        deadline = Option.map (fun d -> Deadline_dist.sample d rng) ddist;
+        start = 0.;
+      })
+    pairs
+
+type topo_family = Fat_tree | Bcube | Jellyfish
+
+let build family ~sim ~servers ~seed =
+  match family with
+  | Fat_tree -> Builder.fat_tree_for_servers ~sim ~servers ()
+  | Bcube ->
+      (* Dual-port BCube(n,1): n^2 servers. *)
+      let n = max 2 (int_of_float (ceil (sqrt (float_of_int servers)))) in
+      Builder.bcube ~sim ~n ~k:1 ()
+  | Jellyfish ->
+      (* 24-port switches, 2:1 network:server ports -> 8 hosts each. *)
+      let switches = max 3 ((servers + 7) / 8) in
+      Builder.jellyfish ~sim ~rng:(Rng.create (77 + seed)) ~switches ~ports:24
+        ~net_ports:16 ()
+
+let sizes_100k = Size_dist.uniform_paper ~mean_bytes:100_000
+
+(* Random-permutation pairs with [per_server] flows per sender. *)
+let perm_pairs ~hosts ~per_server ~rng =
+  List.concat (List.init per_server (fun _ -> Pattern.random_permutation ~hosts ~rng))
+
+let flowlevel_fct family ~servers ~per_server ~proto ~seed =
+  let sim = Sim.create () in
+  let built = build family ~sim ~servers ~seed in
+  let rng = Rng.create (3 + seed) in
+  let pairs = perm_pairs ~hosts:built.Builder.hosts ~per_server ~rng in
+  let specs =
+    flowsim_specs ~built ~pairs ~sizes:sizes_100k ~deadline_mean:None ~seed
+  in
+  let net = Flowsim.net_of_topology built.Builder.topo in
+  let r = Flowsim.run ~seed net proto specs in
+  r.Flowsim.mean_fct
+
+let packetlevel_fct family ~servers ~per_server ~proto ~seed =
+  let sim = Sim.create () in
+  let built = build family ~sim ~servers ~seed in
+  let rng = Rng.create (3 + seed) in
+  let pairs = perm_pairs ~hosts:built.Builder.hosts ~per_server ~rng in
+  let specs = packet_specs ~pairs ~sizes:sizes_100k ~deadline_mean:None ~seed in
+  let options = { Runner.default_options with Runner.seed; horizon = 5. } in
+  let r = Runner.run ~options ~topo:built.Builder.topo proto specs in
+  r.Runner.mean_fct
+
+(* (a) deadline-constrained capacity vs size: concurrent random-pair
+   deadline flows; search the count sustaining 99% AT. *)
+let fig8a ?(quick = true) () =
+  let sizes_list = if quick then [ 16; 54; 128 ] else [ 16; 54; 128; 250; 432; 1024 ] in
+  let pkt_cap = if quick then 54 else 128 in
+  let seed = 1 in
+  let flow_cap servers flows proto_fs =
+    let sim = Sim.create () in
+    let built = build Fat_tree ~sim ~servers ~seed in
+    let rng = Rng.create (11 + seed) in
+    let pairs = Pattern.random_pairs ~hosts:built.Builder.hosts ~flows ~rng in
+    let specs =
+      flowsim_specs ~built ~pairs ~sizes:sizes_100k ~deadline_mean:(Some 0.02)
+        ~seed
+    in
+    let net = Flowsim.net_of_topology built.Builder.topo in
+    (Flowsim.run ~seed net proto_fs specs).Flowsim.application_throughput
+  in
+  let pkt_cap_run servers flows proto =
+    let sim = Sim.create () in
+    let built = build Fat_tree ~sim ~servers ~seed in
+    let rng = Rng.create (11 + seed) in
+    let pairs = Pattern.random_pairs ~hosts:built.Builder.hosts ~flows ~rng in
+    let specs =
+      packet_specs ~pairs ~sizes:sizes_100k ~deadline_mean:(Some 0.02) ~seed
+    in
+    let options = { Runner.default_options with Runner.seed; horizon = 5. } in
+    (Runner.run ~options ~topo:built.Builder.topo proto specs)
+      .Runner.application_throughput
+  in
+  let hi servers = max 16 (servers * 2) in
+  let rows =
+    List.map
+      (fun servers ->
+        let fl name proto =
+          ignore name;
+          Common.search_max_flows ~hi:(hi servers) ~target:0.99 (fun n ->
+              flow_cap servers n proto)
+        in
+        let pk proto =
+          if servers > pkt_cap then "-"
+          else
+            string_of_int
+              (Common.search_max_flows ~hi:(hi servers) ~target:0.99 (fun n ->
+                   pkt_cap_run servers n proto))
+        in
+        [
+          string_of_int servers;
+          pk (Runner.Pdq Pdq_core.Config.full);
+          string_of_int (fl "pdq" (Flowsim.Pdq Flowsim.pdq_defaults));
+          pk Runner.D3;
+          string_of_int (fl "d3" Flowsim.D3);
+          pk Runner.Rcp;
+          string_of_int (fl "rcp" Flowsim.Rcp);
+        ])
+      sizes_list
+  in
+  {
+    Common.title =
+      "Fig 8a - flows at 99% application throughput vs network size (fat-tree)";
+    header =
+      [
+        "servers"; "PDQ-pkt"; "PDQ-flow"; "D3-pkt"; "D3-flow"; "RCP-pkt";
+        "RCP-flow";
+      ];
+    rows;
+  }
+
+let fct_table ~title family ?(quick = true) () =
+  let sizes_list =
+    if quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 4096 ]
+  in
+  let sizes_list =
+    match family with
+    | Fat_tree -> if quick then [ 16; 54; 128 ] else [ 16; 54; 128; 432; 1024 ]
+    | Bcube | Jellyfish -> sizes_list
+  in
+  let pkt_cap = if quick then 64 else 144 in
+  let per_server = if quick then 4 else 10 in
+  let seed = 1 in
+  let rows =
+    List.map
+      (fun servers ->
+        let pdq_pkt =
+          if servers > pkt_cap then "-"
+          else
+            Common.cell
+              (1e3
+              *. packetlevel_fct family ~servers ~per_server
+                   ~proto:(Runner.Pdq Pdq_core.Config.full) ~seed)
+        in
+        let rcp_pkt =
+          if servers > pkt_cap then "-"
+          else
+            Common.cell
+              (1e3 *. packetlevel_fct family ~servers ~per_server ~proto:Runner.Rcp ~seed)
+        in
+        [
+          string_of_int servers;
+          pdq_pkt;
+          Common.cell
+            (1e3
+            *. flowlevel_fct family ~servers ~per_server
+                 ~proto:(Flowsim.Pdq Flowsim.pdq_defaults) ~seed);
+          rcp_pkt;
+          Common.cell
+            (1e3 *. flowlevel_fct family ~servers ~per_server ~proto:Flowsim.Rcp ~seed);
+        ])
+      sizes_list
+  in
+  {
+    Common.title = title;
+    header = [ "servers"; "PDQ-pkt[ms]"; "PDQ-flow[ms]"; "RCP/D3-pkt[ms]"; "RCP/D3-flow[ms]" ];
+    rows;
+  }
+
+let fig8b ?quick () =
+  fct_table ~title:"Fig 8b - mean FCT vs network size (fat-tree, random perm)"
+    Fat_tree ?quick ()
+
+let fig8c ?quick () =
+  fct_table ~title:"Fig 8c - mean FCT vs network size (BCube, dual-port)"
+    Bcube ?quick ()
+
+let fig8d ?quick () =
+  fct_table ~title:"Fig 8d - mean FCT vs network size (Jellyfish 24-port, 2:1)"
+    Jellyfish ?quick ()
+
+(* (e) per-flow FCT ratio CDF at ~128 servers, flow level. *)
+let fig8e ?(quick = true) () =
+  let seed = 1 in
+  let families =
+    [ ("Fat-tree", Fat_tree); ("BCube", Bcube); ("Jellyfish", Jellyfish) ]
+  in
+  let per_server = if quick then 4 else 10 in
+  let ratios (_, family) =
+    let sim = Sim.create () in
+    let built = build family ~sim ~servers:128 ~seed in
+    let rng = Rng.create (5 + seed) in
+    let pairs = perm_pairs ~hosts:built.Builder.hosts ~per_server ~rng in
+    let specs =
+      flowsim_specs ~built ~pairs ~sizes:sizes_100k ~deadline_mean:None ~seed
+    in
+    let net = Flowsim.net_of_topology built.Builder.topo in
+    let pdq = Flowsim.run ~seed net (Flowsim.Pdq Flowsim.pdq_defaults) specs in
+    let rcp = Flowsim.run ~seed net Flowsim.Rcp specs in
+    Array.to_list
+      (Array.map2
+         (fun (a : Flowsim.flow_result) (b : Flowsim.flow_result) ->
+           match (a.Flowsim.fct, b.Flowsim.fct) with
+           | Some p, Some r when p > 0. -> Some (r /. p)
+           | _ -> None)
+         pdq.Flowsim.flows rcp.Flowsim.flows)
+    |> List.filter_map Fun.id
+    |> Array.of_list
+  in
+  let quantiles = [ 0.25; 0.5; 1.; 2.; 4.; 8. ] in
+  let rows =
+    List.map
+      (fun ((name, _) as fam) ->
+        let rs = ratios fam in
+        let cdf = Stats.cdf rs in
+        name
+        :: List.map (fun q -> Common.cell (Stats.cdf_at cdf q)) quantiles)
+      families
+  in
+  {
+    Common.title =
+      "Fig 8e - CDF of per-flow (RCP FCT / PDQ FCT), flow level, 128 servers \
+       (cells: fraction of flows with ratio <= x)";
+    header =
+      "topology" :: List.map (fun q -> Printf.sprintf "x=%.2g" q) quantiles;
+    rows;
+  }

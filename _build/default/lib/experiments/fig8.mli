@@ -1,0 +1,26 @@
+(** Figure 8 — scalability across topologies (fat-tree, BCube,
+    Jellyfish), packet-level vs flow-level simulation.
+
+    (a) fat-tree, deadline-constrained: flows at 99% application
+        throughput vs network size (both simulators at small scale,
+        flow-level beyond);
+    (b) fat-tree, deadline-unconstrained: mean FCT vs size (random
+        permutation, 10 flows per server);
+    (c) BCube (dual-port servers) and (d) Jellyfish: same as (b);
+    (e) CDF of per-flow RCP FCT / PDQ FCT at ~128 servers. *)
+
+val fig8a : ?quick:bool -> unit -> Common.table
+val fig8b : ?quick:bool -> unit -> Common.table
+val fig8c : ?quick:bool -> unit -> Common.table
+val fig8d : ?quick:bool -> unit -> Common.table
+val fig8e : ?quick:bool -> unit -> Common.table
+
+val flowsim_specs :
+  built:Pdq_topo.Builder.built ->
+  pairs:Pdq_workload.Pattern.pair list ->
+  sizes:Pdq_workload.Size_dist.t ->
+  deadline_mean:float option ->
+  seed:int ->
+  Pdq_flowsim.Flowsim.flow_spec list
+(** Convert pattern pairs into flow-level specs with ECMP-pinned paths
+    (shared with Fig 10/12). *)

@@ -1,0 +1,86 @@
+module Runner = Pdq_transport.Runner
+module Builder = Pdq_topo.Builder
+module Sim = Pdq_engine.Sim
+module Topology = Pdq_net.Topology
+module Link = Pdq_net.Link
+
+(* Query aggregation on the single-bottleneck topology of Fig. 2b with
+   loss injected on the switch<->receiver links. *)
+let run ~loss_rate ~flows ~deadlines ~seed protocol metric =
+  let sim = Sim.create () in
+  let built, rx = Builder.single_bottleneck ~sim ~senders:(max 4 flows) () in
+  let hosts = built.Builder.hosts in
+  let wl =
+    Common.aggregation_workload ~deadlines ~seed ~hosts ~receiver:rx ~flows ()
+  in
+  let bottleneck_links =
+    [
+      Link.id (Topology.link_to built.Builder.topo ~src:0 ~dst:rx);
+      Link.id (Topology.link_to built.Builder.topo ~src:rx ~dst:0);
+    ]
+  in
+  let options =
+    {
+      Runner.default_options with
+      Runner.seed;
+      horizon = 5.;
+      loss = (if loss_rate > 0. then Some (loss_rate, bottleneck_links) else None);
+    }
+  in
+  metric (Runner.run ~options ~topo:built.Builder.topo protocol wl.Common.specs)
+
+let avg f seeds =
+  let xs = List.map f seeds in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let losses ~quick = if quick then [ 0.; 0.01; 0.03 ] else [ 0.; 0.005; 0.01; 0.02; 0.03 ]
+
+let protocols = [ ("PDQ", Runner.Pdq Pdq_core.Config.full); ("TCP", Runner.Tcp) ]
+
+let fig9a ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let rows =
+    List.map
+      (fun loss_rate ->
+        Common.cell (loss_rate *. 100.)
+        :: List.map
+             (fun (_, proto) ->
+               string_of_int
+                 (Common.search_max_flows ~hi:24 ~target:99. (fun flows ->
+                      avg
+                        (fun seed ->
+                          run ~loss_rate ~flows ~deadlines:true ~seed proto
+                            (fun r -> 100. *. r.Runner.application_throughput))
+                        seeds)))
+             protocols)
+      (losses ~quick)
+  in
+  {
+    Common.title = "Fig 9a - flows at 99% application throughput vs loss rate";
+    header = "loss[%]" :: List.map fst protocols;
+    rows;
+  }
+
+let fig9b ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let flows = 6 in
+  let fct proto loss_rate =
+    avg
+      (fun seed ->
+        run ~loss_rate ~flows ~deadlines:false ~seed proto (fun r ->
+            r.Runner.mean_fct))
+      seeds
+  in
+  let base = fct (snd (List.hd protocols)) 0. in
+  let rows =
+    List.map
+      (fun loss_rate ->
+        Common.cell (loss_rate *. 100.)
+        :: List.map (fun (_, p) -> Common.cell (fct p loss_rate /. base)) protocols)
+      (losses ~quick)
+  in
+  {
+    Common.title = "Fig 9b - mean FCT normalized to PDQ without loss";
+    header = "loss[%]" :: List.map fst protocols;
+    rows;
+  }

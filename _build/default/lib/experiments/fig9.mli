@@ -1,0 +1,11 @@
+(** Figure 9 — resilience to packet loss: Bernoulli drops injected on
+    both directions of the bottleneck link of a query-aggregation
+    workload, sweeping 0–3%.
+
+    (a) deadline-constrained: flows sustained at 99% application
+        throughput vs loss rate (PDQ vs TCP);
+    (b) deadline-unconstrained: mean FCT normalized to PDQ without
+        loss. *)
+
+val fig9a : ?quick:bool -> unit -> Common.table
+val fig9b : ?quick:bool -> unit -> Common.table

@@ -1,0 +1,1 @@
+lib/flowsim/flowsim.ml: Array List Option Pdq_core Pdq_engine Pdq_net

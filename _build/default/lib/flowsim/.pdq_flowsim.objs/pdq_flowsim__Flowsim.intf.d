@@ -1,0 +1,1 @@
+lib/flowsim/flowsim.mli: Pdq_net

@@ -1,0 +1,87 @@
+(** Flow-level simulator (§5.5): iteratively computes equilibrium flow
+    sending rates on a 1 ms grid instead of simulating packets. Used
+    for the large-scale experiments (Fig. 8), the inaccurate-flow-
+    information study (Fig. 10) and flow aging (Fig. 12), exactly as
+    the paper does.
+
+    Protocol models:
+    - PDQ: criticality-ordered water-filling — each flow, most critical
+      first, grabs the minimum residual capacity along its path (this
+      is the paper's centralized algorithm of §3, which the distributed
+      protocol provably converges to within Pmax+1 RTTs); optional
+      Early Termination, flow aging (§7) and alternative criticality
+      modes (§5.6).
+    - RCP: global max-min fairness (water-filling).
+    - D3: per-link first-come-first-reserve grants of
+      [remaining/(deadline−now)] in flow arrival order plus an equal
+      share of the leftover, with non-negative fair share and sender
+      quenching. Equals RCP when no flow has a deadline.
+
+    Protocol inefficiencies are modelled as in the paper: a flow
+    initialization latency before a new flow transmits, and a constant
+    header-overhead factor on goodput. *)
+
+type criticality_mode =
+  | Perfect
+      (** Senders know exact remaining size (EDF ▸ SRPT ▸ id). *)
+  | Random_criticality
+      (** §5.6: a random per-flow priority chosen at flow start. *)
+  | Size_estimation of int
+      (** §5.6: criticality = bytes sent so far, updated every given
+          quantum (50 KB in the paper); smaller estimate = more
+          critical. *)
+
+type pdq_opts = {
+  early_termination : bool;
+  aging_rate : float option;
+      (** §7: α — criticality's T is divided by 2^(α·wait/100 ms). *)
+  criticality : criticality_mode;
+}
+
+val pdq_defaults : pdq_opts
+(** Early termination on, no aging, perfect information. *)
+
+type proto = Pdq of pdq_opts | Rcp | D3
+
+type flow_spec = {
+  fs_id : int;
+  path : int array;         (** Directed link ids along the route. *)
+  size : int;               (** Bytes. *)
+  deadline : float option;  (** Relative to start, seconds. *)
+  start : float;
+}
+
+type flow_result = {
+  spec : flow_spec;
+  fct : float option;
+  met_deadline : bool;
+  terminated : bool;
+}
+
+type result = {
+  flows : flow_result array;
+  application_throughput : float;
+  mean_fct : float;
+  max_fct : float;
+  completed : int;
+}
+
+type net = { capacity : float array }
+(** Capacity (bits/s) per directed link id. *)
+
+val net_of_topology : Pdq_net.Topology.t -> net
+(** Extract link capacities from a packet-level topology so both
+    simulators run on identical networks. *)
+
+val run :
+  ?dt:float ->
+  ?init_latency:float ->
+  ?header_overhead:float ->
+  ?seed:int ->
+  ?horizon:float ->
+  net ->
+  proto ->
+  flow_spec list ->
+  result
+(** Defaults: [dt] = 1 ms, [init_latency] = 0.5 ms (≈ 2 datacenter
+    RTTs), [header_overhead] = 56/1500, [horizon] = 60 s. *)

@@ -1,0 +1,1 @@
+lib/net/link.ml: Packet Pdq_engine Queue

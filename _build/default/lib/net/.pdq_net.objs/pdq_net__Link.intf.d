@@ -1,0 +1,1 @@
+lib/net/link.mli: Packet Pdq_engine

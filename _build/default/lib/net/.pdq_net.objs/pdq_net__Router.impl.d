@@ -1,0 +1,1 @@
+lib/net/router.ml: Array Hashtbl Link List Queue Topology

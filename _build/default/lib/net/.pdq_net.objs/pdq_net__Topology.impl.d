@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Link List Packet Pdq_engine Printf

@@ -1,0 +1,114 @@
+type t = {
+  sim : Pdq_engine.Sim.t;
+  id : int;
+  src : int;
+  dst : int;
+  rate : float;
+  prop_delay : float;
+  proc_delay : float;
+  buffer_bytes : int;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable receiver : Packet.t -> unit;
+  mutable loss_rate : float;
+  mutable loss_rng : Pdq_engine.Rng.t option;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes_sent : int;
+  (* (time, cumulative bytes) checkpoints for windowed utilization. *)
+  mutable last_window_start : float;
+  mutable last_window_bytes : int;
+  mutable tap : (now:float -> bytes:int -> unit) option;
+}
+
+let create ~sim ~id ~src ~dst ~rate ~prop_delay ~proc_delay ~buffer_bytes () =
+  {
+    sim;
+    id;
+    src;
+    dst;
+    rate;
+    prop_delay;
+    proc_delay;
+    buffer_bytes;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    busy = false;
+    receiver = (fun _ -> failwith "Link: receiver not set");
+    loss_rate = 0.;
+    loss_rng = None;
+    delivered = 0;
+    dropped = 0;
+    bytes_sent = 0;
+    last_window_start = 0.;
+    last_window_bytes = 0;
+    tap = None;
+  }
+
+let id t = t.id
+let src t = t.src
+let dst t = t.dst
+let rate t = t.rate
+let set_receiver t f = t.receiver <- f
+let queue_bytes t = t.queued_bytes
+let queue_packets t = Queue.length t.queue
+
+let set_loss t ~rate ~rng =
+  t.loss_rate <- rate;
+  t.loss_rng <- Some rng
+
+let delivered t = t.delivered
+let dropped t = t.dropped
+let bytes_sent t = t.bytes_sent
+let on_transmit t f = t.tap <- Some f
+
+let utilization t ~since ~now =
+  ignore since;
+  let window = now -. t.last_window_start in
+  if window <= 0. then 0.
+  else begin
+    let bytes = t.bytes_sent - t.last_window_bytes in
+    t.last_window_start <- now;
+    t.last_window_bytes <- t.bytes_sent;
+    Pdq_engine.Units.bytes_to_bits bytes /. (t.rate *. window)
+  end
+
+let rec start_transmission t =
+  match Queue.peek_opt t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let tx = Pdq_engine.Units.tx_time ~bytes:pkt.Packet.wire_bytes ~rate:t.rate in
+      ignore
+        (Pdq_engine.Sim.schedule t.sim ~delay:tx (fun () ->
+             ignore (Queue.pop t.queue);
+             t.queued_bytes <- t.queued_bytes - pkt.Packet.wire_bytes;
+             t.bytes_sent <- t.bytes_sent + pkt.Packet.wire_bytes;
+             (match t.tap with
+             | Some f ->
+                 f ~now:(Pdq_engine.Sim.now t.sim) ~bytes:pkt.Packet.wire_bytes
+             | None -> ());
+             t.delivered <- t.delivered + 1;
+             let latency = t.prop_delay +. t.proc_delay in
+             ignore
+               (Pdq_engine.Sim.schedule t.sim ~delay:latency (fun () ->
+                    t.receiver pkt));
+             start_transmission t))
+
+let send t pkt =
+  let lost =
+    t.loss_rate > 0.
+    &&
+    match t.loss_rng with
+    | Some rng -> Pdq_engine.Rng.bool rng t.loss_rate
+    | None -> false
+  in
+  if lost then t.dropped <- t.dropped + 1
+  else if t.queued_bytes + pkt.Packet.wire_bytes > t.buffer_bytes then
+    t.dropped <- t.dropped + 1 (* FIFO tail drop *)
+  else begin
+    Queue.push pkt t.queue;
+    t.queued_bytes <- t.queued_bytes + pkt.Packet.wire_bytes;
+    if not t.busy then start_transmission t
+  end

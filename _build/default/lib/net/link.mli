@@ -1,0 +1,61 @@
+(** One direction of a network cable: a FIFO tail-drop output queue
+    feeding a store-and-forward transmitter, then propagation and
+    per-hop processing delay (§5.1: 11 µs transmission for an MTU at
+    1 Gbps, 0.1 µs propagation, 25 µs processing; 4 MByte buffer).
+
+    Optional Bernoulli loss injection models the lossy-channel
+    experiments of Fig. 9. *)
+
+type t
+
+val create :
+  sim:Pdq_engine.Sim.t ->
+  id:int ->
+  src:int ->
+  dst:int ->
+  rate:float ->
+  prop_delay:float ->
+  proc_delay:float ->
+  buffer_bytes:int ->
+  unit ->
+  t
+(** [src]/[dst] are node ids (head and tail of the directed link);
+    [rate] is in bits/s. *)
+
+val id : t -> int
+val src : t -> int
+val dst : t -> int
+val rate : t -> float
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+(** Install the delivery callback (the destination node's packet
+    handler). Must be called before the first {!send}. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet. It is dropped when the buffer would overflow
+    (tail drop) or the loss process fires; otherwise it is serialized
+    at line rate and handed to the receiver after propagation +
+    processing delay. *)
+
+val queue_bytes : t -> int
+(** Bytes currently waiting in the output queue (incl. the packet being
+    serialized). *)
+
+val queue_packets : t -> int
+
+val set_loss : t -> rate:float -> rng:Pdq_engine.Rng.t -> unit
+(** Drop each arriving packet independently with probability [rate]. *)
+
+(** Cumulative counters, for utilization and drop statistics. *)
+
+val delivered : t -> int
+val dropped : t -> int
+val bytes_sent : t -> int
+
+val utilization : t -> since:float -> now:float -> float
+(** Fraction of link capacity used between [since] and [now], based on
+    bytes serialized in that window (sampled cheaply; call sparingly). *)
+
+val on_transmit : t -> (now:float -> bytes:int -> unit) -> unit
+(** Register a tap called at the end of each packet serialization —
+    used to record utilization and queue time series. *)

@@ -1,0 +1,48 @@
+type kind = Syn | Syn_ack | Data | Ack | Probe | Term
+type payload = ..
+type payload += No_payload
+
+type t = {
+  uid : int;
+  flow : int;
+  src : int;
+  dst : int;
+  kind : kind;
+  wire_bytes : int;
+  payload_bytes : int;
+  seq : int;
+  mutable payload : payload;
+  sent_at : float;
+}
+
+let mtu = 1500
+let header_bytes = 40
+let max_payload ~scheduling_header = mtu - header_bytes - scheduling_header
+
+let uid_counter = ref 0
+
+let make ~flow ~src ~dst ~kind ?(payload_bytes = 0) ?(seq = 0) ?(extra_header = 0)
+    ~payload ~now () =
+  incr uid_counter;
+  {
+    uid = !uid_counter;
+    flow;
+    src;
+    dst;
+    kind;
+    wire_bytes = header_bytes + extra_header + payload_bytes;
+    payload_bytes;
+    seq;
+    payload;
+    sent_at = now;
+  }
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Syn -> "SYN"
+    | Syn_ack -> "SYN-ACK"
+    | Data -> "DATA"
+    | Ack -> "ACK"
+    | Probe -> "PROBE"
+    | Term -> "TERM")

@@ -1,0 +1,85 @@
+type t = {
+  topo : Topology.t;
+  (* dst -> distance-to-dst for every node, computed by reverse BFS.
+     The graph is symmetric (duplex links) so forward BFS suffices. *)
+  dist_cache : (int, int array) Hashtbl.t;
+}
+
+let create topo = { topo; dist_cache = Hashtbl.create 64 }
+
+let bfs_from t root =
+  let n = Topology.node_count t.topo in
+  let dist = Array.make n max_int in
+  dist.(root) <- 0;
+  let q = Queue.create () in
+  Queue.push root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (v, _link) ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v q
+        end)
+      (Topology.links_from t.topo u)
+  done;
+  dist
+
+let dist_to t dst =
+  match Hashtbl.find_opt t.dist_cache dst with
+  | Some d -> d
+  | None ->
+      let d = bfs_from t dst in
+      Hashtbl.add t.dist_cache dst d;
+      d
+
+let distance t ~src ~dst =
+  let d = (dist_to t dst).(src) in
+  if d = max_int then raise Not_found else d
+
+(* Deterministic integer mixing for ECMP choice. *)
+let hash3 a b c =
+  let h = ref 0x9E3779B9 in
+  let mix x =
+    h := (!h lxor (x + 0x7F4A7C15 + (!h lsl 6) + (!h lsr 2))) land max_int
+  in
+  mix a;
+  mix b;
+  mix c;
+  !h
+
+let next_hops t ~node ~dst =
+  let dist = dist_to t dst in
+  let d = dist.(node) in
+  List.filter_map
+    (fun (v, link) -> if dist.(v) = d - 1 then Some (v, link) else None)
+    (Topology.links_from t.topo node)
+  (* Sort for determinism: adjacency list order depends on insertion. *)
+  |> List.sort compare
+
+let path t ~src ~dst ~choice =
+  let dist = dist_to t dst in
+  if dist.(src) = max_int then raise Not_found;
+  let rec walk node acc =
+    if node = dst then List.rev (node :: acc)
+    else begin
+      match next_hops t ~node ~dst with
+      | [] -> raise Not_found
+      | hops ->
+          let pick = hash3 choice node dst mod List.length hops in
+          let next, _ = List.nth hops pick in
+          walk next (node :: acc)
+    end
+  in
+  Array.of_list (walk src [])
+
+let path_links t ~src ~dst ~choice =
+  let nodes = path t ~src ~dst ~choice in
+  Array.init
+    (Array.length nodes - 1)
+    (fun i ->
+      let l = Topology.link_to t.topo ~src:nodes.(i) ~dst:nodes.(i + 1) in
+      Link.id l)
+
+let ecmp_width t ~src ~dst =
+  if src = dst then 0 else List.length (next_hops t ~node:src ~dst)

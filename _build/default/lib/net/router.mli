@@ -1,0 +1,29 @@
+(** Shortest-path routing with flow-level ECMP.
+
+    Paths are computed on the unweighted topology graph. When several
+    shortest paths exist, the [choice] parameter (typically a flow or
+    subflow id) deterministically selects one, emulating flow-level
+    equal-cost multi-path forwarding: all packets of one flow use one
+    path, different flows (or M-PDQ subflows) spread over the
+    equal-cost alternatives. *)
+
+type t
+
+val create : Topology.t -> t
+(** Build a router over the (final) topology. Distance tables are
+    computed lazily per destination and cached. *)
+
+val distance : t -> src:int -> dst:int -> int
+(** Hop count of the shortest path. Raises [Not_found] when
+    unreachable. *)
+
+val path : t -> src:int -> dst:int -> choice:int -> int array
+(** Node ids from [src] to [dst] inclusive, following one shortest path
+    selected by hashing [choice] at each branching point. *)
+
+val path_links : t -> src:int -> dst:int -> choice:int -> int array
+(** The directed link ids along {!path}. *)
+
+val ecmp_width : t -> src:int -> dst:int -> int
+(** Number of distinct next hops on shortest paths at [src] towards
+    [dst] — a lower bound on the path diversity M-PDQ can exploit. *)

@@ -1,0 +1,57 @@
+(** Mutable network topology: hosts and switches connected by duplex
+    links, with per-node packet handlers installed by the transport
+    layer. *)
+
+type node_kind = Host | Switch
+
+type link_params = {
+  rate : float;         (** bits/s. *)
+  prop_delay : float;   (** seconds. *)
+  proc_delay : float;   (** seconds. *)
+  buffer_bytes : int;
+}
+
+val default_params : link_params
+(** The paper's §5.1 settings: 1 Gbps, 0.1 µs propagation, 25 µs
+    processing, 4 MByte FIFO tail-drop buffer. *)
+
+type t
+
+val create : sim:Pdq_engine.Sim.t -> unit -> t
+
+val sim : t -> Pdq_engine.Sim.t
+
+val add_host : ?rack:int -> t -> int
+(** New host node; returns its id. [rack] groups hosts under a
+    top-of-rack switch for the staggered traffic pattern. *)
+
+val add_switch : t -> int
+(** New switch node; returns its id. *)
+
+val connect : ?params:link_params -> t -> int -> int -> unit
+(** Add a duplex link (two directed {!Link.t}) between two nodes. *)
+
+val node_count : t -> int
+val kind : t -> int -> node_kind
+val hosts : t -> int array
+(** Ids of all hosts, in creation order. *)
+
+val rack_of : t -> int -> int
+(** Rack id of a host (0 when unspecified). *)
+
+val set_handler : t -> int -> (Packet.t -> unit) -> unit
+(** Install the packet handler for a node; links deliver arriving
+    packets to it. *)
+
+val link_count : t -> int
+val link : t -> int -> Link.t
+(** Directed link by id. *)
+
+val links_from : t -> int -> (int * int) list
+(** [(peer, link_id)] adjacency of a node. *)
+
+val link_to : t -> src:int -> dst:int -> Link.t
+(** The directed link from [src] to its neighbor [dst]. Raises
+    [Not_found] if they are not adjacent. *)
+
+val iter_links : (Link.t -> unit) -> t -> unit

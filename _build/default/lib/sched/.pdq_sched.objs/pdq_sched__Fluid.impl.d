@@ -1,0 +1,1 @@
+lib/sched/fluid.ml: Array Hashtbl List Option

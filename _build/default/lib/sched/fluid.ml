@@ -1,0 +1,220 @@
+type job = {
+  job_id : int;
+  size : float;
+  release : float;
+  deadline : float option;
+}
+
+let job ?deadline ?(release = 0.) ~id ~size () =
+  { job_id = id; size; release; deadline }
+
+type completion = { c_job : int; finish : float }
+
+(* Generic fluid simulation. [policy ~now active] receives the active
+   jobs paired with their remaining work and returns each job's share
+   of the link (shares should sum to <= 1); between events rates are
+   constant. Events are job releases and completions. *)
+let simulate ~rate ~policy jobs =
+  let arr =
+    Array.of_list
+      (List.sort
+         (fun a b -> compare (a.release, a.job_id) (b.release, b.job_id))
+         jobs)
+  in
+  let n = Array.length arr in
+  let remaining = Array.map (fun j -> j.size) arr in
+  let finished = Array.make n false in
+  let completions = ref [] in
+  let completed = ref 0 in
+  let t = ref (if n = 0 then 0. else arr.(0).release) in
+  let eps = 1e-12 in
+  while !completed < n do
+    let active = ref [] in
+    for i = n - 1 downto 0 do
+      if (not finished.(i)) && arr.(i).release <= !t +. eps then
+        active := i :: !active
+    done;
+    let next_release = ref infinity in
+    for i = 0 to n - 1 do
+      if (not finished.(i)) && arr.(i).release > !t +. eps then
+        next_release := min !next_release arr.(i).release
+    done;
+    match !active with
+    | [] -> t := !next_release (* idle until the next arrival *)
+    | active ->
+        let shares =
+          policy ~now:!t
+            (List.map (fun i -> (arr.(i), remaining.(i))) active)
+        in
+        let rates = List.map (fun s -> s *. rate) shares in
+        let horizon =
+          List.fold_left2
+            (fun acc i r ->
+              if r > eps then min acc (!t +. (remaining.(i) /. r)) else acc)
+            !next_release active rates
+        in
+        if horizon = infinity then
+          failwith "Fluid.simulate: no progress possible";
+        let dt = horizon -. !t in
+        List.iter2
+          (fun i r ->
+            if r > eps then begin
+              remaining.(i) <- remaining.(i) -. (r *. dt);
+              if remaining.(i) <= 1e-9 *. (arr.(i).size +. 1.) then begin
+                remaining.(i) <- 0.;
+                finished.(i) <- true;
+                incr completed;
+                completions :=
+                  { c_job = arr.(i).job_id; finish = horizon } :: !completions
+              end
+            end)
+          active rates;
+        t := horizon
+  done;
+  List.rev !completions
+
+let equal_shares k = List.init k (fun _ -> 1. /. float_of_int k)
+
+let fair_sharing ~rate jobs =
+  simulate ~rate
+    ~policy:(fun ~now:_ active -> equal_shares (List.length active))
+    jobs
+
+(* Give the whole link to the best job under [better]. *)
+let winner_takes_all better ~now:_ active =
+  let best =
+    List.fold_left
+      (fun acc jr -> match acc with None -> Some jr | Some b -> Some (better b jr))
+      None active
+  in
+  match best with
+  | None -> []
+  | Some (bj, _) ->
+      List.map (fun (j, _) -> if j.job_id = bj.job_id then 1. else 0.) active
+
+let srpt ~rate jobs =
+  let better (ja, ra) (jb, rb) =
+    if (rb, jb.job_id) < (ra, ja.job_id) then (jb, rb) else (ja, ra)
+  in
+  simulate ~rate ~policy:(winner_takes_all better) jobs
+
+let edf ~rate jobs =
+  let better (ja, ra) (jb, rb) =
+    let key j r =
+      match j.deadline with
+      | Some d -> (0, d, r, j.job_id)
+      | None -> (1, 0., r, j.job_id)
+    in
+    if key jb rb < key ja ra then (jb, rb) else (ja, ra)
+  in
+  simulate ~rate ~policy:(winner_takes_all better) jobs
+
+(* Fluid D3: first-come first-reserve. In arrival order every deadline
+   job reserves remaining/(deadline - now) (capped by what is left);
+   the leftover is split equally among all active jobs. Shares are in
+   units of the link, so requests are normalized by [rate]. *)
+let d3_fluid ~rate jobs =
+  simulate ~rate
+    ~policy:(fun ~now active ->
+      let order =
+        List.sort
+          (fun ((a : job), _) ((b : job), _) ->
+            compare (a.release, a.job_id) (b.release, b.job_id))
+          (List.map (fun (j, r) -> (j, r)) active)
+      in
+      let grants = Hashtbl.create 8 in
+      let avail = ref 1. in
+      List.iter
+        (fun (j, rem) ->
+          let request =
+            match j.deadline with
+            | Some d when d > now -> rem /. (d -. now) /. rate
+            | Some _ -> 1. (* past deadline: ask for everything *)
+            | None -> 0.
+          in
+          let g = min request !avail in
+          avail := !avail -. g;
+          Hashtbl.replace grants j.job_id g)
+        order;
+      let bonus = !avail /. float_of_int (List.length active) in
+      List.map
+        (fun (j, _) ->
+          (match Hashtbl.find_opt grants j.job_id with Some g -> g | None -> 0.)
+          +. bonus)
+        active)
+    jobs
+
+let mean_completion_time completions =
+  match completions with
+  | [] -> 0.
+  | cs ->
+      List.fold_left (fun acc c -> acc +. c.finish) 0. cs
+      /. float_of_int (List.length cs)
+
+let deadlines_met jobs completions =
+  let finish_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun c -> Hashtbl.replace tbl c.c_job c.finish) completions;
+    fun id -> Hashtbl.find_opt tbl id
+  in
+  List.fold_left
+    (fun acc j ->
+      match (finish_of j.job_id, j.deadline) with
+      | Some f, Some d when f <= d +. 1e-9 -> acc + 1
+      | Some _, None -> acc + 1
+      | _ -> acc)
+    0 jobs
+
+(* Moore-Hodgson: EDF order; whenever the running completion time
+   exceeds the current job's deadline, drop the largest job kept so
+   far. Optimal for minimizing the number of tardy jobs with equal
+   release times on one machine. *)
+let moore_hodgson ~rate jobs =
+  let deadline_jobs =
+    List.filter (fun j -> j.deadline <> None) jobs
+    |> List.sort (fun a b ->
+           compare (Option.get a.deadline, a.job_id)
+             (Option.get b.deadline, b.job_id))
+  in
+  let no_deadline = List.filter (fun j -> j.deadline = None) jobs in
+  let kept = ref [] in
+  let elapsed = ref 0. in
+  List.iter
+    (fun j ->
+      kept := j :: !kept;
+      elapsed := !elapsed +. (j.size /. rate);
+      match j.deadline with
+      | Some d when !elapsed > d +. 1e-9 -> (
+          (* Drop the largest kept job. *)
+          let largest =
+            List.fold_left
+              (fun acc k ->
+                match acc with
+                | None -> Some k
+                | Some b -> if k.size > b.size then Some k else Some b)
+              None !kept
+          in
+          match largest with
+          | Some l ->
+              kept := List.filter (fun k -> k.job_id <> l.job_id) !kept;
+              elapsed := !elapsed -. (l.size /. rate)
+          | None -> ())
+      | Some _ | None -> ())
+    deadline_jobs;
+  List.map (fun j -> j.job_id) (List.rev !kept)
+  @ List.map (fun j -> j.job_id) no_deadline
+
+let optimal_deadline_throughput ~rate jobs =
+  let deadline_jobs = List.filter (fun j -> j.deadline <> None) jobs in
+  match deadline_jobs with
+  | [] -> 1.
+  | _ ->
+      let kept = moore_hodgson ~rate jobs in
+      let kept_deadline =
+        List.filter
+          (fun id ->
+            List.exists (fun j -> j.job_id = id && j.deadline <> None) jobs)
+          kept
+      in
+      float_of_int (List.length kept_deadline)
+      /. float_of_int (List.length deadline_jobs)

@@ -1,0 +1,59 @@
+(** Centralized fluid-model schedulers on a single bottleneck link.
+
+    These are the analytical baselines of the paper: the motivating
+    example of Fig. 1 (fair sharing vs. SJF/EDF vs. D3) and the
+    "Optimal" curve of Fig. 3 (EDF order + discarding the minimum
+    number of tardy flows, Moore–Hodgson / Algorithm 3.3.1 in Pinedo,
+    plus SRPT for mean completion time).
+
+    Jobs use abstract size units; [rate] converts size to time
+    (completion times are in size/rate units). All jobs may have
+    release times; the classic optimality results assume simultaneous
+    release, which is the paper's query-aggregation setting. *)
+
+type job = {
+  job_id : int;
+  size : float;             (** Remaining work, size units. *)
+  release : float;          (** Arrival time. *)
+  deadline : float option;  (** Absolute deadline. *)
+}
+
+val job : ?deadline:float -> ?release:float -> id:int -> size:float -> unit -> job
+
+type completion = { c_job : int; finish : float }
+
+val fair_sharing : rate:float -> job list -> completion list
+(** Processor sharing: all active jobs share the link equally
+    (TCP/RCP/DCTCP idealization, Fig. 1b). *)
+
+val srpt : rate:float -> job list -> completion list
+(** Preemptive shortest-remaining-processing-time — optimal for mean
+    completion time on one link; equals SJF for simultaneous release
+    (Fig. 1c). *)
+
+val edf : rate:float -> job list -> completion list
+(** Preemptive earliest-deadline-first (jobs without deadlines run
+    after all deadline jobs, in SRPT order among themselves). *)
+
+val d3_fluid : rate:float -> job list -> completion list
+(** Fluid D3 (Fig. 1d): in arrival order, each deadline job reserves
+    [remaining/(deadline - now)]; leftover capacity is split equally.
+    Reservations are refreshed continuously; no termination. *)
+
+val mean_completion_time : completion list -> float
+
+val deadlines_met : job list -> completion list -> int
+(** Number of jobs finishing on or before their deadline (jobs without
+    deadlines count as met if they finish). *)
+
+val moore_hodgson : rate:float -> job list -> int list
+(** For simultaneously released jobs: the maximum-cardinality subset
+    that can all meet their deadlines when scheduled by EDF
+    (Moore–Hodgson). Returns the kept job ids; the complement is the
+    minimum set of tardy/discarded jobs. Jobs without deadlines are
+    always "kept" (they cannot be tardy). *)
+
+val optimal_deadline_throughput : rate:float -> job list -> float
+(** Fraction of deadline jobs the omniscient scheduler satisfies:
+    |Moore–Hodgson kept deadline jobs| / |deadline jobs| (1.0 when
+    there are none). *)

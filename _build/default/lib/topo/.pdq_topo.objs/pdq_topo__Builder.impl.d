@@ -1,0 +1,1 @@
+lib/topo/builder.ml: Array Hashtbl List Pdq_engine Pdq_net

@@ -1,0 +1,1 @@
+lib/topo/builder.mli: Pdq_engine Pdq_net

@@ -1,0 +1,1 @@
+lib/transport/context.ml: Array Hashtbl List Option Pdq_engine Pdq_net Printf

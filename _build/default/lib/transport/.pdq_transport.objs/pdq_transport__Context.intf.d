@@ -1,0 +1,1 @@
+lib/transport/context.mli: Pdq_engine Pdq_net

@@ -1,0 +1,1 @@
+lib/transport/d3_proto.ml: Array Context Hashtbl Payloads Pdq_engine Pdq_net Printf Rate_flow Sys

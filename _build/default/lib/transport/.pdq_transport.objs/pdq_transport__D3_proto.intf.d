@@ -1,0 +1,1 @@
+lib/transport/d3_proto.mli: Context

@@ -1,0 +1,1 @@
+lib/transport/mpdq_proto.ml: Array Context List Option Pdq_engine Pdq_net Pdq_proto

@@ -1,0 +1,1 @@
+lib/transport/mpdq_proto.mli: Context Pdq_core

@@ -1,0 +1,1 @@
+lib/transport/payloads.ml: Pdq_core Pdq_net

@@ -1,0 +1,1 @@
+lib/transport/payloads.mli: Pdq_core Pdq_net

@@ -1,0 +1,1 @@
+lib/transport/pdq_proto.ml: Array Context Hashtbl List Payloads Pdq_core Pdq_engine Pdq_net Printf Rx_buffer Sys

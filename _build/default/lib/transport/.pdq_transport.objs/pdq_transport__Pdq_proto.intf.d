@@ -1,0 +1,1 @@
+lib/transport/pdq_proto.mli: Context Pdq_core

@@ -1,0 +1,1 @@
+lib/transport/rate_flow.ml: Context Hashtbl Payloads Pdq_engine Pdq_net Rx_buffer

@@ -1,0 +1,1 @@
+lib/transport/rate_flow.mli: Context Pdq_net

@@ -1,0 +1,1 @@
+lib/transport/rcp_proto.ml: Array Context Hashtbl List Payloads Pdq_engine Pdq_net Rate_flow

@@ -1,0 +1,1 @@
+lib/transport/rcp_proto.mli: Context

@@ -1,0 +1,1 @@
+lib/transport/runner.ml: Array Context D3_proto List Mpdq_proto Option Pdq_core Pdq_engine Pdq_net Pdq_proto Printf Rcp_proto Tcp_proto

@@ -1,0 +1,1 @@
+lib/transport/runner.mli: Context Pdq_core Pdq_net

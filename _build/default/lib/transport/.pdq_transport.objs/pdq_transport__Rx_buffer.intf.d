@@ -1,0 +1,1 @@
+lib/transport/rx_buffer.mli:

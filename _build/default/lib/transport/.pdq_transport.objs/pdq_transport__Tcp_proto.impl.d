@@ -1,0 +1,1 @@
+lib/transport/tcp_proto.ml: Context Hashtbl Payloads Pdq_engine Pdq_net Rx_buffer

@@ -1,0 +1,1 @@
+lib/transport/tcp_proto.mli: Context

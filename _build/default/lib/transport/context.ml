@@ -1,0 +1,252 @@
+module Sim = Pdq_engine.Sim
+module Series = Pdq_engine.Series
+module Packet = Pdq_net.Packet
+module Topology = Pdq_net.Topology
+module Router = Pdq_net.Router
+module Link = Pdq_net.Link
+
+type flow_spec = {
+  src : int;
+  dst : int;
+  size : int;
+  deadline : float option;
+  start : float;
+}
+
+type flow = {
+  id : int;
+  spec : flow_spec;
+  deadline_abs : float option;
+  mutable completed_at : float option;
+  mutable terminated : bool;
+}
+
+type hooks = {
+  mutable on_forward : link:int -> Packet.t -> unit;
+  mutable on_reverse : fwd_link:int -> Packet.t -> unit;
+  mutable deliver : node:int -> Packet.t -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  router : Router.t;
+  rng : Pdq_engine.Rng.t;
+  init_rtt : float;
+  mutable flows_rev : flow list;
+  mutable flow_count : int;
+  mutable next_subflow_id : int;
+  routes : (int, int array) Hashtbl.t;
+  hooks : hooks;
+  mutable open_flows : int;
+  mutable all_complete_cb : (unit -> unit) option;
+  (* Tracing *)
+  mutable tx_series : Series.t option;
+  mutable queue_series : Series.t option;
+  mutable rx_series : (int, Series.t) Hashtbl.t;
+  mutable tracing_rx : bool;
+}
+
+(* Subflow ids live far above experiment flow ids so route-table keys
+   never collide. *)
+let subflow_id_base = 1_000_000
+
+let create ~sim ~topo ~rng ~init_rtt () =
+  {
+    sim;
+    topo;
+    router = Router.create topo;
+    rng;
+    init_rtt;
+    flows_rev = [];
+    flow_count = 0;
+    next_subflow_id = subflow_id_base;
+    routes = Hashtbl.create 256;
+    hooks =
+      {
+        on_forward = (fun ~link:_ _ -> ());
+        on_reverse = (fun ~fwd_link:_ _ -> ());
+        deliver = (fun ~node:_ _ -> ());
+      };
+    open_flows = 0;
+    all_complete_cb = None;
+    tx_series = None;
+    queue_series = None;
+    rx_series = Hashtbl.create 16;
+    tracing_rx = false;
+  }
+
+let sim t = t.sim
+let topo t = t.topo
+let router t = t.router
+let rng t = t.rng
+let init_rtt t = t.init_rtt
+let now t = Sim.now t.sim
+
+let register_route t ~id ~src ~dst ~choice =
+  let path = Router.path t.router ~src ~dst ~choice in
+  Hashtbl.replace t.routes id path;
+  path
+
+let register_route_nodes t ~id path =
+  if Array.length path < 2 then
+    invalid_arg "Context.register_route_nodes: path too short";
+  Hashtbl.replace t.routes id path
+
+let add_flow t spec =
+  let id = t.flow_count in
+  t.flow_count <- t.flow_count + 1;
+  let flow =
+    {
+      id;
+      spec;
+      deadline_abs = Option.map (fun d -> spec.start +. d) spec.deadline;
+      completed_at = None;
+      terminated = false;
+    }
+  in
+  t.flows_rev <- flow :: t.flows_rev;
+  t.open_flows <- t.open_flows + 1;
+  ignore (register_route t ~id ~src:spec.src ~dst:spec.dst ~choice:id);
+  flow
+
+let flows t = List.rev t.flows_rev
+
+let fresh_subflow_id t =
+  let id = t.next_subflow_id in
+  t.next_subflow_id <- id + 1;
+  id
+
+let route t id =
+  match Hashtbl.find_opt t.routes id with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "Context.route: unknown flow %d" id)
+
+let is_forward_kind = function
+  | Packet.Syn | Packet.Data | Packet.Probe | Packet.Term -> true
+  | Packet.Syn_ack | Packet.Ack -> false
+
+let position path node =
+  let rec scan i =
+    if i >= Array.length path then None
+    else if path.(i) = node then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let transmit t ~from (pkt : Packet.t) =
+  let path = route t pkt.Packet.flow in
+  match position path from with
+  | None ->
+      failwith
+        (Printf.sprintf "Context.transmit: node %d not on route of flow %d" from
+           pkt.Packet.flow)
+  | Some i ->
+      if is_forward_kind pkt.Packet.kind then begin
+        let next = path.(i + 1) in
+        let link = Topology.link_to t.topo ~src:from ~dst:next in
+        t.hooks.on_forward ~link:(Link.id link) pkt;
+        Link.send link pkt
+      end
+      else begin
+        (* Reverse packets run Algorithm-3-style processing against the
+           forward-direction port at this node before heading back. *)
+        if i + 1 < Array.length path then begin
+          let fwd = Topology.link_to t.topo ~src:from ~dst:path.(i + 1) in
+          t.hooks.on_reverse ~fwd_link:(Link.id fwd) pkt
+        end;
+        let prev = path.(i - 1) in
+        let link = Topology.link_to t.topo ~src:from ~dst:prev in
+        Link.send link pkt
+      end
+
+let set_hooks t ~on_forward ~on_reverse ~deliver =
+  t.hooks.on_forward <- on_forward;
+  t.hooks.on_reverse <- on_reverse;
+  t.hooks.deliver <- deliver;
+  for node = 0 to Topology.node_count t.topo - 1 do
+    Topology.set_handler t.topo node (fun pkt ->
+        if pkt.Packet.dst <> node then transmit t ~from:node pkt
+        else begin
+          (* A reverse packet arriving at the flow source still needs
+             processing against the source NIC's forward port. *)
+          (if not (is_forward_kind pkt.Packet.kind) then begin
+             let path = route t pkt.Packet.flow in
+             if Array.length path > 1 && path.(0) = node then begin
+               let fwd =
+                 Topology.link_to t.topo ~src:node ~dst:path.(1)
+               in
+               t.hooks.on_reverse ~fwd_link:(Pdq_net.Link.id fwd) pkt
+             end
+           end);
+          t.hooks.deliver ~node pkt
+        end)
+  done
+
+let maybe_fire_all_complete t =
+  if t.open_flows = 0 then
+    match t.all_complete_cb with
+    | Some f ->
+        t.all_complete_cb <- None;
+        f ()
+    | None -> ()
+
+let complete t flow =
+  if flow.completed_at = None then begin
+    flow.completed_at <- Some (now t);
+    (* A terminated flow was already counted closed even if its last
+       in-flight packets still complete the transfer. *)
+    if not flow.terminated then begin
+      t.open_flows <- t.open_flows - 1;
+      maybe_fire_all_complete t
+    end
+  end
+
+let flow_closed t flow =
+  if flow.completed_at = None && flow.terminated then begin
+    t.open_flows <- t.open_flows - 1;
+    maybe_fire_all_complete t
+  end
+
+let completed_count t =
+  List.fold_left
+    (fun n f -> if f.completed_at <> None then n + 1 else n)
+    0 t.flows_rev
+
+let on_all_complete t f = t.all_complete_cb <- Some f
+
+let trace_link t ~link ~sample_every ~until =
+  let l = Topology.link t.topo link in
+  let tx = Series.create ~name:"tx_bytes" () in
+  let q = Series.create ~name:"queue_bytes" () in
+  Link.on_transmit l (fun ~now ~bytes -> Series.add tx now (float_of_int bytes));
+  let rec sample () =
+    if Sim.now t.sim <= until then begin
+      Series.add q (Sim.now t.sim) (float_of_int (Link.queue_bytes l));
+      ignore (Sim.schedule t.sim ~delay:sample_every sample)
+    end
+  in
+  ignore (Sim.schedule t.sim ~delay:0. sample);
+  t.tx_series <- Some tx;
+  t.queue_series <- Some q;
+  t.tracing_rx <- true
+
+let record_rx t ~flow_id ~bytes =
+  if t.tracing_rx then begin
+    let s =
+      match Hashtbl.find_opt t.rx_series flow_id with
+      | Some s -> s
+      | None ->
+          let s = Series.create ~name:(Printf.sprintf "flow%d_rx" flow_id) () in
+          Hashtbl.add t.rx_series flow_id s;
+          s
+    in
+    Series.add s (now t) (float_of_int bytes)
+  end
+
+let trace_tx t = t.tx_series
+let trace_queue t = t.queue_series
+
+let rx_series t =
+  Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.rx_series []
+  |> List.sort compare

@@ -1,0 +1,113 @@
+(** Shared per-run state for the packet-level transports: the flow
+    table, per-flow routes (flow-level ECMP pins one path per flow so
+    ACKs retrace the data path), generic forwarding with per-protocol
+    header-processing hooks, and optional tracing of a bottleneck link.
+
+    Each protocol module installs three hooks:
+    - [on_forward ~link] — process a source→destination packet header
+      just before it is enqueued on directed link [link];
+    - [on_reverse ~fwd_link] — process a destination→source packet
+      against the state of the forward-direction port [fwd_link];
+    - [deliver ~node] — hand a packet addressed to [node] to the local
+      endpoint. *)
+
+type flow_spec = {
+  src : int;              (** Source host node id. *)
+  dst : int;              (** Destination host node id. *)
+  size : int;             (** Application bytes to transfer. *)
+  deadline : float option;(** Relative deadline (seconds after start). *)
+  start : float;          (** Absolute start time. *)
+}
+
+type flow = {
+  id : int;
+  spec : flow_spec;
+  deadline_abs : float option;
+  mutable completed_at : float option;
+      (** Time the receiver held every byte. *)
+  mutable terminated : bool;
+      (** Early Termination / quenching killed the flow. *)
+}
+
+type t
+
+val create :
+  sim:Pdq_engine.Sim.t ->
+  topo:Pdq_net.Topology.t ->
+  rng:Pdq_engine.Rng.t ->
+  init_rtt:float ->
+  unit ->
+  t
+
+val sim : t -> Pdq_engine.Sim.t
+val topo : t -> Pdq_net.Topology.t
+val router : t -> Pdq_net.Router.t
+val rng : t -> Pdq_engine.Rng.t
+val init_rtt : t -> float
+val now : t -> float
+
+val add_flow : t -> flow_spec -> flow
+(** Register an experiment flow; assigns the flow id and computes and
+    pins its ECMP route. *)
+
+val flows : t -> flow list
+(** All registered flows, in registration order. *)
+
+val fresh_subflow_id : t -> int
+(** Allocate an id outside the experiment-flow space (M-PDQ
+    subflows). *)
+
+val register_route : t -> id:int -> src:int -> dst:int -> choice:int -> int array
+(** Compute, pin and return the route for a (sub)flow id. *)
+
+val register_route_nodes : t -> id:int -> int array -> unit
+(** Pin an explicit node path (source-routing, e.g. BCube
+    address-based multipath for M-PDQ subflows). Consecutive nodes must
+    be adjacent in the topology. *)
+
+val route : t -> int -> int array
+(** The pinned node path of a (sub)flow. *)
+
+val set_hooks :
+  t ->
+  on_forward:(link:int -> Pdq_net.Packet.t -> unit) ->
+  on_reverse:(fwd_link:int -> Pdq_net.Packet.t -> unit) ->
+  deliver:(node:int -> Pdq_net.Packet.t -> unit) ->
+  unit
+(** Install protocol hooks and the node handlers on every node. *)
+
+val transmit : t -> from:int -> Pdq_net.Packet.t -> unit
+(** Send a packet from node [from] along its flow's pinned route,
+    running the protocol hooks. Used both by original senders and by
+    the forwarding path. *)
+
+val is_forward_kind : Pdq_net.Packet.kind -> bool
+(** SYN/DATA/PROBE/TERM travel source→destination. *)
+
+(** {2 Completion accounting} *)
+
+val complete : t -> flow -> unit
+(** Record receiver-side completion (idempotent). *)
+
+val completed_count : t -> int
+
+val on_all_complete : t -> (unit -> unit) -> unit
+(** Callback fired when every registered flow has completed or been
+    terminated (used to stop long simulations early). *)
+
+val flow_closed : t -> flow -> unit
+(** Internal: called on termination to update the all-complete check. *)
+
+(** {2 Tracing (Fig. 6/7-style time series)} *)
+
+val trace_link : t -> link:int -> sample_every:float -> until:float -> unit
+(** Record the given directed link's transmitted bytes (event series)
+    and sampled queue length. *)
+
+val record_rx : t -> flow_id:int -> bytes:int -> unit
+(** Called by receivers per delivered data packet; feeds per-flow
+    goodput series when tracing is enabled. *)
+
+val trace_tx : t -> Pdq_engine.Series.t option
+val trace_queue : t -> Pdq_engine.Series.t option
+val rx_series : t -> (int * Pdq_engine.Series.t) list

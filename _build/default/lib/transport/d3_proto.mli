@@ -1,0 +1,20 @@
+(** Packet-level D3 [19] re-implemented as described in §5.1 of the
+    PDQ paper: greedy first-come-first-reserve rate allocation.
+
+    Per output link and per control interval (≈ one average RTT), a
+    switch grants each flow's first request [desired + fs] from the
+    remaining capacity, in arrival order; [fs] is the fair share of
+    last interval's leftover, clamped non-negative (the paper's fix —
+    the original algorithm could return reserved bandwidth when demand
+    exceeded capacity). Deadline flows request
+    [remaining size / time-to-deadline]; best-effort flows request 0
+    and live off the fair share. Senders quench flows whose deadline
+    became impossible. *)
+
+type t
+
+val install : ctx:Context.t -> until:float -> t
+val start_flow : t -> Context.flow -> unit
+
+val fair_share : t -> link:int -> float
+(** Current fair-share component on a directed link (for tests). *)

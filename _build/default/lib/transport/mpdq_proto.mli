@@ -1,0 +1,25 @@
+(** Multipath PDQ (§6): each flow is striped over [subflows] PDQ
+    subflows pinned to (potentially) different ECMP paths; the sender
+    periodically shifts unsent load from paused subflows to the sending
+    subflow with the smallest remaining load; the receiver completes
+    the flow when the union of subflow bytes covers the flow size
+    (single shared resequencing buffer, as in MPTCP). Switches need
+    nothing beyond flow-level ECMP. *)
+
+type t
+
+val install :
+  config:Pdq_core.Config.t ->
+  ctx:Context.t ->
+  until:float ->
+  subflows:int ->
+  ?rebalance_rtts:float ->
+  ?paths:(src:int -> dst:int -> int array list) ->
+  unit ->
+  t
+(** [rebalance_rtts] (default 4) is the load-shift period in units of
+    the initial RTT estimate. [paths] supplies explicit parallel node
+    paths per host pair (BCube address-based routing); without it,
+    subflows rely on ECMP hashing over shortest paths. *)
+
+val start_flow : t -> Context.flow -> unit

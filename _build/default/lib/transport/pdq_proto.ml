@@ -1,0 +1,476 @@
+module Sim = Pdq_engine.Sim
+module Units = Pdq_engine.Units
+module Packet = Pdq_net.Packet
+module Link = Pdq_net.Link
+module Topology = Pdq_net.Topology
+module Header = Pdq_core.Header
+module Sender = Pdq_core.Sender
+module Switch_port = Pdq_core.Switch_port
+
+type t = {
+  ctx : Context.t;
+  cfg : Pdq_core.Config.t;
+  size_info : Sender.size_info;
+  ports : Switch_port.t array; (* per directed link *)
+  streams : (int, stream) Hashtbl.t;
+}
+
+and stream = {
+  proto : t;
+  sid : int;
+  src : int;
+  dst : int;
+  mutable size : int;
+  deadline_abs : float option;
+  core : Sender.t;
+  parent : Context.flow option;
+  on_event : unit -> unit;
+  on_rx : bytes:int -> unit;
+  (* Sender side. *)
+  mutable next_seq : int;
+  mutable sent_hi : int; (* high-water mark of next_seq (go-back-N rewinds) *)
+  mutable acked : int;
+  mutable dup_acks : int;
+  mutable syn_acked : bool;
+  mutable last_syn : float;
+  mutable last_progress : float;
+  mutable last_tx : float; (* departure time of the previous data packet *)
+  mutable send_ev : Sim.handle option;
+  mutable probe_ev : Sim.handle option;
+  mutable closed : bool;
+  mutable terminated : bool;
+  (* Receiver side. *)
+  rx : Rx_buffer.t;
+  rx_max_rate : float;
+}
+
+let max_payload = Packet.max_payload ~scheduling_header:Payloads.pdq_header_bytes
+let debug = Sys.getenv_opt "PDQ_DEBUG" <> None
+
+let config t = t.cfg
+let port t link = t.ports.(link)
+
+let cancel_opt ev =
+  match ev with
+  | Some h ->
+      Sim.cancel h;
+      None
+  | None -> None
+
+let now s = Context.now s.proto.ctx
+let rto s = max (3. *. Sender.rtt s.core) 1e-3
+
+(* Highest line rate among a host's ports: the rate the host NIC can
+   source or sink. *)
+let nic_rate topo node =
+  List.fold_left
+    (fun acc (_, link_id) -> max acc (Link.rate (Topology.link topo link_id)))
+    0.
+    (Topology.links_from topo node)
+
+let make_pkt s ~kind ?(payload_bytes = 0) ?(seq = 0) ~hdr ~cum_ack () =
+  Packet.make ~flow:s.sid ~src:s.src ~dst:s.dst ~kind ~payload_bytes ~seq
+    ~extra_header:Payloads.pdq_header_bytes
+    ~payload:(Payloads.Pdq_sched (hdr, { Payloads.cum_ack; echo_ts = now s }))
+    ~now:(now s) ()
+
+let send_syn s =
+  s.last_syn <- now s;
+  let hdr = Sender.make_header s.core ~t:(now s) in
+  Context.transmit s.proto.ctx ~from:s.src
+    (make_pkt s ~kind:Packet.Syn ~hdr ~cum_ack:0 ())
+
+let send_term s =
+  let hdr = Sender.make_header s.core ~t:(now s) in
+  Context.transmit s.proto.ctx ~from:s.src
+    (make_pkt s ~kind:Packet.Term ~hdr ~cum_ack:0 ())
+
+let close_sender s =
+  s.closed <- true;
+  s.send_ev <- cancel_opt s.send_ev;
+  s.probe_ev <- cancel_opt s.probe_ev
+
+let finish_sender s =
+  if not s.closed then begin
+    close_sender s;
+    send_term s;
+    s.on_event ()
+  end
+
+let terminate s =
+  if not s.closed then begin
+    if debug then
+      Printf.eprintf
+        "%.6f TERMINATE flow=%d remaining=%d acked=%d rate=%g ttx=%g rtt=%g \
+         deadline=%s paused_by=%s\n"
+        (now s) s.sid
+        (Sender.remaining_bytes s.core)
+        s.acked (Sender.rate s.core)
+        (Sender.expected_tx_time s.core)
+        (Sender.rtt s.core)
+        (match s.deadline_abs with
+        | Some d -> Printf.sprintf "%.6f" d
+        | None -> "-")
+        (match Sender.paused_by s.core with
+        | Some i -> string_of_int i
+        | None -> "-");
+    close_sender s;
+    s.terminated <- true;
+    send_term s;
+    (match s.parent with
+    | Some flow ->
+        flow.Context.terminated <- true;
+        Context.flow_closed s.proto.ctx flow
+    | None -> ());
+    s.on_event ()
+  end
+
+let et_enabled s =
+  s.proto.cfg.Pdq_core.Config.features.Pdq_core.Config.early_termination
+
+(* Pacing interval at the current granted rate, recomputed whenever the
+   rate changes. Bounded so that a transiently tiny grant cannot park
+   the sender for many milliseconds: if even the bounded interval
+   overshoots the granted rate, the resulting queue makes the rate
+   controller pause the flow properly. *)
+let pacing_interval s ~wire_bytes =
+  let rate = Sender.rate s.core in
+  if rate <= 0. then infinity
+  else
+    min
+      (Units.tx_time ~bytes:wire_bytes ~rate)
+      (max (4. *. Sender.rtt s.core) 2e-3)
+
+(* Paced data transmission: one packet per event, the next scheduled a
+   serialization interval (at the granted rate) later. *)
+let rec send_data s () =
+  s.send_ev <- None;
+  if (not s.closed) && Sender.rate s.core > 0. && s.next_seq < s.size then begin
+    let payload = min max_payload (s.size - s.next_seq) in
+    let hdr = Sender.make_header s.core ~t:(now s) in
+    let pkt =
+      make_pkt s ~kind:Packet.Data ~payload_bytes:payload ~seq:s.next_seq ~hdr
+        ~cum_ack:0 ()
+    in
+    Context.transmit s.proto.ctx ~from:s.src pkt;
+    s.next_seq <- s.next_seq + payload;
+    if s.next_seq > s.sent_hi then s.sent_hi <- s.next_seq;
+    s.last_tx <- now s;
+    if s.next_seq < s.size then begin
+      let interval = pacing_interval s ~wire_bytes:pkt.Packet.wire_bytes in
+      s.send_ev <-
+        Some (Sim.schedule (Context.sim s.proto.ctx) ~delay:interval (send_data s))
+    end
+  end
+
+let ensure_sending s =
+  if
+    (not s.closed)
+    && s.send_ev = None
+    && Sender.rate s.core > 0.
+    && s.next_seq < s.size
+  then begin
+    (* Next departure honours the pacing of the previous packet at the
+       *current* rate — a rate increase moves it earlier. *)
+    let interval =
+      pacing_interval s ~wire_bytes:(max_payload + Packet.header_bytes)
+    in
+    let delay = max 0. (s.last_tx +. interval -. now s) in
+    s.send_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (send_data s))
+  end
+
+let rec probe_loop s () =
+  s.probe_ev <- None;
+  if (not s.closed) && Sender.is_paused s.core && s.syn_acked then begin
+    if debug then
+      Printf.eprintf "%.6f probe flow=%d ip=%g rtt=%g\n" (now s) s.sid
+        (Sender.inter_probe_interval s.core)
+        (Sender.rtt s.core);
+    let hdr = Sender.make_header s.core ~t:(now s) in
+    Context.transmit s.proto.ctx ~from:s.src
+      (make_pkt s ~kind:Packet.Probe ~hdr ~cum_ack:0 ());
+    let delay = max (Sender.inter_probe_interval s.core) 1e-5 in
+    s.probe_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (probe_loop s))
+  end
+
+let ensure_probing s =
+  if (not s.closed) && s.probe_ev = None && Sender.is_paused s.core && s.syn_acked
+  then begin
+    let delay = max (Sender.inter_probe_interval s.core) 1e-5 in
+    s.probe_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (probe_loop s))
+  end
+
+let adjust_loops s =
+  if Sender.is_paused s.core then begin
+    s.send_ev <- cancel_opt s.send_ev;
+    ensure_probing s
+  end
+  else begin
+    s.probe_ev <- cancel_opt s.probe_ev;
+    (* Re-pace a pending departure at the fresh rate. *)
+    s.send_ev <- cancel_opt s.send_ev;
+    ensure_sending s
+  end
+
+(* Watchdog: SYN retransmission, go-back-N on stalled cumulative acks,
+   and Early Termination checks while paused. *)
+let rec watchdog s () =
+  if not s.closed then begin
+    let t = now s in
+    if et_enabled s && Sender.should_terminate s.core ~now:t then terminate s
+    else begin
+      if (not s.syn_acked) && t -. s.last_syn > rto s then send_syn s
+      else if
+        s.syn_acked && s.acked < s.size
+        && t -. s.last_progress > rto s
+        && Sender.rate s.core > 0.
+      then begin
+        (* Go-back-N: resume from the cumulative ack point. *)
+        s.next_seq <- s.acked;
+        s.last_progress <- t;
+        ensure_sending s
+      end;
+      let delay = max (Sender.rtt s.core) 5e-4 in
+      ignore
+        (Sim.schedule (Context.sim s.proto.ctx) ~delay (fun () -> watchdog s ()))
+    end
+  end
+
+let on_ack_packet s (hdr : Header.t) (ack : Payloads.ack_info) =
+  if debug then
+    Printf.eprintf "%.6f ack flow=%d rate=%g pause=%s cum=%d\n"
+      (Context.now s.proto.ctx) s.sid hdr.Header.rate
+      (match hdr.Header.pause_by with None -> "-" | Some i -> string_of_int i)
+      ack.Payloads.cum_ack;
+  if not s.closed then begin
+    s.syn_acked <- true;
+    let t = now s in
+    let rtt_sample = t -. ack.Payloads.echo_ts in
+    Sender.on_ack s.core hdr ~acked_bytes:ack.Payloads.cum_ack
+      ~rtt_sample:(Some rtt_sample) ~now:t;
+    if ack.Payloads.cum_ack > s.acked then begin
+      s.acked <- ack.Payloads.cum_ack;
+      s.dup_acks <- 0;
+      s.last_progress <- t
+    end
+    else if
+      ack.Payloads.cum_ack = s.acked
+      && s.acked < s.next_seq
+      && not (Sender.is_paused s.core)
+    then begin
+      (* Selective repair: a hole at [acked] with later data arriving —
+         retransmit just the missing segment instead of waiting for the
+         RTO-driven go-back-N. *)
+      s.dup_acks <- s.dup_acks + 1;
+      if s.dup_acks = 3 then begin
+        s.dup_acks <- 0;
+        let payload = min max_payload (s.size - s.acked) in
+        let hdr = Sender.make_header s.core ~t in
+        Context.transmit s.proto.ctx ~from:s.src
+          (make_pkt s ~kind:Packet.Data ~payload_bytes:payload ~seq:s.acked
+             ~hdr ~cum_ack:0 ())
+      end
+    end;
+    if s.acked >= s.size then finish_sender s
+    else if et_enabled s && Sender.should_terminate s.core ~now:t then terminate s
+    else adjust_loops s;
+    s.on_event ()
+  end
+
+(* Receiver side: echo the scheduling header into an ACK, capped at the
+   receiver NIC rate (§3.2), and carry the cumulative ack. *)
+let reply s (pkt : Packet.t) ~kind =
+  match pkt.Packet.payload with
+  | Payloads.Pdq_sched (hdr, _) ->
+      let echo = Header.copy hdr in
+      echo.Header.rate <- min echo.Header.rate s.rx_max_rate;
+      let ack =
+        Packet.make ~flow:s.sid ~src:s.dst ~dst:s.src ~kind
+          ~extra_header:Payloads.pdq_header_bytes
+          ~payload:
+            (Payloads.Pdq_sched
+               ( echo,
+                 {
+                   Payloads.cum_ack = Rx_buffer.cumulative_ack s.rx;
+                   echo_ts = pkt.Packet.sent_at;
+                 } ))
+          ~now:(now s) ()
+      in
+      Context.transmit s.proto.ctx ~from:s.dst ack
+  | _ -> ()
+
+let receiver_handle s (pkt : Packet.t) =
+  match pkt.Packet.kind with
+  | Packet.Syn -> reply s pkt ~kind:Packet.Syn_ack
+  | Packet.Probe -> reply s pkt ~kind:Packet.Ack
+  | Packet.Data ->
+      let before = Rx_buffer.received_bytes s.rx in
+      Rx_buffer.on_data s.rx ~seq:pkt.Packet.seq ~bytes:pkt.Packet.payload_bytes;
+      let delivered = Rx_buffer.received_bytes s.rx - before in
+      if delivered > 0 then begin
+        Context.record_rx s.proto.ctx ~flow_id:s.sid ~bytes:delivered;
+        s.on_rx ~bytes:delivered
+      end;
+      (match s.parent with
+      | Some flow when Rx_buffer.received_bytes s.rx >= flow.Context.spec.Context.size
+        ->
+          Context.complete s.proto.ctx flow
+      | Some _ | None -> ());
+      reply s pkt ~kind:Packet.Ack
+  | Packet.Term -> ()
+  | Packet.Syn_ack | Packet.Ack -> ()
+
+let deliver t ~node (pkt : Packet.t) =
+  match Hashtbl.find_opt t.streams pkt.Packet.flow with
+  | None -> ()
+  | Some s -> (
+      match pkt.Packet.kind with
+      | Packet.Syn | Packet.Data | Packet.Probe | Packet.Term ->
+          if node = s.dst then receiver_handle s pkt
+      | Packet.Syn_ack | Packet.Ack -> (
+          if node = s.src then
+            match pkt.Packet.payload with
+            | Payloads.Pdq_sched (hdr, ack) -> on_ack_packet s hdr ack
+            | _ -> ()))
+
+let on_forward t ~link (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Payloads.Pdq_sched (hdr, _) -> (
+      let port = t.ports.(link) in
+      let tnow = Context.now t.ctx in
+      match pkt.Packet.kind with
+      | Packet.Term -> Switch_port.remove_flow port pkt.Packet.flow ~now:tnow
+      | Packet.Syn | Packet.Data | Packet.Probe ->
+          Switch_port.process_forward port hdr ~flow_id:pkt.Packet.flow ~now:tnow
+      | Packet.Syn_ack | Packet.Ack -> ())
+  | _ -> ()
+
+let on_reverse t ~fwd_link (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Payloads.Pdq_sched (hdr, _) ->
+      Switch_port.process_reverse t.ports.(fwd_link) hdr ~flow_id:pkt.Packet.flow
+        ~now:(Context.now t.ctx)
+  | _ -> ()
+
+let install ?(size_info = Sender.Known) ~config ~ctx ~until () =
+  let topo = Context.topo ctx in
+  let ports =
+    Array.init (Topology.link_count topo) (fun i ->
+        let link = Topology.link topo i in
+        Switch_port.create ~config ~switch_id:(Link.src link)
+          ~link_rate:(Link.rate link) ~init_rtt:(Context.init_rtt ctx))
+  in
+  let t = { ctx; cfg = config; size_info; ports; streams = Hashtbl.create 64 } in
+  Context.set_hooks ctx
+    ~on_forward:(fun ~link pkt -> on_forward t ~link pkt)
+    ~on_reverse:(fun ~fwd_link pkt -> on_reverse t ~fwd_link pkt)
+    ~deliver:(fun ~node pkt -> deliver t ~node pkt);
+  (* Per-port rate-controller loops (§3.3.3): update C every 2 average
+     RTTs from the instantaneous queue. *)
+  let sim = Context.sim ctx in
+  Array.iteri
+    (fun i port ->
+      let link = Topology.link topo i in
+      let rec tick () =
+        if Sim.now sim <= until then begin
+          Switch_port.update_rate_controller port
+            ~queue_bytes:(Link.queue_bytes link) ~now:(Sim.now sim);
+          let delay = max (Switch_port.rate_update_interval port) 2e-5 in
+          ignore (Sim.schedule sim ~delay tick)
+        end
+      in
+      ignore (Sim.schedule sim ~delay:0. tick))
+    ports;
+  t
+
+let launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_rx
+    ~on_event ~parent =
+  let topo = Context.topo t.ctx in
+  let s =
+    {
+      proto = t;
+      sid;
+      src;
+      dst;
+      size;
+      deadline_abs;
+      core =
+        Sender.create ?deadline:deadline_abs
+          ~efficiency:(float_of_int max_payload /. float_of_int Packet.mtu)
+          ~size_info:t.size_info ~flow_id:sid ~size_bytes:size
+          ~max_rate:(nic_rate topo src) ~init_rtt:(Context.init_rtt t.ctx) ();
+      parent;
+      on_event;
+      on_rx;
+      next_seq = 0;
+      sent_hi = 0;
+      acked = 0;
+      dup_acks = 0;
+      syn_acked = false;
+      last_syn = 0.;
+      last_progress = start;
+      last_tx = neg_infinity;
+      send_ev = None;
+      probe_ev = None;
+      closed = false;
+      terminated = false;
+      rx = Rx_buffer.create ?capacity:rx_capacity ~size ~segment:max_payload ();
+      rx_max_rate = nic_rate topo dst;
+    }
+  in
+  Hashtbl.replace t.streams sid s;
+  let sim = Context.sim t.ctx in
+  let launch () =
+    send_syn s;
+    watchdog s ()
+  in
+  if start <= Sim.now sim then launch ()
+  else ignore (Sim.schedule_at sim ~time:start launch);
+  s
+
+let start_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_rx
+    ~on_event =
+  launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_rx
+    ~on_event ~parent:None
+
+let start_flow t (flow : Context.flow) =
+  let spec = flow.Context.spec in
+  ignore
+    (launch_stream t ~sid:flow.Context.id ~src:spec.Context.src
+       ~dst:spec.Context.dst ~size:spec.Context.size
+       ~deadline_abs:flow.Context.deadline_abs ~start:spec.Context.start
+       ~on_rx:(fun ~bytes:_ -> ())
+       ~on_event:(fun () -> ())
+       ~parent:(Some flow))
+
+let stream_remaining_unsent s = max 0 (s.size - s.sent_hi)
+let stream_assigned s = s.size
+let stream_is_paused s = Sender.is_paused s.core
+let stream_is_done s = s.closed && not s.terminated
+let stream_terminated s = s.terminated
+
+let stream_resize s size =
+  if size < s.sent_hi then
+    invalid_arg "Pdq_proto.stream_resize: cannot cut below sent bytes";
+  if s.terminated then invalid_arg "Pdq_proto.stream_resize: stream terminated";
+  s.size <- size;
+  Rx_buffer.set_size s.rx size;
+  Sender.set_size s.core ~size ~acked:s.acked;
+  if s.acked >= s.size then begin
+    if not s.closed then finish_sender s
+  end
+  else begin
+    (* Growing a stream that had just finished re-opens it: the load
+       shifted onto it must actually be sent. *)
+    if s.closed then begin
+      s.closed <- false;
+      s.last_progress <- now s;
+      watchdog s ()
+    end;
+    ensure_sending s
+  end
+
+let stream_rx_received s = Rx_buffer.received_bytes s.rx
+
+let stream_rate s = Sender.rate s.core
+let stream_terminate s = terminate s

@@ -1,0 +1,74 @@
+(** Packet-level PDQ transport (§3): paced senders driven by the
+    {!Pdq_core.Sender} state machine, header-echoing receivers, and
+    {!Pdq_core.Switch_port} flow/rate controllers on every directed
+    link (switch output queues and host NIC shim alike).
+
+    The module is written in terms of {e streams} so that M-PDQ can
+    reuse the exact sender/receiver machinery for its subflows; a plain
+    PDQ flow is a single stream whose completion closes the flow. *)
+
+type t
+
+val install :
+  ?size_info:Pdq_core.Sender.size_info ->
+  config:Pdq_core.Config.t ->
+  ctx:Context.t ->
+  until:float ->
+  unit ->
+  t
+(** Create per-link switch ports, install forwarding hooks and start
+    the per-port rate-controller loops (which run until [until]).
+    [size_info] (default [Known]) selects the §5.6 size-estimation
+    mode for all senders. *)
+
+val config : t -> Pdq_core.Config.t
+val port : t -> int -> Pdq_core.Switch_port.t
+(** The PDQ port of a directed link (for inspection/tests). *)
+
+val start_flow : t -> Context.flow -> unit
+(** Schedule a registered experiment flow: SYN at its start time,
+    completion/termination recorded on the {!Context.t}. *)
+
+(** {2 Stream interface (used by M-PDQ)} *)
+
+type stream
+
+val start_stream :
+  ?rx_capacity:int ->
+  t ->
+  sid:int ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  deadline_abs:float option ->
+  start:float ->
+  on_rx:(bytes:int -> unit) ->
+  on_event:(unit -> unit) ->
+  stream
+(** Launch an independent PDQ stream whose route was already registered
+    under [sid]. [on_rx] fires at the receiver per newly delivered
+    byte count; [on_event] fires after every sender-side state change
+    (ack processed, pause/unpause, termination) so a coordinator can
+    rebalance. *)
+
+val stream_remaining_unsent : stream -> int
+(** Bytes assigned to the stream but not yet sent (movable load). *)
+
+val stream_assigned : stream -> int
+(** Currently assigned stream size in bytes. *)
+
+val stream_is_paused : stream -> bool
+val stream_is_done : stream -> bool
+val stream_terminated : stream -> bool
+
+val stream_resize : stream -> int -> unit
+(** Assign a new size (must not cut below the bytes already sent). *)
+
+val stream_rate : stream -> float
+(** Current sending rate, bits/s. *)
+
+val stream_rx_received : stream -> int
+(** Distinct bytes delivered at the stream's receiver. *)
+
+val stream_terminate : stream -> unit
+(** Early-terminate the stream (sends TERM). *)

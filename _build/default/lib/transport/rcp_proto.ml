@@ -1,0 +1,126 @@
+module Sim = Pdq_engine.Sim
+module Packet = Pdq_net.Packet
+module Link = Pdq_net.Link
+module Topology = Pdq_net.Topology
+
+(* A very low floor keeps every flow probing forward progress; real RCP
+   hands out a minimum of one packet per RTT. *)
+let min_rate = 1e5
+
+type port = {
+  link : Link.t;
+  flows : (int, float) Hashtbl.t; (* flow id -> last seen *)
+  mutable fair : float;
+  mutable rtt_avg : float;
+}
+
+type t = { ctx : Context.t; ports : port array; inner : Rate_flow.t }
+
+let recompute_fair p ~now:_ =
+  let n = max 1 (Hashtbl.length p.flows) in
+  let q_bits = Pdq_engine.Units.bytes_to_bits (Link.queue_bytes p.link) in
+  let c_eff = Link.rate p.link -. (q_bits /. (2. *. max p.rtt_avg 1e-9)) in
+  p.fair <- max min_rate (min (Link.rate p.link) (c_eff /. float_of_int n))
+
+let fair_rate t ~link = t.ports.(link).fair
+let flow_count t ~link = Hashtbl.length t.ports.(link).flows
+
+let on_forward t ~link (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Payloads.Rcp_ctrl (ctrl, _) -> (
+      let p = t.ports.(link) in
+      let now = Context.now t.ctx in
+      match pkt.Packet.kind with
+      | Packet.Term ->
+          Hashtbl.remove p.flows pkt.Packet.flow;
+          recompute_fair p ~now
+      | Packet.Syn | Packet.Data | Packet.Probe ->
+          if not (Hashtbl.mem p.flows pkt.Packet.flow) then begin
+            Hashtbl.replace p.flows pkt.Packet.flow now;
+            recompute_fair p ~now
+          end
+          else Hashtbl.replace p.flows pkt.Packet.flow now;
+          if ctrl.Payloads.rcp_rtt > 0. then
+            p.rtt_avg <-
+              (0.875 *. p.rtt_avg) +. (0.125 *. ctrl.Payloads.rcp_rtt);
+          ctrl.Payloads.rcp_rate <- min ctrl.Payloads.rcp_rate p.fair
+      | Packet.Syn_ack | Packet.Ack -> ())
+  | _ -> ()
+
+let ops ctx : Rate_flow.ops =
+  {
+    Rate_flow.extra_header = Payloads.rcp_header_bytes;
+    min_rate;
+    fwd_payload =
+      (fun s _kind ->
+        Payloads.Rcp_ctrl
+          ( {
+              Payloads.rcp_rate = infinity;
+              rcp_rtt = Rate_flow.sender_rtt s;
+            },
+            { Payloads.cum_ack = 0; echo_ts = Context.now ctx } ));
+    ack_payload =
+      (fun ~cum_ack ~echo_ts pkt ->
+        match pkt.Packet.payload with
+        | Payloads.Rcp_ctrl (ctrl, _) ->
+            Payloads.Rcp_ctrl
+              ( { Payloads.rcp_rate = ctrl.Payloads.rcp_rate; rcp_rtt = 0. },
+                { Payloads.cum_ack; echo_ts } )
+        | _ -> Payloads.Rcp_ctrl
+                 ( { Payloads.rcp_rate = min_rate; rcp_rtt = 0. },
+                   { Payloads.cum_ack; echo_ts } ));
+    rate_of_ack =
+      (fun _s pkt ->
+        match pkt.Packet.payload with
+        | Payloads.Rcp_ctrl (ctrl, _) -> Some ctrl.Payloads.rcp_rate
+        | _ -> None);
+    quench = (fun _ ~now:_ -> false);
+  }
+
+(* Purge flows whose sender vanished without a TERM (packet loss): a
+   generous horizon so slow flows are never evicted spuriously. *)
+let purge p ~now =
+  let stale =
+    Hashtbl.fold
+      (fun id seen acc -> if now -. seen > 0.5 then id :: acc else acc)
+      p.flows []
+  in
+  if stale <> [] then begin
+    List.iter (Hashtbl.remove p.flows) stale;
+    recompute_fair p ~now
+  end
+
+let install ~ctx ~until =
+  let topo = Context.topo ctx in
+  let ports =
+    Array.init (Topology.link_count topo) (fun i ->
+        let link = Topology.link topo i in
+        {
+          link;
+          flows = Hashtbl.create 16;
+          fair = Link.rate link;
+          rtt_avg = Context.init_rtt ctx;
+        })
+  in
+  let inner = Rate_flow.install ~ctx ~ops:(ops ctx) in
+  let t = { ctx; ports; inner } in
+  Context.set_hooks ctx
+    ~on_forward:(fun ~link pkt -> on_forward t ~link pkt)
+    ~on_reverse:(fun ~fwd_link:_ _ -> ())
+    ~deliver:(fun ~node pkt -> Rate_flow.deliver inner ~node pkt);
+  let sim = Context.sim ctx in
+  Array.iter
+    (fun p ->
+      let rec tick () =
+        if Sim.now sim <= until then begin
+          let now = Sim.now sim in
+          purge p ~now;
+          recompute_fair p ~now;
+          ignore (Sim.schedule sim ~delay:(max p.rtt_avg 5e-5) tick)
+        end
+      in
+      ignore (Sim.schedule sim ~delay:0. tick))
+    ports;
+  t
+
+let start_flow t flow = Rate_flow.start_flow t.inner flow

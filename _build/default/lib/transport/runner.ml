@@ -1,0 +1,156 @@
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Topology = Pdq_net.Topology
+module Link = Pdq_net.Link
+
+type protocol =
+  | Pdq of Pdq_core.Config.t
+  | Pdq_estimated of { config : Pdq_core.Config.t; quantum : int }
+  | Mpdq of {
+      config : Pdq_core.Config.t;
+      subflows : int;
+      paths : (src:int -> dst:int -> int array list) option;
+    }
+  | Rcp
+  | D3
+  | Tcp
+
+let mpdq ?paths ~subflows () = Mpdq { config = Pdq_core.Config.full; subflows; paths }
+
+let protocol_name = function
+  | Pdq cfg -> Pdq_core.Config.name cfg
+  | Pdq_estimated { quantum; _ } -> Printf.sprintf "PDQ(est %dKB)" (quantum / 1000)
+  | Mpdq { subflows; _ } -> Printf.sprintf "M-PDQ(%d)" subflows
+  | Rcp -> "RCP"
+  | D3 -> "D3"
+  | Tcp -> "TCP"
+
+type options = {
+  seed : int;
+  horizon : float;
+  stop_when_done : bool;
+  loss : (float * int list) option;
+  trace : (int * float) option;
+  init_rtt : float;
+  rto_min : float;
+}
+
+let default_options =
+  {
+    seed = 1;
+    horizon = 10.;
+    stop_when_done = true;
+    loss = None;
+    trace = None;
+    init_rtt = 2e-4;
+    rto_min = 1e-3;
+  }
+
+type flow_result = {
+  spec : Context.flow_spec;
+  fct : float option;
+  met_deadline : bool;
+  terminated : bool;
+}
+
+type result = {
+  flows : flow_result array;
+  application_throughput : float;
+  mean_fct : float;
+  completed : int;
+  sim_end : float;
+  ctx : Context.t;
+}
+
+let run ?(options = default_options) ~topo protocol specs =
+  let sim = Topology.sim topo in
+  let rng = Rng.create options.seed in
+  let ctx = Context.create ~sim ~topo ~rng ~init_rtt:options.init_rtt () in
+  (match options.loss with
+  | Some (rate, links) ->
+      List.iter
+        (fun l -> Link.set_loss (Topology.link topo l) ~rate ~rng:(Rng.split rng))
+        links
+  | None -> ());
+  (match options.trace with
+  | Some (link, sample_every) ->
+      Context.trace_link ctx ~link ~sample_every ~until:options.horizon
+  | None -> ());
+  let start_flow : Context.flow -> unit =
+    match protocol with
+    | Pdq config ->
+        let p = Pdq_proto.install ~config ~ctx ~until:options.horizon () in
+        Pdq_proto.start_flow p
+    | Pdq_estimated { config; quantum } ->
+        let p =
+          Pdq_proto.install
+            ~size_info:(Pdq_core.Sender.Estimated quantum)
+            ~config ~ctx ~until:options.horizon ()
+        in
+        Pdq_proto.start_flow p
+    | Mpdq { config; subflows; paths } ->
+        let p =
+          Mpdq_proto.install ~config ~ctx ~until:options.horizon ~subflows
+            ?paths ()
+        in
+        Mpdq_proto.start_flow p
+    | Rcp ->
+        let p = Rcp_proto.install ~ctx ~until:options.horizon in
+        Rcp_proto.start_flow p
+    | D3 ->
+        let p = D3_proto.install ~ctx ~until:options.horizon in
+        D3_proto.start_flow p
+    | Tcp ->
+        let p = Tcp_proto.install ~rto_min:options.rto_min ~ctx () in
+        Tcp_proto.start_flow p
+  in
+  let flows = List.map (Context.add_flow ctx) specs in
+  List.iter start_flow flows;
+  if options.stop_when_done then Context.on_all_complete ctx (fun () -> Sim.stop sim);
+  Sim.run ~until:options.horizon sim;
+  let results =
+    List.map
+      (fun (f : Context.flow) ->
+        let fct =
+          Option.map (fun c -> c -. f.Context.spec.Context.start) f.Context.completed_at
+        in
+        let met =
+          match (f.Context.completed_at, f.Context.deadline_abs) with
+          | Some c, Some d -> c <= d
+          | _, None -> f.Context.completed_at <> None
+          | None, Some _ -> false
+        in
+        {
+          spec = f.Context.spec;
+          fct;
+          met_deadline = met;
+          terminated = f.Context.terminated;
+        })
+      (Context.flows ctx)
+    |> Array.of_list
+  in
+  let deadline_flows =
+    Array.of_list
+      (List.filter
+         (fun (r : flow_result) -> r.spec.Context.deadline <> None)
+         (Array.to_list results))
+  in
+  let application_throughput =
+    if Array.length deadline_flows = 0 then 1.
+    else
+      Pdq_engine.Stats.fraction (fun (r : flow_result) -> r.met_deadline)
+        deadline_flows
+  in
+  let fcts =
+    Array.to_list results
+    |> List.filter_map (fun (r : flow_result) -> r.fct)
+    |> Array.of_list
+  in
+  {
+    flows = results;
+    application_throughput;
+    mean_fct = Pdq_engine.Stats.mean fcts;
+    completed = Array.length fcts;
+    sim_end = Sim.now sim;
+    ctx;
+  }

@@ -1,0 +1,73 @@
+(** Experiment runner: wires a topology, a protocol and a flow set
+    into one deterministic packet-level simulation and extracts the
+    paper's metrics. *)
+
+type protocol =
+  | Pdq of Pdq_core.Config.t
+  | Pdq_estimated of { config : Pdq_core.Config.t; quantum : int }
+      (** §5.6: senders do not know flow sizes — criticality is the
+          running size estimate, refreshed every [quantum] bytes. *)
+  | Mpdq of {
+      config : Pdq_core.Config.t;
+      subflows : int;
+      paths : (src:int -> dst:int -> int array list) option;
+          (** Explicit parallel paths per host pair (e.g.
+              {!Pdq_topo.Builder.bcube_paths}); [None] = ECMP. *)
+    }
+  | Rcp
+  | D3
+  | Tcp
+
+val mpdq : ?paths:(src:int -> dst:int -> int array list) -> subflows:int -> unit -> protocol
+(** M-PDQ with PDQ(Full) switches. *)
+
+val protocol_name : protocol -> string
+
+type options = {
+  seed : int;
+  horizon : float;
+      (** Hard simulated-time stop (safety net for never-finishing
+          runs). *)
+  stop_when_done : bool;
+      (** Stop as soon as every flow completed or terminated. *)
+  loss : (float * int list) option;
+      (** Bernoulli loss rate applied to the given directed links
+          (Fig. 9 applies it to both directions of the bottleneck). *)
+  trace : (int * float) option;
+      (** [(link, sample_every)]: record that link's transmitted-bytes
+          and queue-length series plus per-flow goodput (Fig. 6/7). *)
+  init_rtt : float;  (** Seed for RTT estimators. *)
+  rto_min : float;   (** TCP minimum RTO. *)
+}
+
+val default_options : options
+(** seed 1, horizon 10 s, stop-when-done, no loss, no trace, 200 µs
+    initial RTT, 1 ms RTOmin. *)
+
+type flow_result = {
+  spec : Context.flow_spec;
+  fct : float option;     (** Receiver-side completion − start. *)
+  met_deadline : bool;    (** Completed before its absolute deadline. *)
+  terminated : bool;      (** Early Termination / quenching. *)
+}
+
+type result = {
+  flows : flow_result array;
+  application_throughput : float;
+      (** Fraction of deadline-constrained flows meeting their
+          deadline (1.0 when there are none). *)
+  mean_fct : float;
+      (** Mean completion time over completed flows, seconds. *)
+  completed : int;
+  sim_end : float;
+  ctx : Context.t; (** For trace series extraction. *)
+}
+
+val run :
+  ?options:options ->
+  topo:Pdq_net.Topology.t ->
+  protocol ->
+  Context.flow_spec list ->
+  result
+(** Build, simulate, measure. Deterministic for fixed inputs and
+    seed. *)

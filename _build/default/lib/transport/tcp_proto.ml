@@ -1,0 +1,262 @@
+module Sim = Pdq_engine.Sim
+module Packet = Pdq_net.Packet
+
+let mss = Packet.max_payload ~scheduling_header:0
+
+type sender = {
+  proto : t;
+  flow : Context.flow;
+  mutable cwnd : float;     (* bytes *)
+  mutable ssthresh : float; (* bytes *)
+  mutable next_seq : int;
+  mutable acked : int;
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover_point : int;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable backoff : float;
+  mutable syn_acked : bool;
+  mutable last_syn : float;
+  mutable timer : Sim.handle option;
+  mutable closed : bool;
+  rx : Rx_buffer.t;
+}
+
+and t = {
+  ctx : Context.t;
+  rto_min : float;
+  senders : (int, sender) Hashtbl.t;
+}
+
+let sender_cwnd t ~flow =
+  match Hashtbl.find_opt t.senders flow with
+  | Some s -> s.cwnd
+  | None -> 0.
+
+let now s = Context.now s.proto.ctx
+let size s = s.flow.Context.spec.Context.size
+
+let make_pkt s ~kind ?(payload_bytes = 0) ?(seq = 0) () =
+  let spec = s.flow.Context.spec in
+  Packet.make ~flow:s.flow.Context.id ~src:spec.Context.src ~dst:spec.Context.dst
+    ~kind ~payload_bytes ~seq
+    ~payload:(Payloads.Tcp_ctrl { Payloads.cum_ack = 0; echo_ts = now s })
+    ~now:(now s) ()
+
+let transmit s pkt =
+  Context.transmit s.proto.ctx ~from:s.flow.Context.spec.Context.src pkt
+
+let cancel_opt = function
+  | Some h ->
+      Sim.cancel h;
+      None
+  | None -> None
+
+let send_syn s =
+  s.last_syn <- now s;
+  transmit s (make_pkt s ~kind:Packet.Syn ())
+
+let send_segment s seq =
+  let payload = min mss (size s - seq) in
+  if payload > 0 then
+    transmit s (make_pkt s ~kind:Packet.Data ~payload_bytes:payload ~seq ())
+
+let flight s = s.next_seq - s.acked
+
+let rec arm_timer s =
+  s.timer <- cancel_opt s.timer;
+  if not s.closed then
+    s.timer <-
+      Some
+        (Sim.schedule (Context.sim s.proto.ctx) ~delay:(s.rto *. s.backoff)
+           (fun () -> on_timeout s))
+
+(* Retransmission timeout: multiplicative backoff, window collapse,
+   go-back-N from the cumulative ack point. *)
+and on_timeout s =
+  s.timer <- None;
+  if not s.closed then begin
+    if not s.syn_acked then send_syn s
+    else if s.acked < size s then begin
+      s.ssthresh <- max (float_of_int (flight s) /. 2.) (2. *. float_of_int mss);
+      s.cwnd <- float_of_int mss;
+      s.dup_acks <- 0;
+      s.in_recovery <- false;
+      s.next_seq <- s.acked;
+      try_send s
+    end;
+    s.backoff <- min (s.backoff *. 2.) 64.;
+    arm_timer s
+  end
+
+and try_send s =
+  if (not s.closed) && s.syn_acked then begin
+    let continue = ref true in
+    while !continue do
+      if s.next_seq < size s && float_of_int (flight s) < s.cwnd then begin
+        send_segment s s.next_seq;
+        s.next_seq <- s.next_seq + min mss (size s - s.next_seq)
+      end
+      else continue := false
+    done
+  end
+
+let update_rtt s sample =
+  if s.srtt = 0. then begin
+    s.srtt <- sample;
+    s.rttvar <- sample /. 2.
+  end
+  else begin
+    s.rttvar <- (0.75 *. s.rttvar) +. (0.25 *. abs_float (s.srtt -. sample));
+    s.srtt <- (0.875 *. s.srtt) +. (0.125 *. sample)
+  end;
+  s.rto <- max s.proto.rto_min (s.srtt +. (4. *. s.rttvar))
+
+let finish s =
+  if not s.closed then begin
+    s.closed <- true;
+    s.timer <- cancel_opt s.timer
+  end
+
+let on_ack s (pkt : Packet.t) =
+  if not s.closed then begin
+    s.syn_acked <- true;
+    match Payloads.ack_of pkt.Packet.payload with
+    | None -> ()
+    | Some ack ->
+        let sample = now s -. ack.Payloads.echo_ts in
+        if sample > 0. then update_rtt s sample;
+        let cum = ack.Payloads.cum_ack in
+        if cum > s.acked then begin
+          (* New data acknowledged. *)
+          let acked_bytes = cum - s.acked in
+          s.acked <- cum;
+          s.backoff <- 1.;
+          s.dup_acks <- 0;
+          if s.in_recovery then begin
+            if s.acked >= s.recover_point then begin
+              s.in_recovery <- false;
+              s.cwnd <- s.ssthresh
+            end
+          end
+          else if s.cwnd < s.ssthresh then
+            (* Slow start: one MSS per MSS acknowledged. *)
+            s.cwnd <- s.cwnd +. float_of_int (min acked_bytes mss)
+          else
+            (* Congestion avoidance. *)
+            s.cwnd <- s.cwnd +. (float_of_int (mss * mss) /. s.cwnd);
+          if s.next_seq < s.acked then s.next_seq <- s.acked;
+          if s.acked >= size s then finish s
+          else begin
+            arm_timer s;
+            try_send s
+          end
+        end
+        else if pkt.Packet.kind = Packet.Ack && s.acked < size s then begin
+          (* Duplicate ACK. *)
+          s.dup_acks <- s.dup_acks + 1;
+          if s.dup_acks = 3 && not s.in_recovery then begin
+            s.ssthresh <-
+              max (float_of_int (flight s) /. 2.) (2. *. float_of_int mss);
+            s.cwnd <- s.ssthresh +. (3. *. float_of_int mss);
+            s.in_recovery <- true;
+            s.recover_point <- s.next_seq;
+            send_segment s s.acked (* fast retransmit *)
+          end
+          else if s.in_recovery then begin
+            s.cwnd <- s.cwnd +. float_of_int mss;
+            try_send s
+          end
+        end
+  end
+
+let on_syn_ack s =
+  if (not s.syn_acked) && not s.closed then begin
+    s.syn_acked <- true;
+    s.cwnd <- 2. *. float_of_int mss;
+    arm_timer s;
+    try_send s
+  end
+
+let receiver_handle t s (pkt : Packet.t) =
+  let reply kind =
+    let spec = s.flow.Context.spec in
+    let ack =
+      Packet.make ~flow:s.flow.Context.id ~src:spec.Context.dst
+        ~dst:spec.Context.src ~kind
+        ~payload:
+          (Payloads.Tcp_ctrl
+             {
+               Payloads.cum_ack = Rx_buffer.cumulative_ack s.rx;
+               echo_ts = pkt.Packet.sent_at;
+             })
+        ~now:(Context.now t.ctx) ()
+    in
+    Context.transmit t.ctx ~from:spec.Context.dst ack
+  in
+  match pkt.Packet.kind with
+  | Packet.Syn -> reply Packet.Syn_ack
+  | Packet.Data ->
+      let before = Rx_buffer.received_bytes s.rx in
+      Rx_buffer.on_data s.rx ~seq:pkt.Packet.seq ~bytes:pkt.Packet.payload_bytes;
+      let delivered = Rx_buffer.received_bytes s.rx - before in
+      if delivered > 0 then
+        Context.record_rx t.ctx ~flow_id:s.flow.Context.id ~bytes:delivered;
+      if Rx_buffer.complete s.rx then Context.complete t.ctx s.flow;
+      reply Packet.Ack
+  | Packet.Probe | Packet.Term | Packet.Syn_ack | Packet.Ack -> ()
+
+let deliver t ~node (pkt : Packet.t) =
+  match Hashtbl.find_opt t.senders pkt.Packet.flow with
+  | None -> ()
+  | Some s -> (
+      match pkt.Packet.kind with
+      | Packet.Syn | Packet.Data | Packet.Probe | Packet.Term ->
+          if node = s.flow.Context.spec.Context.dst then receiver_handle t s pkt
+      | Packet.Syn_ack ->
+          if node = s.flow.Context.spec.Context.src then on_syn_ack s
+      | Packet.Ack ->
+          if node = s.flow.Context.spec.Context.src then on_ack s pkt)
+
+let install ?(rto_min = 1e-3) ~ctx () =
+  let t = { ctx; rto_min; senders = Hashtbl.create 64 } in
+  Context.set_hooks ctx
+    ~on_forward:(fun ~link:_ _ -> ())
+    ~on_reverse:(fun ~fwd_link:_ _ -> ())
+    ~deliver:(fun ~node pkt -> deliver t ~node pkt);
+  t
+
+let start_flow t (flow : Context.flow) =
+  let s =
+    {
+      proto = t;
+      flow;
+      cwnd = float_of_int (2 * mss);
+      ssthresh = infinity;
+      next_seq = 0;
+      acked = 0;
+      dup_acks = 0;
+      in_recovery = false;
+      recover_point = 0;
+      srtt = 0.;
+      rttvar = 0.;
+      rto = max t.rto_min (3. *. Context.init_rtt t.ctx);
+      backoff = 1.;
+      syn_acked = false;
+      last_syn = 0.;
+      timer = None;
+      closed = false;
+      rx = Rx_buffer.create ~size:flow.Context.spec.Context.size ~segment:mss ();
+    }
+  in
+  Hashtbl.replace t.senders flow.Context.id s;
+  let sim = Context.sim t.ctx in
+  let launch () =
+    send_syn s;
+    arm_timer s
+  in
+  let start = flow.Context.spec.Context.start in
+  if start <= Sim.now sim then launch ()
+  else ignore (Sim.schedule_at sim ~time:start launch)

@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: List Pdq_engine

@@ -1,0 +1,1 @@
+lib/workload/deadline_dist.mli: Pdq_engine

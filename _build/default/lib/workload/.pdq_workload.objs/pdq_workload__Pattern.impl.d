@@ -1,0 +1,1 @@
+lib/workload/pattern.ml: Array List Pdq_engine

@@ -1,0 +1,1 @@
+lib/workload/pattern.mli: Pdq_engine

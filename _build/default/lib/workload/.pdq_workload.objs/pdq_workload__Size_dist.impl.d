@@ -1,0 +1,1 @@
+lib/workload/size_dist.ml: List Pdq_engine Printf

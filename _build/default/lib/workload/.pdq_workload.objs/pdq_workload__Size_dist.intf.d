@@ -1,0 +1,1 @@
+lib/workload/size_dist.mli: Pdq_engine

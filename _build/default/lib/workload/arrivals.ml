@@ -1,0 +1,9 @@
+let simultaneous ~n ~at = List.init n (fun _ -> at)
+
+let poisson ~rng ~rate ~horizon =
+  if rate <= 0. then invalid_arg "Arrivals.poisson: rate <= 0";
+  let rec gen t acc =
+    let t = t +. Pdq_engine.Rng.exponential rng ~mean:(1. /. rate) in
+    if t >= horizon then List.rev acc else gen t (t :: acc)
+  in
+  gen 0. []

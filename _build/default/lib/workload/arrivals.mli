@@ -1,0 +1,9 @@
+(** Arrival processes: when flows start. *)
+
+val simultaneous : n:int -> at:float -> float list
+(** All [n] flows start at time [at] (query aggregation). *)
+
+val poisson :
+  rng:Pdq_engine.Rng.t -> rate:float -> horizon:float -> float list
+(** Poisson arrivals of intensity [rate] (flows/second) on
+    [\[0, horizon)], in increasing order. *)

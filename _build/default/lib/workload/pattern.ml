@@ -1,0 +1,56 @@
+module Rng = Pdq_engine.Rng
+
+type pair = { src : int; dst : int }
+
+let aggregation ~hosts ~receiver ~flows =
+  let senders = Array.to_list hosts |> List.filter (fun h -> h <> receiver) in
+  if senders = [] then invalid_arg "Pattern.aggregation: no senders";
+  let senders = Array.of_list senders in
+  List.init flows (fun i ->
+      { src = senders.(i mod Array.length senders); dst = receiver })
+
+let stride ~hosts ~i =
+  let n = Array.length hosts in
+  if n < 2 then invalid_arg "Pattern.stride: need >= 2 hosts";
+  List.init n (fun x ->
+      let dst = hosts.((x + i) mod n) in
+      { src = hosts.(x); dst })
+  |> List.filter (fun p -> p.src <> p.dst)
+
+let staggered ~rack_of ~hosts ~p ~rng =
+  let n = Array.length hosts in
+  if n < 2 then invalid_arg "Pattern.staggered: need >= 2 hosts";
+  Array.to_list hosts
+  |> List.map (fun src ->
+         let local =
+           Array.to_list hosts
+           |> List.filter (fun h -> h <> src && rack_of h = rack_of src)
+         in
+         let remote =
+           Array.to_list hosts
+           |> List.filter (fun h -> h <> src && rack_of h <> rack_of src)
+         in
+         let candidates =
+           if (local <> [] && Rng.bool rng p) || remote = [] then local
+           else remote
+         in
+         let candidates = if candidates = [] then remote else candidates in
+         let arr = Array.of_list candidates in
+         { src; dst = arr.(Rng.int rng (Array.length arr)) })
+
+let random_permutation ~hosts ~rng =
+  let n = Array.length hosts in
+  if n < 2 then invalid_arg "Pattern.random_permutation: need >= 2 hosts";
+  let perm = Rng.derangement rng n in
+  List.init n (fun i -> { src = hosts.(i); dst = hosts.(perm.(i)) })
+
+let random_pairs ~hosts ~flows ~rng =
+  let n = Array.length hosts in
+  if n < 2 then invalid_arg "Pattern.random_pairs: need >= 2 hosts";
+  List.init flows (fun _ ->
+      let src = hosts.(Rng.int rng n) in
+      let rec pick () =
+        let dst = hosts.(Rng.int rng n) in
+        if dst = src then pick () else dst
+      in
+      { src; dst = pick () })

@@ -1,0 +1,34 @@
+(** Sending patterns of §5.3: who talks to whom.
+
+    All functions return [(src, dst)] pairs over the given host array;
+    hosts are identified by node id. *)
+
+type pair = { src : int; dst : int }
+
+val aggregation : hosts:int array -> receiver:int -> flows:int -> pair list
+(** [flows] senders all transmit to [receiver] (query aggregation).
+    Flows are spread over the other hosts round-robin — with [f] flows
+    and [n-1] senders each sender carries ⌊f/(n-1)⌋ or ⌈f/(n-1)⌉
+    flows, as in the paper's footnote 6. *)
+
+val stride : hosts:int array -> i:int -> pair list
+(** Server x sends to server (x + i) mod N. *)
+
+val staggered :
+  rack_of:(int -> int) ->
+  hosts:int array ->
+  p:float ->
+  rng:Pdq_engine.Rng.t ->
+  pair list
+(** Each server sends to a uniformly chosen server under the same
+    top-of-rack switch with probability [p], and to any other server
+    with probability 1−p. *)
+
+val random_permutation : hosts:int array -> rng:Pdq_engine.Rng.t -> pair list
+(** Each server sends to exactly one other server and receives from
+    exactly one (a random derangement). *)
+
+val random_pairs :
+  hosts:int array -> flows:int -> rng:Pdq_engine.Rng.t -> pair list
+(** [flows] independent (src ≠ dst) pairs chosen uniformly — used for
+    Poisson arrival workloads. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gen List Pdq_core Pdq_engine QCheck QCheck_alcotest

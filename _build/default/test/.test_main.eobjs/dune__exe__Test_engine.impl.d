@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Gen List Pdq_engine Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array List Pdq_core Pdq_engine Pdq_experiments Pdq_topo Pdq_transport Printf

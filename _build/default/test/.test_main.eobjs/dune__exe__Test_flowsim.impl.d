@@ -1,0 +1,1 @@
+test/test_flowsim.ml: Alcotest Array Gen Hashtbl List Option Pdq_engine Pdq_flowsim Pdq_net Pdq_topo Pdq_workload Printf QCheck QCheck_alcotest

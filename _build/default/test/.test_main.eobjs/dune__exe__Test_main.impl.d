@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_core Test_engine Test_experiments Test_flowsim Test_mpdq Test_net Test_sched Test_transport Test_workload

@@ -1,0 +1,1 @@
+test/test_mpdq.ml: Alcotest Array List Pdq_core Pdq_engine Pdq_net Pdq_topo Pdq_transport Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Pdq_engine Pdq_net Pdq_topo Printf QCheck QCheck_alcotest

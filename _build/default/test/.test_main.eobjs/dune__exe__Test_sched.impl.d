@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest List Pdq_sched QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Pdq_engine Pdq_workload Printf QCheck QCheck_alcotest

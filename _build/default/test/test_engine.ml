@@ -1,0 +1,350 @@
+(* Tests for pdq_engine: heap, simulator, RNG, stats, series, units. *)
+
+module Heap = Pdq_engine.Heap
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Stats = Pdq_engine.Stats
+module Series = Pdq_engine.Series
+module Units = Pdq_engine.Units
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps *. (1. +. abs_float a)
+
+let check_float msg expected actual =
+  if not (feq expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p p) [ 5.; 1.; 3.; 2.; 4. ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (p, _) ->
+        out := p :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-9)))
+    "sorted ascending" [ 1.; 2.; 3.; 4.; 5. ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iteri (fun i name -> Heap.push h (if i = 1 then 1. else 1.) name)
+    [ "a"; "b"; "c" ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_heap_growth () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 999 downto 0 do
+    Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "length" 1000 (Heap.length h);
+  for i = 0 to 999 do
+    match Heap.pop h with
+    | Some (_, v) -> Alcotest.(check int) "pop order" i v
+    | None -> Alcotest.fail "heap exhausted early"
+  done
+
+let test_heap_peek_stable () =
+  let h = Heap.create () in
+  Heap.push h 2. "two";
+  Heap.push h 1. "one";
+  (match Heap.peek h with
+  | Some (p, v) ->
+      check_float "peek prio" 1. p;
+      Alcotest.(check string) "peek value" "one" v
+  | None -> Alcotest.fail "peek");
+  Alcotest.(check int) "peek does not remove" 2 (Heap.length h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p p) prios;
+      let rec drain acc =
+        match Heap.pop h with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~delay:0.3 (fun () -> log := 3 :: !log));
+  ignore (Sim.schedule sim ~delay:0.1 (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~delay:0.2 (fun () -> log := 2 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "events in time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 0.3 (Sim.now sim)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~delay:0.1 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired;
+  Alcotest.(check bool) "cancelled" true (Sim.cancelled h)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Sim.schedule sim ~delay:1. tick)
+  in
+  ignore (Sim.schedule sim ~delay:0. tick);
+  Sim.run ~until:5.5 sim;
+  Alcotest.(check int) "events up to horizon" 6 !count;
+  check_float "clock parked at horizon" 5.5 (Sim.now sim)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1. (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.schedule sim ~delay:0.5 (fun () -> log := "inner" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_float "final time" 1.5 (Sim.now sim)
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count = 3 then Sim.stop sim else ignore (Sim.schedule sim ~delay:1. tick)
+  in
+  ignore (Sim.schedule sim ~delay:0. tick);
+  Sim.run ~until:100. sim;
+  Alcotest.(check int) "stopped after three" 3 !count
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:1. (fun () -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      ignore (Sim.schedule sim ~delay:(-1.) (fun () -> ())));
+  match
+    try
+      ignore (Sim.schedule_at sim ~time:0.5 (fun () -> ()));
+      `No_exn
+    with Invalid_argument _ -> `Raised
+  with
+  | `Raised -> ()
+  | `No_exn -> Alcotest.fail "schedule_at in the past must raise"
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.float a and xb = Rng.float b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:0.02
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential mean ~0.02 (got %g)" mean)
+    true
+    (abs_float (mean -. 0.02) < 0.001)
+
+let test_rng_derangement () =
+  let rng = Rng.create 5 in
+  for n = 2 to 20 do
+    let d = Rng.derangement rng n in
+    Array.iteri
+      (fun i v -> if i = v then Alcotest.failf "fixed point at %d (n=%d)" i n)
+      d;
+    let sorted = Array.copy d in
+    Array.sort compare sorted;
+    Array.iteri (fun i v -> Alcotest.(check int) "is a permutation" i v) sorted
+  done
+
+let prop_rng_uniform_range =
+  QCheck.Test.make ~name:"uniform stays in range" ~count:500
+    QCheck.(pair (float_bound_exclusive 100.) pos_float)
+    (fun (lo, width) ->
+      QCheck.assume (width > 0. && width < 1e9);
+      let rng = Rng.create 13 in
+      let v = Rng.uniform rng lo (lo +. width) in
+      v >= lo && v < lo +. width)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_var () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" 1.25 (Stats.variance xs);
+  check_float "stddev" (sqrt 1.25) (Stats.stddev xs)
+
+let test_stats_percentile () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "p0" 1. (Stats.percentile xs 0.);
+  check_float "p100" 4. (Stats.percentile xs 100.);
+  check_float "p25" 1.75 (Stats.percentile xs 25.)
+
+let test_stats_cdf () =
+  let c = Stats.cdf [| 1.; 2.; 2.; 4. |] in
+  check_float "below support" 0. (Stats.cdf_at c 0.5);
+  check_float "at 1" 0.25 (Stats.cdf_at c 1.);
+  check_float "at 2" 0.75 (Stats.cdf_at c 2.);
+  check_float "above support" 1. (Stats.cdf_at c 10.)
+
+let test_stats_fraction () =
+  check_float "fraction" 0.5 (Stats.fraction (fun x -> x > 0) [| 1; -1; 2; -2 |]);
+  check_float "empty" 0. (Stats.fraction (fun _ -> true) [||])
+
+let test_stats_counter () =
+  let c = Stats.Counter.create () in
+  List.iter (Stats.Counter.add c) [ 3.; 1.; 2. ];
+  Alcotest.(check int) "n" 3 (Stats.Counter.n c);
+  check_float "mean" 2. (Stats.Counter.mean c);
+  check_float "min" 1. (Stats.Counter.min c);
+  check_float "max" 3. (Stats.Counter.max c)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+              (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Stats.percentile arr p in
+      let lo, hi = Stats.min_max arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let test_series_points () =
+  let s = Series.create ~name:"x" () in
+  Series.add s 0.1 1.;
+  Series.add s 0.2 2.;
+  Alcotest.(check int) "length" 2 (Series.length s);
+  Alcotest.(check string) "name" "x" (Series.name s);
+  let pts = Series.points s in
+  check_float "t0" 0.1 (fst pts.(0));
+  check_float "v1" 2. (snd pts.(1))
+
+let test_series_bin_mean () =
+  let s = Series.create () in
+  Series.add s 0.05 10.;
+  Series.add s 0.15 20.;
+  Series.add s 0.17 40.;
+  let bins = Series.bin_mean s ~width:0.1 ~t_end:0.3 in
+  Alcotest.(check int) "bins" 3 (Array.length bins);
+  check_float "bin0 mean" 10. (snd bins.(0));
+  check_float "bin1 mean" 30. (snd bins.(1));
+  check_float "bin2 empty" 0. (snd bins.(2))
+
+let test_series_integrate_rate () =
+  let s = Series.create () in
+  Series.add s 0.05 100.;
+  Series.add s 0.06 100.;
+  let bins = Series.integrate_rate s ~width:0.1 ~t_end:0.1 in
+  check_float "rate" 2000. (snd bins.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units () =
+  check_float "gbps" 1e9 (Units.gbps 1.);
+  check_float "mbps" 5e6 (Units.mbps 5.);
+  Alcotest.(check int) "kbyte" 2000 (Units.kbyte 2.);
+  Alcotest.(check int) "mbyte" 4_000_000 (Units.mbyte 4.);
+  check_float "ms" 0.02 (Units.ms 20.);
+  check_float "us" 1.5e-5 (Units.us 15.);
+  (* 1500 bytes at 1 Gbps = 12 microseconds. *)
+  check_float "tx_time" 12e-6 (Units.tx_time ~bytes:1500 ~rate:(Units.gbps 1.))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "engine.heap",
+      [
+        Alcotest.test_case "ascending order" `Quick test_heap_order;
+        Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+        Alcotest.test_case "growth to 1000" `Quick test_heap_growth;
+        Alcotest.test_case "peek is stable" `Quick test_heap_peek_stable;
+      ]
+      @ qsuite [ prop_heap_sorted ] );
+    ( "engine.sim",
+      [
+        Alcotest.test_case "time ordering" `Quick test_sim_ordering;
+        Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "run until" `Quick test_sim_until;
+        Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
+        Alcotest.test_case "stop" `Quick test_sim_stop;
+        Alcotest.test_case "past times rejected" `Quick test_sim_past_rejected;
+      ] );
+    ( "engine.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "derangement" `Quick test_rng_derangement;
+      ]
+      @ qsuite [ prop_rng_uniform_range ] );
+    ( "engine.stats",
+      [
+        Alcotest.test_case "mean/variance" `Quick test_stats_mean_var;
+        Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+        Alcotest.test_case "cdf" `Quick test_stats_cdf;
+        Alcotest.test_case "fraction" `Quick test_stats_fraction;
+        Alcotest.test_case "counter" `Quick test_stats_counter;
+      ]
+      @ qsuite [ prop_percentile_bounds ] );
+    ( "engine.series",
+      [
+        Alcotest.test_case "points" `Quick test_series_points;
+        Alcotest.test_case "bin mean" `Quick test_series_bin_mean;
+        Alcotest.test_case "integrate rate" `Quick test_series_integrate_rate;
+      ] );
+    ("engine.units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+  ]

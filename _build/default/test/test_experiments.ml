@@ -1,0 +1,132 @@
+(* Tests for pdq_experiments: workload construction, the capacity
+   binary search, and cheap end-to-end smoke checks of the figure
+   drivers (shapes, not absolute values). *)
+
+module Common = Pdq_experiments.Common
+module Fig1 = Pdq_experiments.Fig1
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Sim = Pdq_engine.Sim
+
+let test_fig1_matches_paper () =
+  let t = Fig1.completion_table () in
+  (* Row 0 = fair sharing, last cell = mean FCT 4.67; row 1 = SJF 3.33. *)
+  let last row = List.nth row (List.length row - 1) in
+  Alcotest.(check string) "fair mean" "4.67" (last (List.nth t.Common.rows 0));
+  Alcotest.(check string) "sjf mean" "3.33" (last (List.nth t.Common.rows 1));
+  let d = Fig1.deadline_table () in
+  Alcotest.(check string) "EDF meets 3" "3" (last (List.nth d.Common.rows 1))
+
+let test_aggregation_workload () =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let hosts = built.Builder.hosts in
+  let wl =
+    Common.aggregation_workload ~seed:1 ~hosts ~receiver:hosts.(0) ~flows:10 ()
+  in
+  Alcotest.(check int) "10 specs" 10 (List.length wl.Common.specs);
+  Alcotest.(check int) "10 jobs" 10 (List.length wl.Common.jobs);
+  List.iter
+    (fun (s : Context.flow_spec) ->
+      Alcotest.(check int) "to the aggregator" hosts.(0) s.Context.dst;
+      Alcotest.(check bool) "within paper interval" true
+        (s.Context.size >= 2_000 && s.Context.size <= 198_000);
+      match s.Context.deadline with
+      | Some d -> Alcotest.(check bool) "floor 3ms" true (d >= 0.003)
+      | None -> Alcotest.fail "expected a deadline")
+    wl.Common.specs
+
+let test_workload_deterministic () =
+  let build () =
+    let sim = Sim.create () in
+    let built = Builder.single_rooted_tree ~sim () in
+    let hosts = built.Builder.hosts in
+    (Common.aggregation_workload ~seed:5 ~hosts ~receiver:hosts.(0) ~flows:6 ())
+      .Common.specs
+  in
+  Alcotest.(check bool) "same seed, same workload" true (build () = build ())
+
+let test_search_max_flows () =
+  (* Monotone step function: passes up to 13. *)
+  let f n = if n <= 13 then 1. else 0.5 in
+  Alcotest.(check int) "finds 13" 13
+    (Common.search_max_flows ~hi:64 ~target:0.99 f);
+  Alcotest.(check int) "all pass -> hi" 64
+    (Common.search_max_flows ~hi:64 ~target:0.99 (fun _ -> 1.));
+  Alcotest.(check int) "none pass -> 0" 0
+    (Common.search_max_flows ~hi:64 ~target:0.99 (fun _ -> 0.))
+
+let test_optimal_bounds () =
+  let at = Common.optimal_aggregation_throughput ~seeds:[ 1 ] ~flows:3 () in
+  Alcotest.(check bool) "3 flows always schedulable-ish" true (at > 0.6);
+  let at25 = Common.optimal_aggregation_throughput ~seeds:[ 1 ] ~flows:25 () in
+  Alcotest.(check bool) "monotone-ish decline" true (at25 <= at +. 1e-9)
+
+let test_pdq_tracks_optimal_small () =
+  (* The end-to-end sanity of Fig 3a at a light load point: PDQ meets
+     everything the optimal scheduler can. *)
+  let optimal = Common.optimal_aggregation_throughput ~seeds:[ 1 ] ~flows:3 () in
+  let pdq =
+    Common.run_aggregation ~seeds:[ 1 ] ~flows:3
+      (Runner.Pdq Pdq_core.Config.full) (fun r ->
+        r.Runner.application_throughput)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "PDQ %.2f close to optimal %.2f" pdq optimal)
+    true
+    (pdq >= optimal -. 0.34)
+
+let test_fig6_dynamics_shape () =
+  let t = Pdq_experiments.Dynamics.fig6 () in
+  (* Five flows all complete, in criticality (size) order. *)
+  Alcotest.(check int) "five completions" 5
+    (List.length t.Pdq_experiments.Dynamics.completions);
+  let times = List.map snd t.Pdq_experiments.Dynamics.completions in
+  Alcotest.(check bool) "completion order follows criticality" true
+    (List.sort compare times = times);
+  (* Near-perfect utilization while flows are active (bins 2..30). *)
+  let u = t.Pdq_experiments.Dynamics.utilization in
+  let busy = Array.sub u 2 28 in
+  let mean_util =
+    Array.fold_left (fun a (_, v) -> a +. v) 0. busy /. 28.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean utilization %.3f > 0.9" mean_util)
+    true (mean_util > 0.9);
+  (* Queue stays small (well under ten packets on average). *)
+  let q = t.Pdq_experiments.Dynamics.queue_pkts in
+  let mean_q =
+    Array.fold_left (fun a (_, v) -> a +. v) 0. q /. float_of_int (Array.length q)
+  in
+  Alcotest.(check bool) (Printf.sprintf "mean queue %.2f pkts" mean_q) true
+    (mean_q < 10.)
+
+let test_fig7_burst_shape () =
+  let t = Pdq_experiments.Dynamics.fig7 () in
+  (* All 50 shorts complete; the long flow completes too. *)
+  Alcotest.(check int) "51 completions" 51
+    (List.length t.Pdq_experiments.Dynamics.completions);
+  (* During the burst (10-20ms) utilization stays high. *)
+  let u = t.Pdq_experiments.Dynamics.utilization in
+  let burst = Array.sub u 11 8 in
+  let mean_util = Array.fold_left (fun a (_, v) -> a +. v) 0. burst /. 8. in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization during burst %.3f" mean_util)
+    true (mean_util > 0.85)
+
+let suites =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "Fig1 matches paper" `Quick test_fig1_matches_paper;
+        Alcotest.test_case "aggregation workload" `Quick test_aggregation_workload;
+        Alcotest.test_case "workload determinism" `Quick test_workload_deterministic;
+        Alcotest.test_case "capacity search" `Quick test_search_max_flows;
+        Alcotest.test_case "optimal bounds" `Quick test_optimal_bounds;
+        Alcotest.test_case "PDQ tracks optimal (light load)" `Quick
+          test_pdq_tracks_optimal_small;
+        Alcotest.test_case "Fig6 dynamics shape" `Slow test_fig6_dynamics_shape;
+        Alcotest.test_case "Fig7 burst shape" `Slow test_fig7_burst_shape;
+      ] );
+  ]

@@ -1,0 +1,16 @@
+(* Test aggregator: each [Test_*] module exports [suites]. *)
+
+let () =
+  Alcotest.run "pdq"
+    (List.concat
+       [
+         Test_engine.suites;
+         Test_net.suites;
+         Test_core.suites;
+         Test_transport.suites;
+         Test_mpdq.suites;
+         Test_sched.suites;
+         Test_workload.suites;
+         Test_flowsim.suites;
+         Test_experiments.suites;
+       ])

@@ -1,0 +1,277 @@
+(* Tests for pdq_net + pdq_topo: links, queues, topologies, routing. *)
+
+module Sim = Pdq_engine.Sim
+module Units = Pdq_engine.Units
+module Rng = Pdq_engine.Rng
+module Packet = Pdq_net.Packet
+module Link = Pdq_net.Link
+module Topology = Pdq_net.Topology
+module Router = Pdq_net.Router
+module Builder = Pdq_topo.Builder
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps *. (1. +. abs_float a)
+
+let mk_packet ?(bytes = 1500) ~now () =
+  Packet.make ~flow:0 ~src:0 ~dst:1 ~kind:Packet.Data
+    ~payload_bytes:(bytes - Packet.header_bytes) ~payload:Packet.No_payload ~now ()
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let mk_link ?(rate = Units.gbps 1.) ?(buffer = Units.mbyte 4.) sim =
+  Link.create ~sim ~id:0 ~src:0 ~dst:1 ~rate ~prop_delay:(Units.us 0.1)
+    ~proc_delay:(Units.us 25.) ~buffer_bytes:buffer ()
+
+let test_link_delivery_time () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  let arrival = ref nan in
+  Link.set_receiver link (fun _ -> arrival := Sim.now sim);
+  Link.send link (mk_packet ~now:0. ());
+  Sim.run sim;
+  (* 1500 B at 1 Gbps = 12 us serialization + 0.1 us prop + 25 us proc. *)
+  let expected = 12e-6 +. 0.1e-6 +. 25e-6 in
+  if not (feq expected !arrival) then
+    Alcotest.failf "arrival %.9f, expected %.9f" !arrival expected
+
+let test_link_serialization_fifo () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  let order = ref [] in
+  Link.set_receiver link (fun p -> order := p.Packet.seq :: !order);
+  for i = 0 to 4 do
+    Link.send link
+      (Packet.make ~flow:0 ~src:0 ~dst:1 ~kind:Packet.Data ~payload_bytes:1460
+         ~seq:i ~payload:Packet.No_payload ~now:0. ())
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2; 3; 4 ] (List.rev !order);
+  Alcotest.(check int) "all delivered" 5 (Link.delivered link)
+
+let test_link_tail_drop () =
+  let sim = Sim.create () in
+  (* Buffer fits only two full packets. *)
+  let link = mk_link ~buffer:3200 sim in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  for _ = 1 to 5 do
+    Link.send link (mk_packet ~now:0. ())
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "delivered limited by buffer" 2 !got;
+  Alcotest.(check int) "drops counted" 3 (Link.dropped link)
+
+let test_link_queue_accounting () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  Link.set_receiver link (fun _ -> ());
+  Link.send link (mk_packet ~now:0. ());
+  Link.send link (mk_packet ~now:0. ());
+  Alcotest.(check int) "queued bytes" 3000 (Link.queue_bytes link);
+  Sim.run sim;
+  Alcotest.(check int) "drained" 0 (Link.queue_bytes link)
+
+let test_link_loss () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  Link.set_loss link ~rate:0.5 ~rng:(Rng.create 42);
+  for _ = 1 to 1000 do
+    Link.send link (mk_packet ~now:0. ())
+  done;
+  Sim.run sim;
+  let frac = float_of_int !got /. 1000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "~half delivered (got %.3f)" frac)
+    true
+    (frac > 0.42 && frac < 0.58)
+
+let test_link_tap () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  Link.set_receiver link (fun _ -> ());
+  let taps = ref 0 in
+  Link.on_transmit link (fun ~now:_ ~bytes -> taps := !taps + bytes);
+  Link.send link (mk_packet ~now:0. ());
+  Sim.run sim;
+  Alcotest.(check int) "tap saw the bytes" 1500 !taps;
+  Alcotest.(check int) "bytes_sent" 1500 (Link.bytes_sent link)
+
+(* ------------------------------------------------------------------ *)
+(* Topologies *)
+
+let test_single_bottleneck () =
+  let sim = Sim.create () in
+  let built, rx = Builder.single_bottleneck ~sim ~senders:3 () in
+  Alcotest.(check int) "hosts" 4 (Array.length built.Builder.hosts);
+  Alcotest.(check int) "nodes" 5 (Topology.node_count built.Builder.topo);
+  Alcotest.(check bool) "receiver is a host" true
+    (Topology.kind built.Builder.topo rx = Topology.Host)
+
+let test_single_rooted_tree () =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  (* 1 root + 4 ToR + 12 servers = 17 nodes (the paper's topology). *)
+  Alcotest.(check int) "17 nodes" 17 (Topology.node_count built.Builder.topo);
+  Alcotest.(check int) "12 servers" 12 (Array.length built.Builder.hosts);
+  let racks =
+    Array.map (Topology.rack_of built.Builder.topo) built.Builder.hosts
+  in
+  Alcotest.(check int) "4 racks" 4
+    (List.length (List.sort_uniq compare (Array.to_list racks)))
+
+let test_fat_tree_counts () =
+  let sim = Sim.create () in
+  let built = Builder.fat_tree ~sim ~k:4 () in
+  Alcotest.(check int) "k=4 has 16 hosts" 16 (Array.length built.Builder.hosts);
+  (* 4 cores + 4 pods * (2 agg + 2 edge) = 20 switches. *)
+  Alcotest.(check int) "nodes" 36 (Topology.node_count built.Builder.topo)
+
+let test_fat_tree_for_servers () =
+  let sim = Sim.create () in
+  let built = Builder.fat_tree_for_servers ~sim ~servers:100 () in
+  Alcotest.(check bool) "at least 100 hosts" true
+    (Array.length built.Builder.hosts >= 100)
+
+let test_bcube_counts () =
+  let sim = Sim.create () in
+  let built = Builder.bcube ~sim ~n:4 ~k:1 () in
+  (* BCube(4,1): 16 hosts, 2 levels of 4 switches. *)
+  Alcotest.(check int) "16 hosts" 16 (Array.length built.Builder.hosts);
+  Alcotest.(check int) "24 nodes" 24 (Topology.node_count built.Builder.topo);
+  (* Every host has k+1 = 2 ports. *)
+  Array.iter
+    (fun h ->
+      Alcotest.(check int) "dual-port host" 2
+        (List.length (Topology.links_from built.Builder.topo h)))
+    built.Builder.hosts
+
+let test_bcube_connectivity () =
+  let sim = Sim.create () in
+  let built = Builder.bcube ~sim ~n:2 ~k:3 () in
+  Alcotest.(check int) "BCube(2,3): 16 hosts" 16 (Array.length built.Builder.hosts);
+  let router = Router.create built.Builder.topo in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if a <> b then ignore (Router.distance router ~src:a ~dst:b))
+        built.Builder.hosts)
+    built.Builder.hosts
+
+let test_jellyfish () =
+  let sim = Sim.create () in
+  let rng = Rng.create 9 in
+  let built = Builder.jellyfish ~sim ~rng ~switches:20 ~ports:24 ~net_ports:16 () in
+  Alcotest.(check int) "8 hosts per switch" 160 (Array.length built.Builder.hosts);
+  let router = Router.create built.Builder.topo in
+  (* Connected: every pair of hosts is reachable. *)
+  let h = built.Builder.hosts in
+  ignore (Router.distance router ~src:h.(0) ~dst:h.(Array.length h - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let test_route_shortest () =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let router = Router.create built.Builder.topo in
+  let h = built.Builder.hosts in
+  (* Same rack: host -> ToR -> host = 2 hops. *)
+  Alcotest.(check int) "intra-rack distance" 2
+    (Router.distance router ~src:h.(0) ~dst:h.(1));
+  (* Cross rack: host -> ToR -> root -> ToR -> host = 4 hops. *)
+  Alcotest.(check int) "cross-rack distance" 4
+    (Router.distance router ~src:h.(0) ~dst:h.(11));
+  let path = Router.path router ~src:h.(0) ~dst:h.(11) ~choice:7 in
+  Alcotest.(check int) "path nodes" 5 (Array.length path);
+  Alcotest.(check int) "starts at src" h.(0) path.(0);
+  Alcotest.(check int) "ends at dst" h.(11) path.(4)
+
+let test_route_deterministic () =
+  let sim = Sim.create () in
+  let built = Builder.fat_tree ~sim ~k:4 () in
+  let router = Router.create built.Builder.topo in
+  let h = built.Builder.hosts in
+  let p1 = Router.path router ~src:h.(0) ~dst:h.(15) ~choice:3 in
+  let p2 = Router.path router ~src:h.(0) ~dst:h.(15) ~choice:3 in
+  Alcotest.(check bool) "same choice, same path" true (p1 = p2)
+
+let test_route_ecmp_diversity () =
+  let sim = Sim.create () in
+  let built = Builder.fat_tree ~sim ~k:4 () in
+  let router = Router.create built.Builder.topo in
+  let h = built.Builder.hosts in
+  let paths =
+    List.init 64 (fun c ->
+        Array.to_list (Router.path router ~src:h.(0) ~dst:h.(15) ~choice:c))
+  in
+  let distinct = List.length (List.sort_uniq compare paths) in
+  Alcotest.(check bool)
+    (Printf.sprintf "multiple ECMP paths (%d)" distinct)
+    true (distinct > 1)
+
+let test_path_links_consistent () =
+  let sim = Sim.create () in
+  let built = Builder.fat_tree ~sim ~k:4 () in
+  let router = Router.create built.Builder.topo in
+  let h = built.Builder.hosts in
+  let nodes = Router.path router ~src:h.(0) ~dst:h.(12) ~choice:0 in
+  let links = Router.path_links router ~src:h.(0) ~dst:h.(12) ~choice:0 in
+  Alcotest.(check int) "one link per hop" (Array.length nodes - 1)
+    (Array.length links);
+  Array.iteri
+    (fun i l ->
+      let link = Topology.link built.Builder.topo l in
+      Alcotest.(check int) "link src" nodes.(i) (Link.src link);
+      Alcotest.(check int) "link dst" nodes.(i + 1) (Link.dst link))
+    links
+
+let prop_routes_are_shortest =
+  QCheck.Test.make ~name:"ECMP path length equals BFS distance" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let sim = Sim.create () in
+      let built = Builder.fat_tree ~sim ~k:4 () in
+      let router = Router.create built.Builder.topo in
+      let h = built.Builder.hosts in
+      let src = h.(a mod 16) and dst = h.(b mod 16) in
+      QCheck.assume (src <> dst);
+      let d = Router.distance router ~src ~dst in
+      let p = Router.path router ~src ~dst ~choice:(a + b) in
+      Array.length p = d + 1)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "net.link",
+      [
+        Alcotest.test_case "delivery latency" `Quick test_link_delivery_time;
+        Alcotest.test_case "FIFO serialization" `Quick test_link_serialization_fifo;
+        Alcotest.test_case "tail drop" `Quick test_link_tail_drop;
+        Alcotest.test_case "queue accounting" `Quick test_link_queue_accounting;
+        Alcotest.test_case "bernoulli loss" `Quick test_link_loss;
+        Alcotest.test_case "transmit tap" `Quick test_link_tap;
+      ] );
+    ( "net.topologies",
+      [
+        Alcotest.test_case "single bottleneck" `Quick test_single_bottleneck;
+        Alcotest.test_case "single-rooted tree (Fig 2a)" `Quick
+          test_single_rooted_tree;
+        Alcotest.test_case "fat-tree counts" `Quick test_fat_tree_counts;
+        Alcotest.test_case "fat-tree sizing" `Quick test_fat_tree_for_servers;
+        Alcotest.test_case "bcube counts" `Quick test_bcube_counts;
+        Alcotest.test_case "bcube(2,3) connectivity" `Quick test_bcube_connectivity;
+        Alcotest.test_case "jellyfish" `Quick test_jellyfish;
+      ] );
+    ( "net.routing",
+      [
+        Alcotest.test_case "shortest paths" `Quick test_route_shortest;
+        Alcotest.test_case "deterministic choice" `Quick test_route_deterministic;
+        Alcotest.test_case "ecmp diversity" `Quick test_route_ecmp_diversity;
+        Alcotest.test_case "path/link consistency" `Quick test_path_links_consistent;
+      ]
+      @ qsuite [ prop_routes_are_shortest ] );
+  ]

@@ -1,0 +1,172 @@
+(* Tests for pdq_sched: fluid schedulers and the Optimal baseline. *)
+
+module Fluid = Pdq_sched.Fluid
+
+let feq ?(eps = 1e-6) a b = abs_float (a -. b) <= eps *. (1. +. abs_float a)
+
+let check_float msg expected actual =
+  if not (feq expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let fig1_jobs =
+  [
+    Fluid.job ~deadline:1. ~id:0 ~size:1. ();
+    Fluid.job ~deadline:4. ~id:1 ~size:2. ();
+    Fluid.job ~deadline:6. ~id:2 ~size:3. ();
+  ]
+
+let finish cs id =
+  match List.find_opt (fun (c : Fluid.completion) -> c.Fluid.c_job = id) cs with
+  | Some c -> c.Fluid.finish
+  | None -> Alcotest.failf "job %d missing" id
+
+(* Figure 1 exact numbers. *)
+let test_fair_sharing_fig1 () =
+  let cs = Fluid.fair_sharing ~rate:1. fig1_jobs in
+  check_float "fA" 3. (finish cs 0);
+  check_float "fB" 5. (finish cs 1);
+  check_float "fC" 6. (finish cs 2);
+  check_float "mean" (14. /. 3.) (Fluid.mean_completion_time cs);
+  Alcotest.(check int) "deadlines met" 1 (Fluid.deadlines_met fig1_jobs cs)
+
+let test_srpt_fig1 () =
+  let cs = Fluid.srpt ~rate:1. fig1_jobs in
+  check_float "fA" 1. (finish cs 0);
+  check_float "fB" 3. (finish cs 1);
+  check_float "fC" 6. (finish cs 2);
+  check_float "mean" (10. /. 3.) (Fluid.mean_completion_time cs);
+  Alcotest.(check int) "EDF meets all" 3 (Fluid.deadlines_met fig1_jobs cs)
+
+let test_edf_fig1 () =
+  let cs = Fluid.edf ~rate:1. fig1_jobs in
+  Alcotest.(check int) "EDF meets all" 3 (Fluid.deadlines_met fig1_jobs cs)
+
+let test_d3_fig1 () =
+  (* Arrival order fB; fA; fC: fB reserves 2/4 and fA starves. *)
+  let jobs =
+    [
+      Fluid.job ~deadline:1. ~release:1e-9 ~id:0 ~size:1. ();
+      Fluid.job ~deadline:4. ~release:0. ~id:1 ~size:2. ();
+      Fluid.job ~deadline:6. ~release:2e-9 ~id:2 ~size:3. ();
+    ]
+  in
+  let cs = Fluid.d3_fluid ~rate:1. jobs in
+  Alcotest.(check int) "D3 misses fA" 2 (Fluid.deadlines_met jobs cs);
+  Alcotest.(check bool) "fA late" true (finish cs 0 > 1. +. 1e-9)
+
+let test_rate_scaling () =
+  let jobs = [ Fluid.job ~id:0 ~size:10. () ] in
+  let cs = Fluid.srpt ~rate:2. jobs in
+  check_float "size/rate" 5. (finish cs 0)
+
+let test_releases () =
+  (* A job released later preempts under SRPT when smaller. *)
+  let jobs =
+    [
+      Fluid.job ~id:0 ~size:10. ();
+      Fluid.job ~id:1 ~size:1. ~release:2. ();
+    ]
+  in
+  let cs = Fluid.srpt ~rate:1. jobs in
+  check_float "small job served on arrival" 3. (finish cs 1);
+  check_float "big job finishes after preemption" 11. (finish cs 0)
+
+let test_idle_gap () =
+  let jobs = [ Fluid.job ~id:0 ~size:1. ~release:5. () ] in
+  let cs = Fluid.fair_sharing ~rate:1. jobs in
+  check_float "idle until release" 6. (finish cs 0)
+
+let test_moore_hodgson_basic () =
+  (* Classic: three unit jobs, deadlines 1,2,2 -> keep at most 2. *)
+  let jobs =
+    [
+      Fluid.job ~deadline:1. ~id:0 ~size:1. ();
+      Fluid.job ~deadline:2. ~id:1 ~size:1. ();
+      Fluid.job ~deadline:2. ~id:2 ~size:1. ();
+    ]
+  in
+  let kept = Fluid.moore_hodgson ~rate:1. jobs in
+  Alcotest.(check int) "keeps two" 2 (List.length kept)
+
+let test_moore_hodgson_drops_largest () =
+  (* Dropping the big job saves both small ones. *)
+  let jobs =
+    [
+      Fluid.job ~deadline:2. ~id:0 ~size:10. ();
+      Fluid.job ~deadline:3. ~id:1 ~size:1. ();
+      Fluid.job ~deadline:3. ~id:2 ~size:1. ();
+    ]
+  in
+  let kept = Fluid.moore_hodgson ~rate:1. jobs in
+  Alcotest.(check (list int)) "keeps the small ones" [ 1; 2 ]
+    (List.sort compare kept)
+
+let test_optimal_throughput () =
+  let jobs =
+    [
+      Fluid.job ~deadline:1. ~id:0 ~size:1. ();
+      Fluid.job ~deadline:1. ~id:1 ~size:1. ();
+    ]
+  in
+  if not (feq 0.5 (Fluid.optimal_deadline_throughput ~rate:1. jobs)) then
+    Alcotest.fail "only one of two identical jobs fits";
+  if not (feq 1. (Fluid.optimal_deadline_throughput ~rate:2. jobs)) then
+    Alcotest.fail "both fit at double rate"
+
+(* Properties *)
+
+let job_list_gen =
+  QCheck.Gen.(
+    list_size (1 -- 12)
+      (pair (float_bound_exclusive 10.) (option (float_bound_exclusive 20.))))
+
+let mk_jobs l =
+  List.mapi
+    (fun i (size, deadline) -> Fluid.job ?deadline ~id:i ~size:(size +. 0.01) ())
+    l
+
+let prop_srpt_beats_fair =
+  QCheck.Test.make ~name:"SRPT mean FCT <= fair sharing" ~count:100
+    (QCheck.make job_list_gen) (fun l ->
+      let jobs = mk_jobs l in
+      let srpt = Fluid.mean_completion_time (Fluid.srpt ~rate:1. jobs) in
+      let fair = Fluid.mean_completion_time (Fluid.fair_sharing ~rate:1. jobs) in
+      srpt <= fair +. 1e-6)
+
+let prop_all_complete =
+  QCheck.Test.make ~name:"every discipline completes every job" ~count:100
+    (QCheck.make job_list_gen) (fun l ->
+      let jobs = mk_jobs l in
+      let n = List.length jobs in
+      List.for_all
+        (fun f -> List.length (f ~rate:1. jobs) = n)
+        [ Fluid.fair_sharing; Fluid.srpt; Fluid.edf; Fluid.d3_fluid ])
+
+let prop_mh_upper_bound =
+  QCheck.Test.make ~name:"Moore-Hodgson >= EDF deadline count" ~count:100
+    (QCheck.make job_list_gen) (fun l ->
+      let jobs = mk_jobs l in
+      let edf_met = Fluid.deadlines_met jobs (Fluid.edf ~rate:1. jobs) in
+      let kept = List.length (Fluid.moore_hodgson ~rate:1. jobs) in
+      kept >= edf_met)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "sched.fluid",
+      [
+        Alcotest.test_case "fair sharing Fig1" `Quick test_fair_sharing_fig1;
+        Alcotest.test_case "SRPT Fig1" `Quick test_srpt_fig1;
+        Alcotest.test_case "EDF Fig1" `Quick test_edf_fig1;
+        Alcotest.test_case "D3 Fig1 pathology" `Quick test_d3_fig1;
+        Alcotest.test_case "rate scaling" `Quick test_rate_scaling;
+        Alcotest.test_case "releases/preemption" `Quick test_releases;
+        Alcotest.test_case "idle gaps" `Quick test_idle_gap;
+        Alcotest.test_case "Moore-Hodgson basic" `Quick test_moore_hodgson_basic;
+        Alcotest.test_case "Moore-Hodgson drops largest" `Quick
+          test_moore_hodgson_drops_largest;
+        Alcotest.test_case "optimal throughput" `Quick test_optimal_throughput;
+      ]
+      @ qsuite [ prop_srpt_beats_fair; prop_all_complete; prop_mh_upper_bound ] );
+  ]

@@ -1,0 +1,195 @@
+(* Tests for pdq_workload: size/deadline distributions, traffic
+   patterns, arrival processes. *)
+
+module Rng = Pdq_engine.Rng
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Pattern = Pdq_workload.Pattern
+module Arrivals = Pdq_workload.Arrivals
+
+let sample_mean dist n seed =
+  let rng = Rng.create seed in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. float_of_int (Size_dist.sample dist rng)
+  done;
+  !acc /. float_of_int n
+
+let test_uniform_paper () =
+  let dist = Size_dist.uniform_paper ~mean_bytes:100_000 in
+  let rng = Rng.create 1 in
+  for _ = 1 to 5_000 do
+    let s = Size_dist.sample dist rng in
+    if s < 2_000 || s > 198_000 then Alcotest.failf "out of [2KB,198KB]: %d" s
+  done;
+  let m = sample_mean dist 20_000 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~100KB (got %.0f)" m)
+    true
+    (abs_float (m -. 100_000.) < 2_500.)
+
+let test_pareto_tail () =
+  let dist = Size_dist.pareto ~tail_index:1.1 ~mean_bytes:100_000 () in
+  let rng = Rng.create 3 in
+  let n = 20_000 in
+  let big = ref 0 and small = ref 0 in
+  for _ = 1 to n do
+    let s = Size_dist.sample dist rng in
+    if s > 1_000_000 then incr big;
+    if s < 50_000 then incr small
+  done;
+  Alcotest.(check bool) "has elephants" true (!big > 10);
+  Alcotest.(check bool) "mostly mice" true (!small > n / 2)
+
+let test_vl2_shape () =
+  let dist = Size_dist.vl2 () in
+  let rng = Rng.create 4 in
+  let n = 30_000 in
+  let sizes = Array.init n (fun _ -> Size_dist.sample dist rng) in
+  let shorts = Array.to_list sizes |> List.filter (fun s -> s < 100_000) in
+  let bytes_total =
+    Array.fold_left (fun acc s -> acc +. float_of_int s) 0. sizes
+  in
+  let bytes_long =
+    Array.fold_left
+      (fun acc s -> if s >= 1_000_000 then acc +. float_of_int s else acc)
+      0. sizes
+  in
+  (* Mice dominate the flow count; elephants dominate the bytes. *)
+  Alcotest.(check bool) "most flows are small" true
+    (List.length shorts > (3 * n) / 4);
+  Alcotest.(check bool) "most bytes from elephants" true
+    (bytes_long > 0.5 *. bytes_total)
+
+let test_fixed () =
+  let dist = Size_dist.fixed 1234 in
+  let rng = Rng.create 5 in
+  Alcotest.(check int) "fixed" 1234 (Size_dist.sample dist rng)
+
+let test_deadline_floor () =
+  let d = Deadline_dist.exponential ~mean:0.02 () in
+  let rng = Rng.create 6 in
+  for _ = 1 to 5_000 do
+    if Deadline_dist.sample d rng < 0.003 then Alcotest.fail "below 3ms floor"
+  done
+
+let test_deadline_mean () =
+  let d = Deadline_dist.exponential ~mean:0.04 () in
+  let rng = Rng.create 7 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Deadline_dist.sample d rng
+  done;
+  let m = !acc /. float_of_int n in
+  (* Floor at 3ms pushes the mean slightly above 40ms. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean close to 40ms (got %.4f)" m)
+    true
+    (m > 0.038 && m < 0.046)
+
+let hosts = Array.init 12 (fun i -> 100 + i)
+
+let test_aggregation_pattern () =
+  let pairs = Pattern.aggregation ~hosts ~receiver:105 ~flows:22 in
+  Alcotest.(check int) "22 flows" 22 (List.length pairs);
+  List.iter
+    (fun (p : Pattern.pair) ->
+      Alcotest.(check int) "all to receiver" 105 p.Pattern.dst;
+      Alcotest.(check bool) "never self" true (p.Pattern.src <> 105))
+    pairs;
+  (* Footnote 6: flows spread evenly over the 11 senders. *)
+  let count src =
+    List.length (List.filter (fun (p : Pattern.pair) -> p.Pattern.src = src) pairs)
+  in
+  Array.iter
+    (fun h ->
+      if h <> 105 then
+        Alcotest.(check bool) "two per sender" true (count h = 2))
+    hosts
+
+let test_stride_pattern () =
+  let pairs = Pattern.stride ~hosts ~i:1 in
+  Alcotest.(check int) "N flows" 12 (List.length pairs);
+  let p0 = List.hd pairs in
+  Alcotest.(check int) "x -> x+1" 101 p0.Pattern.dst
+
+let test_staggered_pattern () =
+  let rack_of h = (h - 100) / 3 in
+  let rng = Rng.create 8 in
+  let pairs = Pattern.staggered ~rack_of ~hosts ~p:1.0 ~rng in
+  (* p = 1: always the same rack. *)
+  List.iter
+    (fun (p : Pattern.pair) ->
+      Alcotest.(check bool) "same rack" true
+        (rack_of p.Pattern.src = rack_of p.Pattern.dst && p.Pattern.src <> p.Pattern.dst))
+    pairs;
+  let rng = Rng.create 9 in
+  let pairs = Pattern.staggered ~rack_of ~hosts ~p:0. ~rng in
+  List.iter
+    (fun (p : Pattern.pair) ->
+      Alcotest.(check bool) "different rack" true
+        (rack_of p.Pattern.src <> rack_of p.Pattern.dst))
+    pairs
+
+let test_permutation_pattern () =
+  let rng = Rng.create 10 in
+  let pairs = Pattern.random_permutation ~hosts ~rng in
+  Alcotest.(check int) "N flows" 12 (List.length pairs);
+  let dsts = List.map (fun (p : Pattern.pair) -> p.Pattern.dst) pairs in
+  Alcotest.(check int) "each host receives exactly once" 12
+    (List.length (List.sort_uniq compare dsts));
+  List.iter
+    (fun (p : Pattern.pair) ->
+      Alcotest.(check bool) "no self-flow" true (p.Pattern.src <> p.Pattern.dst))
+    pairs
+
+let test_poisson_arrivals () =
+  let rng = Rng.create 11 in
+  let starts = Arrivals.poisson ~rng ~rate:1000. ~horizon:1. in
+  let n = List.length starts in
+  Alcotest.(check bool)
+    (Printf.sprintf "~1000 arrivals (got %d)" n)
+    true
+    (n > 850 && n < 1150);
+  let sorted = List.sort compare starts in
+  Alcotest.(check bool) "increasing order" true (starts = sorted);
+  List.iter
+    (fun t -> if t < 0. || t >= 1. then Alcotest.fail "outside horizon")
+    starts
+
+let prop_pattern_no_self =
+  QCheck.Test.make ~name:"random pairs never self-send" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, flows) ->
+      QCheck.assume (flows > 0);
+      let rng = Rng.create seed in
+      let pairs = Pattern.random_pairs ~hosts ~flows ~rng in
+      List.for_all (fun (p : Pattern.pair) -> p.Pattern.src <> p.Pattern.dst) pairs)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "workload.sizes",
+      [
+        Alcotest.test_case "paper uniform" `Quick test_uniform_paper;
+        Alcotest.test_case "pareto tail" `Quick test_pareto_tail;
+        Alcotest.test_case "vl2 shape" `Quick test_vl2_shape;
+        Alcotest.test_case "fixed" `Quick test_fixed;
+      ] );
+    ( "workload.deadlines",
+      [
+        Alcotest.test_case "3ms floor" `Quick test_deadline_floor;
+        Alcotest.test_case "mean" `Quick test_deadline_mean;
+      ] );
+    ( "workload.patterns",
+      [
+        Alcotest.test_case "aggregation" `Quick test_aggregation_pattern;
+        Alcotest.test_case "stride" `Quick test_stride_pattern;
+        Alcotest.test_case "staggered" `Quick test_staggered_pattern;
+        Alcotest.test_case "random permutation" `Quick test_permutation_pattern;
+        Alcotest.test_case "poisson arrivals" `Quick test_poisson_arrivals;
+      ]
+      @ qsuite [ prop_pattern_no_self ] );
+  ]
