@@ -3,12 +3,16 @@
    Examples:
      pdq_sim --proto pdq --flows 10 --deadline-mean 20
      pdq_sim --proto tcp --topo bottleneck --flows 8 --no-deadlines
-     pdq_sim --proto mpdq --subflows 4 --topo bcube --mean-size 400 *)
+     pdq_sim --proto mpdq --subflows 4 --topo bcube --mean-size 400
+     pdq_sim --proto pdq --topo fat-tree --flows 16 --flap-mtbf 0.3
+     pdq_sim --reboot-mtbf 0.1
+     pdq_sim --resilience *)
 
 open Cmdliner
 module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
 module Builder = Pdq_topo.Builder
+module Fault_plan = Pdq_faults.Fault_plan
 module Sim = Pdq_engine.Sim
 module Rng = Pdq_engine.Rng
 module Size_dist = Pdq_workload.Size_dist
@@ -41,7 +45,13 @@ let protocol_of name subflows =
   | other -> Error (Printf.sprintf "unknown protocol %S" other)
 
 let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
-    no_deadlines pattern seed =
+    no_deadlines pattern seed resilience full flap_mtbf flap_mttr reboot_mtbf
+    fault_until =
+  if resilience then begin
+    Pdq_experiments.Resilience.run_all ~quick:(not full) Format.std_formatter ();
+    0
+  end
+  else
   let topo_kind =
     match String.lowercase_ascii topo_name with
     | "tree" -> Tree
@@ -85,7 +95,33 @@ let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
               start = 0.;
             })
       in
-      let options = { Runner.default_options with Runner.seed } in
+      (* Optional fault injection for single runs: memoryless link
+         flapping on switch-switch cables and/or switch crash-reboots,
+         both truncated at --fault-until. *)
+      let faults =
+        let topo = built.Builder.topo in
+        let flaps =
+          match flap_mtbf with
+          | Some mtbf ->
+              Fault_plan.link_flaps
+                (Rng.create (0x11AB + seed))
+                ~links:(Fault_plan.switch_cables topo)
+                ~mtbf ~mttr:flap_mttr ~until:fault_until
+          | None -> Fault_plan.empty
+        in
+        let reboots =
+          match reboot_mtbf with
+          | Some mtbf ->
+              Fault_plan.switch_reboots
+                (Rng.create (0x5EB0 + seed))
+                ~switches:(Fault_plan.switches topo)
+                ~mtbf ~until:fault_until
+          | None -> Fault_plan.empty
+        in
+        let plan = Fault_plan.merge flaps reboots in
+        if Fault_plan.is_empty plan then None else Some plan
+      in
+      let options = { Runner.default_options with Runner.seed; faults } in
       let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
       Printf.printf "%s on %s: %d flows (%s)\n"
         (Runner.protocol_name protocol)
@@ -103,13 +139,22 @@ let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
                 Printf.sprintf "  deadline %5.1f ms %s" (1e3 *. d)
                   (if f.Runner.met_deadline then "MET" else "MISSED")
             | None -> "")
-            (if f.Runner.terminated then "  [early terminated]" else ""))
+            (if f.Runner.terminated then "  [early terminated]"
+             else if f.Runner.aborted then "  [aborted]"
+             else ""))
         r.Runner.flows;
       Printf.printf "mean FCT %.3f ms | application throughput %.1f%% | %d/%d \
-                     completed\n"
+                     completed | %d aborted\n"
         (1e3 *. r.Runner.mean_fct)
         (100. *. r.Runner.application_throughput)
-        r.Runner.completed (Array.length r.Runner.flows);
+        r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted;
+      if r.Runner.counters <> [] then begin
+        Printf.printf "counters:";
+        List.iter
+          (fun (k, v) -> Printf.printf " %s=%d" k v)
+          r.Runner.counters;
+        print_newline ()
+      end;
       0
 
 let cmd =
@@ -139,10 +184,39 @@ let cmd =
          & info [ "pattern" ] ~doc:"aggregation, permutation, pairs")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed") in
+  let resilience =
+    Arg.(value & flag
+         & info [ "resilience" ]
+             ~doc:"Run the resilience sweeps (bursty loss, link flapping, \
+                   switch reboots) for PDQ vs. RCP/D3/TCP and exit")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"With --resilience: more seeds and intensities")
+  in
+  let flap_mtbf =
+    Arg.(value & opt (some float) None
+         & info [ "flap-mtbf" ]
+             ~doc:"Flap switch-switch cables: mean time between failures [s]")
+  in
+  let flap_mttr =
+    Arg.(value & opt float 0.03
+         & info [ "flap-mttr" ] ~doc:"Mean time to repair a flapped cable [s]")
+  in
+  let reboot_mtbf =
+    Arg.(value & opt (some float) None
+         & info [ "reboot-mtbf" ]
+             ~doc:"Crash-reboot switches: mean time between reboots [s]")
+  in
+  let fault_until =
+    Arg.(value & opt float 0.5
+         & info [ "fault-until" ] ~doc:"Stop injecting faults after this time [s]")
+  in
   Cmd.v
     (Cmd.info "pdq_sim" ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
     Term.(
       const run $ proto $ subflows $ topo $ flows $ mean_size $ deadline_mean
-      $ no_deadlines $ pattern $ seed)
+      $ no_deadlines $ pattern $ seed $ resilience $ full $ flap_mtbf
+      $ flap_mttr $ reboot_mtbf $ fault_until)
 
 let () = exit (Cmd.eval' cmd)

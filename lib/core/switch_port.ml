@@ -2,6 +2,7 @@ type t = {
   config : Config.t;
   switch_id : int;
   link_rate : float;
+  init_rtt : float;
   mutable rpdq : float;
   mutable c : float;
   flows : Flow_list.t;
@@ -17,6 +18,7 @@ let create ~config ~switch_id ~link_rate ~init_rtt =
     config;
     switch_id;
     link_rate;
+    init_rtt;
     rpdq = link_rate;
     c = link_rate;
     flows = Flow_list.create ();
@@ -26,6 +28,22 @@ let create ~config ~switch_id ~link_rate ~init_rtt =
     last_accepted_flow = -1;
     fallback_seen = Hashtbl.create 16;
   }
+
+(* Switch reboot: everything here is soft state (§3.3 — the flow list,
+   RTT estimates, the rate-controller variable are all rebuilt from the
+   scheduling headers of traversing packets), so a crash simply resets
+   the port to its just-created state. rPDQ is configuration, not
+   learned state, and survives. *)
+let flush t =
+  while Flow_list.remove_least_critical t.flows <> None do
+    ()
+  done;
+  Hashtbl.reset t.fallback_seen;
+  t.c <- t.rpdq;
+  t.rtt_avg <- t.init_rtt;
+  t.rtt_min <- t.init_rtt;
+  t.last_accept <- neg_infinity;
+  t.last_accepted_flow <- -1
 
 let switch_id t = t.switch_id
 let config t = t.config

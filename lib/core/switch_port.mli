@@ -67,5 +67,13 @@ val rate_update_interval : t -> float
 val remove_flow : t -> int -> now:float -> unit
 (** Forget a flow (on TERM or timeout); frees its bandwidth share. *)
 
+val flush : t -> unit
+(** Switch reboot: wipe all soft state — the flow list, the RCP
+    fallback membership, the RTT estimates and the rate-controller
+    variable — back to the just-created state. The paper's soft-state
+    argument (§3.3) says traversing scheduling headers rebuild
+    everything within a few RTTs; tests and the resilience harness
+    validate exactly that. rPDQ (configuration) is preserved. *)
+
 val fallback_flow_count : t -> int
 (** Number of flows currently handled by the RCP fallback (§3.3.1). *)

@@ -65,6 +65,26 @@ let fraction pred xs =
     float_of_int k /. float_of_int n
   end
 
+module Tally = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let incr ?(by = 1) t key =
+    match Hashtbl.find_opt t key with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t key (ref by)
+
+  let count t key =
+    match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
+end
+
 module Counter = struct
   type t = {
     mutable n : int;

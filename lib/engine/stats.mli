@@ -33,6 +33,24 @@ val cdf_at : cdf -> float -> float
 val fraction : ('a -> bool) -> 'a array -> float
 (** Fraction of elements satisfying the predicate; 0. on empty input. *)
 
+module Tally : sig
+  (** Named event counters (per-cause drops, aborts, fault events) —
+      a string-keyed bag of integers with deterministic, sorted
+      output. *)
+
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val count : t -> string -> int
+  (** 0 for a key never incremented. *)
+
+  val to_list : t -> (string * int) list
+  (** All (key, count) pairs, sorted by key. *)
+
+  val total : t -> int
+end
+
 module Counter : sig
   (** Streaming mean/min/max accumulator, O(1) memory. *)
 

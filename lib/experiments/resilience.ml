@@ -1,0 +1,280 @@
+(* Resilience under injected faults: how gracefully does each protocol
+   degrade when the fabric misbehaves?
+
+   Three sweeps, each over a fault-intensity axis:
+   - bursty loss: a standing Gilbert-Elliott channel on the bottleneck
+     cable with a fixed ~5% average loss whose burst length grows —
+     random scattered loss vs. long black-out bursts;
+   - link failures: memoryless fail/repair flapping of switch-switch
+     cables on a fat-tree, where ECMP re-pinning can route around the
+     outage;
+   - switch reboots: crash-reboots wiping per-flow scheduler soft
+     state, which PDQ must rebuild from traversing headers.
+
+   Reported per protocol: mean FCT over completed flows normalized to
+   the same protocol's fault-free run, deadline-miss percentage, and
+   watchdog aborts (dead-path give-ups), averaged over seeds. *)
+
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Builder = Pdq_topo.Builder
+module Fault_plan = Pdq_faults.Fault_plan
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Topology = Pdq_net.Topology
+module Link = Pdq_net.Link
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Pattern = Pdq_workload.Pattern
+
+let protocols =
+  [
+    ("PDQ", Runner.Pdq Pdq_core.Config.full);
+    ("RCP", Runner.Rcp);
+    ("D3", Runner.D3);
+    ("TCP", Runner.Tcp);
+  ]
+
+(* Aggregation workload with starts staggered across [window] so the
+   traffic actually overlaps the injected faults instead of finishing
+   before the first event fires. *)
+let workload ~seed ~hosts ~receiver ~flows ~window =
+  let rng = Rng.create (0xFA17 + (seed * 7919)) in
+  let sizes = Size_dist.uniform_paper ~mean_bytes:100_000 in
+  let ddist = Deadline_dist.exponential ~mean:0.02 () in
+  let pairs =
+    Array.of_list (Pattern.aggregation ~hosts ~receiver ~flows)
+  in
+  List.init flows (fun i ->
+      let p = pairs.(i mod Array.length pairs) in
+      {
+        Context.src = p.Pattern.src;
+        dst = p.Pattern.dst;
+        size = Size_dist.sample sizes rng;
+        deadline = Some (Deadline_dist.sample ddist rng);
+        start = Rng.float rng *. window;
+      })
+
+let switch_cables = Fault_plan.switch_cables
+let switches = Fault_plan.switches
+
+type outcome = { fct : float; miss_pct : float; aborts : float }
+
+(* One averaged (over seeds) measurement of a (protocol, fault plan)
+   cell. [make] builds topology + plan per seed, so every run gets a
+   fresh simulator. *)
+let measure ~seeds ~flows ~window ~horizon make protocol =
+  let per_seed seed =
+    let sim = Sim.create () in
+    let built, receiver_of, plan_of = make ~sim in
+    let hosts = built.Builder.hosts in
+    let receiver = receiver_of hosts in
+    let specs = workload ~seed ~hosts ~receiver ~flows ~window in
+    let plan = plan_of ~seed built in
+    let options =
+      {
+        Runner.default_options with
+        Runner.seed;
+        horizon;
+        faults = (if Fault_plan.is_empty plan then None else Some plan);
+      }
+    in
+    let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
+    ( r.Runner.mean_fct,
+      100. *. (1. -. r.Runner.application_throughput),
+      float_of_int r.Runner.aborted,
+      r.Runner.counters )
+  in
+  let results = List.map per_seed seeds in
+  let n = float_of_int (List.length results) in
+  let avg f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
+  let counters =
+    (* Summed over seeds, for the per-cause report. *)
+    let t = Hashtbl.create 16 in
+    List.iter
+      (fun (_, _, _, cs) ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace t k (v + Option.value ~default:0 (Hashtbl.find_opt t k)))
+          cs)
+      results;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort compare
+  in
+  ( {
+      fct = avg (fun (f, _, _, _) -> f);
+      miss_pct = avg (fun (_, m, _, _) -> m);
+      aborts = avg (fun (_, _, a, _) -> a);
+    },
+    counters )
+
+let pp_counters counters =
+  if counters = [] then "-"
+  else
+    String.concat " "
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters)
+
+(* Generic sweep: rows = fault intensities (first one fault-free, used
+   as the normalization base), columns = per-protocol normalized FCT,
+   miss%% and aborts. Returns the table plus the per-cause counters of
+   the most intense row for each protocol. *)
+let sweep ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
+  let header =
+    axis
+    :: List.concat_map
+         (fun (name, _) ->
+           [ name ^ " fct"; name ^ " miss%"; name ^ " abrt" ])
+         protocols
+  in
+  let cells =
+    List.map
+      (fun (label, make) ->
+        ( label,
+          List.map
+            (fun (_, proto) ->
+              measure ~seeds ~flows ~window ~horizon make proto)
+            protocols ))
+      rows_spec
+  in
+  let base =
+    match cells with
+    | (_, first_row) :: _ ->
+        List.map (fun ({ fct; _ }, _) -> max fct 1e-9) first_row
+    | [] -> []
+  in
+  let rows =
+    List.map
+      (fun (label, row) ->
+        label
+        :: List.concat
+             (List.map2
+                (fun (o, _) b ->
+                  [
+                    Common.cell (o.fct /. b);
+                    Common.cell o.miss_pct;
+                    Common.cell o.aborts;
+                  ])
+                row base))
+      cells
+  in
+  let worst_counters =
+    match List.rev cells with
+    | (_, last_row) :: _ ->
+        List.map2
+          (fun (name, _) (_, counters) -> (name, counters))
+          protocols last_row
+    | [] -> []
+  in
+  ({ Common.title; header; rows }, worst_counters)
+
+(* 1. Bursty loss on the tree's root-side cables: Gilbert-Elliott with
+   ~5% stationary loss, sweeping the mean burst length (packets). *)
+let loss_burst_sweep ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let burst_lengths = if quick then [ 1.; 20. ] else [ 1.; 5.; 20.; 80. ] in
+  let ge_of_burst burst =
+    let p_bg = 1. /. burst in
+    let stationary_bad = 0.05 in
+    {
+      Link.p_gb = p_bg *. stationary_bad /. (1. -. stationary_bad);
+      p_bg;
+      loss_good = 0.;
+      loss_bad = 1.;
+    }
+  in
+  let make_row label plan_of = (label, plan_of) in
+  let clean ~sim =
+    let built = Builder.single_rooted_tree ~sim () in
+    (built, (fun hosts -> hosts.(0)), fun ~seed:_ _ -> Fault_plan.empty)
+  in
+  let bursty burst ~sim =
+    let built = Builder.single_rooted_tree ~sim () in
+    let plan_of ~seed:_ (b : Builder.built) =
+      Fault_plan.of_events
+        (List.map
+           (fun (a, bb) -> (0., Fault_plan.Gilbert_loss { a; b = bb; ge = ge_of_burst burst }))
+           (switch_cables b.Builder.topo))
+    in
+    (built, (fun hosts -> hosts.(0)), plan_of)
+  in
+  let rows_spec =
+    make_row "0" clean
+    :: List.map
+         (fun burst -> make_row (Common.cell burst) (bursty burst))
+         burst_lengths
+  in
+  sweep ~title:"Resilience - 5% Gilbert-Elliott loss vs mean burst length [pkts]"
+    ~axis:"burst" ~seeds ~flows:12 ~window:0.1 ~horizon:3. rows_spec
+
+(* 2. Link flapping on a fat-tree: memoryless fail/repair of
+   switch-switch cables; ECMP flows are re-pinned around the outage. *)
+let link_failure_sweep ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let mtbfs = if quick then [ 0.3 ] else [ 1.; 0.3; 0.1 ] in
+  let clean ~sim =
+    let built = Builder.fat_tree ~sim ~k:4 () in
+    (built, (fun hosts -> hosts.(0)), fun ~seed:_ _ -> Fault_plan.empty)
+  in
+  let flapping mtbf ~sim =
+    let built = Builder.fat_tree ~sim ~k:4 () in
+    let plan_of ~seed (b : Builder.built) =
+      Fault_plan.link_flaps
+        (Rng.create (0x11AB + seed))
+        ~links:(switch_cables b.Builder.topo) ~mtbf ~mttr:0.03 ~until:0.5
+    in
+    (built, (fun hosts -> hosts.(0)), plan_of)
+  in
+  let rows_spec =
+    ("inf", clean)
+    :: List.map (fun m -> (Common.cell m, flapping m)) mtbfs
+  in
+  sweep ~title:"Resilience - fat-tree link flapping vs cable MTBF [s] (MTTR 30ms)"
+    ~axis:"mtbf" ~seeds ~flows:16 ~window:0.2 ~horizon:3. rows_spec
+
+(* 3. Switch crash-reboots on the tree: per-flow scheduler soft state
+   is wiped and must be rebuilt from the headers in flight. *)
+let switch_reboot_sweep ?(quick = true) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let mtbfs = if quick then [ 0.05 ] else [ 0.5; 0.1; 0.02 ] in
+  let clean ~sim =
+    let built = Builder.single_rooted_tree ~sim () in
+    (built, (fun hosts -> hosts.(0)), fun ~seed:_ _ -> Fault_plan.empty)
+  in
+  let rebooting mtbf ~sim =
+    let built = Builder.single_rooted_tree ~sim () in
+    let plan_of ~seed (b : Builder.built) =
+      Fault_plan.switch_reboots
+        (Rng.create (0x5EB0 + seed))
+        ~switches:(switches b.Builder.topo) ~mtbf ~until:0.5
+    in
+    (built, (fun hosts -> hosts.(0)), plan_of)
+  in
+  let rows_spec =
+    ("inf", clean) :: List.map (fun m -> (Common.cell m, rebooting m)) mtbfs
+  in
+  sweep ~title:"Resilience - switch crash-reboots vs switch MTBF [s]"
+    ~axis:"mtbf" ~seeds ~flows:12 ~window:0.2 ~horizon:3. rows_spec
+
+let counters_table named_counters =
+  {
+    Common.title = "Per-cause counters at the highest fault intensity";
+    header = [ "scenario"; "protocol"; "counters" ];
+    rows =
+      List.concat_map
+        (fun (scenario, per_proto) ->
+          List.map
+            (fun (proto, counters) ->
+              [ scenario; proto; pp_counters counters ])
+            per_proto)
+        named_counters;
+  }
+
+let run_all ?(quick = true) ppf () =
+  let t1, c1 = loss_burst_sweep ~quick () in
+  Common.pp_table ppf t1;
+  let t2, c2 = link_failure_sweep ~quick () in
+  Common.pp_table ppf t2;
+  let t3, c3 = switch_reboot_sweep ~quick () in
+  Common.pp_table ppf t3;
+  Common.pp_table ppf
+    (counters_table
+       [ ("loss-burst", c1); ("link-flap", c2); ("reboot", c3) ])

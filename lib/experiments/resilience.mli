@@ -1,0 +1,22 @@
+(** Resilience experiments: PDQ vs. RCP/D3/TCP under injected faults —
+    bursty (Gilbert-Elliott) loss, link flapping with ECMP re-pinning,
+    and switch crash-reboots that wipe scheduler soft state.
+
+    Each sweep reports, per protocol and fault intensity: mean FCT over
+    completed flows normalized to the same protocol's fault-free run,
+    deadline-miss percentage, and watchdog aborts; alongside each table
+    the per-cause counters ([abort.*], [fault.*], [drop.*]) of the
+    highest-intensity row. *)
+
+val loss_burst_sweep :
+  ?quick:bool -> unit -> Common.table * (string * (string * int) list) list
+
+val link_failure_sweep :
+  ?quick:bool -> unit -> Common.table * (string * (string * int) list) list
+
+val switch_reboot_sweep :
+  ?quick:bool -> unit -> Common.table * (string * (string * int) list) list
+
+val run_all : ?quick:bool -> Format.formatter -> unit -> unit
+(** Run all three sweeps and print their tables plus the per-cause
+    counter summary. *)

@@ -1,3 +1,15 @@
+type gilbert_elliott = {
+  p_gb : float;
+  p_bg : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+type loss_model =
+  | No_loss
+  | Bernoulli of float
+  | Gilbert of gilbert_elliott
+
 type t = {
   sim : Pdq_engine.Sim.t;
   id : int;
@@ -11,10 +23,14 @@ type t = {
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable receiver : Packet.t -> unit;
-  mutable loss_rate : float;
+  mutable loss_model : loss_model;
   mutable loss_rng : Pdq_engine.Rng.t option;
+  mutable ge_bad : bool; (* Gilbert–Elliott channel state *)
+  mutable up : bool;
   mutable delivered : int;
-  mutable dropped : int;
+  mutable dropped_loss : int;
+  mutable dropped_overflow : int;
+  mutable dropped_down : int;
   mutable bytes_sent : int;
   (* (time, cumulative bytes) checkpoints for windowed utilization. *)
   mutable last_window_start : float;
@@ -36,10 +52,14 @@ let create ~sim ~id ~src ~dst ~rate ~prop_delay ~proc_delay ~buffer_bytes () =
     queued_bytes = 0;
     busy = false;
     receiver = (fun _ -> failwith "Link: receiver not set");
-    loss_rate = 0.;
+    loss_model = No_loss;
     loss_rng = None;
+    ge_bad = false;
+    up = true;
     delivered = 0;
-    dropped = 0;
+    dropped_loss = 0;
+    dropped_overflow = 0;
+    dropped_down = 0;
     bytes_sent = 0;
     last_window_start = 0.;
     last_window_bytes = 0;
@@ -55,11 +75,22 @@ let queue_bytes t = t.queued_bytes
 let queue_packets t = Queue.length t.queue
 
 let set_loss t ~rate ~rng =
-  t.loss_rate <- rate;
+  t.loss_model <- (if rate > 0. then Bernoulli rate else No_loss);
   t.loss_rng <- Some rng
 
+let set_loss_model t model ~rng =
+  t.loss_model <- model;
+  t.ge_bad <- false;
+  t.loss_rng <- Some rng
+
+let loss_model t = t.loss_model
+let is_up t = t.up
+let set_up t up = t.up <- up
 let delivered t = t.delivered
-let dropped t = t.dropped
+let dropped t = t.dropped_loss + t.dropped_overflow + t.dropped_down
+let dropped_loss t = t.dropped_loss
+let dropped_overflow t = t.dropped_overflow
+let dropped_down t = t.dropped_down
 let bytes_sent t = t.bytes_sent
 let on_transmit t f = t.tap <- Some f
 
@@ -96,17 +127,26 @@ let rec start_transmission t =
                     t.receiver pkt));
              start_transmission t))
 
+(* One draw of the loss process. The Gilbert–Elliott chain steps once
+   per offered packet: transition first, then drop with the loss rate
+   of the state the packet observes. *)
+let loss_fires t =
+  match (t.loss_model, t.loss_rng) with
+  | No_loss, _ | _, None -> false
+  | Bernoulli rate, Some rng -> rate > 0. && Pdq_engine.Rng.bool rng rate
+  | Gilbert ge, Some rng ->
+      let flip =
+        Pdq_engine.Rng.bool rng (if t.ge_bad then ge.p_bg else ge.p_gb)
+      in
+      if flip then t.ge_bad <- not t.ge_bad;
+      let p = if t.ge_bad then ge.loss_bad else ge.loss_good in
+      p > 0. && Pdq_engine.Rng.bool rng p
+
 let send t pkt =
-  let lost =
-    t.loss_rate > 0.
-    &&
-    match t.loss_rng with
-    | Some rng -> Pdq_engine.Rng.bool rng t.loss_rate
-    | None -> false
-  in
-  if lost then t.dropped <- t.dropped + 1
+  if not t.up then t.dropped_down <- t.dropped_down + 1
+  else if loss_fires t then t.dropped_loss <- t.dropped_loss + 1
   else if t.queued_bytes + pkt.Packet.wire_bytes > t.buffer_bytes then
-    t.dropped <- t.dropped + 1 (* FIFO tail drop *)
+    t.dropped_overflow <- t.dropped_overflow + 1 (* FIFO tail drop *)
   else begin
     Queue.push pkt t.queue;
     t.queued_bytes <- t.queued_bytes + pkt.Packet.wire_bytes;

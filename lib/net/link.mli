@@ -3,8 +3,24 @@
     per-hop processing delay (§5.1: 11 µs transmission for an MTU at
     1 Gbps, 0.1 µs propagation, 25 µs processing; 4 MByte buffer).
 
-    Optional Bernoulli loss injection models the lossy-channel
-    experiments of Fig. 9. *)
+    Loss injection models the lossy-channel experiments of Fig. 9
+    (independent Bernoulli drops) and, for the resilience harness,
+    bursty Gilbert–Elliott episodes and administrative link-down
+    status. *)
+
+type gilbert_elliott = {
+  p_gb : float;   (** Per-packet Good→Bad transition probability. *)
+  p_bg : float;   (** Per-packet Bad→Good transition probability. *)
+  loss_good : float;  (** Drop probability in the Good state. *)
+  loss_bad : float;   (** Drop probability in the Bad state. *)
+}
+(** Two-state Markov loss channel: long stretches of (near-)lossless
+    delivery punctuated by bursts of heavy loss. *)
+
+type loss_model =
+  | No_loss
+  | Bernoulli of float  (** Independent per-packet drop probability. *)
+  | Gilbert of gilbert_elliott
 
 type t
 
@@ -32,10 +48,10 @@ val set_receiver : t -> (Packet.t -> unit) -> unit
     handler). Must be called before the first {!send}. *)
 
 val send : t -> Packet.t -> unit
-(** Enqueue a packet. It is dropped when the buffer would overflow
-    (tail drop) or the loss process fires; otherwise it is serialized
-    at line rate and handed to the receiver after propagation +
-    processing delay. *)
+(** Enqueue a packet. It is dropped when the link is down, when the
+    loss process fires, or when the buffer would overflow (tail drop);
+    otherwise it is serialized at line rate and handed to the receiver
+    after propagation + processing delay. *)
 
 val queue_bytes : t -> int
 (** Bytes currently waiting in the output queue (incl. the packet being
@@ -44,12 +60,40 @@ val queue_bytes : t -> int
 val queue_packets : t -> int
 
 val set_loss : t -> rate:float -> rng:Pdq_engine.Rng.t -> unit
-(** Drop each arriving packet independently with probability [rate]. *)
+(** Drop each arriving packet independently with probability [rate]
+    (shorthand for [set_loss_model (Bernoulli rate)]). *)
+
+val set_loss_model : t -> loss_model -> rng:Pdq_engine.Rng.t -> unit
+(** Install a loss process; resets the Gilbert–Elliott channel to the
+    Good state. *)
+
+val loss_model : t -> loss_model
+(** Currently installed loss process (for save/restore of loss
+    episodes). *)
+
+val is_up : t -> bool
+val set_up : t -> bool -> unit
+(** Administrative status. A down link drops every offered packet
+    (counted in {!dropped_down}); packets already accepted into the
+    queue keep draining — the cut is at admission. Take both directions
+    of a duplex cable down for a symmetric failure. *)
 
 (** Cumulative counters, for utilization and drop statistics. *)
 
 val delivered : t -> int
+
 val dropped : t -> int
+(** Total drops: loss process + buffer overflow + link down. *)
+
+val dropped_loss : t -> int
+(** Drops by the Bernoulli/Gilbert–Elliott loss process. *)
+
+val dropped_overflow : t -> int
+(** FIFO tail drops. *)
+
+val dropped_down : t -> int
+(** Packets offered while the link was administratively down. *)
+
 val bytes_sent : t -> int
 
 val utilization : t -> since:float -> now:float -> float

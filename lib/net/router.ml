@@ -6,6 +6,12 @@ type t = {
 }
 
 let create topo = { topo; dist_cache = Hashtbl.create 64 }
+let invalidate t = Hashtbl.reset t.dist_cache
+
+(* A link only carries traffic while administratively up; distance
+   tables and next hops ignore down links, so recomputed routes steer
+   around failures (call {!invalidate} after a status change). *)
+let usable t link_id = Link.is_up (Topology.link t.topo link_id)
 
 let bfs_from t root =
   let n = Topology.node_count t.topo in
@@ -16,8 +22,8 @@ let bfs_from t root =
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
     List.iter
-      (fun (v, _link) ->
-        if dist.(v) = max_int then begin
+      (fun (v, link) ->
+        if dist.(v) = max_int && usable t link then begin
           dist.(v) <- dist.(u) + 1;
           Queue.push v q
         end)
@@ -52,7 +58,8 @@ let next_hops t ~node ~dst =
   let dist = dist_to t dst in
   let d = dist.(node) in
   List.filter_map
-    (fun (v, link) -> if dist.(v) = d - 1 then Some (v, link) else None)
+    (fun (v, link) ->
+      if dist.(v) = d - 1 && usable t link then Some (v, link) else None)
     (Topology.links_from t.topo node)
   (* Sort for determinism: adjacency list order depends on insertion. *)
   |> List.sort compare

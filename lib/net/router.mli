@@ -11,7 +11,14 @@ type t
 
 val create : Topology.t -> t
 (** Build a router over the (final) topology. Distance tables are
-    computed lazily per destination and cached. *)
+    computed lazily per destination and cached. Links that are
+    administratively down ({!Link.is_up}) are excluded from paths. *)
+
+val invalidate : t -> unit
+(** Drop every cached distance table. Call after link status changes
+    (failure or recovery) so subsequent paths reflect the live
+    topology. Link failures must be symmetric (both directions of a
+    duplex cable) — distance tables assume an undirected graph. *)
 
 val distance : t -> src:int -> dst:int -> int
 (** Hop count of the shortest path. Raises [Not_found] when

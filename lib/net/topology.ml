@@ -106,6 +106,12 @@ let link_to t ~src ~dst =
   let id = List.assoc dst t.adj.(src) in
   t.links.(id)
 
+(* Duplex administrative status: fail or restore both directions of
+   the cable between two adjacent nodes. *)
+let set_link_up t ~a ~b up =
+  Link.set_up (link_to t ~src:a ~dst:b) up;
+  Link.set_up (link_to t ~src:b ~dst:a) up
+
 let iter_links f t =
   for i = 0 to t.link_count - 1 do
     f t.links.(i)

@@ -54,4 +54,9 @@ val link_to : t -> src:int -> dst:int -> Link.t
 (** The directed link from [src] to its neighbor [dst]. Raises
     [Not_found] if they are not adjacent. *)
 
+val set_link_up : t -> a:int -> b:int -> bool -> unit
+(** Fail ([false]) or restore ([true]) both directions of the duplex
+    cable between adjacent nodes [a] and [b]. Raises [Not_found] if
+    they are not adjacent. *)
+
 val iter_links : (Link.t -> unit) -> t -> unit

@@ -19,7 +19,13 @@ type flow = {
   deadline_abs : float option;
   mutable completed_at : float option;
   mutable terminated : bool;
+  mutable aborted : bool;
 }
+
+(* How a pinned route was obtained: ECMP routes can be recomputed when
+   the topology degrades; explicitly pinned node paths (source routing)
+   cannot and are left alone. *)
+type route_origin = Ecmp of { src : int; dst : int; choice : int } | Pinned
 
 type hooks = {
   mutable on_forward : link:int -> Packet.t -> unit;
@@ -37,7 +43,10 @@ type t = {
   mutable flow_count : int;
   mutable next_subflow_id : int;
   routes : (int, int array) Hashtbl.t;
+  route_origins : (int, route_origin) Hashtbl.t;
   hooks : hooks;
+  mutable reboot_hooks : (int -> unit) list;
+  tally : Pdq_engine.Stats.Tally.t;
   mutable open_flows : int;
   mutable all_complete_cb : (unit -> unit) option;
   (* Tracing *)
@@ -62,6 +71,9 @@ let create ~sim ~topo ~rng ~init_rtt () =
     flow_count = 0;
     next_subflow_id = subflow_id_base;
     routes = Hashtbl.create 256;
+    route_origins = Hashtbl.create 256;
+    reboot_hooks = [];
+    tally = Pdq_engine.Stats.Tally.create ();
     hooks =
       {
         on_forward = (fun ~link:_ _ -> ());
@@ -83,15 +95,61 @@ let rng t = t.rng
 let init_rtt t = t.init_rtt
 let now t = Sim.now t.sim
 
+let tally t = t.tally
+let record_fault t key = Pdq_engine.Stats.Tally.incr t.tally key
+
 let register_route t ~id ~src ~dst ~choice =
-  let path = Router.path t.router ~src ~dst ~choice in
+  (* A flow admitted while its endpoints are partitioned gets an empty
+     route: its packets drop at the source (stale-route path) and the
+     watchdog aborts it. [reroute] fills in a real path if connectivity
+     returns first. *)
+  let path =
+    match Router.path t.router ~src ~dst ~choice with
+    | p -> p
+    | exception Not_found ->
+        record_fault t "fault.unroutable";
+        [||]
+  in
   Hashtbl.replace t.routes id path;
+  Hashtbl.replace t.route_origins id (Ecmp { src; dst; choice });
   path
 
 let register_route_nodes t ~id path =
   if Array.length path < 2 then
     invalid_arg "Context.register_route_nodes: path too short";
-  Hashtbl.replace t.routes id path
+  Hashtbl.replace t.routes id path;
+  Hashtbl.replace t.route_origins id Pinned
+
+(* Topology changed (link failed or recovered): recompute every ECMP
+   route on the live graph. A flow whose endpoints are partitioned
+   keeps its stale route — its packets die at the down link and the
+   sender's watchdog eventually aborts it — so degradation is graceful
+   rather than an exception. Ids are visited in sorted order to keep
+   runs deterministic. *)
+let reroute t =
+  Router.invalidate t.router;
+  let ids =
+    Hashtbl.fold
+      (fun id origin acc ->
+        match origin with Ecmp _ -> id :: acc | Pinned -> acc)
+      t.route_origins []
+    |> List.sort compare
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find t.route_origins id with
+      | Pinned -> ()
+      | Ecmp { src; dst; choice } -> (
+          match Router.path t.router ~src ~dst ~choice with
+          | path -> Hashtbl.replace t.routes id path
+          | exception Not_found -> record_fault t "fault.unroutable"))
+    ids
+
+let on_switch_reboot t f = t.reboot_hooks <- t.reboot_hooks @ [ f ]
+
+let reboot_switch t ~node =
+  record_fault t "fault.switch_reboot";
+  List.iter (fun f -> f node) t.reboot_hooks
 
 let add_flow t spec =
   let id = t.flow_count in
@@ -103,6 +161,7 @@ let add_flow t spec =
       deadline_abs = Option.map (fun d -> spec.start +. d) spec.deadline;
       completed_at = None;
       terminated = false;
+      aborted = false;
     }
   in
   t.flows_rev <- flow :: t.flows_rev;
@@ -138,9 +197,11 @@ let transmit t ~from (pkt : Packet.t) =
   let path = route t pkt.Packet.flow in
   match position path from with
   | None ->
-      failwith
-        (Printf.sprintf "Context.transmit: node %d not on route of flow %d" from
-           pkt.Packet.flow)
+      (* The flow was re-pinned (link failure) while this packet was in
+         flight on the old path: the node has no forwarding entry for
+         it any more. Drop it — the sender's retransmission machinery
+         recovers — and make the loss visible in the counters. *)
+      record_fault t "drop.stale_route"
   | Some i ->
       if is_forward_kind pkt.Packet.kind then begin
         let next = path.(i + 1) in
@@ -148,6 +209,10 @@ let transmit t ~from (pkt : Packet.t) =
         t.hooks.on_forward ~link:(Link.id link) pkt;
         Link.send link pkt
       end
+      else if i = 0 then
+        (* A reverse packet stranded at the (new) route's head that is
+           not the flow source: same stale-route drop. *)
+        record_fault t "drop.stale_route"
       else begin
         (* Reverse packets run Algorithm-3-style processing against the
            forward-direction port at this node before heading back. *)
@@ -194,9 +259,9 @@ let maybe_fire_all_complete t =
 let complete t flow =
   if flow.completed_at = None then begin
     flow.completed_at <- Some (now t);
-    (* A terminated flow was already counted closed even if its last
-       in-flight packets still complete the transfer. *)
-    if not flow.terminated then begin
+    (* A terminated/aborted flow was already counted closed even if its
+       last in-flight packets still complete the transfer. *)
+    if not (flow.terminated || flow.aborted) then begin
       t.open_flows <- t.open_flows - 1;
       maybe_fire_all_complete t
     end
@@ -204,6 +269,19 @@ let complete t flow =
 
 let flow_closed t flow =
   if flow.completed_at = None && flow.terminated then begin
+    t.open_flows <- t.open_flows - 1;
+    maybe_fire_all_complete t
+  end
+
+(* Terminal watchdog outcome: the sender gave up after bounded retries
+   (dead path, endless loss). Distinct from Early Termination, which is
+   a deliberate scheduling decision; aborts are per-cause tallied so
+   resilience runs can report why flows died. *)
+let abort t flow ~cause =
+  if flow.completed_at = None && (not flow.terminated) && not flow.aborted
+  then begin
+    flow.aborted <- true;
+    Pdq_engine.Stats.Tally.incr t.tally ("abort." ^ cause);
     t.open_flows <- t.open_flows - 1;
     maybe_fire_all_complete t
   end

@@ -27,6 +27,9 @@ type flow = {
       (** Time the receiver held every byte. *)
   mutable terminated : bool;
       (** Early Termination / quenching killed the flow. *)
+  mutable aborted : bool;
+      (** The sender's watchdog gave up after bounded retries (dead
+          path or unrecoverable loss). *)
 }
 
 type t
@@ -97,6 +100,34 @@ val on_all_complete : t -> (unit -> unit) -> unit
 
 val flow_closed : t -> flow -> unit
 (** Internal: called on termination to update the all-complete check. *)
+
+val abort : t -> flow -> cause:string -> unit
+(** Record a terminal watchdog abort (idempotent): marks the flow
+    aborted, tallies ["abort." ^ cause] and counts the flow closed. *)
+
+(** {2 Fault handling} *)
+
+val reroute : t -> unit
+(** Recompute every ECMP-derived pinned route against the current link
+    status (call after a link failure or recovery). Explicitly pinned
+    source routes are untouched. Flows left without a path keep their
+    stale route and are tallied under ["fault.unroutable"]; their
+    watchdogs abort them eventually. *)
+
+val on_switch_reboot : t -> (int -> unit) -> unit
+(** Register a hook run when a switch reboots; protocols use it to
+    flush the per-port scheduler state of the rebooted node. *)
+
+val reboot_switch : t -> node:int -> unit
+(** Crash-reboot the switch [node]: tallies ["fault.switch_reboot"]
+    and runs the registered hooks in registration order. *)
+
+val tally : t -> Pdq_engine.Stats.Tally.t
+(** Per-cause abort and fault-event counters accumulated during the
+    run. *)
+
+val record_fault : t -> string -> unit
+(** Increment a tally key (fault injection, drop accounting). *)
 
 (** {2 Tracing (Fig. 6/7-style time series)} *)
 

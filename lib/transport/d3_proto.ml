@@ -102,7 +102,7 @@ let ops ctx nic_rate : Rate_flow.ops =
       (fun s pkt ->
         match pkt.Packet.payload with
         | Payloads.D3_ctrl (ctrl, _) ->
-            if Sys.getenv_opt "PDQ_DEBUG" <> None then
+            if Debug.on () then
               Printf.eprintf "%.6f d3-ack flow=%d desired=%.3e alloc=%.3e\n"
                 (Context.now ctx)
                 (Rate_flow.sender_flow s).Context.id ctrl.Payloads.d3_desired
@@ -147,6 +147,20 @@ let install ~ctx ~until =
   in
   let inner = Rate_flow.install ~ctx ~ops:(ops ctx nic_rate) in
   let t = { ctx; ports; inner } in
+  (* Crash-reboot: reservations and estimators are soft state; the
+     next allocation interval rebuilds them from live requests. *)
+  Context.on_switch_reboot ctx (fun node ->
+      Array.iter
+        (fun p ->
+          if Link.src p.link = node then begin
+            Hashtbl.reset p.granted;
+            p.fs <- Link.rate p.link;
+            p.avail <- Link.rate p.link;
+            p.demand_acc <- 0.;
+            p.n_acc <- 0;
+            p.rtt_avg <- Context.init_rtt ctx
+          end)
+        ports);
   Context.set_hooks ctx
     ~on_forward:(fun ~link pkt -> on_forward t ~link pkt)
     ~on_reverse:(fun ~fwd_link:_ _ -> ())

@@ -1,0 +1,7 @@
+(* Shared debug switch for the transport protocols. Seeded from the
+   PDQ_DEBUG environment variable; tests and drivers can flip it at
+   runtime so quiet runs stay quiet. *)
+
+let enabled = ref (Sys.getenv_opt "PDQ_DEBUG" <> None)
+let on () = !enabled
+let set v = enabled := v

@@ -1,0 +1,6 @@
+(** Runtime debug switch gating the transports' [Printf.eprintf]
+    tracing (probe/ack/termination logs). Initialized from the
+    [PDQ_DEBUG] environment variable. *)
+
+val on : unit -> bool
+val set : bool -> unit

@@ -33,6 +33,10 @@ and stream = {
   mutable dup_acks : int;
   mutable syn_acked : bool;
   mutable last_syn : float;
+  mutable syn_wait : float; (* current (backed-off) SYN retransmit delay *)
+  mutable syn_retries : int;
+  mutable last_ack : float; (* last time any ACK arrived (liveness) *)
+  mutable probes_unanswered : int;
   mutable last_progress : float;
   mutable last_tx : float; (* departure time of the previous data packet *)
   mutable send_ev : Sim.handle option;
@@ -45,7 +49,20 @@ and stream = {
 }
 
 let max_payload = Packet.max_payload ~scheduling_header:Payloads.pdq_header_bytes
-let debug = Sys.getenv_opt "PDQ_DEBUG" <> None
+let debug () = Debug.on ()
+
+(* Watchdog hardening: bounded, backed-off retransmission so a flow on
+   a dead path reaches a terminal [Aborted] outcome instead of
+   retrying forever. The jitter desynchronizes retry storms after a
+   shared failure; it is drawn from the run's RNG only on the retry
+   path, so fault-free runs consume no extra randomness and stay
+   bit-for-bit reproducible. *)
+let max_syn_retries = 8
+let probe_backoff_threshold = 4
+let backoff_cap = 6 (* exponent cap: 64x *)
+let abort_after = 1.0 (* s without any ACK before declaring the path dead *)
+
+let jittered rng d = d *. (0.75 +. (0.5 *. Pdq_engine.Rng.float rng))
 
 let config t = t.cfg
 let port t link = t.ports.(link)
@@ -97,9 +114,29 @@ let finish_sender s =
     s.on_event ()
   end
 
+(* Terminal watchdog outcome: bounded retries exhausted or the path
+   stayed dead past [abort_after]. Marks the stream terminated (so
+   M-PDQ coordinators treat it as closed, not runnable), best-effort
+   TERMs the switches to free state, and records the per-cause abort
+   on the parent flow. *)
+let abort s ~cause =
+  if not s.closed then begin
+    if debug () then
+      Printf.eprintf "%.6f ABORT flow=%d cause=%s acked=%d/%d\n" (now s) s.sid
+        cause s.acked s.size;
+    close_sender s;
+    s.terminated <- true;
+    send_term s;
+    (match s.parent with
+    | Some flow -> Context.abort s.proto.ctx flow ~cause
+    | None ->
+        Context.record_fault s.proto.ctx ("abort.subflow." ^ cause));
+    s.on_event ()
+  end
+
 let terminate s =
   if not s.closed then begin
-    if debug then
+    if debug () then
       Printf.eprintf
         "%.6f TERMINATE flow=%d remaining=%d acked=%d rate=%g ttx=%g rtt=%g \
          deadline=%s paused_by=%s\n"
@@ -182,14 +219,25 @@ let ensure_sending s =
 let rec probe_loop s () =
   s.probe_ev <- None;
   if (not s.closed) && Sender.is_paused s.core && s.syn_acked then begin
-    if debug then
+    if debug () then
       Printf.eprintf "%.6f probe flow=%d ip=%g rtt=%g\n" (now s) s.sid
         (Sender.inter_probe_interval s.core)
         (Sender.rtt s.core);
     let hdr = Sender.make_header s.core ~t:(now s) in
     Context.transmit s.proto.ctx ~from:s.src
       (make_pkt s ~kind:Packet.Probe ~hdr ~cum_ack:0 ());
-    let delay = max (Sender.inter_probe_interval s.core) 1e-5 in
+    s.probes_unanswered <- s.probes_unanswered + 1;
+    let base = max (Sender.inter_probe_interval s.core) 1e-5 in
+    (* A healthy paused flow sees each probe answered within ~1 RTT, so
+       more than a few unanswered probes means the path is suspect:
+       back the probing off exponentially (with jitter) instead of
+       hammering a dead or rebooting switch. *)
+    let delay =
+      if s.probes_unanswered <= probe_backoff_threshold then base
+      else
+        let expo = min (s.probes_unanswered - probe_backoff_threshold) backoff_cap in
+        jittered (Context.rng s.proto.ctx) (base *. float_of_int (1 lsl expo))
+    in
     s.probe_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (probe_loop s))
   end
 
@@ -212,14 +260,32 @@ let adjust_loops s =
     ensure_sending s
   end
 
-(* Watchdog: SYN retransmission, go-back-N on stalled cumulative acks,
+(* Watchdog: SYN retransmission (bounded, with exponential backoff and
+   jitter once retries mount), go-back-N on stalled cumulative acks,
+   liveness abort when no ACK of any kind arrives for [abort_after],
    and Early Termination checks while paused. *)
 let rec watchdog s () =
   if not s.closed then begin
     let t = now s in
     if et_enabled s && Sender.should_terminate s.core ~now:t then terminate s
     else begin
-      if (not s.syn_acked) && t -. s.last_syn > rto s then send_syn s
+      if (not s.syn_acked) && t -. s.last_syn > s.syn_wait then begin
+        if s.syn_retries >= max_syn_retries then abort s ~cause:"syn"
+        else begin
+          s.syn_retries <- s.syn_retries + 1;
+          let expo = min s.syn_retries backoff_cap in
+          s.syn_wait <-
+            jittered (Context.rng s.proto.ctx)
+              (rto s *. float_of_int (1 lsl expo));
+          send_syn s
+        end
+      end
+      else if s.syn_acked && s.acked < s.size && t -. s.last_ack > abort_after
+      then
+        (* Even a legitimately paused flow hears probe ACKs every few
+           RTTs; total ACK silence this long means the path (or our
+           switch state) is gone for good. *)
+        abort s ~cause:"stall"
       else if
         s.syn_acked && s.acked < s.size
         && t -. s.last_progress > rto s
@@ -230,14 +296,16 @@ let rec watchdog s () =
         s.last_progress <- t;
         ensure_sending s
       end;
-      let delay = max (Sender.rtt s.core) 5e-4 in
-      ignore
-        (Sim.schedule (Context.sim s.proto.ctx) ~delay (fun () -> watchdog s ()))
+      if not s.closed then begin
+        let delay = max (Sender.rtt s.core) 5e-4 in
+        ignore
+          (Sim.schedule (Context.sim s.proto.ctx) ~delay (fun () -> watchdog s ()))
+      end
     end
   end
 
 let on_ack_packet s (hdr : Header.t) (ack : Payloads.ack_info) =
-  if debug then
+  if debug () then
     Printf.eprintf "%.6f ack flow=%d rate=%g pause=%s cum=%d\n"
       (Context.now s.proto.ctx) s.sid hdr.Header.rate
       (match hdr.Header.pause_by with None -> "-" | Some i -> string_of_int i)
@@ -245,6 +313,8 @@ let on_ack_packet s (hdr : Header.t) (ack : Payloads.ack_info) =
   if not s.closed then begin
     s.syn_acked <- true;
     let t = now s in
+    s.last_ack <- t;
+    s.probes_unanswered <- 0;
     let rtt_sample = t -. ack.Payloads.echo_ts in
     Sender.on_ack s.core hdr ~acked_bytes:ack.Payloads.cum_ack
       ~rtt_sample:(Some rtt_sample) ~now:t;
@@ -361,6 +431,14 @@ let install ?(size_info = Sender.Known) ~config ~ctx ~until () =
           ~link_rate:(Link.rate link) ~init_rtt:(Context.init_rtt ctx))
   in
   let t = { ctx; cfg = config; size_info; ports; streams = Hashtbl.create 64 } in
+  (* A crash-rebooted switch loses all per-flow soft state; it is
+     rebuilt on the fly from the scheduling headers of packets flowing
+     through (§3.4 of the paper — the state is deliberately soft). *)
+  Context.on_switch_reboot ctx (fun node ->
+      Array.iteri
+        (fun i port ->
+          if Link.src (Topology.link topo i) = node then Switch_port.flush port)
+        ports);
   Context.set_hooks ctx
     ~on_forward:(fun ~link pkt -> on_forward t ~link pkt)
     ~on_reverse:(fun ~fwd_link pkt -> on_reverse t ~fwd_link pkt)
@@ -408,6 +486,10 @@ let launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_r
       dup_acks = 0;
       syn_acked = false;
       last_syn = 0.;
+      syn_wait = infinity; (* set to the live RTO at launch *)
+      syn_retries = 0;
+      last_ack = start;
+      probes_unanswered = 0;
       last_progress = start;
       last_tx = neg_infinity;
       send_ev = None;
@@ -421,6 +503,8 @@ let launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_r
   Hashtbl.replace t.streams sid s;
   let sim = Context.sim t.ctx in
   let launch () =
+    s.syn_wait <- rto s;
+    s.last_ack <- now s;
     send_syn s;
     watchdog s ()
   in

@@ -11,6 +11,9 @@ type sender = {
   mutable acked : int;
   mutable syn_acked : bool;
   mutable last_syn : float;
+  mutable syn_wait : float; (* current (backed-off) SYN retransmit delay *)
+  mutable syn_retries : int;
+  mutable last_ack : float; (* last time any ACK arrived (liveness) *)
   mutable last_progress : float;
   mutable last_tx : float;
   mutable send_ev : Sim.handle option;
@@ -87,6 +90,23 @@ let quench s =
     Context.flow_closed s.proto.ctx s.flow
   end
 
+(* Hardened-watchdog constants shared with the PDQ transport: bounded
+   SYN retries with exponential backoff and jitter, and a liveness
+   abort when the path stays silent. Jitter draws from the run RNG
+   only on the retry path, so fault-free runs are unperturbed. *)
+let max_syn_retries = 8
+let backoff_cap = 6
+let abort_after = 1.0
+
+let jittered rng d = d *. (0.75 +. (0.5 *. Pdq_engine.Rng.float rng))
+
+let abort s ~cause =
+  if not s.closed then begin
+    close_sender s;
+    send_term s;
+    Context.abort s.proto.ctx s.flow ~cause
+  end
+
 (* Pacing interval at the current rate, bounded so a transiently tiny
    grant cannot park the sender; the explicit-rate feedback corrects
    any resulting overshoot within an RTT. *)
@@ -123,20 +143,35 @@ let rec watchdog s () =
     let t = now s in
     if s.proto.ops.quench s ~now:t then quench s
     else begin
-      if (not s.syn_acked) && t -. s.last_syn > rto s then send_syn s
+      if (not s.syn_acked) && t -. s.last_syn > s.syn_wait then begin
+        if s.syn_retries >= max_syn_retries then abort s ~cause:"syn"
+        else begin
+          s.syn_retries <- s.syn_retries + 1;
+          let expo = min s.syn_retries backoff_cap in
+          s.syn_wait <-
+            jittered
+              (Context.rng s.proto.ctx)
+              (rto s *. float_of_int (1 lsl expo));
+          send_syn s
+        end
+      end
+      else if s.syn_acked && s.acked < size s && t -. s.last_ack > abort_after
+      then abort s ~cause:"stall"
       else if s.syn_acked && s.acked < size s && t -. s.last_progress > rto s then begin
         s.next_seq <- s.acked;
         s.last_progress <- t;
         ensure_sending s
       end;
-      (* Per-RTT rate-request probe when data is not flowing fast
-         enough to carry requests itself. *)
-      if s.syn_acked && s.acked < size s && t -. s.last_tx > s.rtt then
-        transmit s (make_pkt s ~kind:Packet.Probe ());
-      ignore
-        (Sim.schedule (Context.sim s.proto.ctx)
-           ~delay:(max (min s.rtt 5e-4) 1e-4)
-           (fun () -> watchdog s ()))
+      if not s.closed then begin
+        (* Per-RTT rate-request probe when data is not flowing fast
+           enough to carry requests itself. *)
+        if s.syn_acked && s.acked < size s && t -. s.last_tx > s.rtt then
+          transmit s (make_pkt s ~kind:Packet.Probe ());
+        ignore
+          (Sim.schedule (Context.sim s.proto.ctx)
+             ~delay:(max (min s.rtt 5e-4) 1e-4)
+             (fun () -> watchdog s ()))
+      end
     end
   end
 
@@ -144,6 +179,7 @@ let on_ack s (pkt : Packet.t) =
   if not s.closed then begin
     s.syn_acked <- true;
     let t = now s in
+    s.last_ack <- t;
     (match Payloads.ack_of pkt.Packet.payload with
     | Some ack ->
         let sample = t -. ack.Payloads.echo_ts in
@@ -212,6 +248,9 @@ let start_flow t (flow : Context.flow) =
       acked = 0;
       syn_acked = false;
       last_syn = 0.;
+      syn_wait = infinity;
+      syn_retries = 0;
+      last_ack = flow.Context.spec.Context.start;
       last_progress = flow.Context.spec.Context.start;
       last_tx = neg_infinity;
       send_ev = None;
@@ -225,6 +264,8 @@ let start_flow t (flow : Context.flow) =
   Hashtbl.replace t.senders flow.Context.id s;
   let sim = Context.sim t.ctx in
   let launch () =
+    s.syn_wait <- rto s;
+    s.last_ack <- Sim.now sim;
     send_syn s;
     watchdog s ()
   in

@@ -104,6 +104,18 @@ let install ~ctx ~until =
   in
   let inner = Rate_flow.install ~ctx ~ops:(ops ctx) in
   let t = { ctx; ports; inner } in
+  (* Crash-reboot: the per-port flow table is soft state rebuilt from
+     the next packets through; reset the estimators to their initial
+     values. *)
+  Context.on_switch_reboot ctx (fun node ->
+      Array.iter
+        (fun p ->
+          if Link.src p.link = node then begin
+            Hashtbl.reset p.flows;
+            p.fair <- Link.rate p.link;
+            p.rtt_avg <- Context.init_rtt ctx
+          end)
+        ports);
   Context.set_hooks ctx
     ~on_forward:(fun ~link pkt -> on_forward t ~link pkt)
     ~on_reverse:(fun ~fwd_link:_ _ -> ())

@@ -30,6 +30,7 @@ type options = {
   horizon : float;
   stop_when_done : bool;
   loss : (float * int list) option;
+  faults : Pdq_faults.Fault_plan.t option;
   trace : (int * float) option;
   init_rtt : float;
   rto_min : float;
@@ -41,6 +42,7 @@ let default_options =
     horizon = 10.;
     stop_when_done = true;
     loss = None;
+    faults = None;
     trace = None;
     init_rtt = 2e-4;
     rto_min = 1e-3;
@@ -51,6 +53,7 @@ type flow_result = {
   fct : float option;
   met_deadline : bool;
   terminated : bool;
+  aborted : bool;
 }
 
 type result = {
@@ -58,6 +61,8 @@ type result = {
   application_throughput : float;
   mean_fct : float;
   completed : int;
+  aborted : int;
+  counters : (string * int) list;
   sim_end : float;
   ctx : Context.t;
 }
@@ -104,6 +109,17 @@ let run ?(options = default_options) ~topo protocol specs =
         let p = Tcp_proto.install ~rto_min:options.rto_min ~ctx () in
         Tcp_proto.start_flow p
   in
+  (* Fault injection. The empty plan is skipped entirely — not even an
+     [Rng.split] — so a run with [faults = Some Fault_plan.empty] is
+     bit-for-bit identical to one with [faults = None]. Installed after
+     the protocol so its reboot hooks are registered. *)
+  (match options.faults with
+  | Some plan when not (Pdq_faults.Fault_plan.is_empty plan) ->
+      Pdq_faults.Fault_plan.install ~sim ~topo ~rng:(Rng.split rng)
+        ~on_change:(fun () -> Context.reroute ctx)
+        ~on_reboot:(fun node -> Context.reboot_switch ctx ~node)
+        plan
+  | Some _ | None -> ());
   let flows = List.map (Context.add_flow ctx) specs in
   List.iter start_flow flows;
   if options.stop_when_done then Context.on_all_complete ctx (fun () -> Sim.stop sim);
@@ -125,6 +141,7 @@ let run ?(options = default_options) ~topo protocol specs =
           fct;
           met_deadline = met;
           terminated = f.Context.terminated;
+          aborted = f.Context.aborted;
         })
       (Context.flows ctx)
     |> Array.of_list
@@ -146,11 +163,36 @@ let run ?(options = default_options) ~topo protocol specs =
     |> List.filter_map (fun (r : flow_result) -> r.fct)
     |> Array.of_list
   in
+  (* Per-cause counters: watchdog aborts and fault events from the
+     context tally, plus link-level drop causes summed over the
+     topology. Zero counts are omitted so fault-free runs report []. *)
+  let counters =
+    let drop_loss = ref 0 and drop_overflow = ref 0 and drop_down = ref 0 in
+    for i = 0 to Topology.link_count topo - 1 do
+      let l = Topology.link topo i in
+      drop_loss := !drop_loss + Link.dropped_loss l;
+      drop_overflow := !drop_overflow + Link.dropped_overflow l;
+      drop_down := !drop_down + Link.dropped_down l
+    done;
+    Pdq_engine.Stats.Tally.to_list (Context.tally ctx)
+    @ List.filter
+        (fun (_, n) -> n > 0)
+        [
+          ("drop.loss", !drop_loss);
+          ("drop.overflow", !drop_overflow);
+          ("drop.down", !drop_down);
+        ]
+  in
   {
     flows = results;
     application_throughput;
     mean_fct = Pdq_engine.Stats.mean fcts;
     completed = Array.length fcts;
+    aborted =
+      Array.fold_left
+        (fun n (r : flow_result) -> if r.aborted then n + 1 else n)
+        0 results;
+    counters;
     sim_end = Sim.now sim;
     ctx;
   }

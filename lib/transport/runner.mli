@@ -33,6 +33,10 @@ type options = {
   loss : (float * int list) option;
       (** Bernoulli loss rate applied to the given directed links
           (Fig. 9 applies it to both directions of the bottleneck). *)
+  faults : Pdq_faults.Fault_plan.t option;
+      (** Timed fault injections (link failures, loss episodes, switch
+          reboots). [None] or an empty plan leaves the run bit-for-bit
+          identical to a fault-free one. *)
   trace : (int * float) option;
       (** [(link, sample_every)]: record that link's transmitted-bytes
           and queue-length series plus per-flow goodput (Fig. 6/7). *)
@@ -49,6 +53,7 @@ type flow_result = {
   fct : float option;     (** Receiver-side completion − start. *)
   met_deadline : bool;    (** Completed before its absolute deadline. *)
   terminated : bool;      (** Early Termination / quenching. *)
+  aborted : bool;         (** Watchdog gave up (dead path). *)
 }
 
 type result = {
@@ -59,6 +64,13 @@ type result = {
   mean_fct : float;
       (** Mean completion time over completed flows, seconds. *)
   completed : int;
+  aborted : int; (** Flows whose watchdog reached a terminal abort. *)
+  counters : (string * int) list;
+      (** Per-cause counters, sorted by key: watchdog aborts
+          (["abort.syn"], ["abort.stall"]), fault events
+          (["fault.switch_reboot"], ["fault.unroutable"]) and link
+          drops by cause (["drop.loss"], ["drop.overflow"],
+          ["drop.down"]). Empty for a clean fault-free run. *)
   sim_end : float;
   ctx : Context.t; (** For trace series extraction. *)
 }

@@ -17,6 +17,7 @@ type sender = {
   mutable rttvar : float;
   mutable rto : float;
   mutable backoff : float;
+  mutable retries : int; (* consecutive RTOs with no forward progress *)
   mutable syn_acked : bool;
   mutable last_syn : float;
   mutable timer : Sim.handle option;
@@ -65,30 +66,56 @@ let send_segment s seq =
 
 let flight s = s.next_seq - s.acked
 
+(* Give up after this many consecutive RTOs with zero forward progress
+   (dead path): by then the backoff has the timer at 64x RTO, so the
+   path has been silent for a long multiple of the RTT. *)
+let max_retries = 10
+
+let abort s ~cause =
+  if not s.closed then begin
+    s.closed <- true;
+    s.timer <- cancel_opt s.timer;
+    Context.abort s.proto.ctx s.flow ~cause
+  end
+
 let rec arm_timer s =
   s.timer <- cancel_opt s.timer;
-  if not s.closed then
+  if not s.closed then begin
+    let delay = s.rto *. s.backoff in
+    (* Jitter the backed-off retry timer so senders that lost the same
+       link do not retransmit in lockstep; the initial timer stays
+       deterministic (no RNG draw on the fault-free path). *)
+    let delay =
+      if s.backoff > 1. then
+        delay *. (0.75 +. (0.5 *. Pdq_engine.Rng.float (Context.rng s.proto.ctx)))
+      else delay
+    in
     s.timer <-
-      Some
-        (Sim.schedule (Context.sim s.proto.ctx) ~delay:(s.rto *. s.backoff)
-           (fun () -> on_timeout s))
+      Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (fun () -> on_timeout s))
+  end
 
 (* Retransmission timeout: multiplicative backoff, window collapse,
-   go-back-N from the cumulative ack point. *)
+   go-back-N from the cumulative ack point. Bounded: a sender whose
+   path stays dead aborts instead of backing off forever. *)
 and on_timeout s =
   s.timer <- None;
   if not s.closed then begin
-    if not s.syn_acked then send_syn s
-    else if s.acked < size s then begin
-      s.ssthresh <- max (float_of_int (flight s) /. 2.) (2. *. float_of_int mss);
-      s.cwnd <- float_of_int mss;
-      s.dup_acks <- 0;
-      s.in_recovery <- false;
-      s.next_seq <- s.acked;
-      try_send s
-    end;
-    s.backoff <- min (s.backoff *. 2.) 64.;
-    arm_timer s
+    s.retries <- s.retries + 1;
+    if s.retries > max_retries then
+      abort s ~cause:(if s.syn_acked then "stall" else "syn")
+    else begin
+      if not s.syn_acked then send_syn s
+      else if s.acked < size s then begin
+        s.ssthresh <- max (float_of_int (flight s) /. 2.) (2. *. float_of_int mss);
+        s.cwnd <- float_of_int mss;
+        s.dup_acks <- 0;
+        s.in_recovery <- false;
+        s.next_seq <- s.acked;
+        try_send s
+      end;
+      s.backoff <- min (s.backoff *. 2.) 64.;
+      arm_timer s
+    end
   end
 
 and try_send s =
@@ -134,6 +161,7 @@ let on_ack s (pkt : Packet.t) =
           let acked_bytes = cum - s.acked in
           s.acked <- cum;
           s.backoff <- 1.;
+          s.retries <- 0;
           s.dup_acks <- 0;
           if s.in_recovery then begin
             if s.acked >= s.recover_point then begin
@@ -176,6 +204,8 @@ let on_syn_ack s =
   if (not s.syn_acked) && not s.closed then begin
     s.syn_acked <- true;
     s.cwnd <- 2. *. float_of_int mss;
+    s.backoff <- 1.;
+    s.retries <- 0;
     arm_timer s;
     try_send s
   end
@@ -244,6 +274,7 @@ let start_flow t (flow : Context.flow) =
       rttvar = 0.;
       rto = max t.rto_min (3. *. Context.init_rtt t.ctx);
       backoff = 1.;
+      retries = 0;
       syn_acked = false;
       last_syn = 0.;
       timer = None;

@@ -1,0 +1,361 @@
+(* Fault-injection subsystem: plan DSL determinism, switch soft-state
+   flush/rebuild, and end-to-end resilience behavior of the runner. *)
+
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Units = Pdq_engine.Units
+module Link = Pdq_net.Link
+module Topology = Pdq_net.Topology
+module Builder = Pdq_topo.Builder
+module Fault_plan = Pdq_faults.Fault_plan
+module Config = Pdq_core.Config
+module Header = Pdq_core.Header
+module Switch_port = Pdq_core.Switch_port
+module Flow_list = Pdq_core.Flow_list
+module Context = Pdq_transport.Context
+module Runner = Pdq_transport.Runner
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps *. (1. +. abs_float a)
+
+(* ------------------------------------------------------------------ *)
+(* Plan DSL *)
+
+let test_plan_generators_deterministic () =
+  let build seed =
+    let rng = Rng.create seed in
+    let flaps =
+      Fault_plan.link_flaps (Rng.split rng)
+        ~links:[ (0, 1); (1, 2); (2, 3) ]
+        ~mtbf:0.1 ~mttr:0.02 ~until:2.
+    in
+    let bursts =
+      Fault_plan.loss_bursts (Rng.split rng)
+        ~links:[ (0, 1) ]
+        ~mean_interval:0.05 ~mean_duration:0.01 ~loss:0.5 ~until:2.
+    in
+    let reboots =
+      Fault_plan.switch_reboots (Rng.split rng)
+        ~switches:[ 1; 2; 3 ]
+        ~mtbf:0.2 ~until:2.
+    in
+    Fault_plan.merge (Fault_plan.merge flaps bursts) reboots
+  in
+  let a = build 42 and b = build 42 and c = build 43 in
+  Alcotest.(check bool) "nonempty" false (Fault_plan.is_empty a);
+  Alcotest.(check bool) "same seed, identical trace" true
+    (Fault_plan.events a = Fault_plan.events b);
+  Alcotest.(check bool) "different seed, different trace" false
+    (Fault_plan.events a = Fault_plan.events c)
+
+let test_plan_of_events () =
+  let p =
+    Fault_plan.of_events
+      [
+        (0.3, Fault_plan.Link_up { a = 0; b = 1 });
+        (0.1, Fault_plan.Link_down { a = 0; b = 1 });
+        (0.2, Fault_plan.Switch_reboot 5);
+      ]
+  in
+  (match Fault_plan.events p with
+  | [ (t1, Fault_plan.Link_down _); (t2, Fault_plan.Switch_reboot 5);
+      (t3, Fault_plan.Link_up _) ] ->
+      Alcotest.(check bool) "sorted" true (t1 < t2 && t2 < t3)
+  | _ -> Alcotest.fail "events not sorted by time");
+  Alcotest.(check int) "length" 3 (Fault_plan.length p);
+  Alcotest.check_raises "negative time rejected"
+    (Invalid_argument "Fault_plan.of_events: negative event time") (fun () ->
+      ignore (Fault_plan.of_events [ (-1., Fault_plan.Switch_reboot 0) ]))
+
+let test_plan_targets () =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let cables = Fault_plan.switch_cables built.Builder.topo in
+  let switches = Fault_plan.switches built.Builder.topo in
+  (* Fig 2a: root + 4 ToRs, root-ToR cables only (host links excluded). *)
+  Alcotest.(check int) "switch-switch cables" 4 (List.length cables);
+  Alcotest.(check int) "switches" 5 (List.length switches)
+
+(* ------------------------------------------------------------------ *)
+(* Switch soft state: flush and header-driven rebuild *)
+
+let test_port_flush_and_rebuild () =
+  let gbps = Units.gbps 1. in
+  let port =
+    Switch_port.create ~config:Config.full ~switch_id:9 ~link_rate:gbps
+      ~init_rtt:1.5e-4
+  in
+  let h1 = Header.make ~rate:gbps ~expected_tx_time:1e-3 ~rtt:4e-4 () in
+  Switch_port.process_forward port h1 ~flow_id:1 ~now:0.;
+  Switch_port.process_reverse port h1 ~flow_id:1 ~now:1e-4;
+  let h2 = Header.make ~rate:gbps ~expected_tx_time:10. ~rtt:4e-4 () in
+  Switch_port.process_forward port h2 ~flow_id:2 ~now:2e-4;
+  Alcotest.(check int) "two flows stored" 2
+    (Flow_list.length (Switch_port.flow_list port));
+  Alcotest.(check bool) "rtt estimate moved" false
+    (feq 1.5e-4 (Switch_port.rtt_avg port));
+  (* Crash-reboot. *)
+  Switch_port.flush port;
+  Alcotest.(check int) "flow list wiped" 0
+    (Flow_list.length (Switch_port.flow_list port));
+  Alcotest.(check int) "fallback wiped" 0 (Switch_port.fallback_flow_count port);
+  Alcotest.(check bool) "rtt estimate reset" true
+    (feq 1.5e-4 (Switch_port.rtt_avg port));
+  (* The next traversing header rebuilds the state from scratch: the
+     flow is stored again and accepted at full rate. *)
+  let h1' = Header.make ~rate:gbps ~expected_tx_time:1e-3 ~rtt:4e-4 () in
+  Switch_port.process_forward port h1' ~flow_id:1 ~now:3e-4;
+  Alcotest.(check int) "rebuilt from header" 1
+    (Flow_list.length (Switch_port.flow_list port));
+  Alcotest.(check bool) "accepted after rebuild" true
+    (h1'.Header.pause_by = None)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: runner integration *)
+
+let specs_cross_rack built ~flows ~size =
+  (* Aggregation onto hosts.(0) from the other racks. *)
+  let hosts = built.Builder.hosts in
+  List.init flows (fun i ->
+      {
+        Context.src = hosts.(Array.length hosts - 1 - i);
+        dst = hosts.(0);
+        size;
+        deadline = None;
+        start = 0.;
+      })
+
+let run_tree ?faults ?(protocol = Runner.Pdq Config.full) ?(horizon = 3.)
+    ~flows ~size () =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let options =
+    { Runner.default_options with Runner.seed = 1; horizon; faults }
+  in
+  ( Runner.run ~options ~topo:built.Builder.topo protocol
+      (specs_cross_rack built ~flows ~size),
+    built )
+
+(* The bit-for-bit acceptance criterion: an empty fault plan must not
+   perturb the run in any way — not even an extra RNG split. *)
+let test_empty_plan_bit_for_bit () =
+  let fcts faults =
+    let r, _ = run_tree ?faults ~flows:6 ~size:300_000 () in
+    ( Array.map (fun (f : Runner.flow_result) -> f.Runner.fct) r.Runner.flows,
+      r.Runner.sim_end,
+      r.Runner.counters )
+  in
+  let f0, end0, c0 = fcts None in
+  let f1, end1, c1 = fcts (Some Fault_plan.empty) in
+  Alcotest.(check bool) "identical FCTs" true (f0 = f1);
+  Alcotest.(check bool) "identical end time" true (end0 = end1);
+  Alcotest.(check bool) "no counters in clean runs" true (c0 = [] && c1 = [])
+
+(* A mid-transfer permanent failure of the aggregation cable: the tree
+   has no alternate path, so the flow keeps its stale route, its
+   packets die at the down link, and the watchdog reaches a terminal
+   abort instead of hanging until the horizon. *)
+let test_dead_path_aborts () =
+  let check_proto protocol =
+    let sim = Sim.create () in
+    let built = Builder.single_rooted_tree ~sim () in
+    let specs = specs_cross_rack built ~flows:1 ~size:2_000_000 in
+    let dst_tor =
+      (* The receiver's ToR-root cable; hosts.(0)'s neighbor switch. *)
+      match Topology.links_from built.Builder.topo built.Builder.hosts.(0) with
+      | (next, _) :: _ -> next
+      | [] -> Alcotest.fail "host has no links"
+    in
+    let root =
+      match
+        List.filter
+          (fun (a, b) -> a = dst_tor || b = dst_tor)
+          (Fault_plan.switch_cables built.Builder.topo)
+      with
+      | (a, b) :: _ -> if a = dst_tor then b else a
+      | [] -> Alcotest.fail "no root cable"
+    in
+    let faults =
+      Fault_plan.of_events
+        [ (0.004, Fault_plan.Link_down { a = dst_tor; b = root }) ]
+    in
+    let options =
+      {
+        Runner.default_options with
+        Runner.seed = 1;
+        horizon = 5.;
+        faults = Some faults;
+      }
+    in
+    let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
+    Alcotest.(check int)
+      (Runner.protocol_name protocol ^ " aborted")
+      1 r.Runner.aborted;
+    Alcotest.(check int)
+      (Runner.protocol_name protocol ^ " not completed")
+      0 r.Runner.completed;
+    Alcotest.(check bool)
+      (Runner.protocol_name protocol ^ " run ends before horizon")
+      true
+      (r.Runner.sim_end < 5.);
+    let count key = try List.assoc key r.Runner.counters with Not_found -> 0 in
+    Alcotest.(check bool)
+      (Runner.protocol_name protocol ^ " per-cause abort counted")
+      true
+      (count "abort.stall" + count "abort.syn" = 1);
+    Alcotest.(check bool)
+      (Runner.protocol_name protocol ^ " drops at the down link")
+      true
+      (count "drop.down" > 0)
+  in
+  check_proto (Runner.Pdq Config.full);
+  check_proto Runner.Tcp;
+  check_proto Runner.Rcp
+
+(* Switch crash-reboots mid-transfer: every switch loses its scheduler
+   state twice, yet all flows finish — the state is rebuilt from the
+   scheduling headers of packets in flight (the paper's soft-state
+   argument), not by any explicit resynchronization. *)
+let test_switch_reboot_flows_resume () =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let specs = specs_cross_rack built ~flows:6 ~size:500_000 in
+  let reboot_all t =
+    List.map
+      (fun n -> (t, Fault_plan.Switch_reboot n))
+      (Fault_plan.switches built.Builder.topo)
+  in
+  let faults = Fault_plan.of_events (reboot_all 0.002 @ reboot_all 0.006) in
+  let options =
+    {
+      Runner.default_options with
+      Runner.seed = 1;
+      horizon = 5.;
+      faults = Some faults;
+    }
+  in
+  let r =
+    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
+  in
+  Alcotest.(check int) "all flows complete" 6 r.Runner.completed;
+  Alcotest.(check int) "no aborts" 0 r.Runner.aborted;
+  Alcotest.(check bool) "no hang (ends before horizon)" true
+    (r.Runner.sim_end < 5.);
+  Alcotest.(check int) "reboots counted" 10
+    (try List.assoc "fault.switch_reboot" r.Runner.counters
+     with Not_found -> 0)
+
+(* Loss episode on the bottleneck: a 5 ms 100% black-out delays the
+   transfer but retransmission machinery completes it. *)
+let test_loss_burst_recovers () =
+  let run faults =
+    let sim = Sim.create () in
+    let built, rx = Builder.single_bottleneck ~sim ~senders:4 () in
+    let specs =
+      [
+        {
+          Context.src = built.Builder.hosts.(0);
+          dst = rx;
+          size = 500_000;
+          deadline = None;
+          start = 0.;
+        };
+      ]
+    in
+    let options =
+      { Runner.default_options with Runner.seed = 1; horizon = 3.; faults }
+    in
+    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
+  in
+  let clean = run None in
+  let bursty =
+    run
+      (Some
+         (Fault_plan.of_events
+            [
+              ( 0.001,
+                Fault_plan.Loss_burst
+                  { a = 0; b = 1; loss = 1.0; duration = 0.005 } );
+            ]))
+  in
+  Alcotest.(check int) "clean completes" 1 clean.Runner.completed;
+  Alcotest.(check int) "bursty completes" 1 bursty.Runner.completed;
+  Alcotest.(check bool) "burst delays the flow" true
+    (bursty.Runner.mean_fct > clean.Runner.mean_fct +. 0.004);
+  Alcotest.(check bool) "drops counted as loss" true
+    (try List.assoc "drop.loss" bursty.Runner.counters > 0
+     with Not_found -> false)
+
+(* Fat-tree under heavy flapping: ECMP re-pinning routes around
+   outages; the run must stay exception-free, deterministic, and every
+   flow must reach a terminal state (no hang). *)
+let test_fat_tree_flapping_deterministic () =
+  let run () =
+    let sim = Sim.create () in
+    let built = Builder.fat_tree ~sim ~k:4 () in
+    let hosts = built.Builder.hosts in
+    let specs =
+      List.init 8 (fun i ->
+          {
+            Context.src = hosts.(Array.length hosts - 1 - i);
+            dst = hosts.(0);
+            size = 400_000;
+            deadline = None;
+            start = float_of_int i *. 0.002;
+          })
+    in
+    let faults =
+      Fault_plan.link_flaps (Rng.create 5)
+        ~links:(Fault_plan.switch_cables built.Builder.topo)
+        ~mtbf:0.08 ~mttr:0.02 ~until:0.5
+    in
+    let options =
+      {
+        Runner.default_options with
+        Runner.seed = 1;
+        horizon = 4.;
+        faults = Some faults;
+      }
+    in
+    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "every flow reaches a terminal state" true
+    (Array.for_all
+       (fun (f : Runner.flow_result) ->
+         f.Runner.fct <> None || f.Runner.terminated || f.Runner.aborted)
+       a.Runner.flows);
+  Alcotest.(check bool) "most flows survive rerouting" true
+    (a.Runner.completed >= 6);
+  Alcotest.(check bool) "deterministic (same seed, same result)" true
+    (a.Runner.mean_fct = b.Runner.mean_fct
+    && a.Runner.counters = b.Runner.counters
+    && a.Runner.sim_end = b.Runner.sim_end)
+
+let suites =
+  [
+    ( "faults.plan",
+      [
+        Alcotest.test_case "generator determinism" `Quick
+          test_plan_generators_deterministic;
+        Alcotest.test_case "of_events ordering" `Quick test_plan_of_events;
+        Alcotest.test_case "topology targets" `Quick test_plan_targets;
+      ] );
+    ( "faults.switch_state",
+      [
+        Alcotest.test_case "flush and header rebuild" `Quick
+          test_port_flush_and_rebuild;
+      ] );
+    ( "faults.endtoend",
+      [
+        Alcotest.test_case "empty plan is bit-for-bit clean" `Quick
+          test_empty_plan_bit_for_bit;
+        Alcotest.test_case "dead path aborts with counters" `Quick
+          test_dead_path_aborts;
+        Alcotest.test_case "switch reboots: flows resume" `Quick
+          test_switch_reboot_flows_resume;
+        Alcotest.test_case "loss burst recovers" `Quick test_loss_burst_recovers;
+        Alcotest.test_case "fat-tree flapping deterministic" `Quick
+          test_fat_tree_flapping_deterministic;
+      ] );
+  ]

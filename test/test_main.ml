@@ -8,6 +8,7 @@ let () =
          Test_net.suites;
          Test_core.suites;
          Test_transport.suites;
+         Test_faults.suites;
          Test_mpdq.suites;
          Test_sched.suites;
          Test_workload.suites;

@@ -87,6 +87,76 @@ let test_link_loss () =
     true
     (frac > 0.42 && frac < 0.58)
 
+(* Down-link semantics: drops happen at admission (counted as
+   dropped_down), packets already queued still drain, and bringing the
+   link back up restores delivery. *)
+let test_link_down_up () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  let got = ref 0 in
+  Link.set_receiver link (fun _ -> incr got);
+  Link.send link (mk_packet ~now:0. ());
+  Link.send link (mk_packet ~now:0. ());
+  Alcotest.(check bool) "starts up" true (Link.is_up link);
+  Link.set_up link false;
+  Alcotest.(check int) "queued survive the failure" 3000
+    (Link.queue_bytes link);
+  Link.send link (mk_packet ~now:0. ());
+  Link.send link (mk_packet ~now:0. ());
+  Sim.run sim;
+  Alcotest.(check int) "queued packets drained" 2 !got;
+  Alcotest.(check int) "admission drops counted" 2 (Link.dropped_down link);
+  Alcotest.(check int) "no loss drops" 0 (Link.dropped_loss link);
+  Link.set_up link true;
+  Link.send link (mk_packet ~now:(Sim.now sim) ());
+  Sim.run sim;
+  Alcotest.(check int) "delivery restored" 3 !got
+
+(* Gilbert-Elliott: deterministic for a fixed seed, and burstier than
+   Bernoulli at the same average loss — long loss-free stretches
+   alternating with black-out runs. *)
+let test_link_gilbert_loss () =
+  let run seed =
+    let sim = Sim.create () in
+    let link = mk_link sim in
+    let delivered = ref [] in
+    let n = ref 0 in
+    Link.set_receiver link (fun _ -> delivered := !n :: !delivered);
+    Link.set_loss_model link
+      (Link.Gilbert
+         { Link.p_gb = 0.01; p_bg = 0.1; loss_good = 0.; loss_bad = 1. })
+      ~rng:(Rng.create seed);
+    for i = 1 to 2000 do
+      n := i;
+      Link.send link (mk_packet ~now:(Sim.now sim) ());
+      Sim.run sim
+    done;
+    List.rev !delivered
+  in
+  let a = run 7 and b = run 7 in
+  Alcotest.(check bool) "same seed, same drop pattern" true (a = b);
+  let frac = float_of_int (List.length a) /. 2000. in
+  (* Stationary bad-state probability 0.01/(0.01+0.1) ~ 9%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "~91%% delivered (got %.3f)" frac)
+    true
+    (frac > 0.82 && frac < 0.97);
+  (* Burstiness: consecutive losses must occur far more often than the
+     squared loss rate would allow under Bernoulli. *)
+  let losses = ref 0 and paired = ref 0 in
+  let prev_lost = ref false in
+  let delivered = Array.make 2001 false in
+  List.iter (fun i -> delivered.(i) <- true) a;
+  for i = 1 to 2000 do
+    if not delivered.(i) then begin
+      incr losses;
+      if !prev_lost then incr paired
+    end;
+    prev_lost := not delivered.(i)
+  done;
+  Alcotest.(check bool) "losses come in runs" true
+    (float_of_int !paired > 0.5 *. float_of_int !losses)
+
 let test_link_tap () =
   let sim = Sim.create () in
   let link = mk_link sim in
@@ -253,6 +323,8 @@ let suites =
         Alcotest.test_case "tail drop" `Quick test_link_tail_drop;
         Alcotest.test_case "queue accounting" `Quick test_link_queue_accounting;
         Alcotest.test_case "bernoulli loss" `Quick test_link_loss;
+        Alcotest.test_case "down/up semantics" `Quick test_link_down_up;
+        Alcotest.test_case "gilbert-elliott loss" `Quick test_link_gilbert_loss;
         Alcotest.test_case "transmit tap" `Quick test_link_tap;
       ] );
     ( "net.topologies",
