@@ -72,7 +72,7 @@ let micro () =
       (Staged.stage (fun () ->
            let port =
              Pdq_core.Switch_port.create ~config:Pdq_core.Config.full
-               ~switch_id:1 ~link_rate:1e9 ~init_rtt:1.5e-4
+               ~switch_id:1 ~link_rate:1e9 ~init_rtt:1.5e-4 ()
            in
            for i = 0 to 99 do
              let h =
@@ -152,12 +152,19 @@ let () =
       Format.printf "unknown target; available:@.";
       List.iter (fun (n, _) -> Format.printf "  %s@." n) targets
     end
-    else
+    else begin
+      (* Per-target simulator profile: every Sim.t the figure code
+         creates attaches to the global profiler; reset between targets
+         so each report covers one figure. *)
+      let profiler = Pdq_engine.Profiler.enable_global () in
       List.iter
         (fun (name, f) ->
+          Pdq_engine.Profiler.reset profiler;
           let t0 = Unix.gettimeofday () in
           f ~quick;
-          Format.printf "[%s done in %.1fs]@.@." name
-            (Unix.gettimeofday () -. t0))
+          Format.printf "[%s done in %.1fs]@.%a@.@." name
+            (Unix.gettimeofday () -. t0)
+            Pdq_engine.Profiler.pp_report profiler)
         selected
+    end
   end

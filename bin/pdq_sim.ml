@@ -46,7 +46,7 @@ let protocol_of name subflows =
 
 let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
     no_deadlines pattern seed resilience full flap_mtbf flap_mttr reboot_mtbf
-    fault_until =
+    fault_until trace_out metrics_out metrics_every profile =
   if resilience then begin
     Pdq_experiments.Resilience.run_all ~quick:(not full) Format.std_formatter ();
     0
@@ -66,6 +66,11 @@ let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
       prerr_endline e;
       1
   | Ok protocol ->
+      (* Enable before [Sim.create] so the simulator attaches to the
+         global profiler. *)
+      let profiler =
+        if profile then Some (Pdq_engine.Profiler.enable_global ()) else None
+      in
       let sim = Sim.create () in
       let built = build topo_kind ~sim ~seed in
       let hosts = built.Builder.hosts in
@@ -121,8 +126,43 @@ let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
         let plan = Fault_plan.merge flaps reboots in
         if Fault_plan.is_empty plan then None else Some plan
       in
-      let options = { Runner.default_options with Runner.seed; faults } in
+      (* Telemetry: a JSONL trace sink and/or a metrics registry with
+         the network-wide probe, driven by the --trace-out /
+         --metrics-out flags. *)
+      let trace_chan = Option.map open_out trace_out in
+      let metrics =
+        match metrics_out with
+        | Some _ -> Some (Pdq_telemetry.Metrics.create ())
+        | None -> None
+      in
+      let telemetry =
+        {
+          Runner.sinks =
+            (match trace_chan with
+            | Some oc -> [ Pdq_telemetry.Trace.jsonl oc ]
+            | None -> []);
+          metrics;
+          metrics_every;
+        }
+      in
+      let options =
+        { Runner.default_options with Runner.seed; faults; telemetry }
+      in
       let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
+      (match trace_chan with
+      | Some oc ->
+          close_out oc;
+          Printf.printf "trace written to %s\n" (Option.get trace_out)
+      | None -> ());
+      (match (metrics, metrics_out) with
+      | Some m, Some path ->
+          let oc = open_out path in
+          if Filename.check_suffix path ".jsonl" then
+            Pdq_telemetry.Metrics.write_jsonl m oc
+          else Pdq_telemetry.Metrics.write_csv m oc;
+          close_out oc;
+          Printf.printf "metrics written to %s\n" path
+      | _ -> ());
       Printf.printf "%s on %s: %d flows (%s)\n"
         (Runner.protocol_name protocol)
         topo_name flows pattern;
@@ -155,6 +195,9 @@ let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
           r.Runner.counters;
         print_newline ()
       end;
+      (match profiler with
+      | Some p -> Format.printf "%a@." Pdq_engine.Profiler.pp_report p
+      | None -> ());
       0
 
 let cmd =
@@ -212,11 +255,38 @@ let cmd =
     Arg.(value & opt float 0.5
          & info [ "fault-until" ] ~doc:"Stop injecting faults after this time [s]")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"Write the structured event trace as JSONL to $(docv)"
+             ~docv:"FILE")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ]
+             ~doc:"Write the metrics registry (probe series, counters, \
+                   histograms) to $(docv); .jsonl extension selects JSONL, \
+                   anything else CSV"
+             ~docv:"FILE")
+  in
+  let metrics_every =
+    Arg.(value & opt float 1e-3
+         & info [ "metrics-every" ]
+             ~doc:"Metrics probe period in simulated seconds" ~docv:"SEC")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print the simulator profiler report (events executed, \
+                   queue high-water mark, CPU per simulated second, per \
+                   event kind timing)")
+  in
   Cmd.v
     (Cmd.info "pdq_sim" ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
     Term.(
       const run $ proto $ subflows $ topo $ flows $ mean_size $ deadline_mean
       $ no_deadlines $ pattern $ seed $ resilience $ full $ flap_mtbf
-      $ flap_mttr $ reboot_mtbf $ fault_until)
+      $ flap_mttr $ reboot_mtbf $ fault_until $ trace_out $ metrics_out
+      $ metrics_every $ profile)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@ type t = {
   deadline : float option;
   efficiency : float;
   size_info : size_info;
+  trace : Pdq_telemetry.Trace.t;
   mutable max_rate : float;
   mutable rate : float;
   mutable paused_by : int option;
@@ -27,8 +28,9 @@ let estimated_ttx t quantum =
   let estimate = ((sent / max 1 quantum) + 1) * quantum in
   ttx_of ~remaining:estimate ~max_rate:t.max_rate ~efficiency:t.efficiency
 
-let create ?deadline ?(efficiency = 1.) ?(size_info = Known) ~flow_id
-    ~size_bytes ~max_rate ~init_rtt () =
+let create ?deadline ?(efficiency = 1.) ?(size_info = Known)
+    ?(trace = Pdq_telemetry.Trace.null) ~flow_id ~size_bytes ~max_rate
+    ~init_rtt () =
   let t =
     {
       flow_id;
@@ -36,6 +38,7 @@ let create ?deadline ?(efficiency = 1.) ?(size_info = Known) ~flow_id
       deadline;
       efficiency;
       size_info;
+      trace;
       max_rate;
       rate = 0.;
       paused_by = None;
@@ -98,9 +101,20 @@ let on_ack t (h : Header.t) ~acked_bytes ~rtt_sample ~now:_ =
   | Some _ | None -> ());
   t.remaining <- max 0 (t.size_bytes - acked_bytes);
   refresh_ttx t;
+  let was_paused = t.paused_by and old_rate = t.rate in
   t.paused_by <- h.pause_by;
   t.rate <- (if h.pause_by <> None then 0. else min h.rate t.max_rate);
-  if h.inter_probe_rtts > 0. then t.inter_probe_rtts <- h.inter_probe_rtts
+  if h.inter_probe_rtts > 0. then t.inter_probe_rtts <- h.inter_probe_rtts;
+  if Pdq_telemetry.Trace.active t.trace then begin
+    let open Pdq_telemetry.Trace in
+    match (was_paused, t.paused_by) with
+    | None, Some by -> emit t.trace (Flow_paused { flow = t.flow_id; by })
+    | Some _, None ->
+        emit t.trace (Flow_resumed { flow = t.flow_id; rate = t.rate })
+    | _ ->
+        if t.rate <> old_rate then
+          emit t.trace (Flow_rate_set { flow = t.flow_id; rate = t.rate })
+  end
 
 (* Rule 3 measures the control-loop latency a paused flow needs to get
    unpaused — the min-filtered RTT, not the smoothed one, which can be

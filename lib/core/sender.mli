@@ -23,6 +23,7 @@ val create :
   ?deadline:float ->
   ?efficiency:float ->
   ?size_info:size_info ->
+  ?trace:Pdq_telemetry.Trace.t ->
   flow_id:int ->
   size_bytes:int ->
   max_rate:float ->
@@ -35,7 +36,10 @@ val create :
     so that [T_S] honestly reflects header overhead and Early
     Termination does not serve flows that will miss by microseconds.
     [init_rtt] seeds [RTT_S] before the first measurement. [T_S]
-    starts at size / (max rate × efficiency). *)
+    starts at size / (max rate × efficiency). [trace] (default
+    {!Pdq_telemetry.Trace.null}) receives [Flow_paused] /
+    [Flow_resumed] / [Flow_rate_set] events as ACK feedback moves the
+    sender between states. *)
 
 val flow_id : t -> int
 val deadline : t -> float option

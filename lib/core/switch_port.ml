@@ -3,6 +3,7 @@ type t = {
   switch_id : int;
   link_rate : float;
   init_rtt : float;
+  trace : Pdq_telemetry.Trace.t;
   mutable rpdq : float;
   mutable c : float;
   flows : Flow_list.t;
@@ -10,15 +11,18 @@ type t = {
   mutable rtt_min : float;
   mutable last_accept : float;
   mutable last_accepted_flow : int;
+  mutable rebuilding : bool;
   fallback_seen : (int, float) Hashtbl.t;
 }
 
-let create ~config ~switch_id ~link_rate ~init_rtt =
+let create ?(trace = Pdq_telemetry.Trace.null) ~config ~switch_id ~link_rate
+    ~init_rtt () =
   {
     config;
     switch_id;
     link_rate;
     init_rtt;
+    trace;
     rpdq = link_rate;
     c = link_rate;
     flows = Flow_list.create ();
@@ -26,6 +30,7 @@ let create ~config ~switch_id ~link_rate ~init_rtt =
     rtt_min = init_rtt;
     last_accept = neg_infinity;
     last_accepted_flow = -1;
+    rebuilding = false;
     fallback_seen = Hashtbl.create 16;
   }
 
@@ -43,7 +48,10 @@ let flush t =
   t.rtt_avg <- t.init_rtt;
   t.rtt_min <- t.init_rtt;
   t.last_accept <- neg_infinity;
-  t.last_accepted_flow <- -1
+  t.last_accepted_flow <- -1;
+  t.rebuilding <- true;
+  if Pdq_telemetry.Trace.active t.trace then
+    Pdq_telemetry.Trace.(emit t.trace (Switch_flushed { switch = t.switch_id }))
 
 let switch_id t = t.switch_id
 let config t = t.config
@@ -149,7 +157,16 @@ let try_store t (h : Header.t) ~flow_id ~now =
     if !removed_self then None
     else
       match Flow_list.find t.flows flow_id with
-      | Some (i, _) -> Some i
+      | Some (i, _) ->
+          if t.rebuilding then begin
+            (* First flow stored since the last flush: soft state is
+               being rebuilt from traversing headers. *)
+            t.rebuilding <- false;
+            if Pdq_telemetry.Trace.active t.trace then
+              Pdq_telemetry.Trace.(
+                emit t.trace (Switch_rebuilt { switch = t.switch_id }))
+          end;
+          Some i
       | None -> None
   end
 

@@ -14,11 +14,19 @@
 type t
 
 val create :
-  config:Config.t -> switch_id:int -> link_rate:float -> init_rtt:float -> t
+  ?trace:Pdq_telemetry.Trace.t ->
+  config:Config.t ->
+  switch_id:int ->
+  link_rate:float ->
+  init_rtt:float ->
+  unit ->
+  t
 (** A fresh port. [link_rate] is the output line rate in bits/s; rPDQ
     defaults to it ({!set_rpdq} overrides for multi-protocol links).
     [init_rtt] seeds the average-RTT estimate before any header is
-    seen. *)
+    seen. [trace] (default {!Pdq_telemetry.Trace.null}) receives
+    [Switch_flushed] on {!flush} and [Switch_rebuilt] when the first
+    flow is stored again afterwards. *)
 
 val switch_id : t -> int
 val config : t -> Config.t

@@ -1,0 +1,88 @@
+type kind_stat = { mutable count : int; mutable cpu : float }
+
+type t = {
+  mutable executed : int;
+  mutable cancelled : int;
+  mutable hwm : int;
+  mutable sim_advanced : float;
+  mutable cpu_in_events : float;
+  kind_tbl : (string, kind_stat) Hashtbl.t;
+}
+
+let create () =
+  {
+    executed = 0;
+    cancelled = 0;
+    hwm = 0;
+    sim_advanced = 0.;
+    cpu_in_events = 0.;
+    kind_tbl = Hashtbl.create 16;
+  }
+
+let reset t =
+  t.executed <- 0;
+  t.cancelled <- 0;
+  t.hwm <- 0;
+  t.sim_advanced <- 0.;
+  t.cpu_in_events <- 0.;
+  Hashtbl.reset t.kind_tbl
+
+let the_global : t option ref = ref None
+
+let enable_global () =
+  match !the_global with
+  | Some p -> p
+  | None ->
+      let p = create () in
+      the_global := Some p;
+      p
+
+let global () = !the_global
+let disable_global () = the_global := None
+
+let kind_stat t kind =
+  match Hashtbl.find_opt t.kind_tbl kind with
+  | Some s -> s
+  | None ->
+      let s = { count = 0; cpu = 0. } in
+      Hashtbl.add t.kind_tbl kind s;
+      s
+
+let record_event t ~kind ~cpu =
+  t.executed <- t.executed + 1;
+  t.cpu_in_events <- t.cpu_in_events +. cpu;
+  let s = kind_stat t (if kind = "" then "(unlabeled)" else kind) in
+  s.count <- s.count + 1;
+  s.cpu <- s.cpu +. cpu
+
+let record_cancelled t = t.cancelled <- t.cancelled + 1
+let observe_queue t n = if n > t.hwm then t.hwm <- n
+let record_advance t dt = t.sim_advanced <- t.sim_advanced +. dt
+
+let events_executed t = t.executed
+let events_cancelled t = t.cancelled
+let queue_high_water t = t.hwm
+let sim_seconds t = t.sim_advanced
+let cpu_seconds t = t.cpu_in_events
+
+let kinds t =
+  Hashtbl.fold (fun k s acc -> (k, (s.count, s.cpu)) :: acc) t.kind_tbl []
+  |> List.sort (fun (ka, (_, a)) (kb, (_, b)) ->
+         match compare b a with 0 -> compare ka kb | c -> c)
+
+let pp_report ppf t =
+  let popped = t.executed + t.cancelled in
+  Format.fprintf ppf "profiler: %d events executed, %d cancelled pops (%.1f%% \
+                      of %d), queue high-water %d@."
+    t.executed t.cancelled
+    (if popped = 0 then 0. else 100. *. float_of_int t.cancelled /. float_of_int popped)
+    popped t.hwm;
+  Format.fprintf ppf "  simulated %.6f s in %.3f CPU s (%.3f CPU s per sim s)@."
+    t.sim_advanced t.cpu_in_events
+    (if t.sim_advanced > 0. then t.cpu_in_events /. t.sim_advanced else 0.);
+  List.iter
+    (fun (kind, (count, cpu)) ->
+      Format.fprintf ppf "  %-20s %9d events %9.3f CPU s (%.1f%%)@." kind
+        count cpu
+        (if t.cpu_in_events > 0. then 100. *. cpu /. t.cpu_in_events else 0.))
+    (kinds t)

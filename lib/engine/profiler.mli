@@ -1,0 +1,60 @@
+(** Simulator profiler: per-run execution statistics so performance
+    regressions show up as numbers instead of vibes.
+
+    A profiler accumulates, across every {!Sim.t} it is attached to:
+    events executed, cancelled placeholders popped (dead-heap
+    overhead), the event-queue high-water mark, simulated seconds
+    advanced, CPU seconds spent inside event actions (total and per
+    event kind — see the [?kind] argument of {!Sim.schedule}), and the
+    resulting CPU-per-simulated-second ratio.
+
+    Attachment is opt-in; an unattached simulator pays one [match] per
+    step and nothing else. Profiling never feeds back into the
+    simulation (no randomness, no scheduling), so enabling it cannot
+    change results. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero every statistic (the global registration survives). *)
+
+(** {1 Global opt-in}
+
+    Experiment drivers build their simulators deep inside figure code;
+    rather than threading a profiler through every layer, enable a
+    process-global one and every subsequently created {!Sim.t} attaches
+    to it. *)
+
+val enable_global : unit -> t
+(** Create (or return the existing) global profiler. *)
+
+val global : unit -> t option
+(** The global profiler, if {!enable_global} was called. *)
+
+val disable_global : unit -> unit
+
+(** {1 Recorders (called by [Sim])} *)
+
+val record_event : t -> kind:string -> cpu:float -> unit
+val record_cancelled : t -> unit
+val observe_queue : t -> int -> unit
+val record_advance : t -> float -> unit
+
+(** {1 Readouts} *)
+
+val events_executed : t -> int
+val events_cancelled : t -> int
+(** Cancelled placeholders popped off the heap without running. *)
+
+val queue_high_water : t -> int
+val sim_seconds : t -> float
+val cpu_seconds : t -> float
+
+val kinds : t -> (string * (int * float)) list
+(** Per event kind: (count, CPU seconds), sorted by CPU descending.
+    Events scheduled without [?kind] report as ["(unlabeled)"]. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable multi-line report. *)

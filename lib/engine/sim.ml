@@ -1,37 +1,85 @@
-type handle = { mutable live : bool; action : unit -> unit }
+type t = {
+  mutable clock : float;
+  queue : handle Heap.t;
+  mutable stopped : bool;
+  mutable live_count : int;
+  mutable profiler : Profiler.t option;
+}
 
-type t = { mutable clock : float; queue : handle Heap.t; mutable stopped : bool }
+and handle = {
+  mutable live : bool;
+  action : unit -> unit;
+  kind : string;
+  owner : t;
+}
 
-let create () = { clock = 0.; queue = Heap.create (); stopped = false }
+let create () =
+  {
+    clock = 0.;
+    queue = Heap.create ();
+    stopped = false;
+    live_count = 0;
+    profiler = Profiler.global ();
+  }
+
+let set_profiler t p = t.profiler <- p
 let stop t = t.stopped <- true
 let now t = t.clock
 
-let schedule_at t ~time f =
+let schedule_at ?(kind = "") t ~time f =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
-  let h = { live = true; action = f } in
+  let h = { live = true; action = f; kind; owner = t } in
   Heap.push t.queue time h;
+  t.live_count <- t.live_count + 1;
   h
 
-let schedule t ~delay f =
+let schedule ?kind t ~delay f =
   if delay < 0. then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?kind t ~time:(t.clock +. delay) f
 
-let cancel h = h.live <- false
+let cancel h =
+  if h.live then begin
+    h.live <- false;
+    h.owner.live_count <- h.owner.live_count - 1
+  end
+
 let cancelled h = not h.live
 let pending t = Heap.length t.queue
+let live_pending t = t.live_count
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, h) ->
-      t.clock <- time;
-      if h.live then begin
-        h.live <- false;
-        h.action ()
-      end;
-      true
+  match t.profiler with
+  | None -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some (time, h) ->
+          t.clock <- time;
+          if h.live then begin
+            h.live <- false;
+            t.live_count <- t.live_count - 1;
+            h.action ()
+          end;
+          true)
+  | Some p -> (
+      (* Instrumented path: identical semantics, plus statistics. The
+         high-water mark observes the queue before the pop. *)
+      Profiler.observe_queue p (Heap.length t.queue);
+      match Heap.pop t.queue with
+      | None -> false
+      | Some (time, h) ->
+          Profiler.record_advance p (time -. t.clock);
+          t.clock <- time;
+          if h.live then begin
+            h.live <- false;
+            t.live_count <- t.live_count - 1;
+            let t0 = Sys.time () in
+            h.action ();
+            Profiler.record_event p ~kind:h.kind ~cpu:(Sys.time () -. t0)
+          end
+          else Profiler.record_cancelled p;
+          true)
 
 let run ?until t =
   t.stopped <- false;

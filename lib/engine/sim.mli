@@ -12,16 +12,19 @@ type handle
 (** A handle on a scheduled event, usable to {!cancel} it. *)
 
 val create : unit -> t
-(** A fresh simulator with clock at time [0.]. *)
+(** A fresh simulator with clock at time [0.]. If a global
+    {!Profiler.t} is enabled it is attached automatically. *)
 
 val now : t -> float
 (** Current virtual time, in seconds. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+val schedule : ?kind:string -> t -> delay:float -> (unit -> unit) -> handle
 (** [schedule sim ~delay f] runs [f] at time [now sim +. delay].
-    Raises [Invalid_argument] if [delay < 0.]. *)
+    Raises [Invalid_argument] if [delay < 0.]. [kind] is a free-form
+    label ("link.tx", "pdq.watchdog", …) grouping the event in
+    profiler reports; it does not affect execution. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> handle
+val schedule_at : ?kind:string -> t -> time:float -> (unit -> unit) -> handle
 (** [schedule_at sim ~time f] runs [f] at absolute [time]. Raises
     [Invalid_argument] if [time] is in the past. *)
 
@@ -33,7 +36,21 @@ val cancelled : handle -> bool
 (** Whether the event was cancelled (or already consumed). *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled placeholders). *)
+(** Number of events still physically queued. Cancellation does not
+    remove an event from the heap — it only marks it dead, to be
+    skipped when popped — so this count {e includes} cancelled
+    placeholders. Use {!live_pending} for the number of events that
+    will actually run. *)
+
+val live_pending : t -> int
+(** Events queued and still live (i.e. {!pending} minus cancelled
+    placeholders awaiting their no-op pop). This is the right notion
+    of "work left"; the gap between the two is dead-heap overhead,
+    which the profiler reports as cancelled pops. *)
+
+val set_profiler : t -> Profiler.t option -> unit
+(** Attach or detach a profiler. Unattached simulators pay a single
+    match per step. *)
 
 val step : t -> bool
 (** Execute the next event, advancing the clock to its timestamp.

@@ -3,7 +3,8 @@ module Context = Pdq_transport.Context
 module Builder = Pdq_topo.Builder
 module Series = Pdq_engine.Series
 module Sim = Pdq_engine.Sim
-module Units = Pdq_engine.Units
+module Trace = Pdq_telemetry.Trace
+module Metrics = Pdq_telemetry.Metrics
 
 type trace = {
   per_flow_gbps : (int * (float * float) array) list;
@@ -12,6 +13,9 @@ type trace = {
   completions : (int * float) list;
 }
 
+(* All three time series come out of the generic telemetry: per-flow
+   goodput from the [Flow_rx] events of a memory sink, utilization and
+   queue depth from the metrics probe of the bottleneck link. *)
 let run_traced ~senders ~specs_of ~t_end ~bin =
   let sim = Sim.create () in
   let built, rx = Builder.single_bottleneck ~sim ~senders () in
@@ -19,37 +23,62 @@ let run_traced ~senders ~specs_of ~t_end ~bin =
   let bottleneck =
     Pdq_net.Link.id (Pdq_net.Topology.link_to built.Builder.topo ~src:0 ~dst:rx)
   in
+  let mem = Trace.memory () in
+  let metrics = Metrics.create () in
   let options =
     {
       Runner.default_options with
       Runner.horizon = t_end +. 1.;
-      trace = Some (bottleneck, bin /. 4.);
+      telemetry =
+        {
+          Runner.sinks = [ mem ];
+          metrics = Some metrics;
+          metrics_every = bin /. 4.;
+        };
     }
   in
   let r =
     Runner.run ~options ~topo:built.Builder.topo
       (Runner.Pdq Pdq_core.Config.full) (specs_of hosts rx)
   in
+  let per_flow_tbl : (int, Series.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | Trace.Flow_rx { flow; bytes } ->
+          let s =
+            match Hashtbl.find_opt per_flow_tbl flow with
+            | Some s -> s
+            | None ->
+                let s = Series.create () in
+                Hashtbl.add per_flow_tbl flow s;
+                s
+          in
+          Series.add s time (float_of_int bytes)
+      | _ -> ())
+    (Trace.memory_events mem);
   let per_flow =
-    List.map
-      (fun (id, s) ->
-        let bins = Series.integrate_rate s ~width:bin ~t_end in
-        (id, Array.map (fun (t, bps) -> (t, bps *. 8. /. 1e9)) bins))
-      (Context.rx_series r.Runner.ctx)
+    Hashtbl.fold (fun id s acc -> (id, s) :: acc) per_flow_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (id, s) ->
+           let bins = Series.integrate_rate s ~width:bin ~t_end in
+           (id, Array.map (fun (t, bps) -> (t, bps *. 8. /. 1e9)) bins))
+  in
+  let probe_series name =
+    let s = Series.create () in
+    Array.iter (fun (t, v) -> Series.add s t v) (Metrics.series metrics ~name);
+    s
   in
   let utilization =
-    match Context.trace_tx r.Runner.ctx with
-    | Some tx ->
-        Series.integrate_rate tx ~width:bin ~t_end
-        |> Array.map (fun (t, bps) -> (t, bps *. 8. /. 1e9))
-    | None -> [||]
+    Series.bin_mean
+      (probe_series (Metrics.Name.link_util bottleneck))
+      ~width:bin ~t_end
   in
   let queue_pkts =
-    match Context.trace_queue r.Runner.ctx with
-    | Some q ->
-        Series.bin_mean q ~width:bin ~t_end
-        |> Array.map (fun (t, b) -> (t, b /. 1500.))
-    | None -> [||]
+    Series.bin_mean
+      (probe_series (Metrics.Name.link_queue_bytes bottleneck))
+      ~width:bin ~t_end
+    |> Array.map (fun (t, b) -> (t, b /. 1500.))
   in
   let completions =
     Array.to_list r.Runner.flows

@@ -36,6 +36,7 @@ type t = {
   mutable last_window_start : float;
   mutable last_window_bytes : int;
   mutable tap : (now:float -> bytes:int -> unit) option;
+  mutable trace : Pdq_telemetry.Trace.t;
 }
 
 let create ~sim ~id ~src ~dst ~rate ~prop_delay ~proc_delay ~buffer_bytes () =
@@ -64,6 +65,7 @@ let create ~sim ~id ~src ~dst ~rate ~prop_delay ~proc_delay ~buffer_bytes () =
     last_window_start = 0.;
     last_window_bytes = 0;
     tap = None;
+    trace = Pdq_telemetry.Trace.null;
   }
 
 let id t = t.id
@@ -93,6 +95,7 @@ let dropped_overflow t = t.dropped_overflow
 let dropped_down t = t.dropped_down
 let bytes_sent t = t.bytes_sent
 let on_transmit t f = t.tap <- Some f
+let set_trace t trace = t.trace <- trace
 
 let utilization t ~since ~now =
   ignore since;
@@ -112,7 +115,7 @@ let rec start_transmission t =
       t.busy <- true;
       let tx = Pdq_engine.Units.tx_time ~bytes:pkt.Packet.wire_bytes ~rate:t.rate in
       ignore
-        (Pdq_engine.Sim.schedule t.sim ~delay:tx (fun () ->
+        (Pdq_engine.Sim.schedule ~kind:"link.tx" t.sim ~delay:tx (fun () ->
              ignore (Queue.pop t.queue);
              t.queued_bytes <- t.queued_bytes - pkt.Packet.wire_bytes;
              t.bytes_sent <- t.bytes_sent + pkt.Packet.wire_bytes;
@@ -123,8 +126,8 @@ let rec start_transmission t =
              t.delivered <- t.delivered + 1;
              let latency = t.prop_delay +. t.proc_delay in
              ignore
-               (Pdq_engine.Sim.schedule t.sim ~delay:latency (fun () ->
-                    t.receiver pkt));
+               (Pdq_engine.Sim.schedule ~kind:"link.deliver" t.sim
+                  ~delay:latency (fun () -> t.receiver pkt));
              start_transmission t))
 
 (* One draw of the loss process. The Gilbert–Elliott chain steps once
@@ -142,11 +145,24 @@ let loss_fires t =
       let p = if t.ge_bad then ge.loss_bad else ge.loss_good in
       p > 0. && Pdq_engine.Rng.bool rng p
 
+let record_drop t cause =
+  if Pdq_telemetry.Trace.active t.trace then
+    Pdq_telemetry.Trace.emit t.trace
+      (Pdq_telemetry.Trace.Packet_dropped { link = t.id; cause })
+
 let send t pkt =
-  if not t.up then t.dropped_down <- t.dropped_down + 1
-  else if loss_fires t then t.dropped_loss <- t.dropped_loss + 1
-  else if t.queued_bytes + pkt.Packet.wire_bytes > t.buffer_bytes then
-    t.dropped_overflow <- t.dropped_overflow + 1 (* FIFO tail drop *)
+  if not t.up then begin
+    t.dropped_down <- t.dropped_down + 1;
+    record_drop t Pdq_telemetry.Trace.Link_down
+  end
+  else if loss_fires t then begin
+    t.dropped_loss <- t.dropped_loss + 1;
+    record_drop t Pdq_telemetry.Trace.Loss
+  end
+  else if t.queued_bytes + pkt.Packet.wire_bytes > t.buffer_bytes then begin
+    t.dropped_overflow <- t.dropped_overflow + 1 (* FIFO tail drop *);
+    record_drop t Pdq_telemetry.Trace.Overflow
+  end
   else begin
     Queue.push pkt t.queue;
     t.queued_bytes <- t.queued_bytes + pkt.Packet.wire_bytes;

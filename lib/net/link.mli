@@ -103,3 +103,9 @@ val utilization : t -> since:float -> now:float -> float
 val on_transmit : t -> (now:float -> bytes:int -> unit) -> unit
 (** Register a tap called at the end of each packet serialization —
     used to record utilization and queue time series. *)
+
+val set_trace : t -> Pdq_telemetry.Trace.t -> unit
+(** Attach a trace bus; every drop then emits a
+    [Packet_dropped {link; cause}] event tagged with its cause. Links
+    start with the null bus, so untraced runs pay one inactive check
+    per drop and allocate nothing. *)

@@ -50,8 +50,9 @@ let push_node t node =
   t.node_count <- t.node_count + 1;
   t.node_count - 1
 
-let unset_handler id _pkt =
-  failwith (Printf.sprintf "Topology: no handler installed on node %d" id)
+exception No_handler of int
+
+let unset_handler id _pkt = raise (No_handler id)
 
 let add_host ?(rack = 0) t =
   let id = t.node_count in

@@ -17,6 +17,11 @@ val default_params : link_params
 
 type t
 
+exception No_handler of int
+(** Raised (with the node id) when a packet reaches a node whose
+    handler was never installed with {!set_handler} — a wiring bug in
+    the transport layer, not a runtime network condition. *)
+
 val create : sim:Pdq_engine.Sim.t -> unit -> t
 
 val sim : t -> Pdq_engine.Sim.t

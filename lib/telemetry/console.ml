@@ -1,0 +1,18 @@
+let current : Trace.severity option ref = ref None
+
+let set_threshold th = current := th
+let threshold () = !current
+
+let enabled sev =
+  match !current with
+  | None -> false
+  | Some th -> Trace.severity_geq sev th
+
+let err_ppf = Format.err_formatter
+
+let logf sev fmt =
+  if enabled sev then begin
+    Format.fprintf err_ppf "[%s] " (Trace.severity_name sev);
+    Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") err_ppf fmt
+  end
+  else Format.ifprintf err_ppf fmt

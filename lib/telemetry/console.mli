@@ -1,0 +1,22 @@
+(** Leveled console logging — the printf-style face of the telemetry
+    console sink. Protocol debug prints ({!Pdq_transport.Debug}) route
+    through here instead of calling [Printf.eprintf] directly, so one
+    global threshold governs all diagnostic output.
+
+    Disabled (the default) it costs a single comparison per call —
+    format arguments are not evaluated when the severity is below the
+    threshold, and call sites are expected to guard hot paths with
+    {!enabled} anyway. *)
+
+val set_threshold : Trace.severity option -> unit
+(** [None] (default) silences everything; [Some sev] prints messages
+    of severity [sev] and up. *)
+
+val threshold : unit -> Trace.severity option
+
+val enabled : Trace.severity -> bool
+(** Whether a message at this severity would currently print. *)
+
+val logf : Trace.severity -> ('a, Format.formatter, unit) format -> 'a
+(** Print one line to stderr as ["[<severity>] <message>"] when
+    {!enabled}; otherwise swallow the message without evaluating it. *)

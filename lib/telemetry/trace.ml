@@ -1,0 +1,220 @@
+type severity = Trace | Debug | Info | Warn
+
+let severity_rank = function Trace -> 0 | Debug -> 1 | Info -> 2 | Warn -> 3
+let severity_geq a b = severity_rank a >= severity_rank b
+
+let severity_name = function
+  | Trace -> "trace"
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+
+type drop_cause = Loss | Overflow | Link_down | Stale_route
+
+let drop_cause_name = function
+  | Loss -> "loss"
+  | Overflow -> "overflow"
+  | Link_down -> "down"
+  | Stale_route -> "stale_route"
+
+type event =
+  | Flow_admitted of {
+      flow : int;
+      src : int;
+      dst : int;
+      size : int;
+      deadline : float option;
+    }
+  | Flow_started of { flow : int }
+  | Flow_paused of { flow : int; by : int }
+  | Flow_resumed of { flow : int; rate : float }
+  | Flow_rate_set of { flow : int; rate : float }
+  | Flow_completed of { flow : int; fct : float }
+  | Flow_terminated of { flow : int }
+  | Flow_aborted of { flow : int; cause : string }
+  | Flow_rx of { flow : int; bytes : int }
+  | Switch_flushed of { switch : int }
+  | Switch_rebuilt of { switch : int }
+  | Packet_dropped of { link : int; cause : drop_cause }
+  | Fault of { desc : string }
+
+let severity_of_event = function
+  | Flow_rx _ | Flow_rate_set _ -> Trace
+  | Flow_started _ | Flow_paused _ | Flow_resumed _ -> Debug
+  | Flow_admitted _ | Flow_completed _ | Flow_terminated _ | Switch_rebuilt _
+    ->
+      Info
+  | Flow_aborted _ | Switch_flushed _ | Packet_dropped _ | Fault _ -> Warn
+
+(* Floats in JSON: %.9g never produces inf/nan here (rates and times
+   are finite by construction) and round-trips doubles closely enough
+   for plotting. *)
+let j_float x = Printf.sprintf "%.9g" x
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_to_json ~time ev =
+  let fields =
+    match ev with
+    | Flow_admitted { flow; src; dst; size; deadline } ->
+        Printf.sprintf
+          "\"ev\":\"flow_admitted\",\"flow\":%d,\"src\":%d,\"dst\":%d,\"size\":%d%s"
+          flow src dst size
+          (match deadline with
+          | Some d -> Printf.sprintf ",\"deadline\":%s" (j_float d)
+          | None -> "")
+    | Flow_started { flow } -> Printf.sprintf "\"ev\":\"flow_started\",\"flow\":%d" flow
+    | Flow_paused { flow; by } ->
+        Printf.sprintf "\"ev\":\"flow_paused\",\"flow\":%d,\"by\":%d" flow by
+    | Flow_resumed { flow; rate } ->
+        Printf.sprintf "\"ev\":\"flow_resumed\",\"flow\":%d,\"rate\":%s" flow
+          (j_float rate)
+    | Flow_rate_set { flow; rate } ->
+        Printf.sprintf "\"ev\":\"flow_rate_set\",\"flow\":%d,\"rate\":%s" flow
+          (j_float rate)
+    | Flow_completed { flow; fct } ->
+        Printf.sprintf "\"ev\":\"flow_completed\",\"flow\":%d,\"fct\":%s" flow
+          (j_float fct)
+    | Flow_terminated { flow } ->
+        Printf.sprintf "\"ev\":\"flow_terminated\",\"flow\":%d" flow
+    | Flow_aborted { flow; cause } ->
+        Printf.sprintf "\"ev\":\"flow_aborted\",\"flow\":%d,\"cause\":\"%s\"" flow
+          (json_escape cause)
+    | Flow_rx { flow; bytes } ->
+        Printf.sprintf "\"ev\":\"flow_rx\",\"flow\":%d,\"bytes\":%d" flow bytes
+    | Switch_flushed { switch } ->
+        Printf.sprintf "\"ev\":\"switch_flushed\",\"switch\":%d" switch
+    | Switch_rebuilt { switch } ->
+        Printf.sprintf "\"ev\":\"switch_rebuilt\",\"switch\":%d" switch
+    | Packet_dropped { link; cause } ->
+        Printf.sprintf "\"ev\":\"packet_dropped\",\"link\":%d,\"cause\":\"%s\""
+          link (drop_cause_name cause)
+    | Fault { desc } ->
+        Printf.sprintf "\"ev\":\"fault\",\"desc\":\"%s\"" (json_escape desc)
+  in
+  Printf.sprintf "{\"t\":%s,%s}" (j_float time) fields
+
+let pp_event ppf ev =
+  match ev with
+  | Flow_admitted { flow; src; dst; size; deadline } ->
+      Format.fprintf ppf "flow_admitted flow=%d src=%d dst=%d size=%d%s" flow
+        src dst size
+        (match deadline with
+        | Some d -> Printf.sprintf " deadline=%g" d
+        | None -> "")
+  | Flow_started { flow } -> Format.fprintf ppf "flow_started flow=%d" flow
+  | Flow_paused { flow; by } ->
+      Format.fprintf ppf "flow_paused flow=%d by=%d" flow by
+  | Flow_resumed { flow; rate } ->
+      Format.fprintf ppf "flow_resumed flow=%d rate=%g" flow rate
+  | Flow_rate_set { flow; rate } ->
+      Format.fprintf ppf "flow_rate_set flow=%d rate=%g" flow rate
+  | Flow_completed { flow; fct } ->
+      Format.fprintf ppf "flow_completed flow=%d fct=%g" flow fct
+  | Flow_terminated { flow } ->
+      Format.fprintf ppf "flow_terminated flow=%d" flow
+  | Flow_aborted { flow; cause } ->
+      Format.fprintf ppf "flow_aborted flow=%d cause=%s" flow cause
+  | Flow_rx { flow; bytes } ->
+      Format.fprintf ppf "flow_rx flow=%d bytes=%d" flow bytes
+  | Switch_flushed { switch } ->
+      Format.fprintf ppf "switch_flushed switch=%d" switch
+  | Switch_rebuilt { switch } ->
+      Format.fprintf ppf "switch_rebuilt switch=%d" switch
+  | Packet_dropped { link; cause } ->
+      Format.fprintf ppf "packet_dropped link=%d cause=%s" link
+        (drop_cause_name cause)
+  | Fault { desc } -> Format.fprintf ppf "fault %s" desc
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+type memory_ring = {
+  capacity : int option;
+  mutable items_rev : (float * event) list;
+  mutable count : int;
+}
+
+type sink =
+  | Memory of memory_ring
+  | Jsonl of out_channel
+  | Console of { min_severity : severity; chan : out_channel }
+
+let memory ?capacity () = Memory { capacity; items_rev = []; count = 0 }
+
+let memory_events = function
+  | Memory r -> List.rev r.items_rev
+  | Jsonl _ | Console _ -> invalid_arg "Trace.memory_events: not a memory sink"
+
+let jsonl chan = Jsonl chan
+let console ?(min_severity = Debug) chan = Console { min_severity; chan }
+
+let drop_oldest r =
+  (* The ring is kept as a reversed list; trimming the oldest entry is
+     O(n) but only runs when a bounded ring overflows, which tests keep
+     small. *)
+  match List.rev r.items_rev with
+  | [] -> ()
+  | _ :: rest -> r.items_rev <- List.rev rest
+
+let sink_emit sink ~time ev =
+  match sink with
+  | Memory r ->
+      r.items_rev <- (time, ev) :: r.items_rev;
+      r.count <- r.count + 1;
+      (match r.capacity with
+      | Some cap when r.count > cap ->
+          drop_oldest r;
+          r.count <- cap
+      | Some _ | None -> ())
+  | Jsonl chan ->
+      output_string chan (event_to_json ~time ev);
+      output_char chan '\n';
+      flush chan
+  | Console { min_severity; chan } ->
+      let sev = severity_of_event ev in
+      if severity_geq sev min_severity then begin
+        let ppf = Format.formatter_of_out_channel chan in
+        Format.fprintf ppf "[%s] %.6f %a@." (severity_name sev) time pp_event
+          ev
+      end
+
+(* ------------------------------------------------------------------ *)
+(* The bus *)
+
+type t =
+  | Null
+  | Bus of {
+      clock : unit -> float;
+      sinks : sink list;
+      mutable emitted : int;
+    }
+
+let null = Null
+
+let create ~clock ~sinks =
+  match sinks with [] -> Null | _ -> Bus { clock; sinks; emitted = 0 }
+
+let active = function Null -> false | Bus _ -> true
+
+let emit t ev =
+  match t with
+  | Null -> ()
+  | Bus b ->
+      let time = b.clock () in
+      b.emitted <- b.emitted + 1;
+      List.iter (fun s -> sink_emit s ~time ev) b.sinks
+
+let events_seen = function Null -> 0 | Bus b -> b.emitted

@@ -1,0 +1,117 @@
+(** Structured trace bus: typed simulation events with sim-timestamps,
+    fanned out to pluggable sinks.
+
+    The bus is designed so that instrumented code costs nothing when
+    nobody listens: every emit site is written
+
+    {[ if Trace.active bus then Trace.emit bus (Flow_paused { ... }) ]}
+
+    so with no sink attached ({!null}, or [create ~sinks:[]]) no event
+    record is even allocated and a run is bit-for-bit identical to an
+    uninstrumented one. Emitting never schedules simulator events and
+    never consumes randomness, so attaching a sink cannot perturb a
+    deterministic run either — it only observes it. *)
+
+(** {1 Severity} *)
+
+type severity = Trace | Debug | Info | Warn
+(** Ordered: [Trace < Debug < Info < Warn]. *)
+
+val severity_geq : severity -> severity -> bool
+(** [severity_geq a b] — [a] is at least as severe as [b]. *)
+
+val severity_name : severity -> string
+
+(** {1 Events} *)
+
+type drop_cause = Loss | Overflow | Link_down | Stale_route
+
+type event =
+  | Flow_admitted of {
+      flow : int;
+      src : int;
+      dst : int;
+      size : int;
+      deadline : float option;
+    }  (** The experiment registered the flow (route pinned). *)
+  | Flow_started of { flow : int }  (** First SYN left the sender. *)
+  | Flow_paused of { flow : int; by : int }
+      (** The sender learned it is paused ([by] = pausing switch id). *)
+  | Flow_resumed of { flow : int; rate : float }
+      (** The sender left the paused state with the given rate. *)
+  | Flow_rate_set of { flow : int; rate : float }
+      (** Granted rate changed while sending (bits/s). *)
+  | Flow_completed of { flow : int; fct : float }
+      (** All bytes delivered; [fct] = completion − start. *)
+  | Flow_terminated of { flow : int }
+      (** Early Termination / quenching (deliberate scheduling). *)
+  | Flow_aborted of { flow : int; cause : string }
+      (** Watchdog gave up (dead path); [cause] e.g. ["syn"],
+          ["stall"]. *)
+  | Flow_rx of { flow : int; bytes : int }
+      (** Receiver accepted [bytes] new in-order payload bytes. *)
+  | Switch_flushed of { switch : int }
+      (** A crash-reboot wiped one port's scheduler soft state. *)
+  | Switch_rebuilt of { switch : int }
+      (** A flushed port stored its first flow again — soft state is
+          being rebuilt from traversing headers (§3.3). *)
+  | Packet_dropped of { link : int; cause : drop_cause }
+  | Fault of { desc : string }
+      (** Injected fault or fault-handling side effect (reroute
+          failure, stale route, reboot), named by its tally key or
+          plan-event description. *)
+
+val severity_of_event : event -> severity
+
+(** {1 Sinks} *)
+
+type sink
+
+val memory : ?capacity:int -> unit -> sink
+(** In-memory ring sink for tests: keeps the last [capacity] events
+    (default: unbounded). *)
+
+val memory_events : sink -> (float * event) list
+(** Recorded (time, event) pairs, oldest first. Raises
+    [Invalid_argument] on a non-memory sink. *)
+
+val jsonl : out_channel -> sink
+(** One JSON object per line, in emission order (see
+    {!event_to_json}). The channel is flushed on every event so a
+    crashed run still leaves a usable trace; closing it is the
+    caller's business. *)
+
+val console : ?min_severity:severity -> out_channel -> sink
+(** Human-readable one-line-per-event sink, filtered by severity
+    (default: [Debug] and up). *)
+
+(** {1 The bus} *)
+
+type t
+
+val null : t
+(** The inactive bus: [active null = false], [emit] is a no-op. *)
+
+val create : clock:(unit -> float) -> sinks:sink list -> t
+(** A bus stamping events with [clock ()] (virtual sim time). With an
+    empty sink list this returns {!null}. *)
+
+val active : t -> bool
+(** Whether any sink is attached — guard emit sites with this so the
+    event is never allocated on quiet runs. *)
+
+val emit : t -> event -> unit
+(** Deliver the event (stamped with the bus clock) to every sink.
+    No-op on {!null}. *)
+
+val events_seen : t -> int
+(** Events emitted through this bus so far (0 for {!null}). *)
+
+(** {1 Rendering} *)
+
+val event_to_json : time:float -> event -> string
+(** One self-contained JSON object, e.g.
+    [{"t":0.0012,"ev":"flow_paused","flow":3,"by":2}]. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** Compact [key=value] rendering used by the console sink. *)

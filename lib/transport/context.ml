@@ -1,5 +1,5 @@
 module Sim = Pdq_engine.Sim
-module Series = Pdq_engine.Series
+module Trace = Pdq_telemetry.Trace
 module Packet = Pdq_net.Packet
 module Topology = Pdq_net.Topology
 module Router = Pdq_net.Router
@@ -39,6 +39,7 @@ type t = {
   router : Router.t;
   rng : Pdq_engine.Rng.t;
   init_rtt : float;
+  trace : Trace.t;
   mutable flows_rev : flow list;
   mutable flow_count : int;
   mutable next_subflow_id : int;
@@ -49,24 +50,20 @@ type t = {
   tally : Pdq_engine.Stats.Tally.t;
   mutable open_flows : int;
   mutable all_complete_cb : (unit -> unit) option;
-  (* Tracing *)
-  mutable tx_series : Series.t option;
-  mutable queue_series : Series.t option;
-  mutable rx_series : (int, Series.t) Hashtbl.t;
-  mutable tracing_rx : bool;
 }
 
 (* Subflow ids live far above experiment flow ids so route-table keys
    never collide. *)
 let subflow_id_base = 1_000_000
 
-let create ~sim ~topo ~rng ~init_rtt () =
+let create ?(trace = Trace.null) ~sim ~topo ~rng ~init_rtt () =
   {
     sim;
     topo;
     router = Router.create topo;
     rng;
     init_rtt;
+    trace;
     flows_rev = [];
     flow_count = 0;
     next_subflow_id = subflow_id_base;
@@ -82,10 +79,6 @@ let create ~sim ~topo ~rng ~init_rtt () =
       };
     open_flows = 0;
     all_complete_cb = None;
-    tx_series = None;
-    queue_series = None;
-    rx_series = Hashtbl.create 16;
-    tracing_rx = false;
   }
 
 let sim t = t.sim
@@ -96,7 +89,18 @@ let init_rtt t = t.init_rtt
 let now t = Sim.now t.sim
 
 let tally t = t.tally
-let record_fault t key = Pdq_engine.Stats.Tally.incr t.tally key
+let trace t = t.trace
+
+(* Fault keys ("fault.*") become [Fault] events; "drop.*" keys are
+   tallied only — their drop sites emit typed [Packet_dropped] events
+   themselves. *)
+let fault_key key =
+  String.length key >= 6 && String.sub key 0 6 = "fault."
+
+let record_fault t key =
+  Pdq_engine.Stats.Tally.incr t.tally key;
+  if Trace.active t.trace && fault_key key then
+    Trace.emit t.trace (Trace.Fault { desc = key })
 
 let register_route t ~id ~src ~dst ~choice =
   (* A flow admitted while its endpoints are partitioned gets an empty
@@ -167,6 +171,16 @@ let add_flow t spec =
   t.flows_rev <- flow :: t.flows_rev;
   t.open_flows <- t.open_flows + 1;
   ignore (register_route t ~id ~src:spec.src ~dst:spec.dst ~choice:id);
+  if Trace.active t.trace then
+    Trace.emit t.trace
+      (Trace.Flow_admitted
+         {
+           flow = id;
+           src = spec.src;
+           dst = spec.dst;
+           size = spec.size;
+           deadline = flow.deadline_abs;
+         });
   flow
 
 let flows t = List.rev t.flows_rev
@@ -193,6 +207,12 @@ let position path node =
   in
   scan 0
 
+let stale_drop t =
+  record_fault t "drop.stale_route";
+  if Trace.active t.trace then
+    Trace.emit t.trace
+      (Trace.Packet_dropped { link = -1; cause = Trace.Stale_route })
+
 let transmit t ~from (pkt : Packet.t) =
   let path = route t pkt.Packet.flow in
   match position path from with
@@ -201,7 +221,7 @@ let transmit t ~from (pkt : Packet.t) =
          flight on the old path: the node has no forwarding entry for
          it any more. Drop it — the sender's retransmission machinery
          recovers — and make the loss visible in the counters. *)
-      record_fault t "drop.stale_route"
+      stale_drop t
   | Some i ->
       if is_forward_kind pkt.Packet.kind then begin
         let next = path.(i + 1) in
@@ -212,7 +232,7 @@ let transmit t ~from (pkt : Packet.t) =
       else if i = 0 then
         (* A reverse packet stranded at the (new) route's head that is
            not the flow source: same stale-route drop. *)
-        record_fault t "drop.stale_route"
+        stale_drop t
       else begin
         (* Reverse packets run Algorithm-3-style processing against the
            forward-direction port at this node before heading back. *)
@@ -259,6 +279,10 @@ let maybe_fire_all_complete t =
 let complete t flow =
   if flow.completed_at = None then begin
     flow.completed_at <- Some (now t);
+    if Trace.active t.trace then
+      Trace.emit t.trace
+        (Trace.Flow_completed
+           { flow = flow.id; fct = now t -. flow.spec.start });
     (* A terminated/aborted flow was already counted closed even if its
        last in-flight packets still complete the transfer. *)
     if not (flow.terminated || flow.aborted) then begin
@@ -269,6 +293,8 @@ let complete t flow =
 
 let flow_closed t flow =
   if flow.completed_at = None && flow.terminated then begin
+    if Trace.active t.trace then
+      Trace.emit t.trace (Trace.Flow_terminated { flow = flow.id });
     t.open_flows <- t.open_flows - 1;
     maybe_fire_all_complete t
   end
@@ -282,6 +308,8 @@ let abort t flow ~cause =
   then begin
     flow.aborted <- true;
     Pdq_engine.Stats.Tally.incr t.tally ("abort." ^ cause);
+    if Trace.active t.trace then
+      Trace.emit t.trace (Trace.Flow_aborted { flow = flow.id; cause });
     t.open_flows <- t.open_flows - 1;
     maybe_fire_all_complete t
   end
@@ -293,38 +321,6 @@ let completed_count t =
 
 let on_all_complete t f = t.all_complete_cb <- Some f
 
-let trace_link t ~link ~sample_every ~until =
-  let l = Topology.link t.topo link in
-  let tx = Series.create ~name:"tx_bytes" () in
-  let q = Series.create ~name:"queue_bytes" () in
-  Link.on_transmit l (fun ~now ~bytes -> Series.add tx now (float_of_int bytes));
-  let rec sample () =
-    if Sim.now t.sim <= until then begin
-      Series.add q (Sim.now t.sim) (float_of_int (Link.queue_bytes l));
-      ignore (Sim.schedule t.sim ~delay:sample_every sample)
-    end
-  in
-  ignore (Sim.schedule t.sim ~delay:0. sample);
-  t.tx_series <- Some tx;
-  t.queue_series <- Some q;
-  t.tracing_rx <- true
-
 let record_rx t ~flow_id ~bytes =
-  if t.tracing_rx then begin
-    let s =
-      match Hashtbl.find_opt t.rx_series flow_id with
-      | Some s -> s
-      | None ->
-          let s = Series.create ~name:(Printf.sprintf "flow%d_rx" flow_id) () in
-          Hashtbl.add t.rx_series flow_id s;
-          s
-    in
-    Series.add s (now t) (float_of_int bytes)
-  end
-
-let trace_tx t = t.tx_series
-let trace_queue t = t.queue_series
-
-let rx_series t =
-  Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.rx_series []
-  |> List.sort compare
+  if Trace.active t.trace then
+    Trace.emit t.trace (Trace.Flow_rx { flow = flow_id; bytes })

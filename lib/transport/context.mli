@@ -1,7 +1,8 @@
 (** Shared per-run state for the packet-level transports: the flow
     table, per-flow routes (flow-level ECMP pins one path per flow so
     ACKs retrace the data path), generic forwarding with per-protocol
-    header-processing hooks, and optional tracing of a bottleneck link.
+    header-processing hooks, and the run's telemetry bus, through which
+    flow lifecycle, fault and receive events are emitted.
 
     Each protocol module installs three hooks:
     - [on_forward ~link] — process a source→destination packet header
@@ -35,12 +36,18 @@ type flow = {
 type t
 
 val create :
+  ?trace:Pdq_telemetry.Trace.t ->
   sim:Pdq_engine.Sim.t ->
   topo:Pdq_net.Topology.t ->
   rng:Pdq_engine.Rng.t ->
   init_rtt:float ->
   unit ->
   t
+(** [trace] (default {!Pdq_telemetry.Trace.null}) is the run's event
+    bus; the context emits [Flow_admitted] / [Flow_completed] /
+    [Flow_terminated] / [Flow_aborted] / [Flow_rx] / [Fault] events on
+    it and protocols pick it up via {!trace} for their own
+    emissions. *)
 
 val sim : t -> Pdq_engine.Sim.t
 val topo : t -> Pdq_net.Topology.t
@@ -48,6 +55,10 @@ val router : t -> Pdq_net.Router.t
 val rng : t -> Pdq_engine.Rng.t
 val init_rtt : t -> float
 val now : t -> float
+
+val trace : t -> Pdq_telemetry.Trace.t
+(** The run's trace bus ({!Pdq_telemetry.Trace.null} when no sink is
+    attached). *)
 
 val add_flow : t -> flow_spec -> flow
 (** Register an experiment flow; assigns the flow id and computes and
@@ -127,18 +138,10 @@ val tally : t -> Pdq_engine.Stats.Tally.t
     run. *)
 
 val record_fault : t -> string -> unit
-(** Increment a tally key (fault injection, drop accounting). *)
-
-(** {2 Tracing (Fig. 6/7-style time series)} *)
-
-val trace_link : t -> link:int -> sample_every:float -> until:float -> unit
-(** Record the given directed link's transmitted bytes (event series)
-    and sampled queue length. *)
+(** Increment a tally key (fault injection, drop accounting);
+    ["fault.*"] keys also emit a [Fault] trace event. *)
 
 val record_rx : t -> flow_id:int -> bytes:int -> unit
-(** Called by receivers per delivered data packet; feeds per-flow
-    goodput series when tracing is enabled. *)
-
-val trace_tx : t -> Pdq_engine.Series.t option
-val trace_queue : t -> Pdq_engine.Series.t option
-val rx_series : t -> (int * Pdq_engine.Series.t) list
+(** Called by receivers per delivered data packet; emits a [Flow_rx]
+    trace event (Trace severity) from which per-flow goodput series are
+    reconstructed. *)

@@ -18,6 +18,7 @@ type port = {
 type t = { ctx : Context.t; ports : port array; inner : Rate_flow.t }
 
 let fair_share t ~link = t.ports.(link).fs
+let flow_count t ~link = Hashtbl.length t.ports.(link).granted
 
 (* Interval rollover: compute next interval's fair share from this
    interval's demand, reset reservations. *)
@@ -102,11 +103,10 @@ let ops ctx nic_rate : Rate_flow.ops =
       (fun s pkt ->
         match pkt.Packet.payload with
         | Payloads.D3_ctrl (ctrl, _) ->
-            if Debug.on () then
-              Printf.eprintf "%.6f d3-ack flow=%d desired=%.3e alloc=%.3e\n"
-                (Context.now ctx)
-                (Rate_flow.sender_flow s).Context.id ctrl.Payloads.d3_desired
-                ctrl.Payloads.d3_allocated;
+            Debug.tracef "%.6f d3-ack flow=%d desired=%.3e alloc=%.3e"
+              (Context.now ctx)
+              (Rate_flow.sender_flow s).Context.id ctrl.Payloads.d3_desired
+              ctrl.Payloads.d3_allocated;
             Some ctrl.Payloads.d3_allocated
         | _ -> None);
     (* Quenching: kill a deadline flow once the deadline passed or the
@@ -171,10 +171,10 @@ let install ~ctx ~until =
       let rec tick () =
         if Sim.now sim <= until then begin
           rollover p;
-          ignore (Sim.schedule sim ~delay:(max p.rtt_avg 5e-5) tick)
+          ignore (Sim.schedule ~kind:"d3.tick" sim ~delay:(max p.rtt_avg 5e-5) tick)
         end
       in
-      ignore (Sim.schedule sim ~delay:0. tick))
+      ignore (Sim.schedule ~kind:"d3.tick" sim ~delay:0. tick))
     ports;
   t
 

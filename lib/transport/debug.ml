@@ -1,7 +1,25 @@
-(* Shared debug switch for the transport protocols. Seeded from the
-   PDQ_DEBUG environment variable; tests and drivers can flip it at
-   runtime so quiet runs stay quiet. *)
+(* Shared debug switch for the transport protocols, backed by the
+   telemetry console logger. Seeded from the PDQ_DEBUG environment
+   variable: unset keeps runs quiet, any value enables Debug-level
+   logging (so PDQ_DEBUG=1 keeps its historical meaning), and
+   PDQ_DEBUG=trace raises verbosity to per-packet Trace logging.
+   Tests and drivers can flip the level at runtime. *)
 
-let enabled = ref (Sys.getenv_opt "PDQ_DEBUG" <> None)
-let on () = !enabled
-let set v = enabled := v
+module Console = Pdq_telemetry.Console
+module Trace = Pdq_telemetry.Trace
+
+let () =
+  match Sys.getenv_opt "PDQ_DEBUG" with
+  | None -> ()
+  | Some "trace" -> Console.set_threshold (Some Trace.Trace)
+  | Some _ -> Console.set_threshold (Some Trace.Debug)
+
+let on () = Console.enabled Trace.Debug
+let trace_on () = Console.enabled Trace.Trace
+
+let set v =
+  Console.set_threshold (if v then Some Trace.Debug else None)
+
+let logf sev fmt = Console.logf sev fmt
+let debugf fmt = Console.logf Trace.Debug fmt
+let tracef fmt = Console.logf Trace.Trace fmt

@@ -1,6 +1,30 @@
-(** Runtime debug switch gating the transports' [Printf.eprintf]
-    tracing (probe/ack/termination logs). Initialized from the
-    [PDQ_DEBUG] environment variable. *)
+(** Runtime debug logging for the transports (probe/ack/termination
+    logs), routed through {!Pdq_telemetry.Console}.
+
+    Initialized from the [PDQ_DEBUG] environment variable: unset —
+    silent; any value (e.g. [PDQ_DEBUG=1], the historical switch) —
+    Debug-level logs; [PDQ_DEBUG=trace] — per-packet Trace-level logs
+    as well. *)
 
 val on : unit -> bool
+(** Debug-level logging is enabled. *)
+
+val trace_on : unit -> bool
+(** Trace-level (per-packet) logging is enabled. *)
+
 val set : bool -> unit
+(** Enable ([true] — Debug level) or silence ([false]) logging at
+    runtime, overriding the environment. *)
+
+val logf :
+  Pdq_telemetry.Trace.severity ->
+  ('a, Format.formatter, unit) format ->
+  'a
+(** Log a line at the given severity; formatting is skipped entirely
+    when that severity is disabled. *)
+
+val debugf : ('a, Format.formatter, unit) format -> 'a
+(** [logf Debug]. *)
+
+val tracef : ('a, Format.formatter, unit) format -> 'a
+(** [logf Trace]. *)

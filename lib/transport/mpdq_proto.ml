@@ -17,6 +17,8 @@ type t = {
   paths : (src:int -> dst:int -> int array list) option;
 }
 
+let pdq t = t.pdq
+
 let install ~config ~ctx ~until ~subflows ?(rebalance_rtts = 4.) ?paths () =
   if subflows < 1 then invalid_arg "Mpdq_proto.install: subflows < 1";
   {
@@ -135,11 +137,11 @@ let start_flow t (flow : Context.flow) =
       if group_infeasible g ~now:(Sim.now sim) then group_terminate t g
       else begin
         rebalance g;
-        ignore (Sim.schedule sim ~delay:t.rebalance_period loop)
+        ignore (Sim.schedule ~kind:"mpdq.rebalance" sim ~delay:t.rebalance_period loop)
       end
     end
   in
   ignore
-    (Sim.schedule_at sim
+    (Sim.schedule_at ~kind:"mpdq.rebalance" sim
        ~time:(max (Sim.now sim) (spec.Context.start +. t.rebalance_period))
        loop)

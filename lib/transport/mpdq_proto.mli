@@ -23,3 +23,7 @@ val install :
     subflows rely on ECMP hashing over shortest paths. *)
 
 val start_flow : t -> Context.flow -> unit
+
+val pdq : t -> Pdq_proto.t
+(** The underlying PDQ transport carrying the subflows (port
+    inspection, telemetry probes). *)

@@ -49,7 +49,6 @@ and stream = {
 }
 
 let max_payload = Packet.max_payload ~scheduling_header:Payloads.pdq_header_bytes
-let debug () = Debug.on ()
 
 (* Watchdog hardening: bounded, backed-off retransmission so a flow on
    a dead path reaches a terminal [Aborted] outcome instead of
@@ -66,6 +65,12 @@ let jittered rng d = d *. (0.75 +. (0.5 *. Pdq_engine.Rng.float rng))
 
 let config t = t.cfg
 let port t link = t.ports.(link)
+
+let port_flow_counts t ~link =
+  let port = t.ports.(link) in
+  let stored = Pdq_core.Flow_list.length (Switch_port.flow_list port) in
+  let active = Switch_port.kappa port in
+  (active, stored - active)
 
 let cancel_opt ev =
   match ev with
@@ -121,9 +126,8 @@ let finish_sender s =
    on the parent flow. *)
 let abort s ~cause =
   if not s.closed then begin
-    if debug () then
-      Printf.eprintf "%.6f ABORT flow=%d cause=%s acked=%d/%d\n" (now s) s.sid
-        cause s.acked s.size;
+    Debug.debugf "%.6f ABORT flow=%d cause=%s acked=%d/%d" (now s) s.sid cause
+      s.acked s.size;
     close_sender s;
     s.terminated <- true;
     send_term s;
@@ -136,10 +140,10 @@ let abort s ~cause =
 
 let terminate s =
   if not s.closed then begin
-    if debug () then
-      Printf.eprintf
+    if Debug.on () then
+      Debug.debugf
         "%.6f TERMINATE flow=%d remaining=%d acked=%d rate=%g ttx=%g rtt=%g \
-         deadline=%s paused_by=%s\n"
+         deadline=%s paused_by=%s"
         (now s) s.sid
         (Sender.remaining_bytes s.core)
         s.acked (Sender.rate s.core)
@@ -196,7 +200,9 @@ let rec send_data s () =
     if s.next_seq < s.size then begin
       let interval = pacing_interval s ~wire_bytes:pkt.Packet.wire_bytes in
       s.send_ev <-
-        Some (Sim.schedule (Context.sim s.proto.ctx) ~delay:interval (send_data s))
+        Some
+          (Sim.schedule ~kind:"pdq.send" (Context.sim s.proto.ctx)
+             ~delay:interval (send_data s))
     end
   end
 
@@ -213,16 +219,18 @@ let ensure_sending s =
       pacing_interval s ~wire_bytes:(max_payload + Packet.header_bytes)
     in
     let delay = max 0. (s.last_tx +. interval -. now s) in
-    s.send_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (send_data s))
+    s.send_ev <-
+      Some
+        (Sim.schedule ~kind:"pdq.send" (Context.sim s.proto.ctx) ~delay
+           (send_data s))
   end
 
 let rec probe_loop s () =
   s.probe_ev <- None;
   if (not s.closed) && Sender.is_paused s.core && s.syn_acked then begin
-    if debug () then
-      Printf.eprintf "%.6f probe flow=%d ip=%g rtt=%g\n" (now s) s.sid
-        (Sender.inter_probe_interval s.core)
-        (Sender.rtt s.core);
+    Debug.debugf "%.6f probe flow=%d ip=%g rtt=%g" (now s) s.sid
+      (Sender.inter_probe_interval s.core)
+      (Sender.rtt s.core);
     let hdr = Sender.make_header s.core ~t:(now s) in
     Context.transmit s.proto.ctx ~from:s.src
       (make_pkt s ~kind:Packet.Probe ~hdr ~cum_ack:0 ());
@@ -238,14 +246,20 @@ let rec probe_loop s () =
         let expo = min (s.probes_unanswered - probe_backoff_threshold) backoff_cap in
         jittered (Context.rng s.proto.ctx) (base *. float_of_int (1 lsl expo))
     in
-    s.probe_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (probe_loop s))
+    s.probe_ev <-
+      Some
+        (Sim.schedule ~kind:"pdq.probe" (Context.sim s.proto.ctx) ~delay
+           (probe_loop s))
   end
 
 let ensure_probing s =
   if (not s.closed) && s.probe_ev = None && Sender.is_paused s.core && s.syn_acked
   then begin
     let delay = max (Sender.inter_probe_interval s.core) 1e-5 in
-    s.probe_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (probe_loop s))
+    s.probe_ev <-
+      Some
+        (Sim.schedule ~kind:"pdq.probe" (Context.sim s.proto.ctx) ~delay
+           (probe_loop s))
   end
 
 let adjust_loops s =
@@ -299,17 +313,17 @@ let rec watchdog s () =
       if not s.closed then begin
         let delay = max (Sender.rtt s.core) 5e-4 in
         ignore
-          (Sim.schedule (Context.sim s.proto.ctx) ~delay (fun () -> watchdog s ()))
+          (Sim.schedule ~kind:"pdq.watchdog" (Context.sim s.proto.ctx) ~delay
+             (fun () -> watchdog s ()))
       end
     end
   end
 
 let on_ack_packet s (hdr : Header.t) (ack : Payloads.ack_info) =
-  if debug () then
-    Printf.eprintf "%.6f ack flow=%d rate=%g pause=%s cum=%d\n"
-      (Context.now s.proto.ctx) s.sid hdr.Header.rate
-      (match hdr.Header.pause_by with None -> "-" | Some i -> string_of_int i)
-      ack.Payloads.cum_ack;
+  Debug.tracef "%.6f ack flow=%d rate=%g pause=%s cum=%d"
+    (Context.now s.proto.ctx) s.sid hdr.Header.rate
+    (match hdr.Header.pause_by with None -> "-" | Some i -> string_of_int i)
+    ack.Payloads.cum_ack;
   if not s.closed then begin
     s.syn_acked <- true;
     let t = now s in
@@ -427,8 +441,9 @@ let install ?(size_info = Sender.Known) ~config ~ctx ~until () =
   let ports =
     Array.init (Topology.link_count topo) (fun i ->
         let link = Topology.link topo i in
-        Switch_port.create ~config ~switch_id:(Link.src link)
-          ~link_rate:(Link.rate link) ~init_rtt:(Context.init_rtt ctx))
+        Switch_port.create ~trace:(Context.trace ctx) ~config
+          ~switch_id:(Link.src link) ~link_rate:(Link.rate link)
+          ~init_rtt:(Context.init_rtt ctx) ())
   in
   let t = { ctx; cfg = config; size_info; ports; streams = Hashtbl.create 64 } in
   (* A crash-rebooted switch loses all per-flow soft state; it is
@@ -454,10 +469,10 @@ let install ?(size_info = Sender.Known) ~config ~ctx ~until () =
           Switch_port.update_rate_controller port
             ~queue_bytes:(Link.queue_bytes link) ~now:(Sim.now sim);
           let delay = max (Switch_port.rate_update_interval port) 2e-5 in
-          ignore (Sim.schedule sim ~delay tick)
+          ignore (Sim.schedule ~kind:"pdq.rate_ctl" sim ~delay tick)
         end
       in
-      ignore (Sim.schedule sim ~delay:0. tick))
+      ignore (Sim.schedule ~kind:"pdq.rate_ctl" sim ~delay:0. tick))
     ports;
   t
 
@@ -475,8 +490,9 @@ let launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_r
       core =
         Sender.create ?deadline:deadline_abs
           ~efficiency:(float_of_int max_payload /. float_of_int Packet.mtu)
-          ~size_info:t.size_info ~flow_id:sid ~size_bytes:size
-          ~max_rate:(nic_rate topo src) ~init_rtt:(Context.init_rtt t.ctx) ();
+          ~size_info:t.size_info ~trace:(Context.trace t.ctx) ~flow_id:sid
+          ~size_bytes:size ~max_rate:(nic_rate topo src)
+          ~init_rtt:(Context.init_rtt t.ctx) ();
       parent;
       on_event;
       on_rx;
@@ -505,11 +521,14 @@ let launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_r
   let launch () =
     s.syn_wait <- rto s;
     s.last_ack <- now s;
+    (let trace = Context.trace t.ctx in
+     if Pdq_telemetry.Trace.active trace then
+       Pdq_telemetry.Trace.(emit trace (Flow_started { flow = sid })));
     send_syn s;
     watchdog s ()
   in
   if start <= Sim.now sim then launch ()
-  else ignore (Sim.schedule_at sim ~time:start launch);
+  else ignore (Sim.schedule_at ~kind:"pdq.launch" sim ~time:start launch);
   s
 
 let start_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_rx

@@ -25,6 +25,11 @@ val config : t -> Pdq_core.Config.t
 val port : t -> int -> Pdq_core.Switch_port.t
 (** The PDQ port of a directed link (for inspection/tests). *)
 
+val port_flow_counts : t -> link:int -> int * int
+(** [(active, paused)] flows stored on a directed link's port: flows
+    currently granted rate, and stored-but-paused flows. Feeds the
+    telemetry metrics prober. *)
+
 val start_flow : t -> Context.flow -> unit
 (** Schedule a registered experiment flow: SYN at its start time,
     completion/termination recorded on the {!Context.t}. *)

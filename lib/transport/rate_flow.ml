@@ -125,7 +125,9 @@ let rec send_data s () =
     if s.next_seq < size s then begin
       let interval = pacing_interval s ~wire_bytes:pkt.Packet.wire_bytes in
       s.send_ev <-
-        Some (Sim.schedule (Context.sim s.proto.ctx) ~delay:interval (send_data s))
+        Some
+          (Sim.schedule ~kind:"rate.send" (Context.sim s.proto.ctx)
+             ~delay:interval (send_data s))
     end
   end
 
@@ -135,7 +137,10 @@ let ensure_sending s =
       pacing_interval s ~wire_bytes:(max_payload s + Packet.header_bytes)
     in
     let delay = max 0. (s.last_tx +. interval -. now s) in
-    s.send_ev <- Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (send_data s))
+    s.send_ev <-
+      Some
+        (Sim.schedule ~kind:"rate.send" (Context.sim s.proto.ctx) ~delay
+           (send_data s))
   end
 
 let rec watchdog s () =
@@ -168,7 +173,7 @@ let rec watchdog s () =
         if s.syn_acked && s.acked < size s && t -. s.last_tx > s.rtt then
           transmit s (make_pkt s ~kind:Packet.Probe ());
         ignore
-          (Sim.schedule (Context.sim s.proto.ctx)
+          (Sim.schedule ~kind:"rate.watchdog" (Context.sim s.proto.ctx)
              ~delay:(max (min s.rtt 5e-4) 1e-4)
              (fun () -> watchdog s ()))
       end
@@ -191,7 +196,13 @@ let on_ack s (pkt : Packet.t) =
     | None -> ());
     (match s.proto.ops.rate_of_ack s pkt with
     | Some r ->
-        s.rate <- max s.proto.ops.min_rate r;
+        let fresh = max s.proto.ops.min_rate r in
+        (let trace = Context.trace s.proto.ctx in
+         if Pdq_telemetry.Trace.active trace && fresh <> s.rate then
+           Pdq_telemetry.Trace.(
+             emit trace
+               (Flow_rate_set { flow = s.flow.Context.id; rate = fresh })));
+        s.rate <- fresh;
         (* A pending departure was paced at the old rate; reschedule so
            a rate increase takes effect immediately. *)
         s.send_ev <- cancel_opt s.send_ev
@@ -266,9 +277,13 @@ let start_flow t (flow : Context.flow) =
   let launch () =
     s.syn_wait <- rto s;
     s.last_ack <- Sim.now sim;
+    (let trace = Context.trace t.ctx in
+     if Pdq_telemetry.Trace.active trace then
+       Pdq_telemetry.Trace.(
+         emit trace (Flow_started { flow = flow.Context.id })));
     send_syn s;
     watchdog s ()
   in
   let start = flow.Context.spec.Context.start in
   if start <= Sim.now sim then launch ()
-  else ignore (Sim.schedule_at sim ~time:start launch)
+  else ignore (Sim.schedule_at ~kind:"rate.launch" sim ~time:start launch)

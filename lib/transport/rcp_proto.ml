@@ -128,10 +128,10 @@ let install ~ctx ~until =
           let now = Sim.now sim in
           purge p ~now;
           recompute_fair p ~now;
-          ignore (Sim.schedule sim ~delay:(max p.rtt_avg 5e-5) tick)
+          ignore (Sim.schedule ~kind:"rcp.tick" sim ~delay:(max p.rtt_avg 5e-5) tick)
         end
       in
-      ignore (Sim.schedule sim ~delay:0. tick))
+      ignore (Sim.schedule ~kind:"rcp.tick" sim ~delay:0. tick))
     ports;
   t
 

@@ -17,3 +17,5 @@ val fair_rate : t -> link:int -> float
 (** Current advertised fair rate on a directed link (for tests). *)
 
 val flow_count : t -> link:int -> int
+(** Active flows registered on a directed link (feeds the telemetry
+    metrics prober). *)

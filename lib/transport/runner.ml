@@ -2,6 +2,8 @@ module Sim = Pdq_engine.Sim
 module Rng = Pdq_engine.Rng
 module Topology = Pdq_net.Topology
 module Link = Pdq_net.Link
+module Trace = Pdq_telemetry.Trace
+module Metrics = Pdq_telemetry.Metrics
 
 type protocol =
   | Pdq of Pdq_core.Config.t
@@ -25,13 +27,21 @@ let protocol_name = function
   | D3 -> "D3"
   | Tcp -> "TCP"
 
+type telemetry = {
+  sinks : Trace.sink list;
+  metrics : Metrics.t option;
+  metrics_every : float;
+}
+
+let no_telemetry = { sinks = []; metrics = None; metrics_every = 1e-3 }
+
 type options = {
   seed : int;
   horizon : float;
   stop_when_done : bool;
   loss : (float * int list) option;
   faults : Pdq_faults.Fault_plan.t option;
-  trace : (int * float) option;
+  telemetry : telemetry;
   init_rtt : float;
   rto_min : float;
 }
@@ -43,7 +53,7 @@ let default_options =
     stop_when_done = true;
     loss = None;
     faults = None;
-    trace = None;
+    telemetry = no_telemetry;
     init_rtt = 2e-4;
     rto_min = 1e-3;
   }
@@ -70,44 +80,56 @@ type result = {
 let run ?(options = default_options) ~topo protocol specs =
   let sim = Topology.sim topo in
   let rng = Rng.create options.seed in
-  let ctx = Context.create ~sim ~topo ~rng ~init_rtt:options.init_rtt () in
+  (* The trace bus. PDQ_DEBUG=trace additionally echoes every event to
+     stderr; with no sink at all the bus is {!Trace.null} and the run
+     is bit-for-bit identical to an uninstrumented one. *)
+  let sinks =
+    if Debug.trace_on () then
+      options.telemetry.sinks @ [ Trace.console ~min_severity:Trace.Trace stderr ]
+    else options.telemetry.sinks
+  in
+  let trace = Trace.create ~clock:(fun () -> Sim.now sim) ~sinks in
+  if Trace.active trace then
+    Topology.iter_links (fun l -> Link.set_trace l trace) topo;
+  let ctx = Context.create ~trace ~sim ~topo ~rng ~init_rtt:options.init_rtt () in
   (match options.loss with
   | Some (rate, links) ->
       List.iter
         (fun l -> Link.set_loss (Topology.link topo l) ~rate ~rng:(Rng.split rng))
         links
   | None -> ());
-  (match options.trace with
-  | Some (link, sample_every) ->
-      Context.trace_link ctx ~link ~sample_every ~until:options.horizon
-  | None -> ());
-  let start_flow : Context.flow -> unit =
+  let (start_flow : Context.flow -> unit),
+      (port_counts : link:int -> (int * int) option) =
     match protocol with
     | Pdq config ->
         let p = Pdq_proto.install ~config ~ctx ~until:options.horizon () in
-        Pdq_proto.start_flow p
+        ( Pdq_proto.start_flow p,
+          fun ~link -> Some (Pdq_proto.port_flow_counts p ~link) )
     | Pdq_estimated { config; quantum } ->
         let p =
           Pdq_proto.install
             ~size_info:(Pdq_core.Sender.Estimated quantum)
             ~config ~ctx ~until:options.horizon ()
         in
-        Pdq_proto.start_flow p
+        ( Pdq_proto.start_flow p,
+          fun ~link -> Some (Pdq_proto.port_flow_counts p ~link) )
     | Mpdq { config; subflows; paths } ->
         let p =
           Mpdq_proto.install ~config ~ctx ~until:options.horizon ~subflows
             ?paths ()
         in
-        Mpdq_proto.start_flow p
+        ( Mpdq_proto.start_flow p,
+          fun ~link ->
+            Some (Pdq_proto.port_flow_counts (Mpdq_proto.pdq p) ~link) )
     | Rcp ->
         let p = Rcp_proto.install ~ctx ~until:options.horizon in
-        Rcp_proto.start_flow p
+        (Rcp_proto.start_flow p, fun ~link -> Some (Rcp_proto.flow_count p ~link, 0))
     | D3 ->
         let p = D3_proto.install ~ctx ~until:options.horizon in
-        D3_proto.start_flow p
+        (D3_proto.start_flow p, fun ~link -> Some (D3_proto.flow_count p ~link, 0))
     | Tcp ->
         let p = Tcp_proto.install ~rto_min:options.rto_min ~ctx () in
-        Tcp_proto.start_flow p
+        (Tcp_proto.start_flow p, fun ~link:_ -> None)
   in
   (* Fault injection. The empty plan is skipped entirely — not even an
      [Rng.split] — so a run with [faults = Some Fault_plan.empty] is
@@ -116,10 +138,53 @@ let run ?(options = default_options) ~topo protocol specs =
   (match options.faults with
   | Some plan when not (Pdq_faults.Fault_plan.is_empty plan) ->
       Pdq_faults.Fault_plan.install ~sim ~topo ~rng:(Rng.split rng)
+        ?trace:
+          (if Trace.active trace then
+             Some
+               (fun ~time:_ ev ->
+                 Trace.emit trace
+                   (Trace.Fault
+                      {
+                        desc =
+                          Format.asprintf "%a" Pdq_faults.Fault_plan.pp_event ev;
+                      }))
+           else None)
         ~on_change:(fun () -> Context.reroute ctx)
         ~on_reboot:(fun node -> Context.reboot_switch ctx ~node)
         plan
   | Some _ | None -> ());
+  (* Network-wide metrics probe: per-link utilization and queue depth,
+     per-port active/paused flow counts, sampled on a fixed grid. Only
+     scheduled when a registry is attached, so plain runs see no extra
+     simulator events. *)
+  (match options.telemetry.metrics with
+  | Some m ->
+      let every = max options.telemetry.metrics_every 1e-6 in
+      let rec probe () =
+        let time = Sim.now sim in
+        Topology.iter_links
+          (fun l ->
+            let id = Link.id l in
+            Metrics.sample m ~time ~name:(Metrics.Name.link_util id)
+              ~value:(Link.utilization l ~since:time ~now:time);
+            Metrics.sample m ~time
+              ~name:(Metrics.Name.link_queue_bytes id)
+              ~value:(float_of_int (Link.queue_bytes l));
+            match port_counts ~link:id with
+            | Some (active, paused) ->
+                Metrics.sample m ~time
+                  ~name:(Metrics.Name.port_flows_active id)
+                  ~value:(float_of_int active);
+                Metrics.sample m ~time
+                  ~name:(Metrics.Name.port_flows_paused id)
+                  ~value:(float_of_int paused)
+            | None -> ())
+          topo;
+        if time +. every <= options.horizon then
+          ignore (Sim.schedule ~kind:"telemetry.sample" sim ~delay:every probe)
+      in
+      ignore (Sim.schedule ~kind:"telemetry.sample" sim ~delay:0. probe)
+  | None -> ());
   let flows = List.map (Context.add_flow ctx) specs in
   List.iter start_flow flows;
   if options.stop_when_done then Context.on_all_complete ctx (fun () -> Sim.stop sim);
@@ -183,6 +248,19 @@ let run ?(options = default_options) ~topo protocol specs =
           ("drop.down", !drop_down);
         ]
   in
+  (* Fold the run's counters and the FCT distribution into the metrics
+     registry so the exported CSV/JSONL is self-contained. *)
+  (match options.telemetry.metrics with
+  | Some m ->
+      Metrics.add_counters m counters;
+      let h = Metrics.histogram m Metrics.Name.flow_fct_ms in
+      Array.iter
+        (fun (r : flow_result) ->
+          match r.fct with
+          | Some f -> Metrics.observe h (1000. *. f)
+          | None -> ())
+        results
+  | None -> ());
   {
     flows = results;
     application_throughput;

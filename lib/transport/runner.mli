@@ -23,6 +23,24 @@ val mpdq : ?paths:(src:int -> dst:int -> int array list) -> subflows:int -> unit
 
 val protocol_name : protocol -> string
 
+type telemetry = {
+  sinks : Pdq_telemetry.Trace.sink list;
+      (** Trace sinks attached to the run's event bus. Empty = the
+          {!Pdq_telemetry.Trace.null} bus: no event is ever allocated
+          and the run is bit-for-bit identical to an uninstrumented
+          one. *)
+  metrics : Pdq_telemetry.Metrics.t option;
+      (** Registry for the network-wide probe (per-link utilization and
+          queue depth, per-port active/paused flow counts) plus the
+          run's counters and FCT histogram. *)
+  metrics_every : float;
+      (** Probe grid in simulated seconds (only used with
+          [metrics]). *)
+}
+
+val no_telemetry : telemetry
+(** No sinks, no metrics; probe grid 1 ms. *)
+
 type options = {
   seed : int;
   horizon : float;
@@ -37,16 +55,18 @@ type options = {
       (** Timed fault injections (link failures, loss episodes, switch
           reboots). [None] or an empty plan leaves the run bit-for-bit
           identical to a fault-free one. *)
-  trace : (int * float) option;
-      (** [(link, sample_every)]: record that link's transmitted-bytes
-          and queue-length series plus per-flow goodput (Fig. 6/7). *)
+  telemetry : telemetry;
+      (** Structured tracing and metrics for the run. Replaces the old
+          single-link [trace] option: bottleneck time series (Fig. 6/7)
+          are now reconstructed from the generic [Flow_rx] events and
+          metrics samples. *)
   init_rtt : float;  (** Seed for RTT estimators. *)
   rto_min : float;   (** TCP minimum RTO. *)
 }
 
 val default_options : options
-(** seed 1, horizon 10 s, stop-when-done, no loss, no trace, 200 µs
-    initial RTT, 1 ms RTOmin. *)
+(** seed 1, horizon 10 s, stop-when-done, no loss, no telemetry,
+    200 µs initial RTT, 1 ms RTOmin. *)
 
 type flow_result = {
   spec : Context.flow_spec;
@@ -72,7 +92,7 @@ type result = {
           drops by cause (["drop.loss"], ["drop.overflow"],
           ["drop.down"]). Empty for a clean fault-free run. *)
   sim_end : float;
-  ctx : Context.t; (** For trace series extraction. *)
+  ctx : Context.t; (** For post-run inspection. *)
 }
 
 val run :

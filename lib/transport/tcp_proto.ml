@@ -91,7 +91,9 @@ let rec arm_timer s =
       else delay
     in
     s.timer <-
-      Some (Sim.schedule (Context.sim s.proto.ctx) ~delay (fun () -> on_timeout s))
+      Some
+        (Sim.schedule ~kind:"tcp.timer" (Context.sim s.proto.ctx) ~delay
+           (fun () -> on_timeout s))
   end
 
 (* Retransmission timeout: multiplicative backoff, window collapse,
@@ -285,9 +287,13 @@ let start_flow t (flow : Context.flow) =
   Hashtbl.replace t.senders flow.Context.id s;
   let sim = Context.sim t.ctx in
   let launch () =
+    (let trace = Context.trace t.ctx in
+     if Pdq_telemetry.Trace.active trace then
+       Pdq_telemetry.Trace.(
+         emit trace (Flow_started { flow = flow.Context.id })));
     send_syn s;
     arm_timer s
   in
   let start = flow.Context.spec.Context.start in
   if start <= Sim.now sim then launch ()
-  else ignore (Sim.schedule_at sim ~time:start launch)
+  else ignore (Sim.schedule_at ~kind:"tcp.launch" sim ~time:start launch)

@@ -138,7 +138,7 @@ let prop_flow_list_sorted =
 (* Switch_port: Algorithms 1-3 *)
 
 let mk_port ?(config = Config.full) () =
-  Switch_port.create ~config ~switch_id:99 ~link_rate:gbps ~init_rtt:1.5e-4
+  Switch_port.create ~config ~switch_id:99 ~link_rate:gbps ~init_rtt:1.5e-4 ()
 
 let mk_header ?deadline ?(rate = gbps) ?(ttx = 1e-3) () =
   Header.make ?deadline ~rate ~expected_tx_time:ttx ~rtt:1.5e-4 ()

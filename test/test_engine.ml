@@ -139,6 +139,24 @@ let test_sim_stop () =
   Sim.run ~until:100. sim;
   Alcotest.(check int) "stopped after three" 3 !count
 
+let test_sim_live_pending () =
+  let sim = Sim.create () in
+  let h1 = Sim.schedule sim ~delay:0.1 (fun () -> ()) in
+  let _h2 = Sim.schedule sim ~delay:0.2 (fun () -> ()) in
+  let _h3 = Sim.schedule sim ~delay:0.3 (fun () -> ()) in
+  Alcotest.(check int) "pending counts all" 3 (Sim.pending sim);
+  Alcotest.(check int) "live_pending counts all" 3 (Sim.live_pending sim);
+  Sim.cancel h1;
+  (* The cancelled placeholder stays on the heap until popped: pending
+     still sees it, live_pending does not. *)
+  Alcotest.(check int) "pending keeps placeholder" 3 (Sim.pending sim);
+  Alcotest.(check int) "live_pending drops placeholder" 2 (Sim.live_pending sim);
+  Sim.cancel h1;
+  Alcotest.(check int) "double cancel counted once" 2 (Sim.live_pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "empty after run" 0 (Sim.pending sim);
+  Alcotest.(check int) "live empty after run" 0 (Sim.live_pending sim)
+
 let test_sim_past_rejected () =
   let sim = Sim.create () in
   ignore (Sim.schedule sim ~delay:1. (fun () -> ()));
@@ -246,6 +264,34 @@ let test_stats_counter () =
   check_float "min" 1. (Stats.Counter.min c);
   check_float "max" 3. (Stats.Counter.max c)
 
+let test_stats_single_sample () =
+  let xs = [| 7.5 |] in
+  check_float "median of one" 7.5 (Stats.median xs);
+  check_float "p0 of one" 7.5 (Stats.percentile xs 0.);
+  check_float "p99 of one" 7.5 (Stats.percentile xs 99.);
+  let c = Stats.cdf xs in
+  Alcotest.(check int) "cdf one point" 1 (Array.length c);
+  check_float "cdf below" 0. (Stats.cdf_at c 7.);
+  check_float "cdf at sample" 1. (Stats.cdf_at c 7.5)
+
+let test_stats_tally_negative () =
+  let t = Stats.Tally.create () in
+  Stats.Tally.incr t "x";
+  Stats.Tally.incr ~by:5 t "x";
+  Stats.Tally.incr ~by:(-2) t "x";
+  Alcotest.(check int) "net count" 4 (Stats.Tally.count t "x");
+  Stats.Tally.incr ~by:(-3) t "y";
+  Alcotest.(check int) "fresh key from negative" (-3) (Stats.Tally.count t "y");
+  Alcotest.(check int) "total sums signed" 1 (Stats.Tally.total t)
+
+let test_stats_counter_empty () =
+  let c = Stats.Counter.create () in
+  Alcotest.(check int) "n" 0 (Stats.Counter.n c);
+  check_float "mean of empty" 0. (Stats.Counter.mean c);
+  Alcotest.(check bool) "min is +inf" true (Stats.Counter.min c = infinity);
+  Alcotest.(check bool) "max is -inf" true
+    (Stats.Counter.max c = neg_infinity)
+
 let prop_percentile_bounds =
   QCheck.Test.make ~name:"percentile within min/max" ~count:300
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
@@ -320,6 +366,8 @@ let suites =
         Alcotest.test_case "run until" `Quick test_sim_until;
         Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
         Alcotest.test_case "stop" `Quick test_sim_stop;
+        Alcotest.test_case "live vs physical pending" `Quick
+          test_sim_live_pending;
         Alcotest.test_case "past times rejected" `Quick test_sim_past_rejected;
       ] );
     ( "engine.rng",
@@ -338,6 +386,11 @@ let suites =
         Alcotest.test_case "cdf" `Quick test_stats_cdf;
         Alcotest.test_case "fraction" `Quick test_stats_fraction;
         Alcotest.test_case "counter" `Quick test_stats_counter;
+        Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+        Alcotest.test_case "tally negative deltas" `Quick
+          test_stats_tally_negative;
+        Alcotest.test_case "counter empty stream" `Quick
+          test_stats_counter_empty;
       ]
       @ qsuite [ prop_percentile_bounds ] );
     ( "engine.series",

@@ -82,7 +82,7 @@ let test_port_flush_and_rebuild () =
   let gbps = Units.gbps 1. in
   let port =
     Switch_port.create ~config:Config.full ~switch_id:9 ~link_rate:gbps
-      ~init_rtt:1.5e-4
+      ~init_rtt:1.5e-4 ()
   in
   let h1 = Header.make ~rate:gbps ~expected_tx_time:1e-3 ~rtt:4e-4 () in
   Switch_port.process_forward port h1 ~flow_id:1 ~now:0.;

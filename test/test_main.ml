@@ -5,6 +5,7 @@ let () =
     (List.concat
        [
          Test_engine.suites;
+         Test_telemetry.suites;
          Test_net.suites;
          Test_core.suites;
          Test_transport.suites;

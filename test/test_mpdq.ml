@@ -237,33 +237,40 @@ let test_equilibrium_single_driver () =
     List.init 4 (fun i ->
         spec ~src:hosts.(i) ~dst:rx ~size:(Units.mbyte 2.) ())
   in
-  let bl = Pdq_net.Link.id (Pdq_net.Topology.link_to built.Builder.topo ~src:0 ~dst:rx) in
+  let mem = Pdq_telemetry.Trace.memory () in
   let options =
     {
       Runner.default_options with
       Runner.horizon = 0.012;
       stop_when_done = false;
-      trace = Some (bl, 1e-4);
+      telemetry = { Runner.no_telemetry with Runner.sinks = [ mem ] };
     }
   in
   let r =
     Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Pdq_core.Config.full)
       specs
   in
+  ignore r;
   (* After a convergence window of Pmax+1 RTTs (~1.5ms here, generous:
      3ms), the driver must carry nearly all delivered bytes. Paused
      flows may still pick up slivers while the rate controller's C
      oscillates around the committed rates, so the equilibrium claim
-     is about the byte share, not strict silence. *)
-  let bytes_in_window s =
-    Pdq_engine.Series.points s
-    |> Array.fold_left
-         (fun acc (t, v) -> if t > 0.003 && t < 0.010 then acc +. v else acc)
-         0.
-  in
-  let shares =
-    Context.rx_series r.Runner.ctx |> List.map (fun (_, s) -> bytes_in_window s)
-  in
+     is about the byte share, not strict silence. The per-flow byte
+     series is reconstructed from the [Flow_rx] trace events. *)
+  let per_flow = Hashtbl.create 8 in
+  List.iter
+    (fun (t, ev) ->
+      match ev with
+      | Pdq_telemetry.Trace.Flow_rx { flow; bytes }
+        when t > 0.003 && t < 0.010 ->
+          Hashtbl.replace per_flow flow
+            ((match Hashtbl.find_opt per_flow flow with
+             | Some b -> b
+             | None -> 0.)
+            +. float_of_int bytes)
+      | _ -> ())
+    (Pdq_telemetry.Trace.memory_events mem);
+  let shares = Hashtbl.fold (fun _ b acc -> b :: acc) per_flow [] in
   let total = List.fold_left ( +. ) 0. shares in
   let top = List.fold_left max 0. shares in
   Alcotest.(check bool)

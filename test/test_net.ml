@@ -169,6 +169,29 @@ let test_link_tap () =
   Alcotest.(check int) "bytes_sent" 1500 (Link.bytes_sent link)
 
 (* ------------------------------------------------------------------ *)
+(* Topology wiring *)
+
+let test_no_handler_carries_node_id () =
+  let sim = Sim.create () in
+  let topo = Topology.create ~sim () in
+  let a = Topology.add_host topo in
+  let b = Topology.add_host topo in
+  Topology.connect topo a b;
+  (* [b] never got a handler: delivery must raise [No_handler b], not a
+     generic failure, so the wiring bug names the culprit node. *)
+  Link.send (Topology.link_to topo ~src:a ~dst:b) (mk_packet ~now:0. ());
+  (match Sim.run sim with
+  | () -> Alcotest.fail "expected No_handler"
+  | exception Topology.No_handler id ->
+      Alcotest.(check int) "exception names the node" b id);
+  (* Installing the handler afterwards makes delivery work. *)
+  let got = ref 0 in
+  Topology.set_handler topo b (fun _ -> incr got);
+  Link.send (Topology.link_to topo ~src:a ~dst:b) (mk_packet ~now:0. ());
+  Sim.run sim;
+  Alcotest.(check int) "delivered after set_handler" 1 !got
+
+(* ------------------------------------------------------------------ *)
 (* Topologies *)
 
 let test_single_bottleneck () =
@@ -329,6 +352,8 @@ let suites =
       ] );
     ( "net.topologies",
       [
+        Alcotest.test_case "missing handler names node" `Quick
+          test_no_handler_carries_node_id;
         Alcotest.test_case "single bottleneck" `Quick test_single_bottleneck;
         Alcotest.test_case "single-rooted tree (Fig 2a)" `Quick
           test_single_rooted_tree;
