@@ -13,42 +13,44 @@ open E
 
 let ppf = Format.std_formatter
 
-let targets : (string * (quick:bool -> unit)) list =
+let targets : (string * (quick:bool -> jobs:int option -> unit)) list =
   [
     ( "fig1",
-      fun ~quick:_ ->
+      fun ~quick:_ ~jobs:_ ->
         Common.pp_table ppf (Fig1.completion_table ());
         Common.pp_table ppf (Fig1.deadline_table ()) );
-    ("fig3a", fun ~quick -> Common.pp_table ppf (Fig3.fig3a ~quick ()));
-    ("fig3b", fun ~quick -> Common.pp_table ppf (Fig3.fig3b ~quick ()));
-    ("fig3c", fun ~quick -> Common.pp_table ppf (Fig3.fig3c ~quick ()));
-    ("fig3d", fun ~quick -> Common.pp_table ppf (Fig3.fig3d ~quick ()));
-    ("fig3e", fun ~quick -> Common.pp_table ppf (Fig3.fig3e ~quick ()));
-    ("fig4a", fun ~quick -> Common.pp_table ppf (Fig4.fig4a ~quick ()));
-    ("fig4b", fun ~quick -> Common.pp_table ppf (Fig4.fig4b ~quick ()));
-    ("fig5a", fun ~quick -> Common.pp_table ppf (Fig5.fig5a ~quick ()));
-    ("fig5b", fun ~quick -> Common.pp_table ppf (Fig5.fig5b ~quick ()));
-    ("fig5c", fun ~quick -> Common.pp_table ppf (Fig5.fig5c ~quick ()));
-    ("fig6", fun ~quick:_ -> Common.pp_table ppf (Dynamics.fig6_table ()));
-    ("fig7", fun ~quick:_ -> Common.pp_table ppf (Dynamics.fig7_table ()));
-    ("fig8a", fun ~quick -> Common.pp_table ppf (Fig8.fig8a ~quick ()));
-    ("fig8b", fun ~quick -> Common.pp_table ppf (Fig8.fig8b ~quick ()));
-    ("fig8c", fun ~quick -> Common.pp_table ppf (Fig8.fig8c ~quick ()));
-    ("fig8d", fun ~quick -> Common.pp_table ppf (Fig8.fig8d ~quick ()));
-    ("fig8e", fun ~quick -> Common.pp_table ppf (Fig8.fig8e ~quick ()));
+    ("fig3a", fun ~quick ~jobs -> Common.pp_table ppf (Fig3.fig3a ?jobs ~quick ()));
+    ("fig3b", fun ~quick ~jobs -> Common.pp_table ppf (Fig3.fig3b ?jobs ~quick ()));
+    ("fig3c", fun ~quick ~jobs -> Common.pp_table ppf (Fig3.fig3c ?jobs ~quick ()));
+    ("fig3d", fun ~quick ~jobs -> Common.pp_table ppf (Fig3.fig3d ?jobs ~quick ()));
+    ("fig3e", fun ~quick ~jobs -> Common.pp_table ppf (Fig3.fig3e ?jobs ~quick ()));
+    ("fig4a", fun ~quick ~jobs -> Common.pp_table ppf (Fig4.fig4a ?jobs ~quick ()));
+    ("fig4b", fun ~quick ~jobs -> Common.pp_table ppf (Fig4.fig4b ?jobs ~quick ()));
+    ("fig5a", fun ~quick ~jobs -> Common.pp_table ppf (Fig5.fig5a ?jobs ~quick ()));
+    ("fig5b", fun ~quick ~jobs -> Common.pp_table ppf (Fig5.fig5b ?jobs ~quick ()));
+    ("fig5c", fun ~quick ~jobs -> Common.pp_table ppf (Fig5.fig5c ?jobs ~quick ()));
+    ( "fig6",
+      fun ~quick:_ ~jobs:_ -> Common.pp_table ppf (Dynamics.fig6_table ()) );
+    ( "fig7",
+      fun ~quick:_ ~jobs:_ -> Common.pp_table ppf (Dynamics.fig7_table ()) );
+    ("fig8a", fun ~quick ~jobs -> Common.pp_table ppf (Fig8.fig8a ?jobs ~quick ()));
+    ("fig8b", fun ~quick ~jobs -> Common.pp_table ppf (Fig8.fig8b ?jobs ~quick ()));
+    ("fig8c", fun ~quick ~jobs -> Common.pp_table ppf (Fig8.fig8c ?jobs ~quick ()));
+    ("fig8d", fun ~quick ~jobs -> Common.pp_table ppf (Fig8.fig8d ?jobs ~quick ()));
+    ("fig8e", fun ~quick ~jobs -> Common.pp_table ppf (Fig8.fig8e ?jobs ~quick ()));
     ( "fig9",
-      fun ~quick ->
-        Common.pp_table ppf (Fig9.fig9a ~quick ());
-        Common.pp_table ppf (Fig9.fig9b ~quick ()) );
-    ("fig10", fun ~quick -> Common.pp_table ppf (Fig10.fig10 ~quick ()));
-    ("fig11a", fun ~quick -> Common.pp_table ppf (Fig11.fig11a ~quick ()));
-    ("fig11bc", fun ~quick -> Common.pp_table ppf (Fig11.fig11bc ~quick ()));
-    ("fig12", fun ~quick -> Common.pp_table ppf (Fig12.fig12 ~quick ()));
+      fun ~quick ~jobs ->
+        Common.pp_table ppf (Fig9.fig9a ?jobs ~quick ());
+        Common.pp_table ppf (Fig9.fig9b ?jobs ~quick ()) );
+    ("fig10", fun ~quick ~jobs -> Common.pp_table ppf (Fig10.fig10 ?jobs ~quick ()));
+    ("fig11a", fun ~quick ~jobs -> Common.pp_table ppf (Fig11.fig11a ?jobs ~quick ()));
+    ("fig11bc", fun ~quick ~jobs -> Common.pp_table ppf (Fig11.fig11bc ?jobs ~quick ()));
+    ("fig12", fun ~quick ~jobs -> Common.pp_table ppf (Fig12.fig12 ?jobs ~quick ()));
     ( "ablation",
-      fun ~quick ->
-        Common.pp_table ppf (Ablation.early_start_k ~quick ());
-        Common.pp_table ppf (Ablation.probing ~quick ());
-        Common.pp_table ppf (Ablation.dampening ~quick ()) );
+      fun ~quick ~jobs ->
+        Common.pp_table ppf (Ablation.early_start_k ?jobs ~quick ());
+        Common.pp_table ppf (Ablation.probing ?jobs ~quick ());
+        Common.pp_table ppf (Ablation.dampening ?jobs ~quick ()) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -132,10 +134,14 @@ let micro () =
 
 let () =
   let only = ref None and full = ref false and run_micro = ref false in
+  let jobs = ref None in
   let args =
     [
       ("--only", Arg.String (fun s -> only := Some s), "FIG run a single target");
       ("--full", Arg.Set full, " full sweeps (slow)");
+      ("--jobs", Arg.Int (fun n -> jobs := Some n),
+       "N worker domains for the scenario sweeps (results are identical \
+        for any N)");
       ("--micro", Arg.Set run_micro, " Bechamel micro-benchmarks");
     ]
   in
@@ -161,7 +167,7 @@ let () =
         (fun (name, f) ->
           Pdq_engine.Profiler.reset profiler;
           let t0 = Unix.gettimeofday () in
-          f ~quick;
+          f ~quick ~jobs:!jobs;
           Format.printf "[%s done in %.1fs]@.%a@.@." name
             (Unix.gettimeofday () -. t0)
             Pdq_engine.Profiler.pp_report profiler)

@@ -1,206 +1,187 @@
 (* pdq_sim: command-line front end for single packet-level experiments.
 
+   The flags parse directly into a {!Pdq_exec.Scenario.t}; everything
+   except the telemetry/profiler/jobs flags is scenario data.
+
    Examples:
      pdq_sim --proto pdq --flows 10 --deadline-mean 20
      pdq_sim --proto tcp --topo bottleneck --flows 8 --no-deadlines
      pdq_sim --proto mpdq --subflows 4 --topo bcube --mean-size 400
      pdq_sim --proto pdq --topo fat-tree --flows 16 --flap-mtbf 0.3
-     pdq_sim --reboot-mtbf 0.1
-     pdq_sim --resilience *)
+     pdq_sim --proto pdq --seeds 1,2,3,4 --jobs 4
+     pdq_sim --resilience --jobs 4 *)
 
 open Cmdliner
 module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
-module Builder = Pdq_topo.Builder
-module Fault_plan = Pdq_faults.Fault_plan
-module Sim = Pdq_engine.Sim
-module Rng = Pdq_engine.Rng
-module Size_dist = Pdq_workload.Size_dist
-module Deadline_dist = Pdq_workload.Deadline_dist
-module Pattern = Pdq_workload.Pattern
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
-type topo_kind = Tree | Bottleneck | Fat_tree | Bcube | Jellyfish
+(* Flags that are about this invocation, not about the experiment:
+   telemetry sinks, the profiler and the worker-domain count. *)
+type cli_opts = {
+  trace_out : string option;
+  metrics_out : string option;
+  metrics_every : float;
+  profile : bool;
+  jobs : int option;
+  seeds : int list;
+}
 
-let build kind ~sim ~seed =
-  match kind with
-  | Tree -> Builder.single_rooted_tree ~sim ()
-  | Bottleneck -> fst (Builder.single_bottleneck ~sim ~senders:16 ())
-  | Fat_tree -> Builder.fat_tree ~sim ~k:4 ()
-  | Bcube -> Builder.bcube ~sim ~n:2 ~k:3 ()
-  | Jellyfish ->
-      Builder.jellyfish ~sim ~rng:(Rng.create seed) ~switches:8 ~ports:24
-        ~net_ports:16 ()
-
-let protocol_of name subflows =
-  match String.lowercase_ascii name with
-  | "pdq" | "pdq-full" -> Ok (Runner.Pdq Pdq_core.Config.full)
-  | "pdq-basic" -> Ok (Runner.Pdq Pdq_core.Config.basic)
-  | "pdq-es" -> Ok (Runner.Pdq Pdq_core.Config.es)
-  | "pdq-es-et" -> Ok (Runner.Pdq Pdq_core.Config.es_et)
-  | "mpdq" | "m-pdq" ->
-      Ok (Runner.mpdq ~subflows ())
-  | "rcp" -> Ok Runner.Rcp
-  | "d3" -> Ok Runner.D3
-  | "tcp" -> Ok Runner.Tcp
-  | other -> Error (Printf.sprintf "unknown protocol %S" other)
-
-let run proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
-    no_deadlines pattern seed resilience full flap_mtbf flap_mttr reboot_mtbf
-    fault_until trace_out metrics_out metrics_every profile =
-  if resilience then begin
-    Pdq_experiments.Resilience.run_all ~quick:(not full) Format.std_formatter ();
-    0
+let print_result ~(scenario : Scenario.t) (r : Runner.result) =
+  Printf.printf "%s: %d flows (seed %d)\n" scenario.Scenario.name
+    (Array.length r.Runner.flows)
+    scenario.Scenario.seed;
+  Array.iteri
+    (fun i (f : Runner.flow_result) ->
+      Printf.printf
+        "  flow %2d  %3d->%3d  %7dB  %s%s%s\n" i f.Runner.spec.Context.src
+        f.Runner.spec.Context.dst f.Runner.spec.Context.size
+        (match f.Runner.fct with
+        | Some x -> Printf.sprintf "fct %7.2f ms" (1e3 *. x)
+        | None -> "incomplete   ")
+        (match f.Runner.spec.Context.deadline with
+        | Some d ->
+            Printf.sprintf "  deadline %5.1f ms %s" (1e3 *. d)
+              (if f.Runner.met_deadline then "MET" else "MISSED")
+        | None -> "")
+        (if f.Runner.terminated then "  [early terminated]"
+         else if f.Runner.aborted then "  [aborted]"
+         else ""))
+    r.Runner.flows;
+  Printf.printf "mean FCT %.3f ms | application throughput %.1f%% | %d/%d \
+                 completed | %d aborted\n"
+    (1e3 *. r.Runner.mean_fct)
+    (100. *. r.Runner.application_throughput)
+    r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted;
+  if r.Runner.counters <> [] then begin
+    Printf.printf "counters:";
+    List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) r.Runner.counters;
+    print_newline ()
   end
-  else
-  let topo_kind =
-    match String.lowercase_ascii topo_name with
-    | "tree" -> Tree
-    | "bottleneck" -> Bottleneck
-    | "fat-tree" | "fattree" -> Fat_tree
-    | "bcube" -> Bcube
-    | "jellyfish" -> Jellyfish
-    | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+(* One run with the full telemetry plumbing attached. *)
+let run_single scenario opts =
+  let trace_chan = Option.map open_out opts.trace_out in
+  let metrics =
+    match opts.metrics_out with
+    | Some _ -> Some (Pdq_telemetry.Metrics.create ())
+    | None -> None
   in
-  match protocol_of proto_name subflows with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok protocol ->
-      (* Enable before [Sim.create] so the simulator attaches to the
-         global profiler. *)
-      let profiler =
-        if profile then Some (Pdq_engine.Profiler.enable_global ()) else None
-      in
-      let sim = Sim.create () in
-      let built = build topo_kind ~sim ~seed in
-      let hosts = built.Builder.hosts in
-      let rng = Rng.create seed in
-      let sizes = Size_dist.uniform_paper ~mean_bytes:(mean_size_kb * 1000) in
-      let ddist = Deadline_dist.exponential ~mean:(deadline_mean_ms /. 1e3) () in
-      let pairs =
-        match String.lowercase_ascii pattern with
-        | "aggregation" ->
-            Pattern.aggregation ~hosts ~receiver:hosts.(0) ~flows
-        | "permutation" ->
-            Pattern.random_permutation ~hosts ~rng
-        | "pairs" -> Pattern.random_pairs ~hosts ~flows ~rng
-        | other -> failwith (Printf.sprintf "unknown pattern %S" other)
-      in
-      let pairs = Array.of_list pairs in
-      let specs =
-        List.init flows (fun i ->
-            let p = pairs.(i mod Array.length pairs) in
-            {
-              Context.src = p.Pattern.src;
-              dst = p.Pattern.dst;
-              size = Size_dist.sample sizes rng;
-              deadline =
-                (if no_deadlines then None
-                 else Some (Deadline_dist.sample ddist rng));
-              start = 0.;
-            })
-      in
-      (* Optional fault injection for single runs: memoryless link
-         flapping on switch-switch cables and/or switch crash-reboots,
-         both truncated at --fault-until. *)
-      let faults =
-        let topo = built.Builder.topo in
-        let flaps =
-          match flap_mtbf with
-          | Some mtbf ->
-              Fault_plan.link_flaps
-                (Rng.create (0x11AB + seed))
-                ~links:(Fault_plan.switch_cables topo)
-                ~mtbf ~mttr:flap_mttr ~until:fault_until
-          | None -> Fault_plan.empty
-        in
-        let reboots =
-          match reboot_mtbf with
-          | Some mtbf ->
-              Fault_plan.switch_reboots
-                (Rng.create (0x5EB0 + seed))
-                ~switches:(Fault_plan.switches topo)
-                ~mtbf ~until:fault_until
-          | None -> Fault_plan.empty
-        in
-        let plan = Fault_plan.merge flaps reboots in
-        if Fault_plan.is_empty plan then None else Some plan
-      in
-      (* Telemetry: a JSONL trace sink and/or a metrics registry with
-         the network-wide probe, driven by the --trace-out /
-         --metrics-out flags. *)
-      let trace_chan = Option.map open_out trace_out in
-      let metrics =
-        match metrics_out with
-        | Some _ -> Some (Pdq_telemetry.Metrics.create ())
-        | None -> None
-      in
-      let telemetry =
-        {
-          Runner.sinks =
-            (match trace_chan with
-            | Some oc -> [ Pdq_telemetry.Trace.jsonl oc ]
-            | None -> []);
-          metrics;
-          metrics_every;
-        }
-      in
-      let options =
-        { Runner.default_options with Runner.seed; faults; telemetry }
-      in
-      let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
-      (match trace_chan with
-      | Some oc ->
-          close_out oc;
-          Printf.printf "trace written to %s\n" (Option.get trace_out)
-      | None -> ());
-      (match (metrics, metrics_out) with
-      | Some m, Some path ->
-          let oc = open_out path in
-          if Filename.check_suffix path ".jsonl" then
-            Pdq_telemetry.Metrics.write_jsonl m oc
-          else Pdq_telemetry.Metrics.write_csv m oc;
-          close_out oc;
-          Printf.printf "metrics written to %s\n" path
-      | _ -> ());
-      Printf.printf "%s on %s: %d flows (%s)\n"
-        (Runner.protocol_name protocol)
-        topo_name flows pattern;
-      Array.iteri
-        (fun i (f : Runner.flow_result) ->
-          Printf.printf
-            "  flow %2d  %3d->%3d  %7dB  %s%s%s\n" i f.Runner.spec.Context.src
-            f.Runner.spec.Context.dst f.Runner.spec.Context.size
-            (match f.Runner.fct with
-            | Some x -> Printf.sprintf "fct %7.2f ms" (1e3 *. x)
-            | None -> "incomplete   ")
-            (match f.Runner.spec.Context.deadline with
-            | Some d ->
-                Printf.sprintf "  deadline %5.1f ms %s" (1e3 *. d)
-                  (if f.Runner.met_deadline then "MET" else "MISSED")
-            | None -> "")
-            (if f.Runner.terminated then "  [early terminated]"
-             else if f.Runner.aborted then "  [aborted]"
-             else ""))
-        r.Runner.flows;
-      Printf.printf "mean FCT %.3f ms | application throughput %.1f%% | %d/%d \
-                     completed | %d aborted\n"
+  let telemetry =
+    {
+      Runner.sinks =
+        (match trace_chan with
+        | Some oc -> [ Pdq_telemetry.Trace.jsonl oc ]
+        | None -> []);
+      metrics;
+      metrics_every = opts.metrics_every;
+    }
+  in
+  let r = Scenario.run ~telemetry scenario in
+  (match trace_chan with
+  | Some oc ->
+      close_out oc;
+      Printf.printf "trace written to %s\n" (Option.get opts.trace_out)
+  | None -> ());
+  (match (metrics, opts.metrics_out) with
+  | Some m, Some path ->
+      let oc = open_out path in
+      if Filename.check_suffix path ".jsonl" then
+        Pdq_telemetry.Metrics.write_jsonl m oc
+      else Pdq_telemetry.Metrics.write_csv m oc;
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path
+  | _ -> ());
+  print_result ~scenario r
+
+(* A --seeds sweep: scenarios fan out over the domain pool; sinks are
+   per-run state, so the sweep reports aggregates instead. *)
+let run_sweep scenario opts =
+  if opts.trace_out <> None || opts.metrics_out <> None then
+    prerr_endline
+      "note: --trace-out/--metrics-out are ignored with --seeds (sinks are \
+       per-run; rerun with a single seed to capture a trace)";
+  let scenarios = List.map (Scenario.with_seed scenario) opts.seeds in
+  let results = Sweep.run ?jobs:opts.jobs scenarios in
+  (* The domain count is an execution detail: stdout must be identical
+     for any --jobs value. *)
+  Printf.printf "%s: %d seeds\n" scenario.Scenario.name
+    (List.length opts.seeds);
+  List.iter2
+    (fun seed (r : Runner.result) ->
+      Printf.printf
+        "  seed %3d  mean FCT %8.3f ms  app tput %5.1f%%  %d/%d completed  %d \
+         aborted\n"
+        seed
         (1e3 *. r.Runner.mean_fct)
         (100. *. r.Runner.application_throughput)
-        r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted;
-      if r.Runner.counters <> [] then begin
-        Printf.printf "counters:";
-        List.iter
-          (fun (k, v) -> Printf.printf " %s=%d" k v)
-          r.Runner.counters;
-        print_newline ()
-      end;
-      (match profiler with
-      | Some p -> Format.printf "%a@." Pdq_engine.Profiler.pp_report p
-      | None -> ());
-      0
+        r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted)
+    opts.seeds results;
+  let n = float_of_int (List.length results) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
+  Printf.printf "mean over seeds: FCT %.3f ms | application throughput %.1f%%\n"
+    (1e3 *. mean (fun r -> r.Runner.mean_fct))
+    (100. *. mean (fun r -> r.Runner.application_throughput))
 
-let cmd =
+let run scenario opts resilience full =
+  (* Enable before any simulator exists so every run attaches to the
+     global profiler; worker-domain shards merge in the report. *)
+  let profiler =
+    if opts.profile then Some (Pdq_engine.Profiler.enable_global ()) else None
+  in
+  if resilience then
+    Pdq_experiments.Resilience.run_all ?jobs:opts.jobs ~quick:(not full)
+      Format.std_formatter ()
+  else begin
+    match opts.seeds with
+    | [] | [ _ ] ->
+        let scenario =
+          match opts.seeds with
+          | [ seed ] -> Scenario.with_seed scenario seed
+          | _ -> scenario
+        in
+        run_single scenario opts
+    | _ -> run_sweep scenario opts
+  end;
+  match profiler with
+  | Some p -> Format.printf "%a@." Pdq_engine.Profiler.pp_report p
+  | None -> ()
+
+(* Parsers return [Result] so bad names surface as cmdliner usage
+   errors instead of exceptions. *)
+let msg r = Result.map_error (fun e -> `Msg e) r
+
+let scenario_term =
+  let make proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
+      no_deadlines pattern_name seed flap_mtbf flap_mttr reboot_mtbf
+      fault_until =
+    let ( let* ) = Result.bind in
+    let* protocol = msg (Scenario.protocol_of_string ~subflows proto_name) in
+    let* topo = msg (Scenario.topo_of_string topo_name) in
+    let* pattern = msg (Scenario.pattern_of_string pattern_name) in
+    let workload =
+      Scenario.Synthetic
+        {
+          pattern;
+          flows;
+          sizes = Scenario.Uniform_paper { mean_bytes = mean_size_kb * 1000 };
+          deadlines =
+            (if no_deadlines then Scenario.No_deadlines
+             else
+               Scenario.Exp_deadlines
+                 { mean = deadline_mean_ms /. 1e3; floor = 3e-3 });
+        }
+    in
+    let faults =
+      match (flap_mtbf, reboot_mtbf) with
+      | None, None -> Scenario.No_faults
+      | _ ->
+          Scenario.Flaps_and_reboots
+            { flap_mtbf; flap_mttr; reboot_mtbf; until = fault_until }
+    in
+    Ok (Scenario.make ~topo ~seed ~faults ~workload protocol)
+  in
   let proto =
     Arg.(value & opt string "pdq"
          & info [ "proto" ] ~doc:"pdq, pdq-basic, pdq-es, pdq-es-et, mpdq, rcp, d3, tcp")
@@ -224,19 +205,10 @@ let cmd =
   in
   let pattern =
     Arg.(value & opt string "aggregation"
-         & info [ "pattern" ] ~doc:"aggregation, permutation, pairs")
+         & info [ "pattern" ]
+             ~doc:"aggregation, stride, staggered, permutation, pairs")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed") in
-  let resilience =
-    Arg.(value & flag
-         & info [ "resilience" ]
-             ~doc:"Run the resilience sweeps (bursty loss, link flapping, \
-                   switch reboots) for PDQ vs. RCP/D3/TCP and exit")
-  in
-  let full =
-    Arg.(value & flag
-         & info [ "full" ] ~doc:"With --resilience: more seeds and intensities")
-  in
   let flap_mtbf =
     Arg.(value & opt (some float) None
          & info [ "flap-mtbf" ]
@@ -254,6 +226,16 @@ let cmd =
   let fault_until =
     Arg.(value & opt float 0.5
          & info [ "fault-until" ] ~doc:"Stop injecting faults after this time [s]")
+  in
+  Term.term_result
+    Term.(
+      const make $ proto $ subflows $ topo $ flows $ mean_size $ deadline_mean
+      $ no_deadlines $ pattern $ seed $ flap_mtbf $ flap_mttr $ reboot_mtbf
+      $ fault_until)
+
+let opts_term =
+  let make trace_out metrics_out metrics_every profile jobs seeds =
+    { trace_out; metrics_out; metrics_every; profile; jobs; seeds }
   in
   let trace_out =
     Arg.(value & opt (some string) None
@@ -281,12 +263,37 @@ let cmd =
                    queue high-water mark, CPU per simulated second, per \
                    event kind timing)")
   in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ]
+             ~doc:"Worker domains for --seeds sweeps and --resilience \
+                   (default: the recommended domain count); results are \
+                   identical for any value" ~docv:"N")
+  in
+  let seeds =
+    Arg.(value & opt (list int) []
+         & info [ "seeds" ]
+             ~doc:"Run the scenario under each comma-separated seed (in \
+                   parallel with --jobs) and report per-seed and mean \
+                   figures" ~docv:"S1,S2,...")
+  in
+  Term.(
+    const make $ trace_out $ metrics_out $ metrics_every $ profile $ jobs
+    $ seeds)
+
+let cmd =
+  let resilience =
+    Arg.(value & flag
+         & info [ "resilience" ]
+             ~doc:"Run the resilience sweeps (bursty loss, link flapping, \
+                   switch reboots) for PDQ vs. RCP/D3/TCP and exit")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"With --resilience: more seeds and intensities")
+  in
   Cmd.v
     (Cmd.info "pdq_sim" ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
-    Term.(
-      const run $ proto $ subflows $ topo $ flows $ mean_size $ deadline_mean
-      $ no_deadlines $ pattern $ seed $ resilience $ full $ flap_mtbf
-      $ flap_mttr $ reboot_mtbf $ fault_until $ trace_out $ metrics_out
-      $ metrics_every $ profile)
+    Term.(const run $ scenario_term $ opts_term $ resilience $ full)
 
-let () = exit (Cmd.eval' cmd)
+let () = exit (Cmd.eval cmd)

@@ -4,56 +4,68 @@
    (< 40 KB) carry deadlines; Early Termination gives up on hopeless
    ones to protect the rest.
 
+   The workload is a pure generator inside the scenario, so the four
+   protocol runs are independent scenarios evaluated in parallel by
+   [Sweep.run].
+
    Run with: dune exec examples/deadline_datacenter.exe *)
 
-module Sim = Pdq_engine.Sim
 module Rng = Pdq_engine.Rng
-module Builder = Pdq_topo.Builder
 module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
 module Size_dist = Pdq_workload.Size_dist
 module Deadline_dist = Pdq_workload.Deadline_dist
 module Pattern = Pdq_workload.Pattern
 module Arrivals = Pdq_workload.Arrivals
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
+
+let duration = 0.08
+let rate = 1200. (* flows per second *)
+
+let specs_of ~seed ~topo:_ ~hosts =
+  let rng = Rng.create seed in
+  let dist = Size_dist.vl2 () in
+  let ddist = Deadline_dist.exponential ~mean:0.02 () in
+  let starts = Arrivals.poisson ~rng ~rate ~horizon:duration in
+  let pairs = Pattern.random_pairs ~hosts ~flows:(List.length starts) ~rng in
+  List.map2
+    (fun start (p : Pattern.pair) ->
+      let size = Size_dist.sample dist rng in
+      {
+        Context.src = p.Pattern.src;
+        dst = p.Pattern.dst;
+        size;
+        deadline =
+          (if size < 40_000 then Some (Deadline_dist.sample ddist rng)
+           else None);
+        start;
+      })
+    starts pairs
+
+let protocols =
+  [
+    ("PDQ(Full)", Runner.Pdq Pdq_core.Config.full);
+    ("D3", Runner.D3);
+    ("RCP", Runner.Rcp);
+    ("TCP", Runner.Tcp);
+  ]
 
 let () =
-  let seed = 7 in
-  let duration = 0.08 in
-  let rate = 1200. (* flows per second *) in
-  let run protocol =
-    let sim = Sim.create () in
-    let built = Builder.single_rooted_tree ~sim () in
-    let hosts = built.Builder.hosts in
-    let rng = Rng.create seed in
-    let dist = Size_dist.vl2 () in
-    let ddist = Deadline_dist.exponential ~mean:0.02 () in
-    let starts = Arrivals.poisson ~rng ~rate ~horizon:duration in
-    let pairs = Pattern.random_pairs ~hosts ~flows:(List.length starts) ~rng in
-    let specs =
-      List.map2
-        (fun start (p : Pattern.pair) ->
-          let size = Size_dist.sample dist rng in
-          {
-            Context.src = p.Pattern.src;
-            dst = p.Pattern.dst;
-            size;
-            deadline =
-              (if size < 40_000 then Some (Deadline_dist.sample ddist rng)
-               else None);
-            start;
-          })
-        starts pairs
-    in
-    let options =
-      { Runner.default_options with Runner.seed; horizon = duration +. 3. }
-    in
-    (Runner.run ~options ~topo:built.Builder.topo protocol specs, specs)
+  let scenario proto =
+    Scenario.make ~seed:7 ~horizon:(duration +. 3.)
+      ~workload:
+        (Scenario.Generated { label = "VL2 Poisson mix"; specs = specs_of })
+      proto
   in
-  List.iter
-    (fun (name, proto) ->
-      let r, specs = run proto in
+  let results = Sweep.run (List.map (fun (_, p) -> scenario p) protocols) in
+  List.iter2
+    (fun (name, _) (r : Runner.result) ->
       let shorts =
-        List.length (List.filter (fun s -> s.Context.size < 40_000) specs)
+        Array.to_list r.Runner.flows
+        |> List.filter (fun (f : Runner.flow_result) ->
+               f.Runner.spec.Context.size < 40_000)
+        |> List.length
       in
       let terminated =
         Array.to_list r.Runner.flows
@@ -69,9 +81,4 @@ let () =
         (100. *. r.Runner.application_throughput)
         (1e3 *. r.Runner.mean_fct)
         terminated)
-    [
-      ("PDQ(Full)", Runner.Pdq Pdq_core.Config.full);
-      ("D3", Runner.D3);
-      ("RCP", Runner.Rcp);
-      ("TCP", Runner.Tcp);
-    ]
+    protocols results

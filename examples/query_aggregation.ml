@@ -5,7 +5,8 @@
    This example runs the full protocol roster on the default 12-server
    single-rooted tree and reports application throughput (% of flows
    meeting their deadline), including the omniscient Optimal scheduler
-   (EDF + Moore-Hodgson).
+   (EDF + Moore-Hodgson). The per-seed runs fan out over worker
+   domains via [Sweep]; the averages are identical for any job count.
 
    Run with: dune exec examples/query_aggregation.exe [-- flows] *)
 

@@ -1,27 +1,37 @@
-(* Quickstart: build a tiny network, run two PDQ flows through one
-   bottleneck, and watch preemptive scheduling finish the short flow
-   first while fair sharing (RCP) delays it.
+(* Quickstart: describe a tiny experiment as a scenario — two PDQ
+   flows through one bottleneck — and watch preemptive scheduling
+   finish the short flow first while fair sharing (RCP) delays it.
 
    Run with: dune exec examples/quickstart.exe *)
 
-module Sim = Pdq_engine.Sim
 module Units = Pdq_engine.Units
-module Builder = Pdq_topo.Builder
 module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
+module Scenario = Pdq_exec.Scenario
 
 (* One experiment: two senders, one switch, one receiver, 1 Gbps links
    (the single-bottleneck topology of Fig. 2b); a 1 MB and a 100 KB
-   flow start simultaneously. *)
-let run protocol =
-  let sim = Sim.create () in
-  let built, receiver = Builder.single_bottleneck ~sim ~senders:2 () in
-  let hosts = built.Builder.hosts in
-  let flow src size =
-    { Context.src; dst = receiver; size; deadline = None; start = 0. }
-  in
-  Runner.run ~topo:built.Builder.topo protocol
-    [ flow hosts.(0) (Units.mbyte 1.); flow hosts.(1) (Units.kbyte 100.) ]
+   flow start simultaneously. The scenario is pure data — the
+   simulator and topology are built inside [Scenario.run]. *)
+let scenario protocol =
+  Scenario.make
+    ~topo:(Scenario.Bottleneck { senders = 2 })
+    ~workload:
+      (Scenario.Generated
+         {
+           label = "1MB + 100KB race";
+           specs =
+             (fun ~seed:_ ~topo:_ ~hosts ->
+               let receiver = hosts.(Array.length hosts - 1) in
+               let flow src size =
+                 { Context.src; dst = receiver; size; deadline = None; start = 0. }
+               in
+               [
+                 flow hosts.(0) (Units.mbyte 1.);
+                 flow hosts.(1) (Units.kbyte 100.);
+               ]);
+         })
+    protocol
 
 let show name (r : Runner.result) =
   Printf.printf "%s:\n" name;
@@ -37,5 +47,6 @@ let show name (r : Runner.result) =
 
 let () =
   show "PDQ(Full) - the short flow preempts the long one"
-    (run (Runner.Pdq Pdq_core.Config.full));
-  show "RCP - fair sharing delays the short flow" (run Runner.Rcp)
+    (Scenario.run (scenario (Runner.Pdq Pdq_core.Config.full)));
+  show "RCP - fair sharing delays the short flow"
+    (Scenario.run (scenario Runner.Rcp))

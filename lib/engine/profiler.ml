@@ -1,15 +1,27 @@
+(* Domain-safe simulator profiler.
+
+   Statistics are sharded per domain: every recording operation mutates
+   a [slot] that is only ever touched by the domain that owns it, so
+   the hot path (one record per simulator event) takes no lock and
+   cannot race. The profiler [t] is just a mutex-protected registry of
+   slots; readouts aggregate across them. Slots of worker domains that
+   have since terminated keep their data until [reset] prunes them. *)
+
 type kind_stat = { mutable count : int; mutable cpu : float }
 
-type t = {
+type slot = {
   mutable executed : int;
   mutable cancelled : int;
   mutable hwm : int;
   mutable sim_advanced : float;
   mutable cpu_in_events : float;
   kind_tbl : (string, kind_stat) Hashtbl.t;
+  domain : int;
 }
 
-let create () =
+type t = { lock : Mutex.t; mutable slots : slot list }
+
+let fresh_slot domain =
   {
     executed = 0;
     cancelled = 0;
@@ -17,72 +29,123 @@ let create () =
     sim_advanced = 0.;
     cpu_in_events = 0.;
     kind_tbl = Hashtbl.create 16;
+    domain;
   }
 
+let create () = { lock = Mutex.create (); slots = [] }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let slot t =
+  let d = (Domain.self () :> int) in
+  locked t (fun () ->
+      match List.find_opt (fun s -> s.domain = d) t.slots with
+      | Some s -> s
+      | None ->
+          let s = fresh_slot d in
+          t.slots <- s :: t.slots;
+          s)
+
 let reset t =
-  t.executed <- 0;
-  t.cancelled <- 0;
-  t.hwm <- 0;
-  t.sim_advanced <- 0.;
-  t.cpu_in_events <- 0.;
-  Hashtbl.reset t.kind_tbl
+  let d = (Domain.self () :> int) in
+  locked t (fun () ->
+      (* Prune the shards of other (typically terminated worker)
+         domains — including their per-event-kind tables — and zero the
+         caller's own. *)
+      t.slots <- List.filter (fun s -> s.domain = d) t.slots;
+      List.iter
+        (fun s ->
+          s.executed <- 0;
+          s.cancelled <- 0;
+          s.hwm <- 0;
+          s.sim_advanced <- 0.;
+          s.cpu_in_events <- 0.;
+          Hashtbl.reset s.kind_tbl)
+        t.slots)
 
-let the_global : t option ref = ref None
+let the_global : t option Atomic.t = Atomic.make None
 
-let enable_global () =
-  match !the_global with
+let rec enable_global () =
+  match Atomic.get the_global with
   | Some p -> p
   | None ->
       let p = create () in
-      the_global := Some p;
-      p
+      if Atomic.compare_and_set the_global None (Some p) then p
+      else enable_global ()
 
-let global () = !the_global
-let disable_global () = the_global := None
+let global () = Atomic.get the_global
+let disable_global () = Atomic.set the_global None
 
-let kind_stat t kind =
-  match Hashtbl.find_opt t.kind_tbl kind with
-  | Some s -> s
+(* ------------------------------------------------------------------ *)
+(* Recorders: lock-free, on the calling domain's slot only. *)
+
+let kind_stat s kind =
+  match Hashtbl.find_opt s.kind_tbl kind with
+  | Some st -> st
   | None ->
-      let s = { count = 0; cpu = 0. } in
-      Hashtbl.add t.kind_tbl kind s;
-      s
+      let st = { count = 0; cpu = 0. } in
+      Hashtbl.add s.kind_tbl kind st;
+      st
 
-let record_event t ~kind ~cpu =
-  t.executed <- t.executed + 1;
-  t.cpu_in_events <- t.cpu_in_events +. cpu;
-  let s = kind_stat t (if kind = "" then "(unlabeled)" else kind) in
-  s.count <- s.count + 1;
-  s.cpu <- s.cpu +. cpu
+let record_event s ~kind ~cpu =
+  s.executed <- s.executed + 1;
+  s.cpu_in_events <- s.cpu_in_events +. cpu;
+  let st = kind_stat s (if kind = "" then "(unlabeled)" else kind) in
+  st.count <- st.count + 1;
+  st.cpu <- st.cpu +. cpu
 
-let record_cancelled t = t.cancelled <- t.cancelled + 1
-let observe_queue t n = if n > t.hwm then t.hwm <- n
-let record_advance t dt = t.sim_advanced <- t.sim_advanced +. dt
+let record_cancelled s = s.cancelled <- s.cancelled + 1
+let observe_queue s n = if n > s.hwm then s.hwm <- n
+let record_advance s dt = s.sim_advanced <- s.sim_advanced +. dt
 
-let events_executed t = t.executed
-let events_cancelled t = t.cancelled
-let queue_high_water t = t.hwm
-let sim_seconds t = t.sim_advanced
-let cpu_seconds t = t.cpu_in_events
+(* ------------------------------------------------------------------ *)
+(* Readouts: aggregate over every registered slot. *)
+
+let sum_int t f = locked t (fun () -> List.fold_left (fun a s -> a + f s) 0 t.slots)
+let sum_float t f =
+  locked t (fun () -> List.fold_left (fun a s -> a +. f s) 0. t.slots)
+
+let events_executed t = sum_int t (fun s -> s.executed)
+let events_cancelled t = sum_int t (fun s -> s.cancelled)
+let queue_high_water t =
+  locked t (fun () -> List.fold_left (fun a s -> max a s.hwm) 0 t.slots)
+let sim_seconds t = sum_float t (fun s -> s.sim_advanced)
+let cpu_seconds t = sum_float t (fun s -> s.cpu_in_events)
 
 let kinds t =
-  Hashtbl.fold (fun k s acc -> (k, (s.count, s.cpu)) :: acc) t.kind_tbl []
+  let merged : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  locked t (fun () ->
+      List.iter
+        (fun s ->
+          Hashtbl.iter
+            (fun k st ->
+              let c0, u0 =
+                Option.value ~default:(0, 0.) (Hashtbl.find_opt merged k)
+              in
+              Hashtbl.replace merged k (c0 + st.count, u0 +. st.cpu))
+            s.kind_tbl)
+        t.slots);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
   |> List.sort (fun (ka, (_, a)) (kb, (_, b)) ->
          match compare b a with 0 -> compare ka kb | c -> c)
 
 let pp_report ppf t =
-  let popped = t.executed + t.cancelled in
+  let executed = events_executed t and cancelled = events_cancelled t in
+  let popped = executed + cancelled in
+  let sim_advanced = sim_seconds t and cpu_in_events = cpu_seconds t in
   Format.fprintf ppf "profiler: %d events executed, %d cancelled pops (%.1f%% \
                       of %d), queue high-water %d@."
-    t.executed t.cancelled
-    (if popped = 0 then 0. else 100. *. float_of_int t.cancelled /. float_of_int popped)
-    popped t.hwm;
+    executed cancelled
+    (if popped = 0 then 0. else 100. *. float_of_int cancelled /. float_of_int popped)
+    popped (queue_high_water t);
   Format.fprintf ppf "  simulated %.6f s in %.3f CPU s (%.3f CPU s per sim s)@."
-    t.sim_advanced t.cpu_in_events
-    (if t.sim_advanced > 0. then t.cpu_in_events /. t.sim_advanced else 0.);
+    sim_advanced cpu_in_events
+    (if sim_advanced > 0. then cpu_in_events /. sim_advanced else 0.);
   List.iter
     (fun (kind, (count, cpu)) ->
       Format.fprintf ppf "  %-20s %9d events %9.3f CPU s (%.1f%%)@." kind
         count cpu
-        (if t.cpu_in_events > 0. then 100. *. cpu /. t.cpu_in_events else 0.))
+        (if cpu_in_events > 0. then 100. *. cpu /. cpu_in_events else 0.))
     (kinds t)

@@ -11,14 +11,34 @@
     Attachment is opt-in; an unattached simulator pays one [match] per
     step and nothing else. Profiling never feeds back into the
     simulation (no randomness, no scheduling), so enabling it cannot
-    change results. *)
+    change results.
+
+    {b Domain safety.} Statistics are sharded per domain ({!slot}):
+    a simulator created on a worker domain records into that domain's
+    own shard without taking any lock, so parallel sweeps
+    ({!Pdq_exec.Sweep}) can run under an enabled global profiler.
+    Readouts aggregate across shards; read them after the sweep has
+    joined its workers for exact totals. {!enable_global} and
+    {!disable_global} are safe to call from any domain. *)
 
 type t
 
+type slot
+(** One domain's shard of a profiler. Obtained with {!slot} by the
+    domain that will do the recording (this is what {!Sim.create}
+    does); must not be shared across domains. *)
+
 val create : unit -> t
 
+val slot : t -> slot
+(** The calling domain's shard, registered on first use. *)
+
 val reset : t -> unit
-(** Zero every statistic (the global registration survives). *)
+(** Zero every statistic and prune the shards (including their
+    per-event-kind tables) of all domains other than the caller's —
+    typically worker domains that have since terminated. Do not call
+    while a parallel sweep is recording. The global registration
+    survives. *)
 
 (** {1 Global opt-in}
 
@@ -28,21 +48,22 @@ val reset : t -> unit
     to it. *)
 
 val enable_global : unit -> t
-(** Create (or return the existing) global profiler. *)
+(** Create (or return the existing) global profiler. Safe from any
+    domain. *)
 
 val global : unit -> t option
 (** The global profiler, if {!enable_global} was called. *)
 
 val disable_global : unit -> unit
 
-(** {1 Recorders (called by [Sim])} *)
+(** {1 Recorders (called by [Sim] on the owning domain)} *)
 
-val record_event : t -> kind:string -> cpu:float -> unit
-val record_cancelled : t -> unit
-val observe_queue : t -> int -> unit
-val record_advance : t -> float -> unit
+val record_event : slot -> kind:string -> cpu:float -> unit
+val record_cancelled : slot -> unit
+val observe_queue : slot -> int -> unit
+val record_advance : slot -> float -> unit
 
-(** {1 Readouts} *)
+(** {1 Readouts (aggregated over every domain's shard)} *)
 
 val events_executed : t -> int
 val events_cancelled : t -> int

@@ -3,7 +3,9 @@ type t = {
   queue : handle Heap.t;
   mutable stopped : bool;
   mutable live_count : int;
-  mutable profiler : Profiler.t option;
+  mutable profiler : Profiler.slot option;
+      (* This domain's shard of the attached profiler; recording into
+         it is lock-free and domain-private. *)
 }
 
 and handle = {
@@ -19,10 +21,10 @@ let create () =
     queue = Heap.create ();
     stopped = false;
     live_count = 0;
-    profiler = Profiler.global ();
+    profiler = Option.map Profiler.slot (Profiler.global ());
   }
 
-let set_profiler t p = t.profiler <- p
+let set_profiler t p = t.profiler <- Option.map Profiler.slot p
 let stop t = t.stopped <- true
 let now t = t.clock
 

@@ -49,8 +49,9 @@ val live_pending : t -> int
     which the profiler reports as cancelled pops. *)
 
 val set_profiler : t -> Profiler.t option -> unit
-(** Attach or detach a profiler. Unattached simulators pay a single
-    match per step. *)
+(** Attach or detach a profiler (recording goes to the calling
+    domain's shard of it). Unattached simulators pay a single match
+    per step. *)
 
 val step : t -> bool
 (** Execute the next event, advancing the clock to its timestamp.

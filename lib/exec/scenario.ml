@@ -1,0 +1,313 @@
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Topology = Pdq_net.Topology
+module Link = Pdq_net.Link
+module Builder = Pdq_topo.Builder
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Fault_plan = Pdq_faults.Fault_plan
+module Size_dist = Pdq_workload.Size_dist
+module Deadline_dist = Pdq_workload.Deadline_dist
+module Pattern = Pdq_workload.Pattern
+
+type topo =
+  | Tree of { tors : int; hosts_per_tor : int }
+  | Bottleneck of { senders : int }
+  | Fat_tree of { k : int }
+  | Fat_tree_servers of { servers : int }
+  | Bcube of { n : int; k : int }
+  | Jellyfish of {
+      switches : int;
+      ports : int;
+      net_ports : int;
+      wiring_salt : int;
+    }
+
+let default_tree = Tree { tors = 4; hosts_per_tor = 3 }
+
+let topo_name = function
+  | Tree { tors; hosts_per_tor } ->
+      Printf.sprintf "tree(%dx%d)" tors hosts_per_tor
+  | Bottleneck { senders } -> Printf.sprintf "bottleneck(%d)" senders
+  | Fat_tree { k } -> Printf.sprintf "fat-tree(k=%d)" k
+  | Fat_tree_servers { servers } -> Printf.sprintf "fat-tree(>=%d)" servers
+  | Bcube { n; k } -> Printf.sprintf "bcube(%d,%d)" n k
+  | Jellyfish { switches; ports; net_ports; _ } ->
+      Printf.sprintf "jellyfish(%d,%d,%d)" switches ports net_ports
+
+let topo_of_string s =
+  match String.lowercase_ascii s with
+  | "tree" -> Ok default_tree
+  | "bottleneck" -> Ok (Bottleneck { senders = 16 })
+  | "fat-tree" | "fattree" -> Ok (Fat_tree { k = 4 })
+  | "bcube" -> Ok (Bcube { n = 2; k = 3 })
+  | "jellyfish" ->
+      Ok (Jellyfish { switches = 8; ports = 24; net_ports = 16; wiring_salt = 0 })
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+type sizes =
+  | Uniform_paper of { mean_bytes : int }
+  | Uniform of { lo : int; hi : int }
+  | Fixed of int
+  | Pareto of { tail_index : float; mean_bytes : int }
+  | Vl2
+  | Edu1
+
+let size_dist = function
+  | Uniform_paper { mean_bytes } -> Size_dist.uniform_paper ~mean_bytes
+  | Uniform { lo; hi } -> Size_dist.uniform ~lo ~hi
+  | Fixed n -> Size_dist.fixed n
+  | Pareto { tail_index; mean_bytes } ->
+      Size_dist.pareto ~tail_index ~mean_bytes ()
+  | Vl2 -> Size_dist.vl2 ()
+  | Edu1 -> Size_dist.edu1 ()
+
+type deadlines = No_deadlines | Exp_deadlines of { mean : float; floor : float }
+
+type pattern =
+  | Aggregation
+  | Stride of int
+  | Staggered of float
+  | Random_permutation
+  | Random_pairs
+
+let pattern_of_string s =
+  match String.lowercase_ascii s with
+  | "aggregation" -> Ok Aggregation
+  | "stride" -> Ok (Stride 1)
+  | "staggered" -> Ok (Staggered 0.7)
+  | "permutation" -> Ok Random_permutation
+  | "pairs" -> Ok Random_pairs
+  | other -> Error (Printf.sprintf "unknown pattern %S" other)
+
+type workload =
+  | Synthetic of {
+      pattern : pattern;
+      flows : int;
+      sizes : sizes;
+      deadlines : deadlines;
+    }
+  | Explicit of Context.flow_spec list
+  | Generated of {
+      label : string;
+      specs :
+        seed:int ->
+        topo:Topology.t ->
+        hosts:int array ->
+        Context.flow_spec list;
+    }
+
+type faults =
+  | No_faults
+  | Flaps_and_reboots of {
+      flap_mtbf : float option;
+      flap_mttr : float;
+      reboot_mtbf : float option;
+      until : float;
+    }
+  | Fault_gen of {
+      label : string;
+      plan : seed:int -> Builder.built -> Fault_plan.t;
+    }
+
+type loss =
+  | No_loss
+  | Loss_on_links of { rate : float; links : int list }
+  | Loss_on_bottleneck of float
+
+type t = {
+  name : string;
+  topo : topo;
+  protocol : Runner.protocol;
+  workload : workload;
+  seed : int;
+  horizon : float;
+  stop_when_done : bool;
+  loss : loss;
+  faults : faults;
+  init_rtt : float;
+  rto_min : float;
+}
+
+let make ?name ?(topo = default_tree) ?(seed = 1) ?(horizon = 10.)
+    ?(stop_when_done = true) ?(loss = No_loss) ?(faults = No_faults)
+    ?(init_rtt = 2e-4) ?(rto_min = 1e-3) ~workload protocol =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "%s on %s" (Runner.protocol_name protocol)
+          (topo_name topo)
+  in
+  {
+    name;
+    topo;
+    protocol;
+    workload;
+    seed;
+    horizon;
+    stop_when_done;
+    loss;
+    faults;
+    init_rtt;
+    rto_min;
+  }
+
+let with_seed t seed = { t with seed }
+
+let build_topo spec ~sim ~seed =
+  match spec with
+  | Tree { tors; hosts_per_tor } ->
+      Builder.single_rooted_tree ~tors ~hosts_per_tor ~sim ()
+  | Bottleneck { senders } -> fst (Builder.single_bottleneck ~sim ~senders ())
+  | Fat_tree { k } -> Builder.fat_tree ~sim ~k ()
+  | Fat_tree_servers { servers } -> Builder.fat_tree_for_servers ~sim ~servers ()
+  | Bcube { n; k } -> Builder.bcube ~sim ~n ~k ()
+  | Jellyfish { switches; ports; net_ports; wiring_salt } ->
+      Builder.jellyfish ~sim
+        ~rng:(Rng.create (wiring_salt + seed))
+        ~switches ~ports ~net_ports ()
+
+(* The [pdq_sim] workload recipe: one Rng seeded with the scenario
+   seed drives pattern construction, then per-flow size and deadline
+   draws, cycling the pattern pairs to reach [flows]. *)
+let synthetic_specs ~pattern ~flows ~sizes ~deadlines ~seed ~topo ~hosts =
+  let rng = Rng.create seed in
+  let dist = size_dist sizes in
+  let pairs =
+    match pattern with
+    | Aggregation -> Pattern.aggregation ~hosts ~receiver:hosts.(0) ~flows
+    | Stride i -> Pattern.stride ~hosts ~i
+    | Staggered p ->
+        Pattern.staggered ~rack_of:(Topology.rack_of topo) ~hosts ~p ~rng
+    | Random_permutation -> Pattern.random_permutation ~hosts ~rng
+    | Random_pairs -> Pattern.random_pairs ~hosts ~flows ~rng
+  in
+  let pairs = Array.of_list pairs in
+  let ddist =
+    match deadlines with
+    | No_deadlines -> None
+    | Exp_deadlines { mean; floor } ->
+        Some (Deadline_dist.exponential ~floor ~mean ())
+  in
+  List.init flows (fun i ->
+      let p = pairs.(i mod Array.length pairs) in
+      {
+        Context.src = p.Pattern.src;
+        dst = p.Pattern.dst;
+        size = Size_dist.sample dist rng;
+        deadline = Option.map (fun d -> Deadline_dist.sample d rng) ddist;
+        start = 0.;
+      })
+
+let resolve_loss t (built : Builder.built) =
+  match t.loss with
+  | No_loss -> None
+  | Loss_on_links { rate; links } -> Some (rate, links)
+  | Loss_on_bottleneck rate -> (
+      match t.topo with
+      | Bottleneck _ ->
+          (* Node 0 is the switch; the receiver is the last host. *)
+          let hosts = built.Builder.hosts in
+          let rx = hosts.(Array.length hosts - 1) in
+          let topo = built.Builder.topo in
+          Some
+            ( rate,
+              [
+                Link.id (Topology.link_to topo ~src:0 ~dst:rx);
+                Link.id (Topology.link_to topo ~src:rx ~dst:0);
+              ] )
+      | _ ->
+          invalid_arg
+            "Scenario: Loss_on_bottleneck requires a Bottleneck topology")
+
+let resolve_faults t (built : Builder.built) =
+  match t.faults with
+  | No_faults -> None
+  | Fault_gen { plan; _ } ->
+      let p = plan ~seed:t.seed built in
+      if Fault_plan.is_empty p then None else Some p
+  | Flaps_and_reboots { flap_mtbf; flap_mttr; reboot_mtbf; until } ->
+      let topo = built.Builder.topo in
+      let flaps =
+        match flap_mtbf with
+        | Some mtbf ->
+            Fault_plan.link_flaps
+              (Rng.create (0x11AB + t.seed))
+              ~links:(Fault_plan.switch_cables topo)
+              ~mtbf ~mttr:flap_mttr ~until
+        | None -> Fault_plan.empty
+      in
+      let reboots =
+        match reboot_mtbf with
+        | Some mtbf ->
+            Fault_plan.switch_reboots
+              (Rng.create (0x5EB0 + t.seed))
+              ~switches:(Fault_plan.switches topo)
+              ~mtbf ~until
+        | None -> Fault_plan.empty
+      in
+      let plan = Fault_plan.merge flaps reboots in
+      if Fault_plan.is_empty plan then None else Some plan
+
+let build t =
+  let sim = Sim.create () in
+  let built = build_topo t.topo ~sim ~seed:t.seed in
+  let topo = built.Builder.topo and hosts = built.Builder.hosts in
+  let specs =
+    match t.workload with
+    | Explicit l -> l
+    | Synthetic { pattern; flows; sizes; deadlines } ->
+        synthetic_specs ~pattern ~flows ~sizes ~deadlines ~seed:t.seed ~topo
+          ~hosts
+    | Generated { specs; _ } -> specs ~seed:t.seed ~topo ~hosts
+  in
+  let options =
+    {
+      Runner.seed = t.seed;
+      horizon = t.horizon;
+      stop_when_done = t.stop_when_done;
+      loss = resolve_loss t built;
+      faults = resolve_faults t built;
+      telemetry = Runner.no_telemetry;
+      init_rtt = t.init_rtt;
+      rto_min = t.rto_min;
+    }
+  in
+  (built, specs, options)
+
+let run ?(telemetry = Runner.no_telemetry) t =
+  let built, specs, options = build t in
+  let options = { options with Runner.telemetry } in
+  Runner.run ~options ~topo:built.Builder.topo t.protocol specs
+
+let protocol_of_string ?(subflows = 3) name =
+  match String.lowercase_ascii name with
+  | "pdq" | "pdq-full" -> Ok (Runner.Pdq Pdq_core.Config.full)
+  | "pdq-basic" -> Ok (Runner.Pdq Pdq_core.Config.basic)
+  | "pdq-es" -> Ok (Runner.Pdq Pdq_core.Config.es)
+  | "pdq-es-et" -> Ok (Runner.Pdq Pdq_core.Config.es_et)
+  | "mpdq" | "m-pdq" -> Ok (Runner.mpdq ~subflows ())
+  | "rcp" -> Ok Runner.Rcp
+  | "d3" -> Ok Runner.D3
+  | "tcp" -> Ok Runner.Tcp
+  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+
+let workload_desc = function
+  | Synthetic { pattern; flows; _ } ->
+      let p =
+        match pattern with
+        | Aggregation -> "aggregation"
+        | Stride i -> Printf.sprintf "stride(%d)" i
+        | Staggered p -> Printf.sprintf "staggered(%.2g)" p
+        | Random_permutation -> "permutation"
+        | Random_pairs -> "pairs"
+      in
+      Printf.sprintf "%d %s flows" flows p
+  | Explicit l -> Printf.sprintf "%d explicit flows" (List.length l)
+  | Generated { label; _ } -> label
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s on %s, %s, seed %d" t.name
+    (Runner.protocol_name t.protocol)
+    (topo_name t.topo) (workload_desc t.workload) t.seed

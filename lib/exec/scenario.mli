@@ -1,0 +1,189 @@
+(** First-class experiment descriptions.
+
+    A {!t} is pure data (plus, where a driver needs a bespoke workload
+    or fault schedule, a pure generator function): it names a topology
+    family with its parameters, a workload, a protocol and the run
+    options — but holds {e no} live simulator state. {!run} builds the
+    {!Pdq_engine.Sim.t}, the topology and the flow specs internally,
+    which is what makes a scenario shippable to a worker domain: a
+    list of scenarios evaluated by {!Sweep.run} on [n] domains returns
+    results bit-for-bit identical to evaluating them sequentially.
+
+    This is the preferred front door for experiments;
+    {!Pdq_transport.Runner.run} remains for callers that hand-build a
+    topology. *)
+
+(** {1 Topology specifications} *)
+
+type topo =
+  | Tree of { tors : int; hosts_per_tor : int }
+      (** Fig. 2a single-rooted tree; the paper's default is
+          [Tree {tors = 4; hosts_per_tor = 3}]. *)
+  | Bottleneck of { senders : int }
+      (** Fig. 2b: [senders] hosts, one switch, one receiver (the
+          receiver is the last element of the built host array). *)
+  | Fat_tree of { k : int }
+  | Fat_tree_servers of { servers : int }
+      (** Smallest even-k fat-tree with at least [servers] hosts. *)
+  | Bcube of { n : int; k : int }
+  | Jellyfish of {
+      switches : int;
+      ports : int;
+      net_ports : int;
+      wiring_salt : int;
+    }
+      (** Random regular graph, wired from
+          [Rng.create (wiring_salt + seed)]; a salt of 0 ties the
+          wiring directly to the scenario seed. *)
+
+val default_tree : topo
+(** [Tree {tors = 4; hosts_per_tor = 3}] — the 12-server tree. *)
+
+val topo_name : topo -> string
+
+val topo_of_string : string -> (topo, string) result
+(** Parse a CLI topology name ("tree", "bottleneck", "fat-tree",
+    "bcube", "jellyfish") into the evaluation's default parameters for
+    that family. *)
+
+(** {1 Workload specifications} *)
+
+type sizes =
+  | Uniform_paper of { mean_bytes : int }
+      (** The paper's U[2 KB, 2·mean − 2 KB]. *)
+  | Uniform of { lo : int; hi : int }
+  | Fixed of int
+  | Pareto of { tail_index : float; mean_bytes : int }
+  | Vl2
+  | Edu1
+
+val size_dist : sizes -> Pdq_workload.Size_dist.t
+
+type deadlines =
+  | No_deadlines
+  | Exp_deadlines of { mean : float; floor : float }
+      (** Exponential with a floor, in seconds (the paper's default is
+          mean 20 ms, floor 3 ms). *)
+
+type pattern =
+  | Aggregation  (** Everyone sends to the first host. *)
+  | Stride of int
+  | Staggered of float
+  | Random_permutation
+  | Random_pairs
+
+val pattern_of_string : string -> (pattern, string) result
+(** "aggregation", "stride", "staggered", "permutation", "pairs". *)
+
+type workload =
+  | Synthetic of {
+      pattern : pattern;
+      flows : int;
+      sizes : sizes;
+      deadlines : deadlines;
+    }
+      (** Pattern pairs cycled over [flows] simultaneous flows, sizes
+          and deadlines drawn from one [Rng] seeded with the scenario
+          seed — exactly the [pdq_sim] command-line workload. *)
+  | Explicit of Pdq_transport.Context.flow_spec list
+      (** Fixed flow list (host node ids must match the topology). *)
+  | Generated of {
+      label : string;
+      specs :
+        seed:int ->
+        topo:Pdq_net.Topology.t ->
+        hosts:int array ->
+        Pdq_transport.Context.flow_spec list;
+    }
+      (** Bespoke generator for drivers with their own RNG recipe. The
+          function must be pure (derive everything from its arguments)
+          so the scenario stays shippable across domains. *)
+
+(** {1 Fault and loss specifications} *)
+
+type faults =
+  | No_faults
+  | Flaps_and_reboots of {
+      flap_mtbf : float option;
+      flap_mttr : float;
+      reboot_mtbf : float option;
+      until : float;
+    }
+      (** Memoryless link flapping on switch-switch cables and/or
+          switch crash-reboots, seeded from the scenario seed (the
+          [pdq_sim] fault flags). *)
+  | Fault_gen of {
+      label : string;
+      plan : seed:int -> Pdq_topo.Builder.built -> Pdq_faults.Fault_plan.t;
+    }  (** Bespoke pure plan generator. *)
+
+type loss =
+  | No_loss
+  | Loss_on_links of { rate : float; links : int list }
+      (** Bernoulli loss on the given directed link ids. *)
+  | Loss_on_bottleneck of float
+      (** Both directions of the switch↔receiver cable of a
+          {!Bottleneck} topology (Fig. 9). *)
+
+(** {1 Scenarios} *)
+
+type t = {
+  name : string;
+  topo : topo;
+  protocol : Pdq_transport.Runner.protocol;
+  workload : workload;
+  seed : int;
+  horizon : float;
+  stop_when_done : bool;
+  loss : loss;
+  faults : faults;
+  init_rtt : float;
+  rto_min : float;
+}
+
+val make :
+  ?name:string ->
+  ?topo:topo ->
+  ?seed:int ->
+  ?horizon:float ->
+  ?stop_when_done:bool ->
+  ?loss:loss ->
+  ?faults:faults ->
+  ?init_rtt:float ->
+  ?rto_min:float ->
+  workload:workload ->
+  Pdq_transport.Runner.protocol ->
+  t
+(** Defaults mirror {!Pdq_transport.Runner.default_options}: seed 1,
+    horizon 10 s, stop-when-done, no loss, no faults, 200 µs initial
+    RTT, 1 ms RTOmin; topology {!default_tree}. [name] defaults to
+    ["<protocol> on <topo>"]. *)
+
+val with_seed : t -> int -> t
+(** The same scenario under a different seed (the unit of a
+    seed-averaging sweep). *)
+
+val build :
+  t ->
+  Pdq_topo.Builder.built
+  * Pdq_transport.Context.flow_spec list
+  * Pdq_transport.Runner.options
+(** Materialize the scenario: construct the simulator + topology,
+    expand the workload and resolve loss/fault specs into runner
+    options (no telemetry attached). Exposed for tests and
+    inspection; {!run} is [Runner.run] applied to this. *)
+
+val run : ?telemetry:Pdq_transport.Runner.telemetry -> t -> Pdq_transport.Runner.result
+(** Build and simulate. Deterministic: same scenario (and telemetry
+    sinks, which never perturb a run) ⇒ bit-for-bit identical result,
+    on any domain. [telemetry] is passed at run time, not stored in
+    the scenario, because sinks (channels, memory rings) are per-run
+    mutable state. *)
+
+val protocol_of_string :
+  ?subflows:int -> string -> (Pdq_transport.Runner.protocol, string) result
+(** "pdq", "pdq-basic", "pdq-es", "pdq-es-et", "mpdq" (with
+    [subflows], default 3), "rcp", "d3", "tcp". *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human description. *)

@@ -1,0 +1,43 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Work-stealing over an index counter: each worker claims the next
+   unclaimed index and writes its result into a per-index slot, so the
+   output order is the input order no matter which domain ran what. *)
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f inputs.(i) with
+        | r -> results.(i) <- Some r
+        | exception e -> errors.(i) <- Some e);
+        worker ()
+      end
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* no error ⇒ every slot was filled *))
+  end
+
+let run ?jobs scenarios = map ?jobs (fun s -> Scenario.run s) scenarios
+
+let average ?jobs ~seeds f =
+  match seeds with
+  | [] -> invalid_arg "Sweep.average: no seeds"
+  | _ ->
+      let vs = map ?jobs f seeds in
+      List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)

@@ -1,0 +1,36 @@
+(** Multicore sweep executor.
+
+    Evaluates a list of independent jobs — typically {!Scenario.run}
+    over a scenario list — on a pool of OCaml 5 domains. Jobs are
+    pulled from a shared queue by [jobs] workers (the calling domain
+    is one of them); results come back {e in input order} and, because
+    every scenario run is self-contained (fresh simulator, seeded RNG,
+    domain-sharded profiler), they are bit-for-bit identical to
+    sequential evaluation.
+
+    Telemetry caveat: sweeps run scenarios without trace sinks or
+    metrics registries — sinks are per-run mutable state and channels
+    would interleave across domains. Attach telemetry to a single
+    {!Scenario.run} instead. The global profiler may stay enabled
+    during a sweep (shards merge in its report); call
+    {!Pdq_engine.Profiler.reset} only between sweeps. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] evaluates [f] over [xs] on [min jobs (length xs)]
+    domains and returns the results in input order. [jobs] defaults to
+    {!default_jobs}; [jobs <= 1] degrades to [List.map] (no domain is
+    spawned). If any [f x] raises, the first exception (in input
+    order) is re-raised after all workers have drained. *)
+
+val run :
+  ?jobs:int -> Scenario.t list -> Pdq_transport.Runner.result list
+(** [map ~jobs Scenario.run], telemetry-free. *)
+
+val average : ?jobs:int -> seeds:int list -> (int -> float) -> float
+(** [average ~seeds f] is the arithmetic mean of [f seed] over
+    [seeds], evaluated in parallel. The summation order is the input
+    order, so the result is bit-for-bit independent of [jobs]. The
+    single seed-averaging loop behind every figure driver. *)

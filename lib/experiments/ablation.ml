@@ -1,22 +1,29 @@
 module Runner = Pdq_transport.Runner
 module Config = Pdq_core.Config
 
-let sweep ~title ~param_name ~configs ?(quick = true) () =
+let sweep ?jobs ~title ~param_name ~configs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let flows = 10 in
-  let rows =
-    List.map
-      (fun (label, config) ->
-        let at =
-          Common.run_aggregation ~seeds ~flows (Runner.Pdq config) (fun r ->
-              100. *. r.Runner.application_throughput)
-        in
-        let fct =
-          Common.run_aggregation ~seeds ~deadlines:false ~flows
-            (Runner.Pdq config) (fun r -> r.Runner.mean_fct)
-        in
-        [ label; Common.cell at; Common.cell (1e3 *. fct) ])
+  (* Two flat config × seed sweeps: one deadline-constrained for
+     application throughput, one unconstrained for FCT. *)
+  let ats =
+    Common.sweep_metric ?jobs ~seeds
+      ~metric:(fun r -> 100. *. r.Runner.application_throughput)
+      (fun (_, config) -> Common.aggregation_scenario ~flows (Runner.Pdq config))
       configs
+  in
+  let fcts =
+    Common.sweep_metric ?jobs ~seeds
+      ~metric:(fun r -> r.Runner.mean_fct)
+      (fun (_, config) ->
+        Common.aggregation_scenario ~deadlines:false ~flows (Runner.Pdq config))
+      configs
+  in
+  let rows =
+    List.map2
+      (fun ((label, _), (_, at)) (_, fct) ->
+        [ label; Common.cell at; Common.cell (1e3 *. fct) ])
+      (List.combine configs ats) fcts
   in
   {
     Common.title;
@@ -24,8 +31,8 @@ let sweep ~title ~param_name ~configs ?(quick = true) () =
     rows;
   }
 
-let early_start_k ?quick () =
-  sweep
+let early_start_k ?jobs ?quick () =
+  sweep ?jobs
     ~title:"Ablation - Early Start budget K (10-flow aggregation)"
     ~param_name:"K"
     ~configs:
@@ -34,8 +41,8 @@ let early_start_k ?quick () =
          [ 0.; 1.; 2.; 4. ])
     ?quick ()
 
-let probing ?quick () =
-  sweep
+let probing ?jobs ?quick () =
+  sweep ?jobs
     ~title:"Ablation - Suppressed Probing factor X"
     ~param_name:"X"
     ~configs:
@@ -52,8 +59,8 @@ let probing ?quick () =
          [ 0.; 0.1; 0.2; 0.5; 1. ])
     ?quick ()
 
-let dampening ?quick () =
-  sweep
+let dampening ?jobs ?quick () =
+  sweep ?jobs
     ~title:"Ablation - dampening window"
     ~param_name:"window[us]"
     ~configs:

@@ -7,6 +7,8 @@ module Deadline_dist = Pdq_workload.Deadline_dist
 module Fluid = Pdq_sched.Fluid
 module Rng = Pdq_engine.Rng
 module Sim = Pdq_engine.Sim
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
 let pdq_variants =
   [
@@ -58,54 +60,86 @@ let aggregation_workload ?(deadline_mean = 0.02) ?sizes ?(deadlines = true)
 
 let default_seeds = [ 1; 2; 3 ]
 
-let run_aggregation ?(seeds = default_seeds) ?(deadline_mean = 0.02) ?sizes
-    ?(deadlines = true) ~flows protocol metric =
-  let per_seed seed =
-    let sim = Sim.create () in
-    let built = Builder.single_rooted_tree ~sim () in
-    let hosts = built.Builder.hosts in
-    let receiver = hosts.(0) in
-    let wl =
-      aggregation_workload ~deadline_mean ?sizes ~deadlines ~seed ~hosts
-        ~receiver ~flows ()
-    in
-    let options =
-      { Runner.default_options with Runner.seed; horizon = 5. }
-    in
-    metric (Runner.run ~options ~topo:built.Builder.topo protocol wl.specs)
-  in
-  let xs = List.map per_seed seeds in
-  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+let aggregation_scenario ?(deadline_mean = 0.02) ?sizes ?(deadlines = true)
+    ?(seed = 1) ~flows protocol =
+  Scenario.make
+    ~name:
+      (Printf.sprintf "%s aggregation x%d" (Runner.protocol_name protocol)
+         flows)
+    ~seed ~horizon:5.
+    ~workload:
+      (Scenario.Generated
+         {
+           label = Printf.sprintf "%d aggregation flows" flows;
+           specs =
+             (fun ~seed ~topo:_ ~hosts ->
+               (aggregation_workload ~deadline_mean ?sizes ~deadlines ~seed
+                  ~hosts ~receiver:hosts.(0) ~flows ())
+                 .specs);
+         })
+    protocol
 
-let optimal_aggregation_throughput ?(seeds = default_seeds)
+let run_aggregation ?jobs ?(seeds = default_seeds) ?(deadline_mean = 0.02)
+    ?sizes ?(deadlines = true) ~flows protocol metric =
+  let scenario =
+    aggregation_scenario ~deadline_mean ?sizes ~deadlines ~flows protocol
+  in
+  Sweep.average ?jobs ~seeds (fun seed ->
+      metric (Scenario.run (Scenario.with_seed scenario seed)))
+
+(* The fluid baselines only need the workload, not a packet run; the
+   tree is built per seed solely for its host ids. *)
+let fluid_workload ?(deadline_mean = 0.02) ?sizes ~deadlines ~flows seed =
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let hosts = built.Builder.hosts in
+  aggregation_workload ~deadline_mean ?sizes ~deadlines ~seed ~hosts
+    ~receiver:hosts.(0) ~flows ()
+
+let optimal_aggregation_throughput ?jobs ?(seeds = default_seeds)
     ?(deadline_mean = 0.02) ?sizes ~flows () =
-  let per_seed seed =
-    let sim = Sim.create () in
-    let built = Builder.single_rooted_tree ~sim () in
-    let hosts = built.Builder.hosts in
-    let wl =
-      aggregation_workload ~deadline_mean ?sizes ~deadlines:true ~seed ~hosts
-        ~receiver:hosts.(0) ~flows ()
-    in
-    (* Fluid job sizes are bytes: rate in bytes/second. *)
-    Fluid.optimal_deadline_throughput ~rate:(goodput_rate /. 8.) wl.jobs
-  in
-  let xs = List.map per_seed seeds in
-  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  Sweep.average ?jobs ~seeds (fun seed ->
+      let wl = fluid_workload ~deadline_mean ?sizes ~deadlines:true ~flows seed in
+      (* Fluid job sizes are bytes: rate in bytes/second. *)
+      Fluid.optimal_deadline_throughput ~rate:(goodput_rate /. 8.) wl.jobs)
 
-let optimal_aggregation_fct ?(seeds = default_seeds) ?sizes ~flows () =
-  let per_seed seed =
-    let sim = Sim.create () in
-    let built = Builder.single_rooted_tree ~sim () in
-    let hosts = built.Builder.hosts in
-    let wl =
-      aggregation_workload ?sizes ~deadlines:false ~seed ~hosts
-        ~receiver:hosts.(0) ~flows ()
-    in
-    Fluid.mean_completion_time (Fluid.srpt ~rate:(goodput_rate /. 8.) wl.jobs)
+let optimal_aggregation_fct ?jobs ?(seeds = default_seeds) ?sizes ~flows () =
+  Sweep.average ?jobs ~seeds (fun seed ->
+      let wl = fluid_workload ?sizes ~deadlines:false ~flows seed in
+      Fluid.mean_completion_time (Fluid.srpt ~rate:(goodput_rate /. 8.) wl.jobs))
+
+let chunks k xs =
+  let rec take k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: tl ->
+          let hd, rest = take (k - 1) tl in
+          (x :: hd, rest)
   in
-  let xs = List.map per_seed seeds in
-  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+        let row, rest = take k xs in
+        go (row :: acc) rest
+  in
+  go [] xs
+
+let sweep_metric ?jobs ~seeds ~metric scenario_of keys =
+  let scenarios =
+    List.concat_map
+      (fun k ->
+        List.map (fun seed -> Scenario.with_seed (scenario_of k) seed) seeds)
+      keys
+  in
+  let results = Array.of_list (Sweep.run ?jobs scenarios) in
+  let nseeds = List.length seeds in
+  List.mapi
+    (fun i k ->
+      let vs = List.init nseeds (fun j -> metric results.((i * nseeds) + j)) in
+      (k, List.fold_left ( +. ) 0. vs /. float_of_int nseeds))
+    keys
 
 let search_max_flows ?(lo = 1) ?(hi = 64) ~target f =
   if f lo < target then 0

@@ -36,7 +36,20 @@ val aggregation_workload :
     [deadlines] (default true) each flow gets an Exp([deadline_mean],
     floor 3 ms) deadline (default mean 20 ms). *)
 
+val aggregation_scenario :
+  ?deadline_mean:float ->
+  ?sizes:Pdq_workload.Size_dist.t ->
+  ?deadlines:bool ->
+  ?seed:int ->
+  flows:int ->
+  Pdq_transport.Runner.protocol ->
+  Pdq_exec.Scenario.t
+(** The canonical Fig. 3 experiment as a scenario: the default
+    12-server tree, the aggregation workload towards host 0, horizon
+    5 s. Re-seed with {!Pdq_exec.Scenario.with_seed} to sweep. *)
+
 val run_aggregation :
+  ?jobs:int ->
   ?seeds:int list ->
   ?deadline_mean:float ->
   ?sizes:Pdq_workload.Size_dist.t ->
@@ -45,10 +58,11 @@ val run_aggregation :
   Pdq_transport.Runner.protocol ->
   (Pdq_transport.Runner.result -> float) ->
   float
-(** Build the default 12-server tree, run the aggregation workload and
-    average the extracted metric over the seeds (default [1;2;3]). *)
+(** Run {!aggregation_scenario} and average the extracted metric over
+    the seeds (default [1;2;3]), on [jobs] domains. *)
 
 val optimal_aggregation_throughput :
+  ?jobs:int ->
   ?seeds:int list ->
   ?deadline_mean:float ->
   ?sizes:Pdq_workload.Size_dist.t ->
@@ -59,6 +73,7 @@ val optimal_aggregation_throughput :
     the same workloads. *)
 
 val optimal_aggregation_fct :
+  ?jobs:int ->
   ?seeds:int list ->
   ?sizes:Pdq_workload.Size_dist.t ->
   flows:int ->
@@ -66,6 +81,22 @@ val optimal_aggregation_fct :
   float
 (** SRPT mean flow completion time of the omniscient scheduler
     (deadline-unconstrained case). *)
+
+val chunks : int -> 'a list -> 'a list list
+(** Split into consecutive groups of [k] (last group may be short) —
+    for slicing a flattened sweep back into table rows. *)
+
+val sweep_metric :
+  ?jobs:int ->
+  seeds:int list ->
+  metric:(Pdq_transport.Runner.result -> float) ->
+  ('a -> Pdq_exec.Scenario.t) ->
+  'a list ->
+  ('a * float) list
+(** Flatten [keys × seeds] into one parallel sweep and hand back, per
+    key in input order, the seed-average of [metric]. This is how the
+    figure drivers expose whole-figure parallelism instead of only the
+    2–5-way seed loop. *)
 
 val search_max_flows :
   ?lo:int ->

@@ -2,9 +2,9 @@ module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
 module Builder = Pdq_topo.Builder
 module Series = Pdq_engine.Series
-module Sim = Pdq_engine.Sim
 module Trace = Pdq_telemetry.Trace
 module Metrics = Pdq_telemetry.Metrics
+module Scenario = Pdq_exec.Scenario
 
 type trace = {
   per_flow_gbps : (int * (float * float) array) list;
@@ -15,11 +15,27 @@ type trace = {
 
 (* All three time series come out of the generic telemetry: per-flow
    goodput from the [Flow_rx] events of a memory sink, utilization and
-   queue depth from the metrics probe of the bottleneck link. *)
+   queue depth from the metrics probe of the bottleneck link.
+   Telemetry sinks are per-run mutable state, so they attach via
+   [Scenario.build] + [Runner.run] rather than living in the
+   scenario. *)
 let run_traced ~senders ~specs_of ~t_end ~bin =
-  let sim = Sim.create () in
-  let built, rx = Builder.single_bottleneck ~sim ~senders () in
+  let scenario =
+    Scenario.make ~name:"traced bottleneck" ~horizon:(t_end +. 1.)
+      ~topo:(Scenario.Bottleneck { senders })
+      ~workload:
+        (Scenario.Generated
+           {
+             label = "dynamics trace";
+             specs =
+               (fun ~seed:_ ~topo:_ ~hosts ->
+                 specs_of hosts hosts.(Array.length hosts - 1));
+           })
+      (Runner.Pdq Pdq_core.Config.full)
+  in
+  let built, specs, options = Scenario.build scenario in
   let hosts = built.Builder.hosts in
+  let rx = hosts.(Array.length hosts - 1) in
   let bottleneck =
     Pdq_net.Link.id (Pdq_net.Topology.link_to built.Builder.topo ~src:0 ~dst:rx)
   in
@@ -27,9 +43,8 @@ let run_traced ~senders ~specs_of ~t_end ~bin =
   let metrics = Metrics.create () in
   let options =
     {
-      Runner.default_options with
-      Runner.horizon = t_end +. 1.;
-      telemetry =
+      options with
+      Runner.telemetry =
         {
           Runner.sinks = [ mem ];
           metrics = Some metrics;
@@ -38,8 +53,8 @@ let run_traced ~senders ~specs_of ~t_end ~bin =
     }
   in
   let r =
-    Runner.run ~options ~topo:built.Builder.topo
-      (Runner.Pdq Pdq_core.Config.full) (specs_of hosts rx)
+    Runner.run ~options ~topo:built.Builder.topo scenario.Scenario.protocol
+      specs
   in
   let per_flow_tbl : (int, Series.t) Hashtbl.t = Hashtbl.create 16 in
   List.iter

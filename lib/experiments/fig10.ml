@@ -37,7 +37,7 @@ let mean_fct ~dist ~proto ~seed =
   (* A finer step keeps the 10-flow schedule crisp at sub-ms scale. *)
   (Flowsim.run ~dt:1e-4 ~seed net proto specs).Flowsim.mean_fct
 
-let fig10 ?(quick = true) () =
+let fig10 ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let dists =
     [
@@ -45,17 +45,16 @@ let fig10 ?(quick = true) () =
       ("Pareto(1.1)", Size_dist.pareto ~tail_index:1.1 ~mean_bytes:100_000 ());
     ]
   in
-  let avg f =
-    let xs = List.map f seeds in
-    List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
-  in
   let rows =
     List.map
       (fun (name, proto) ->
         name
         :: List.map
              (fun (_, dist) ->
-               Common.cell (1e3 *. avg (fun seed -> mean_fct ~dist ~proto ~seed)))
+               Common.cell
+                 (1e3
+                 *. Pdq_exec.Sweep.average ?jobs ~seeds (fun seed ->
+                        mean_fct ~dist ~proto ~seed)))
              dists)
       schemes
   in

@@ -6,6 +6,8 @@ module Size_dist = Pdq_workload.Size_dist
 module Deadline_dist = Pdq_workload.Deadline_dist
 module Rng = Pdq_engine.Rng
 module Sim = Pdq_engine.Sim
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
 (* Larger flows than the query workload so path diversity (not
    handshake latency) dominates the completion time. *)
@@ -30,19 +32,24 @@ let specs_at_load ~load ~deadlines ~seed ~hosts =
            start = 0.;
          })
 
-let run ~load ~deadlines ~seed protocol metric =
-  let sim = Sim.create () in
-  let built = Builder.bcube ~sim ~n:2 ~k:3 () in
-  let specs = specs_at_load ~load ~deadlines ~seed ~hosts:built.Builder.hosts in
-  let options = { Runner.default_options with Runner.seed; horizon = 5. } in
-  metric (Runner.run ~options ~topo:built.Builder.topo protocol specs)
-
-let avg f seeds =
-  let xs = List.map f seeds in
-  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+let load_scenario ~load ~deadlines protocol =
+  Scenario.make
+    ~name:(Printf.sprintf "bcube perm @%.0f%%" (100. *. load))
+    ~horizon:5.
+    ~topo:(Scenario.Bcube { n = 2; k = 3 })
+    ~workload:
+      (Scenario.Generated
+         {
+           label = Printf.sprintf "permutation over %.0f%% of hosts" (100. *. load);
+           specs =
+             (fun ~seed ~topo:_ ~hosts ->
+               specs_at_load ~load ~deadlines ~seed ~hosts);
+         })
+    protocol
 
 (* BCube node ids are deterministic, so one throwaway instance provides
-   the address-based parallel paths for every run. *)
+   the address-based parallel paths for every run (the closure is
+   immutable and crosses worker domains freely). *)
 let bcube_multipath =
   let sim = Sim.create () in
   let built = Builder.bcube ~sim ~n:2 ~k:3 () in
@@ -50,21 +57,26 @@ let bcube_multipath =
 
 let mpdq subflows = Runner.mpdq ~subflows ~paths:bcube_multipath ()
 
-let fig11a ?(quick = true) () =
+let fig11a ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let loads = if quick then [ 0.25; 0.5; 1.0 ] else [ 0.125; 0.25; 0.5; 0.75; 1.0 ] in
-  let fct proto load =
-    avg (fun seed -> run ~load ~deadlines:false ~seed proto (fun r -> r.Runner.mean_fct)) seeds
+  let protos = [ Runner.Pdq Pdq_core.Config.full; mpdq 3 ] in
+  let fcts =
+    Common.sweep_metric ?jobs ~seeds
+      ~metric:(fun r -> r.Runner.mean_fct)
+      (fun (load, proto) -> load_scenario ~load ~deadlines:false proto)
+      (List.concat_map
+         (fun load -> List.map (fun p -> (load, p)) protos)
+         loads)
+    |> List.map snd
   in
   let rows =
-    List.map
-      (fun load ->
-        [
-          Common.cell (100. *. load);
-          Common.cell (1e3 *. fct (Runner.Pdq Pdq_core.Config.full) load);
-          Common.cell (1e3 *. fct (mpdq 3) load);
-        ])
+    List.map2
+      (fun load row ->
+        Common.cell (100. *. load)
+        :: List.map (fun fct -> Common.cell (1e3 *. fct)) row)
       loads
+      (Common.chunks (List.length protos) fcts)
   in
   {
     Common.title = "Fig 11a - mean FCT [ms] vs load (BCube(2,3), random perm)";
@@ -72,52 +84,52 @@ let fig11a ?(quick = true) () =
     rows;
   }
 
-let fig11bc ?(quick = true) () =
+let capacity_scenario ~flows protocol =
+  Scenario.make
+    ~name:(Printf.sprintf "bcube pairs x%d" flows)
+    ~horizon:5.
+    ~topo:(Scenario.Bcube { n = 2; k = 3 })
+    ~workload:
+      (Scenario.Generated
+         {
+           label = Printf.sprintf "%d random-pair deadline flows" flows;
+           specs =
+             (fun ~seed ~topo:_ ~hosts ->
+               let rng = Rng.create (0xF11 + (seed * 53)) in
+               let ddist = Deadline_dist.exponential ~mean:0.02 () in
+               Pattern.random_pairs ~hosts ~flows ~rng
+               |> List.map (fun (p : Pattern.pair) ->
+                      {
+                        Context.src = p.Pattern.src;
+                        dst = p.Pattern.dst;
+                        size = Size_dist.sample capacity_sizes rng;
+                        deadline = Some (Deadline_dist.sample ddist rng);
+                        start = 0.;
+                      }));
+         })
+    protocol
+
+let fig11bc ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let subflow_counts = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let proto k = if k = 1 then Runner.Pdq Pdq_core.Config.full else mpdq k in
   let rows =
     List.map
       (fun k ->
+        let s = load_scenario ~load:1.0 ~deadlines:false (proto k) in
         let fct =
-          avg
-            (fun seed ->
-              run ~load:1.0 ~deadlines:false ~seed (proto k) (fun r ->
-                  r.Runner.mean_fct))
-            seeds
+          Sweep.average ?jobs ~seeds (fun seed ->
+              (Scenario.run (Scenario.with_seed s seed)).Runner.mean_fct)
         in
         (* (c): capacity search with extra deadline flows layered on the
            permutation by scaling the sending population. *)
         let cap =
           Common.search_max_flows ~hi:24 ~target:99. (fun n ->
-              avg
-                (fun seed ->
-                  let sim = Sim.create () in
-                  let built = Builder.bcube ~sim ~n:2 ~k:3 () in
-                  let rng = Rng.create (0xF11 + (seed * 53)) in
-                  let ddist = Deadline_dist.exponential ~mean:0.02 () in
-                  let pairs =
-                    Pattern.random_pairs ~hosts:built.Builder.hosts ~flows:n ~rng
-                  in
-                  let specs =
-                    List.map
-                      (fun (p : Pattern.pair) ->
-                        {
-                          Context.src = p.Pattern.src;
-                          dst = p.Pattern.dst;
-                          size = Size_dist.sample capacity_sizes rng;
-                          deadline = Some (Deadline_dist.sample ddist rng);
-                          start = 0.;
-                        })
-                      pairs
-                  in
-                  let options =
-                    { Runner.default_options with Runner.seed; horizon = 5. }
-                  in
+              let s = capacity_scenario ~flows:n (proto k) in
+              Sweep.average ?jobs ~seeds (fun seed ->
                   100.
-                  *. (Runner.run ~options ~topo:built.Builder.topo (proto k) specs)
-                       .Runner.application_throughput)
-                seeds)
+                  *. (Scenario.run (Scenario.with_seed s seed))
+                       .Runner.application_throughput))
         in
         [ (if k = 1 then "PDQ" else string_of_int k); Common.cell (1e3 *. fct);
           string_of_int cap ])

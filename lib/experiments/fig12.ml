@@ -24,7 +24,7 @@ let run ~aging_rate ~seed proto_of =
   let net = Flowsim.net_of_topology built.Builder.topo in
   Flowsim.run ~seed net (proto_of aging_rate) specs
 
-let fig12 ?(quick = true) () =
+let fig12 ?jobs ?(quick = true) () =
   let rates = if quick then [ 0.; 1.; 4.; 10. ] else [ 0.; 0.5; 1.; 2.; 4.; 6.; 8.; 10. ] in
   let seed = 1 in
   let pdq alpha =
@@ -36,10 +36,12 @@ let fig12 ?(quick = true) () =
       }
   in
   let rcp = run ~aging_rate:0. ~seed (fun _ -> Flowsim.Rcp) in
+  let pdq_runs =
+    Pdq_exec.Sweep.map ?jobs (fun alpha -> run ~aging_rate:alpha ~seed pdq) rates
+  in
   let rows =
-    List.map
-      (fun alpha ->
-        let r = run ~aging_rate:alpha ~seed pdq in
+    List.map2
+      (fun alpha r ->
         [
           Common.cell alpha;
           Common.cell (1e3 *. r.Flowsim.mean_fct);
@@ -47,7 +49,7 @@ let fig12 ?(quick = true) () =
           Common.cell (1e3 *. rcp.Flowsim.mean_fct);
           Common.cell (1e3 *. rcp.Flowsim.max_fct);
         ])
-      rates
+      rates pdq_runs
   in
   {
     Common.title =

@@ -6,25 +6,42 @@ let seeds ~quick = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ]
 let at_metric (r : Runner.result) = 100. *. r.Runner.application_throughput
 let fct_metric (r : Runner.result) = r.Runner.mean_fct
 
+(* The (a)/(b)/(d)/(e) panels are embarrassingly parallel: every
+   (row, protocol, seed) triple is an independent scenario, so they
+   flatten into one [Common.sweep_metric] call instead of nesting the
+   seed loop inside a per-cell loop. *)
+let cells_by_row ?jobs ~seeds ~metric ~protocols ~scenario_of row_keys =
+  let keys =
+    List.concat_map
+      (fun rk -> List.map (fun (_, proto) -> (rk, proto)) protocols)
+      row_keys
+  in
+  Common.sweep_metric ?jobs ~seeds ~metric
+    (fun (rk, proto) -> scenario_of rk proto)
+    keys
+  |> List.map snd
+  |> Common.chunks (List.length protocols)
+
 (* (a): application throughput vs number of flows. *)
-let fig3a ?(quick = true) () =
-  let flows_list = if quick then [ 2; 5; 10; 15; 20 ] else [ 2; 5; 10; 15; 20; 25 ] in
-  let rows =
-    List.map
-      (fun n ->
-        let optimal =
-          100. *. Common.optimal_aggregation_throughput ~seeds:(seeds ~quick) ~flows:n ()
-        in
-        let cells =
-          List.map
-            (fun (_, proto) ->
-              Common.cell
-                (Common.run_aggregation ~seeds:(seeds ~quick) ~flows:n proto
-                   at_metric))
-            Common.packet_protocols
-        in
-        (string_of_int n :: Common.cell optimal :: cells))
+let fig3a ?jobs ?(quick = true) () =
+  let seeds = seeds ~quick in
+  let flows_list =
+    if quick then [ 2; 5; 10; 15; 20 ] else [ 2; 5; 10; 15; 20; 25 ]
+  in
+  let measured =
+    cells_by_row ?jobs ~seeds ~metric:at_metric
+      ~protocols:Common.packet_protocols
+      ~scenario_of:(fun n proto -> Common.aggregation_scenario ~flows:n proto)
       flows_list
+  in
+  let rows =
+    List.map2
+      (fun n cells ->
+        let optimal =
+          100. *. Common.optimal_aggregation_throughput ~seeds ~flows:n ()
+        in
+        string_of_int n :: Common.cell optimal :: List.map Common.cell cells)
+      flows_list measured
   in
   {
     Common.title = "Fig 3a - application throughput [%] vs number of flows";
@@ -33,39 +50,46 @@ let fig3a ?(quick = true) () =
   }
 
 (* (b): 3 flows, growing mean size. *)
-let fig3b ?(quick = true) () =
+let fig3b ?jobs ?(quick = true) () =
+  let seeds = seeds ~quick in
   let means =
     if quick then [ 100_000; 200_000; 300_000 ]
     else [ 100_000; 150_000; 200_000; 250_000; 300_000; 350_000 ]
   in
-  let rows =
-    List.map
-      (fun mean ->
-        let sizes = Size_dist.uniform_paper ~mean_bytes:mean in
-        let optimal =
-          100.
-          *. Common.optimal_aggregation_throughput ~seeds:(seeds ~quick) ~sizes
-               ~flows:3 ()
-        in
-        let cells =
-          List.map
-            (fun (_, proto) ->
-              Common.cell
-                (Common.run_aggregation ~seeds:(seeds ~quick) ~sizes ~flows:3
-                   proto at_metric))
-            Common.packet_protocols
-        in
-        (string_of_int (mean / 1000) :: Common.cell optimal :: cells))
+  let measured =
+    cells_by_row ?jobs ~seeds ~metric:at_metric
+      ~protocols:Common.packet_protocols
+      ~scenario_of:(fun mean proto ->
+        Common.aggregation_scenario
+          ~sizes:(Size_dist.uniform_paper ~mean_bytes:mean)
+          ~flows:3 proto)
       means
   in
+  let rows =
+    List.map2
+      (fun mean cells ->
+        let sizes = Size_dist.uniform_paper ~mean_bytes:mean in
+        let optimal =
+          100. *. Common.optimal_aggregation_throughput ~seeds ~sizes ~flows:3 ()
+        in
+        string_of_int (mean / 1000)
+        :: Common.cell optimal
+        :: List.map Common.cell cells)
+      means measured
+  in
   {
-    Common.title = "Fig 3b - application throughput [%] vs mean flow size (3 flows)";
+    Common.title =
+      "Fig 3b - application throughput [%] vs mean flow size (3 flows)";
     header = "size[KB]" :: "Optimal" :: List.map fst Common.packet_protocols;
     rows;
   }
 
-(* (c): flows sustainable at 99% application throughput vs deadline. *)
-let fig3c ?(quick = true) () =
+(* (c): flows sustainable at 99% application throughput vs deadline.
+   The binary search is inherently sequential (each probe depends on
+   the last), so parallelism only enters through the per-probe seed
+   sweep. *)
+let fig3c ?jobs ?(quick = true) () =
+  let seeds = seeds ~quick in
   let deadline_means =
     if quick then [ 0.02; 0.04; 0.06 ] else [ 0.02; 0.03; 0.04; 0.05; 0.06 ]
   in
@@ -86,7 +110,7 @@ let fig3c ?(quick = true) () =
       (fun dmean ->
         let optimal =
           Common.search_max_flows ~hi ~target:0.99 (fun n ->
-              Common.optimal_aggregation_throughput ~seeds:(seeds ~quick)
+              Common.optimal_aggregation_throughput ?jobs ~seeds
                 ~deadline_mean:dmean ~flows:n ())
         in
         let cells =
@@ -94,8 +118,8 @@ let fig3c ?(quick = true) () =
             (fun (_, proto) ->
               string_of_int
                 (Common.search_max_flows ~hi ~target:99. (fun n ->
-                     Common.run_aggregation ~seeds:(seeds ~quick)
-                       ~deadline_mean:dmean ~flows:n proto at_metric)))
+                     Common.run_aggregation ?jobs ~seeds ~deadline_mean:dmean
+                       ~flows:n proto at_metric)))
             protos
         in
         (Common.cell (dmean *. 1e3) :: string_of_int optimal :: cells))
@@ -120,26 +144,24 @@ let fct_protocols =
     ("TCP", Runner.Tcp);
   ]
 
-let fig3d ?(quick = true) () =
-  let flows_list = if quick then [ 1; 5; 10; 20 ] else [ 1; 5; 10; 15; 20; 25 ] in
-  let rows =
-    List.map
-      (fun n ->
-        let optimal =
-          Common.optimal_aggregation_fct ~seeds:(seeds ~quick) ~flows:n ()
-        in
-        let cells =
-          List.map
-            (fun (_, proto) ->
-              let fct =
-                Common.run_aggregation ~seeds:(seeds ~quick) ~deadlines:false
-                  ~flows:n proto fct_metric
-              in
-              Common.cell (fct /. optimal))
-            fct_protocols
-        in
-        (string_of_int n :: cells))
+let fig3d ?jobs ?(quick = true) () =
+  let seeds = seeds ~quick in
+  let flows_list =
+    if quick then [ 1; 5; 10; 20 ] else [ 1; 5; 10; 15; 20; 25 ]
+  in
+  let measured =
+    cells_by_row ?jobs ~seeds ~metric:fct_metric ~protocols:fct_protocols
+      ~scenario_of:(fun n proto ->
+        Common.aggregation_scenario ~deadlines:false ~flows:n proto)
       flows_list
+  in
+  let rows =
+    List.map2
+      (fun n cells ->
+        let optimal = Common.optimal_aggregation_fct ~seeds ~flows:n () in
+        string_of_int n
+        :: List.map (fun fct -> Common.cell (fct /. optimal)) cells)
+      flows_list measured
   in
   {
     Common.title = "Fig 3d - mean FCT normalized to optimal vs number of flows";
@@ -147,30 +169,28 @@ let fig3d ?(quick = true) () =
     rows;
   }
 
-let fig3e ?(quick = true) () =
+let fig3e ?jobs ?(quick = true) () =
+  let seeds = seeds ~quick in
   let means =
     if quick then [ 100_000; 200_000; 300_000 ]
     else [ 100_000; 150_000; 200_000; 250_000; 300_000; 350_000 ]
   in
-  let rows =
-    List.map
-      (fun mean ->
-        let sizes = Size_dist.uniform_paper ~mean_bytes:mean in
-        let optimal =
-          Common.optimal_aggregation_fct ~seeds:(seeds ~quick) ~sizes ~flows:3 ()
-        in
-        let cells =
-          List.map
-            (fun (_, proto) ->
-              let fct =
-                Common.run_aggregation ~seeds:(seeds ~quick) ~deadlines:false
-                  ~sizes ~flows:3 proto fct_metric
-              in
-              Common.cell (fct /. optimal))
-            fct_protocols
-        in
-        (string_of_int (mean / 1000) :: cells))
+  let measured =
+    cells_by_row ?jobs ~seeds ~metric:fct_metric ~protocols:fct_protocols
+      ~scenario_of:(fun mean proto ->
+        Common.aggregation_scenario ~deadlines:false
+          ~sizes:(Size_dist.uniform_paper ~mean_bytes:mean)
+          ~flows:3 proto)
       means
+  in
+  let rows =
+    List.map2
+      (fun mean cells ->
+        let sizes = Size_dist.uniform_paper ~mean_bytes:mean in
+        let optimal = Common.optimal_aggregation_fct ~seeds ~sizes ~flows:3 () in
+        string_of_int (mean / 1000)
+        :: List.map (fun fct -> Common.cell (fct /. optimal)) cells)
+      means measured
   in
   {
     Common.title = "Fig 3e - mean FCT normalized to optimal vs mean flow size";

@@ -8,10 +8,14 @@
     (e) normalized FCT vs mean flow size (3 flows, no deadlines).
 
     [quick] trims sweep points and seeds so the whole bench stays
-    interactive; the shapes are unaffected. *)
+    interactive; the shapes are unaffected. [jobs] spreads the
+    (row × protocol × seed) scenario grid over that many domains —
+    panels (a)/(b)/(d)/(e) flatten the whole grid, (c) parallelizes
+    only each binary-search probe's seed sweep. Results are identical
+    for any [jobs]. *)
 
-val fig3a : ?quick:bool -> unit -> Common.table
-val fig3b : ?quick:bool -> unit -> Common.table
-val fig3c : ?quick:bool -> unit -> Common.table
-val fig3d : ?quick:bool -> unit -> Common.table
-val fig3e : ?quick:bool -> unit -> Common.table
+val fig3a : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig3b : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig3c : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig3d : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig3e : ?jobs:int -> ?quick:bool -> unit -> Common.table

@@ -1,11 +1,11 @@
 module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
-module Builder = Pdq_topo.Builder
 module Pattern = Pdq_workload.Pattern
 module Size_dist = Pdq_workload.Size_dist
 module Deadline_dist = Pdq_workload.Deadline_dist
 module Rng = Pdq_engine.Rng
-module Sim = Pdq_engine.Sim
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
 type pattern_name = string
 
@@ -50,21 +50,21 @@ let specs_of_pattern name ~deadlines ~flows ~seed ~topo ~hosts =
         start = 0.;
       })
 
-let run_pattern name ~deadlines ~flows ~seed protocol metric =
-  let sim = Sim.create () in
-  let built = Builder.single_rooted_tree ~sim () in
-  let specs =
-    specs_of_pattern name ~deadlines ~flows ~seed ~topo:built.Builder.topo
-      ~hosts:built.Builder.hosts
-  in
-  let options = { Runner.default_options with Runner.seed; horizon = 5. } in
-  metric (Runner.run ~options ~topo:built.Builder.topo protocol specs)
+let pattern_scenario name ~deadlines ~flows protocol =
+  Scenario.make
+    ~name:(Printf.sprintf "%s x%d" name flows)
+    ~horizon:5.
+    ~workload:
+      (Scenario.Generated
+         {
+           label = Printf.sprintf "%d %s flows" flows name;
+           specs =
+             (fun ~seed ~topo ~hosts ->
+               specs_of_pattern name ~deadlines ~flows ~seed ~topo ~hosts);
+         })
+    protocol
 
-let avg f seeds =
-  let xs = List.map f seeds in
-  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
-
-let fig4a ?(quick = true) () =
+let fig4a ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let protos =
     if quick then
@@ -80,11 +80,10 @@ let fig4a ?(quick = true) () =
   let capacity name proto =
     Common.search_max_flows ~hi:(if quick then 36 else 64) ~target:99.
       (fun flows ->
-        avg
-          (fun seed ->
-            run_pattern name ~deadlines:true ~flows ~seed proto (fun r ->
-                100. *. r.Runner.application_throughput))
-          seeds)
+        let scenario = pattern_scenario name ~deadlines:true ~flows proto in
+        Sweep.average ?jobs ~seeds (fun seed ->
+            let r = Scenario.run (Scenario.with_seed scenario seed) in
+            100. *. r.Runner.application_throughput))
   in
   let rows =
     List.map
@@ -106,7 +105,7 @@ let fig4a ?(quick = true) () =
     rows;
   }
 
-let fig4b ?(quick = true) () =
+let fig4b ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
   let protos =
     [
@@ -118,19 +117,23 @@ let fig4b ?(quick = true) () =
     ]
   in
   let flows = 12 in
+  (* One sweep over the whole pattern × protocol grid. *)
+  let fcts =
+    Common.sweep_metric ?jobs ~seeds
+      ~metric:(fun r -> r.Runner.mean_fct)
+      (fun (name, proto) -> pattern_scenario name ~deadlines:false ~flows proto)
+      (List.concat_map
+         (fun name -> List.map (fun (_, p) -> (name, p)) protos)
+         patterns)
+    |> List.map snd
+  in
+  let nprotos = List.length protos in
   let rows =
-    List.map
-      (fun name ->
-        let fct proto =
-          avg
-            (fun seed ->
-              run_pattern name ~deadlines:false ~flows ~seed proto (fun r ->
-                  r.Runner.mean_fct))
-            seeds
-        in
-        let base = fct (snd (List.hd protos)) in
-        let cells = List.map (fun (_, p) -> Common.cell (fct p /. base)) protos in
-        name :: cells)
+    List.mapi
+      (fun i name ->
+        let row = List.filteri (fun j _ -> j / nprotos = i) fcts in
+        let base = List.hd row in
+        name :: List.map (fun fct -> Common.cell (fct /. base)) row)
       patterns
   in
   {

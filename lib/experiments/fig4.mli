@@ -10,5 +10,5 @@ type pattern_name = string
 
 val patterns : pattern_name list
 
-val fig4a : ?quick:bool -> unit -> Common.table
-val fig4b : ?quick:bool -> unit -> Common.table
+val fig4a : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig4b : ?jobs:int -> ?quick:bool -> unit -> Common.table

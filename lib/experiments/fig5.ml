@@ -1,12 +1,12 @@
 module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
-module Builder = Pdq_topo.Builder
 module Pattern = Pdq_workload.Pattern
 module Size_dist = Pdq_workload.Size_dist
 module Deadline_dist = Pdq_workload.Deadline_dist
 module Arrivals = Pdq_workload.Arrivals
 module Rng = Pdq_engine.Rng
-module Sim = Pdq_engine.Sim
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
 let short_flow_bytes = 40_000
 
@@ -31,28 +31,33 @@ let trace_specs ~dist ~deadline_mean ~rate ~duration ~seed ~hosts =
       })
     starts pairs
 
-let run_trace ~dist ~deadline_mean ~rate ~duration ~seed protocol metric =
-  let sim = Sim.create () in
-  let built = Builder.single_rooted_tree ~sim () in
-  let specs =
-    trace_specs ~dist ~deadline_mean ~rate ~duration ~seed
-      ~hosts:built.Builder.hosts
-  in
-  if specs = [] then nan
-  else begin
-    let options =
-      { Runner.default_options with Runner.seed; horizon = duration +. 3. }
-    in
-    metric (Runner.run ~options ~topo:built.Builder.topo protocol specs)
-  end
+let trace_scenario ~dist ~deadline_mean ~rate ~duration protocol =
+  Scenario.make
+    ~name:(Printf.sprintf "poisson trace @%.0f/s" rate)
+    ~horizon:(duration +. 3.)
+    ~workload:
+      (Scenario.Generated
+         {
+           label = Printf.sprintf "poisson %.0f flows/s for %.2fs" rate duration;
+           specs =
+             (fun ~seed ~topo:_ ~hosts ->
+               trace_specs ~dist ~deadline_mean ~rate ~duration ~seed ~hosts);
+         })
+    protocol
 
-let avg f seeds =
-  let xs = List.map f seeds |> List.filter (fun x -> not (Float.is_nan x)) in
+(* A trace can be empty at low rate × short duration; such runs carry
+   no signal and drop out of the average (the [nan] convention the
+   sequential driver always used). *)
+let guard metric (r : Runner.result) =
+  if Array.length r.Runner.flows = 0 then nan else metric r
+
+let mean_ignoring_nan xs =
+  let xs = List.filter (fun x -> not (Float.is_nan x)) xs in
   match xs with
   | [] -> nan
   | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
-let fig5a ?(quick = true) () =
+let fig5a ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
   let duration = if quick then 0.05 else 0.2 in
   let deadline_means = if quick then [ 0.02; 0.04 ] else [ 0.015; 0.02; 0.03; 0.04 ] in
@@ -68,24 +73,49 @@ let fig5a ?(quick = true) () =
     else Common.packet_protocols
   in
   let dist = Size_dist.vl2 () in
-  (* Binary search over the arrival rate (flows/s), geometric grid. *)
+  (* Grid search over the arrival rate (flows/s): the sequential
+     driver probed every rate anyway, so the whole
+     deadline × protocol × rate × seed grid is one flat sweep. *)
   let rates = [ 250.; 500.; 1000.; 2000.; 4000.; 8000. ] in
-  let max_rate deadline_mean proto =
-    let ok rate =
-      avg
-        (fun seed ->
-          run_trace ~dist ~deadline_mean ~rate ~duration ~seed proto (fun r ->
-              r.Runner.application_throughput))
-        seeds
-      >= 0.99
-    in
-    List.fold_left (fun acc r -> if ok r then r else acc) 0. rates
+  let grid =
+    List.concat_map
+      (fun dmean ->
+        List.concat_map
+          (fun (_, proto) ->
+            List.concat_map
+              (fun rate -> List.map (fun seed -> (dmean, proto, rate, seed)) seeds)
+              rates)
+          protos)
+      deadline_means
+  in
+  let ats =
+    Sweep.map ?jobs
+      (fun (deadline_mean, proto, rate, seed) ->
+        let s = trace_scenario ~dist ~deadline_mean ~rate ~duration proto in
+        guard
+          (fun r -> r.Runner.application_throughput)
+          (Scenario.run (Scenario.with_seed s seed)))
+      grid
+    |> Array.of_list
+  in
+  let nseeds = List.length seeds and nrates = List.length rates in
+  let nprotos = List.length protos in
+  let max_rate di pi =
+    List.fold_left
+      (fun acc ri ->
+        let base = (((di * nprotos) + pi) * nrates + ri) * nseeds in
+        let at =
+          mean_ignoring_nan (List.init nseeds (fun si -> ats.(base + si)))
+        in
+        if at >= 0.99 then List.nth rates ri else acc)
+      0.
+      (List.init nrates Fun.id)
   in
   let rows =
-    List.map
-      (fun dmean ->
+    List.mapi
+      (fun di dmean ->
         Common.cell (dmean *. 1e3)
-        :: List.map (fun (_, p) -> Common.cell (max_rate dmean p)) protos)
+        :: List.mapi (fun pi _ -> Common.cell (max_rate di pi)) protos)
       deadline_means
   in
   {
@@ -106,7 +136,7 @@ let long_fct (r : Runner.result) =
   | [] -> nan
   | _ -> List.fold_left ( +. ) 0. longs /. float_of_int (List.length longs)
 
-let norm_table ~title ~dist ~metric ?(quick = true) () =
+let norm_table ?jobs ~title ~dist ~metric ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let duration = if quick then 0.05 else 0.2 in
   let rate = 1500. in
@@ -119,25 +149,37 @@ let norm_table ~title ~dist ~metric ?(quick = true) () =
       ("TCP", Runner.Tcp);
     ]
   in
-  let value proto =
-    avg
-      (fun seed ->
-        run_trace ~dist ~deadline_mean:0.02 ~rate ~duration ~seed proto metric)
-      seeds
+  let values =
+    Sweep.map ?jobs
+      (fun (proto, seed) ->
+        let s = trace_scenario ~dist ~deadline_mean:0.02 ~rate ~duration proto in
+        guard metric (Scenario.run (Scenario.with_seed s seed)))
+      (List.concat_map
+         (fun (_, p) -> List.map (fun seed -> (p, seed)) seeds)
+         protos)
+    |> Array.of_list
   in
-  let base = value (snd (List.hd protos)) in
+  let nseeds = List.length seeds in
+  let value pi =
+    mean_ignoring_nan (List.init nseeds (fun si -> values.((pi * nseeds) + si)))
+  in
+  let base = value 0 in
   let rows =
-    [ "normalized" :: List.map (fun (_, p) -> Common.cell (value p /. base)) protos ]
+    [
+      "normalized"
+      :: List.mapi (fun pi _ -> Common.cell (value pi /. base)) protos;
+    ]
   in
   { Common.title = title; header = "metric" :: List.map fst protos; rows }
 
-let fig5b ?(quick = true) () =
-  norm_table
+let fig5b ?jobs ?(quick = true) () =
+  norm_table ?jobs
     ~title:"Fig 5b - FCT of long flows, normalized to PDQ(Full) (VL2-like)"
     ~dist:(Size_dist.vl2 ()) ~metric:long_fct ~quick ()
 
-let fig5c ?(quick = true) () =
-  norm_table ~title:"Fig 5c - mean FCT normalized to PDQ(Full) (EDU1-like)"
+let fig5c ?jobs ?(quick = true) () =
+  norm_table ?jobs
+    ~title:"Fig 5c - mean FCT normalized to PDQ(Full) (EDU1-like)"
     ~dist:(Size_dist.edu1 ())
     ~metric:(fun r -> r.Runner.mean_fct)
     ~quick ()

@@ -9,6 +9,8 @@ module Flowsim = Pdq_flowsim.Flowsim
 module Rng = Pdq_engine.Rng
 module Sim = Pdq_engine.Sim
 module Stats = Pdq_engine.Stats
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
 let flowsim_specs ~built ~pairs ~sizes ~deadline_mean ~seed =
   let router = Router.create built.Builder.topo in
@@ -47,15 +49,29 @@ let packet_specs ~pairs ~sizes ~deadline_mean ~seed =
 
 type topo_family = Fat_tree | Bcube | Jellyfish
 
+let family_topo family ~servers =
+  match family with
+  | Fat_tree -> Scenario.Fat_tree_servers { servers }
+  | Bcube ->
+      (* Dual-port BCube(n,1): n^2 servers. *)
+      let n = max 2 (int_of_float (ceil (sqrt (float_of_int servers)))) in
+      Scenario.Bcube { n; k = 1 }
+  | Jellyfish ->
+      (* 24-port switches, 2:1 network:server ports -> 8 hosts each;
+         wiring salt 77 reproduces the historical wiring rng. *)
+      let switches = max 3 ((servers + 7) / 8) in
+      Scenario.Jellyfish
+        { switches; ports = 24; net_ports = 16; wiring_salt = 77 }
+
+(* The flow-level engine builds the same topology itself (it is not a
+   packet run, so it bypasses the scenario runner). *)
 let build family ~sim ~servers ~seed =
   match family with
   | Fat_tree -> Builder.fat_tree_for_servers ~sim ~servers ()
   | Bcube ->
-      (* Dual-port BCube(n,1): n^2 servers. *)
       let n = max 2 (int_of_float (ceil (sqrt (float_of_int servers)))) in
       Builder.bcube ~sim ~n ~k:1 ()
   | Jellyfish ->
-      (* 24-port switches, 2:1 network:server ports -> 8 hosts each. *)
       let switches = max 3 ((servers + 7) / 8) in
       Builder.jellyfish ~sim ~rng:(Rng.create (77 + seed)) ~switches ~ports:24
         ~net_ports:16 ()
@@ -65,6 +81,22 @@ let sizes_100k = Size_dist.uniform_paper ~mean_bytes:100_000
 (* Random-permutation pairs with [per_server] flows per sender. *)
 let perm_pairs ~hosts ~per_server ~rng =
   List.concat (List.init per_server (fun _ -> Pattern.random_permutation ~hosts ~rng))
+
+(* Packet-level runs go through a scenario; [pairs] abstracts the two
+   pairings this figure uses (random permutation / random pairs). *)
+let packet_scenario family ~servers ~deadline_mean ~label ~pairs proto =
+  Scenario.make ~name:label ~horizon:5.
+    ~topo:(family_topo family ~servers)
+    ~workload:
+      (Scenario.Generated
+         {
+           label;
+           specs =
+             (fun ~seed ~topo:_ ~hosts ->
+               packet_specs ~pairs:(pairs ~seed ~hosts) ~sizes:sizes_100k
+                 ~deadline_mean ~seed);
+         })
+    proto
 
 let flowlevel_fct family ~servers ~per_server ~proto ~seed =
   let sim = Sim.create () in
@@ -79,18 +111,20 @@ let flowlevel_fct family ~servers ~per_server ~proto ~seed =
   r.Flowsim.mean_fct
 
 let packetlevel_fct family ~servers ~per_server ~proto ~seed =
-  let sim = Sim.create () in
-  let built = build family ~sim ~servers ~seed in
-  let rng = Rng.create (3 + seed) in
-  let pairs = perm_pairs ~hosts:built.Builder.hosts ~per_server ~rng in
-  let specs = packet_specs ~pairs ~sizes:sizes_100k ~deadline_mean:None ~seed in
-  let options = { Runner.default_options with Runner.seed; horizon = 5. } in
-  let r = Runner.run ~options ~topo:built.Builder.topo proto specs in
-  r.Runner.mean_fct
+  let scenario =
+    packet_scenario family ~servers ~deadline_mean:None
+      ~label:(Printf.sprintf "perm x%d" per_server)
+      ~pairs:(fun ~seed ~hosts ->
+        perm_pairs ~hosts ~per_server ~rng:(Rng.create (3 + seed)))
+      proto
+  in
+  (Scenario.run (Scenario.with_seed scenario seed)).Runner.mean_fct
 
 (* (a) deadline-constrained capacity vs size: concurrent random-pair
-   deadline flows; search the count sustaining 99% AT. *)
-let fig8a ?(quick = true) () =
+   deadline flows; search the count sustaining 99% AT. Each table cell
+   is an independent binary search, so the cells fan out over the
+   domain pool. *)
+let fig8a ?jobs ?(quick = true) () =
   let sizes_list = if quick then [ 16; 54; 128 ] else [ 16; 54; 128; 250; 432; 1024 ] in
   let pkt_cap = if quick then 54 else 128 in
   let seed = 1 in
@@ -107,27 +141,26 @@ let fig8a ?(quick = true) () =
     (Flowsim.run ~seed net proto_fs specs).Flowsim.application_throughput
   in
   let pkt_cap_run servers flows proto =
-    let sim = Sim.create () in
-    let built = build Fat_tree ~sim ~servers ~seed in
-    let rng = Rng.create (11 + seed) in
-    let pairs = Pattern.random_pairs ~hosts:built.Builder.hosts ~flows ~rng in
-    let specs =
-      packet_specs ~pairs ~sizes:sizes_100k ~deadline_mean:(Some 0.02) ~seed
+    let scenario =
+      packet_scenario Fat_tree ~servers ~deadline_mean:(Some 0.02)
+        ~label:(Printf.sprintf "pairs x%d" flows)
+        ~pairs:(fun ~seed ~hosts ->
+          Pattern.random_pairs ~hosts ~flows ~rng:(Rng.create (11 + seed)))
+        proto
     in
-    let options = { Runner.default_options with Runner.seed; horizon = 5. } in
-    (Runner.run ~options ~topo:built.Builder.topo proto specs)
+    (Scenario.run (Scenario.with_seed scenario seed))
       .Runner.application_throughput
   in
   let hi servers = max 16 (servers * 2) in
-  let rows =
-    List.map
+  let cell_thunks =
+    List.concat_map
       (fun servers ->
-        let fl name proto =
-          ignore name;
-          Common.search_max_flows ~hi:(hi servers) ~target:0.99 (fun n ->
-              flow_cap servers n proto)
+        let fl proto () =
+          string_of_int
+            (Common.search_max_flows ~hi:(hi servers) ~target:0.99 (fun n ->
+                 flow_cap servers n proto))
         in
-        let pk proto =
+        let pk proto () =
           if servers > pkt_cap then "-"
           else
             string_of_int
@@ -135,15 +168,21 @@ let fig8a ?(quick = true) () =
                    pkt_cap_run servers n proto))
         in
         [
-          string_of_int servers;
           pk (Runner.Pdq Pdq_core.Config.full);
-          string_of_int (fl "pdq" (Flowsim.Pdq Flowsim.pdq_defaults));
+          fl (Flowsim.Pdq Flowsim.pdq_defaults);
           pk Runner.D3;
-          string_of_int (fl "d3" Flowsim.D3);
+          fl Flowsim.D3;
           pk Runner.Rcp;
-          string_of_int (fl "rcp" Flowsim.Rcp);
+          fl Flowsim.Rcp;
         ])
       sizes_list
+  in
+  let cells = Sweep.map ?jobs (fun f -> f ()) cell_thunks in
+  let rows =
+    List.map2
+      (fun servers row -> string_of_int servers :: row)
+      sizes_list
+      (Common.chunks 6 cells)
   in
   {
     Common.title =
@@ -156,7 +195,7 @@ let fig8a ?(quick = true) () =
     rows;
   }
 
-let fct_table ~title family ?(quick = true) () =
+let fct_table ?jobs ~title family ?(quick = true) () =
   let sizes_list =
     if quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 4096 ]
   in
@@ -168,35 +207,33 @@ let fct_table ~title family ?(quick = true) () =
   let pkt_cap = if quick then 64 else 144 in
   let per_server = if quick then 4 else 10 in
   let seed = 1 in
-  let rows =
-    List.map
+  let cell_thunks =
+    List.concat_map
       (fun servers ->
-        let pdq_pkt =
+        let pkt proto () =
           if servers > pkt_cap then "-"
           else
             Common.cell
-              (1e3
-              *. packetlevel_fct family ~servers ~per_server
-                   ~proto:(Runner.Pdq Pdq_core.Config.full) ~seed)
+              (1e3 *. packetlevel_fct family ~servers ~per_server ~proto ~seed)
         in
-        let rcp_pkt =
-          if servers > pkt_cap then "-"
-          else
-            Common.cell
-              (1e3 *. packetlevel_fct family ~servers ~per_server ~proto:Runner.Rcp ~seed)
+        let flow proto () =
+          Common.cell
+            (1e3 *. flowlevel_fct family ~servers ~per_server ~proto ~seed)
         in
         [
-          string_of_int servers;
-          pdq_pkt;
-          Common.cell
-            (1e3
-            *. flowlevel_fct family ~servers ~per_server
-                 ~proto:(Flowsim.Pdq Flowsim.pdq_defaults) ~seed);
-          rcp_pkt;
-          Common.cell
-            (1e3 *. flowlevel_fct family ~servers ~per_server ~proto:Flowsim.Rcp ~seed);
+          pkt (Runner.Pdq Pdq_core.Config.full);
+          flow (Flowsim.Pdq Flowsim.pdq_defaults);
+          pkt Runner.Rcp;
+          flow Flowsim.Rcp;
         ])
       sizes_list
+  in
+  let cells = Sweep.map ?jobs (fun f -> f ()) cell_thunks in
+  let rows =
+    List.map2
+      (fun servers row -> string_of_int servers :: row)
+      sizes_list
+      (Common.chunks 4 cells)
   in
   {
     Common.title = title;
@@ -204,20 +241,23 @@ let fct_table ~title family ?(quick = true) () =
     rows;
   }
 
-let fig8b ?quick () =
-  fct_table ~title:"Fig 8b - mean FCT vs network size (fat-tree, random perm)"
+let fig8b ?jobs ?quick () =
+  fct_table ?jobs
+    ~title:"Fig 8b - mean FCT vs network size (fat-tree, random perm)"
     Fat_tree ?quick ()
 
-let fig8c ?quick () =
-  fct_table ~title:"Fig 8c - mean FCT vs network size (BCube, dual-port)"
+let fig8c ?jobs ?quick () =
+  fct_table ?jobs
+    ~title:"Fig 8c - mean FCT vs network size (BCube, dual-port)"
     Bcube ?quick ()
 
-let fig8d ?quick () =
-  fct_table ~title:"Fig 8d - mean FCT vs network size (Jellyfish 24-port, 2:1)"
+let fig8d ?jobs ?quick () =
+  fct_table ?jobs
+    ~title:"Fig 8d - mean FCT vs network size (Jellyfish 24-port, 2:1)"
     Jellyfish ?quick ()
 
 (* (e) per-flow FCT ratio CDF at ~128 servers, flow level. *)
-let fig8e ?(quick = true) () =
+let fig8e ?jobs ?(quick = true) () =
   let seed = 1 in
   let families =
     [ ("Fat-tree", Fat_tree); ("BCube", Bcube); ("Jellyfish", Jellyfish) ]
@@ -245,14 +285,14 @@ let fig8e ?(quick = true) () =
     |> Array.of_list
   in
   let quantiles = [ 0.25; 0.5; 1.; 2.; 4.; 8. ] in
+  let per_family = Sweep.map ?jobs ratios families in
   let rows =
-    List.map
-      (fun ((name, _) as fam) ->
-        let rs = ratios fam in
+    List.map2
+      (fun (name, _) rs ->
         let cdf = Stats.cdf rs in
         name
         :: List.map (fun q -> Common.cell (Stats.cdf_at cdf q)) quantiles)
-      families
+      families per_family
   in
   {
     Common.title =

@@ -9,11 +9,11 @@
     (c) BCube (dual-port servers) and (d) Jellyfish: same as (b);
     (e) CDF of per-flow RCP FCT / PDQ FCT at ~128 servers. *)
 
-val fig8a : ?quick:bool -> unit -> Common.table
-val fig8b : ?quick:bool -> unit -> Common.table
-val fig8c : ?quick:bool -> unit -> Common.table
-val fig8d : ?quick:bool -> unit -> Common.table
-val fig8e : ?quick:bool -> unit -> Common.table
+val fig8a : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig8b : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig8c : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig8d : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig8e : ?jobs:int -> ?quick:bool -> unit -> Common.table
 
 val flowsim_specs :
   built:Pdq_topo.Builder.built ->

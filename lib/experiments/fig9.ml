@@ -1,43 +1,40 @@
 module Runner = Pdq_transport.Runner
-module Builder = Pdq_topo.Builder
-module Sim = Pdq_engine.Sim
-module Topology = Pdq_net.Topology
-module Link = Pdq_net.Link
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
 (* Query aggregation on the single-bottleneck topology of Fig. 2b with
    loss injected on the switch<->receiver links. *)
-let run ~loss_rate ~flows ~deadlines ~seed protocol metric =
-  let sim = Sim.create () in
-  let built, rx = Builder.single_bottleneck ~sim ~senders:(max 4 flows) () in
-  let hosts = built.Builder.hosts in
-  let wl =
-    Common.aggregation_workload ~deadlines ~seed ~hosts ~receiver:rx ~flows ()
-  in
-  let bottleneck_links =
-    [
-      Link.id (Topology.link_to built.Builder.topo ~src:0 ~dst:rx);
-      Link.id (Topology.link_to built.Builder.topo ~src:rx ~dst:0);
-    ]
-  in
-  let options =
-    {
-      Runner.default_options with
-      Runner.seed;
-      horizon = 5.;
-      loss = (if loss_rate > 0. then Some (loss_rate, bottleneck_links) else None);
-    }
-  in
-  metric (Runner.run ~options ~topo:built.Builder.topo protocol wl.Common.specs)
+let scenario ~loss_rate ~flows ~deadlines protocol =
+  Scenario.make
+    ~name:(Printf.sprintf "lossy bottleneck %.1f%%" (loss_rate *. 100.))
+    ~horizon:5.
+    ~topo:(Scenario.Bottleneck { senders = max 4 flows })
+    ~loss:
+      (if loss_rate > 0. then Scenario.Loss_on_bottleneck loss_rate
+       else Scenario.No_loss)
+    ~workload:
+      (Scenario.Generated
+         {
+           label = Printf.sprintf "%d aggregation flows" flows;
+           specs =
+             (fun ~seed ~topo:_ ~hosts ->
+               let rx = hosts.(Array.length hosts - 1) in
+               (Common.aggregation_workload ~deadlines ~seed ~hosts ~receiver:rx
+                  ~flows ())
+                 .Common.specs);
+         })
+    protocol
 
-let avg f seeds =
-  let xs = List.map f seeds in
-  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+let run ?jobs ~loss_rate ~flows ~deadlines ~seeds protocol metric =
+  let s = scenario ~loss_rate ~flows ~deadlines protocol in
+  Sweep.average ?jobs ~seeds (fun seed ->
+      metric (Scenario.run (Scenario.with_seed s seed)))
 
 let losses ~quick = if quick then [ 0.; 0.01; 0.03 ] else [ 0.; 0.005; 0.01; 0.02; 0.03 ]
 
 let protocols = [ ("PDQ", Runner.Pdq Pdq_core.Config.full); ("TCP", Runner.Tcp) ]
 
-let fig9a ?(quick = true) () =
+let fig9a ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let rows =
     List.map
@@ -47,11 +44,8 @@ let fig9a ?(quick = true) () =
              (fun (_, proto) ->
                string_of_int
                  (Common.search_max_flows ~hi:24 ~target:99. (fun flows ->
-                      avg
-                        (fun seed ->
-                          run ~loss_rate ~flows ~deadlines:true ~seed proto
-                            (fun r -> 100. *. r.Runner.application_throughput))
-                        seeds)))
+                      run ?jobs ~loss_rate ~flows ~deadlines:true ~seeds proto
+                        (fun r -> 100. *. r.Runner.application_throughput))))
              protocols)
       (losses ~quick)
   in
@@ -61,23 +55,27 @@ let fig9a ?(quick = true) () =
     rows;
   }
 
-let fig9b ?(quick = true) () =
+let fig9b ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let flows = 6 in
-  let fct proto loss_rate =
-    avg
-      (fun seed ->
-        run ~loss_rate ~flows ~deadlines:false ~seed proto (fun r ->
-            r.Runner.mean_fct))
-      seeds
+  (* One sweep over the loss × protocol grid; row order is preserved. *)
+  let fcts =
+    Common.sweep_metric ?jobs ~seeds
+      ~metric:(fun r -> r.Runner.mean_fct)
+      (fun (loss_rate, proto) -> scenario ~loss_rate ~flows ~deadlines:false proto)
+      (List.concat_map
+         (fun loss_rate -> List.map (fun (_, p) -> (loss_rate, p)) protocols)
+         (losses ~quick))
+    |> List.map snd
   in
-  let base = fct (snd (List.hd protocols)) 0. in
+  let per_row = Common.chunks (List.length protocols) fcts in
+  let base = List.hd (List.hd per_row) in
   let rows =
-    List.map
-      (fun loss_rate ->
+    List.map2
+      (fun loss_rate row ->
         Common.cell (loss_rate *. 100.)
-        :: List.map (fun (_, p) -> Common.cell (fct p loss_rate /. base)) protocols)
-      (losses ~quick)
+        :: List.map (fun fct -> Common.cell (fct /. base)) row)
+      (losses ~quick) per_row
   in
   {
     Common.title = "Fig 9b - mean FCT normalized to PDQ without loss";

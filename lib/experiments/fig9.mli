@@ -7,5 +7,5 @@
     (b) deadline-unconstrained: mean FCT normalized to PDQ without
         loss. *)
 
-val fig9a : ?quick:bool -> unit -> Common.table
-val fig9b : ?quick:bool -> unit -> Common.table
+val fig9a : ?jobs:int -> ?quick:bool -> unit -> Common.table
+val fig9b : ?jobs:int -> ?quick:bool -> unit -> Common.table

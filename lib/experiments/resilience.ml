@@ -13,19 +13,22 @@
 
    Reported per protocol: mean FCT over completed flows normalized to
    the same protocol's fault-free run, deadline-miss percentage, and
-   watchdog aborts (dead-path give-ups), averaged over seeds. *)
+   watchdog aborts (dead-path give-ups), averaged over seeds.
+
+   Each (intensity, protocol, seed) cell is an independent scenario,
+   so a whole sweep is one flat [Sweep.run] over the grid. *)
 
 module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
 module Builder = Pdq_topo.Builder
 module Fault_plan = Pdq_faults.Fault_plan
-module Sim = Pdq_engine.Sim
 module Rng = Pdq_engine.Rng
-module Topology = Pdq_net.Topology
 module Link = Pdq_net.Link
 module Size_dist = Pdq_workload.Size_dist
 module Deadline_dist = Pdq_workload.Deadline_dist
 module Pattern = Pdq_workload.Pattern
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
 
 let protocols =
   [
@@ -60,64 +63,54 @@ let switches = Fault_plan.switches
 
 type outcome = { fct : float; miss_pct : float; aborts : float }
 
-(* One averaged (over seeds) measurement of a (protocol, fault plan)
-   cell. [make] builds topology + plan per seed, so every run gets a
-   fresh simulator. *)
-let measure ~seeds ~flows ~window ~horizon make protocol =
-  let per_seed seed =
-    let sim = Sim.create () in
-    let built, receiver_of, plan_of = make ~sim in
-    let hosts = built.Builder.hosts in
-    let receiver = receiver_of hosts in
-    let specs = workload ~seed ~hosts ~receiver ~flows ~window in
-    let plan = plan_of ~seed built in
-    let options =
-      {
-        Runner.default_options with
-        Runner.seed;
-        horizon;
-        faults = (if Fault_plan.is_empty plan then None else Some plan);
-      }
-    in
-    let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
-    ( r.Runner.mean_fct,
-      100. *. (1. -. r.Runner.application_throughput),
-      float_of_int r.Runner.aborted,
-      r.Runner.counters )
-  in
-  let results = List.map per_seed seeds in
+(* A row of the sweep: fault intensity label, topology family, and the
+   pure per-seed fault-plan generator. *)
+type row_spec = {
+  label : string;
+  topo : Scenario.topo;
+  plan_of : seed:int -> Builder.built -> Fault_plan.t;
+}
+
+let scenario_of_row { label; topo; plan_of } ~flows ~window ~horizon protocol =
+  Scenario.make ~name:label ~horizon ~topo
+    ~faults:(Scenario.Fault_gen { label; plan = plan_of })
+    ~workload:
+      (Scenario.Generated
+         {
+           label = Printf.sprintf "%d staggered aggregation flows" flows;
+           specs =
+             (fun ~seed ~topo:_ ~hosts ->
+               workload ~seed ~hosts ~receiver:hosts.(0) ~flows ~window);
+         })
+    protocol
+
+let reduce_cell results =
   let n = float_of_int (List.length results) in
   let avg f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
   let counters =
     (* Summed over seeds, for the per-cause report. *)
     let t = Hashtbl.create 16 in
     List.iter
-      (fun (_, _, _, cs) ->
+      (fun (r : Runner.result) ->
         List.iter
           (fun (k, v) ->
             Hashtbl.replace t k (v + Option.value ~default:0 (Hashtbl.find_opt t k)))
-          cs)
+          r.Runner.counters)
       results;
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort compare
   in
   ( {
-      fct = avg (fun (f, _, _, _) -> f);
-      miss_pct = avg (fun (_, m, _, _) -> m);
-      aborts = avg (fun (_, _, a, _) -> a);
+      fct = avg (fun r -> r.Runner.mean_fct);
+      miss_pct = avg (fun r -> 100. *. (1. -. r.Runner.application_throughput));
+      aborts = avg (fun r -> float_of_int r.Runner.aborted);
     },
     counters )
-
-let pp_counters counters =
-  if counters = [] then "-"
-  else
-    String.concat " "
-      (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters)
 
 (* Generic sweep: rows = fault intensities (first one fault-free, used
    as the normalization base), columns = per-protocol normalized FCT,
    miss%% and aborts. Returns the table plus the per-cause counters of
    the most intense row for each protocol. *)
-let sweep ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
+let sweep ?jobs ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
   let header =
     axis
     :: List.concat_map
@@ -125,15 +118,23 @@ let sweep ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
            [ name ^ " fct"; name ^ " miss%"; name ^ " abrt" ])
          protocols
   in
-  let cells =
-    List.map
-      (fun (label, make) ->
-        ( label,
-          List.map
-            (fun (_, proto) ->
-              measure ~seeds ~flows ~window ~horizon make proto)
-            protocols ))
+  let grid =
+    List.concat_map
+      (fun row ->
+        List.concat_map
+          (fun (_, proto) ->
+            let s = scenario_of_row row ~flows ~window ~horizon proto in
+            List.map (Scenario.with_seed s) seeds)
+          protocols)
       rows_spec
+  in
+  let results = Sweep.run ?jobs grid in
+  let cells =
+    List.map2
+      (fun row per_row ->
+        (row.label, List.map reduce_cell (Common.chunks (List.length seeds) per_row)))
+      rows_spec
+      (Common.chunks (List.length seeds * List.length protocols) results)
   in
   let base =
     match cells with
@@ -168,7 +169,7 @@ let sweep ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
 
 (* 1. Bursty loss on the tree's root-side cables: Gilbert-Elliott with
    ~5% stationary loss, sweeping the mean burst length (packets). *)
-let loss_burst_sweep ?(quick = true) () =
+let loss_burst_sweep ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let burst_lengths = if quick then [ 1.; 20. ] else [ 1.; 5.; 20.; 80. ] in
   let ge_of_burst burst =
@@ -181,78 +182,91 @@ let loss_burst_sweep ?(quick = true) () =
       loss_bad = 1.;
     }
   in
-  let make_row label plan_of = (label, plan_of) in
-  let clean ~sim =
-    let built = Builder.single_rooted_tree ~sim () in
-    (built, (fun hosts -> hosts.(0)), fun ~seed:_ _ -> Fault_plan.empty)
+  let clean =
+    {
+      label = "0";
+      topo = Scenario.default_tree;
+      plan_of = (fun ~seed:_ _ -> Fault_plan.empty);
+    }
   in
-  let bursty burst ~sim =
-    let built = Builder.single_rooted_tree ~sim () in
-    let plan_of ~seed:_ (b : Builder.built) =
-      Fault_plan.of_events
-        (List.map
-           (fun (a, bb) -> (0., Fault_plan.Gilbert_loss { a; b = bb; ge = ge_of_burst burst }))
-           (switch_cables b.Builder.topo))
-    in
-    (built, (fun hosts -> hosts.(0)), plan_of)
+  let bursty burst =
+    {
+      label = Common.cell burst;
+      topo = Scenario.default_tree;
+      plan_of =
+        (fun ~seed:_ (b : Builder.built) ->
+          Fault_plan.of_events
+            (List.map
+               (fun (a, bb) ->
+                 (0., Fault_plan.Gilbert_loss { a; b = bb; ge = ge_of_burst burst }))
+               (switch_cables b.Builder.topo)));
+    }
   in
-  let rows_spec =
-    make_row "0" clean
-    :: List.map
-         (fun burst -> make_row (Common.cell burst) (bursty burst))
-         burst_lengths
-  in
-  sweep ~title:"Resilience - 5% Gilbert-Elliott loss vs mean burst length [pkts]"
+  let rows_spec = clean :: List.map bursty burst_lengths in
+  sweep ?jobs
+    ~title:"Resilience - 5% Gilbert-Elliott loss vs mean burst length [pkts]"
     ~axis:"burst" ~seeds ~flows:12 ~window:0.1 ~horizon:3. rows_spec
 
 (* 2. Link flapping on a fat-tree: memoryless fail/repair of
    switch-switch cables; ECMP flows are re-pinned around the outage. *)
-let link_failure_sweep ?(quick = true) () =
+let link_failure_sweep ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let mtbfs = if quick then [ 0.3 ] else [ 1.; 0.3; 0.1 ] in
-  let clean ~sim =
-    let built = Builder.fat_tree ~sim ~k:4 () in
-    (built, (fun hosts -> hosts.(0)), fun ~seed:_ _ -> Fault_plan.empty)
+  let clean =
+    {
+      label = "inf";
+      topo = Scenario.Fat_tree { k = 4 };
+      plan_of = (fun ~seed:_ _ -> Fault_plan.empty);
+    }
   in
-  let flapping mtbf ~sim =
-    let built = Builder.fat_tree ~sim ~k:4 () in
-    let plan_of ~seed (b : Builder.built) =
-      Fault_plan.link_flaps
-        (Rng.create (0x11AB + seed))
-        ~links:(switch_cables b.Builder.topo) ~mtbf ~mttr:0.03 ~until:0.5
-    in
-    (built, (fun hosts -> hosts.(0)), plan_of)
+  let flapping mtbf =
+    {
+      label = Common.cell mtbf;
+      topo = Scenario.Fat_tree { k = 4 };
+      plan_of =
+        (fun ~seed (b : Builder.built) ->
+          Fault_plan.link_flaps
+            (Rng.create (0x11AB + seed))
+            ~links:(switch_cables b.Builder.topo) ~mtbf ~mttr:0.03 ~until:0.5);
+    }
   in
-  let rows_spec =
-    ("inf", clean)
-    :: List.map (fun m -> (Common.cell m, flapping m)) mtbfs
-  in
-  sweep ~title:"Resilience - fat-tree link flapping vs cable MTBF [s] (MTTR 30ms)"
+  let rows_spec = clean :: List.map flapping mtbfs in
+  sweep ?jobs
+    ~title:"Resilience - fat-tree link flapping vs cable MTBF [s] (MTTR 30ms)"
     ~axis:"mtbf" ~seeds ~flows:16 ~window:0.2 ~horizon:3. rows_spec
 
 (* 3. Switch crash-reboots on the tree: per-flow scheduler soft state
    is wiped and must be rebuilt from the headers in flight. *)
-let switch_reboot_sweep ?(quick = true) () =
+let switch_reboot_sweep ?jobs ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let mtbfs = if quick then [ 0.05 ] else [ 0.5; 0.1; 0.02 ] in
-  let clean ~sim =
-    let built = Builder.single_rooted_tree ~sim () in
-    (built, (fun hosts -> hosts.(0)), fun ~seed:_ _ -> Fault_plan.empty)
+  let clean =
+    {
+      label = "inf";
+      topo = Scenario.default_tree;
+      plan_of = (fun ~seed:_ _ -> Fault_plan.empty);
+    }
   in
-  let rebooting mtbf ~sim =
-    let built = Builder.single_rooted_tree ~sim () in
-    let plan_of ~seed (b : Builder.built) =
-      Fault_plan.switch_reboots
-        (Rng.create (0x5EB0 + seed))
-        ~switches:(switches b.Builder.topo) ~mtbf ~until:0.5
-    in
-    (built, (fun hosts -> hosts.(0)), plan_of)
+  let rebooting mtbf =
+    {
+      label = Common.cell mtbf;
+      topo = Scenario.default_tree;
+      plan_of =
+        (fun ~seed (b : Builder.built) ->
+          Fault_plan.switch_reboots
+            (Rng.create (0x5EB0 + seed))
+            ~switches:(switches b.Builder.topo) ~mtbf ~until:0.5);
+    }
   in
-  let rows_spec =
-    ("inf", clean) :: List.map (fun m -> (Common.cell m, rebooting m)) mtbfs
-  in
-  sweep ~title:"Resilience - switch crash-reboots vs switch MTBF [s]"
+  let rows_spec = clean :: List.map rebooting mtbfs in
+  sweep ?jobs ~title:"Resilience - switch crash-reboots vs switch MTBF [s]"
     ~axis:"mtbf" ~seeds ~flows:12 ~window:0.2 ~horizon:3. rows_spec
+
+let pp_counters counters =
+  if counters = [] then "-"
+  else
+    String.concat " "
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters)
 
 let counters_table named_counters =
   {
@@ -268,12 +282,12 @@ let counters_table named_counters =
         named_counters;
   }
 
-let run_all ?(quick = true) ppf () =
-  let t1, c1 = loss_burst_sweep ~quick () in
+let run_all ?jobs ?(quick = true) ppf () =
+  let t1, c1 = loss_burst_sweep ?jobs ~quick () in
   Common.pp_table ppf t1;
-  let t2, c2 = link_failure_sweep ~quick () in
+  let t2, c2 = link_failure_sweep ?jobs ~quick () in
   Common.pp_table ppf t2;
-  let t3, c3 = switch_reboot_sweep ~quick () in
+  let t3, c3 = switch_reboot_sweep ?jobs ~quick () in
   Common.pp_table ppf t3;
   Common.pp_table ppf
     (counters_table

@@ -6,17 +6,27 @@
     completed flows normalized to the same protocol's fault-free run,
     deadline-miss percentage, and watchdog aborts; alongside each table
     the per-cause counters ([abort.*], [fault.*], [drop.*]) of the
-    highest-intensity row. *)
+    highest-intensity row. [jobs] spreads the whole
+    intensity × protocol × seed grid over the domain pool. *)
 
 val loss_burst_sweep :
-  ?quick:bool -> unit -> Common.table * (string * (string * int) list) list
+  ?jobs:int ->
+  ?quick:bool ->
+  unit ->
+  Common.table * (string * (string * int) list) list
 
 val link_failure_sweep :
-  ?quick:bool -> unit -> Common.table * (string * (string * int) list) list
+  ?jobs:int ->
+  ?quick:bool ->
+  unit ->
+  Common.table * (string * (string * int) list) list
 
 val switch_reboot_sweep :
-  ?quick:bool -> unit -> Common.table * (string * (string * int) list) list
+  ?jobs:int ->
+  ?quick:bool ->
+  unit ->
+  Common.table * (string * (string * int) list) list
 
-val run_all : ?quick:bool -> Format.formatter -> unit -> unit
+val run_all : ?jobs:int -> ?quick:bool -> Format.formatter -> unit -> unit
 (** Run all three sweeps and print their tables plus the per-cause
     counter summary. *)

@@ -1,18 +1,29 @@
-let current : Trace.severity option ref = ref None
+(* The threshold is read on every potential log call — including from
+   worker domains during parallel sweeps — so it lives in an Atomic;
+   emission is serialized by a mutex so lines from concurrent domains
+   never interleave mid-line. *)
 
-let set_threshold th = current := th
-let threshold () = !current
+let current : Trace.severity option Atomic.t = Atomic.make None
+
+let set_threshold th = Atomic.set current th
+let threshold () = Atomic.get current
 
 let enabled sev =
-  match !current with
+  match Atomic.get current with
   | None -> false
   | Some th -> Trace.severity_geq sev th
 
 let err_ppf = Format.err_formatter
+let out_lock = Mutex.create ()
 
 let logf sev fmt =
   if enabled sev then begin
+    Mutex.lock out_lock;
     Format.fprintf err_ppf "[%s] " (Trace.severity_name sev);
-    Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") err_ppf fmt
+    Format.kfprintf
+      (fun ppf ->
+        Format.fprintf ppf "@.";
+        Mutex.unlock out_lock)
+      err_ppf fmt
   end
   else Format.ifprintf err_ppf fmt

@@ -6,7 +6,11 @@
     Disabled (the default) it costs a single comparison per call —
     format arguments are not evaluated when the severity is below the
     threshold, and call sites are expected to guard hot paths with
-    {!enabled} anyway. *)
+    {!enabled} anyway.
+
+    Domain-safe: the threshold is an atomic read, and enabled messages
+    are serialized so lines from concurrent worker domains never
+    interleave mid-line. *)
 
 val set_threshold : Trace.severity option -> unit
 (** [None] (default) silences everything; [Some sev] prints messages

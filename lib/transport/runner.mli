@@ -102,4 +102,12 @@ val run :
   Context.flow_spec list ->
   result
 (** Build, simulate, measure. Deterministic for fixed inputs and
-    seed. *)
+    seed.
+
+    This is the low-level entry point; prefer describing the
+    experiment as a {!Pdq_exec.Scenario.t} and calling
+    [Scenario.run] (or [Sweep.run] for a batch across domains) —
+    scenarios are pure data, so they can be stored, printed and
+    fanned out to worker domains. Use [run] directly only when you
+    need to hand-build the topology or attach per-run telemetry
+    state before the simulation starts (see [Scenario.build]). *)

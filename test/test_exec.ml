@@ -1,0 +1,207 @@
+(* Tests for the scenario API and the multicore sweep executor:
+   scenarios must reproduce hand-built Runner.run results bit for bit,
+   and a sweep must be order-preserving and independent of the worker
+   domain count. *)
+
+module Units = Pdq_engine.Units
+module Sim = Pdq_engine.Sim
+module Builder = Pdq_topo.Builder
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Config = Pdq_core.Config
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
+
+(* Everything in a result except the live context, for structural
+   comparison across independently built simulations. *)
+let fingerprint (r : Runner.result) =
+  ( ( Array.to_list
+        (Array.map
+           (fun (f : Runner.flow_result) ->
+             (f.Runner.spec, f.Runner.fct, f.Runner.met_deadline,
+              f.Runner.terminated, f.Runner.aborted))
+           r.Runner.flows),
+      r.Runner.application_throughput,
+      r.Runner.mean_fct ),
+    (r.Runner.completed, r.Runner.aborted, r.Runner.counters, r.Runner.sim_end)
+  )
+
+let check_same_result msg a b =
+  Alcotest.(check bool) msg true (fingerprint a = fingerprint b)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario.run vs. a hand-built Runner.run *)
+
+let synthetic_scenario proto =
+  Scenario.make ~seed:3 ~horizon:5.
+    ~workload:
+      (Scenario.Synthetic
+         {
+           pattern = Scenario.Aggregation;
+           flows = 8;
+           sizes = Scenario.Uniform_paper { mean_bytes = 100_000 };
+           deadlines = Scenario.Exp_deadlines { mean = 0.02; floor = 3e-3 };
+         })
+    proto
+
+let test_scenario_matches_handbuilt () =
+  (* The scenario expands to concrete specs + options; running those
+     through Runner.run on a fresh hand-built topology must reproduce
+     Scenario.run exactly. *)
+  let s = synthetic_scenario (Runner.Pdq Config.full) in
+  let from_scenario = Scenario.run s in
+  let _, specs, options = Scenario.build s in
+  let sim = Sim.create () in
+  let built = Builder.single_rooted_tree ~sim () in
+  let by_hand =
+    Runner.run ~options ~topo:built.Builder.topo s.Scenario.protocol specs
+  in
+  check_same_result "scenario = hand-built" from_scenario by_hand
+
+let test_explicit_matches_handbuilt () =
+  let specs_of hosts rx =
+    [
+      { Context.src = hosts.(0); dst = rx; size = Units.mbyte 1.;
+        deadline = None; start = 0. };
+      { Context.src = hosts.(1); dst = rx; size = Units.kbyte 100.;
+        deadline = None; start = 0. };
+    ]
+  in
+  let s =
+    Scenario.make
+      ~topo:(Scenario.Bottleneck { senders = 2 })
+      ~workload:
+        (Scenario.Generated
+           {
+             label = "two flows";
+             specs =
+               (fun ~seed:_ ~topo:_ ~hosts ->
+                 specs_of hosts hosts.(Array.length hosts - 1));
+           })
+      Runner.Rcp
+  in
+  let from_scenario = Scenario.run s in
+  let sim = Sim.create () in
+  let built, rx = Builder.single_bottleneck ~sim ~senders:2 () in
+  let by_hand =
+    Runner.run ~topo:built.Builder.topo Runner.Rcp
+      (specs_of built.Builder.hosts rx)
+  in
+  check_same_result "generated bottleneck = hand-built" from_scenario by_hand
+
+let test_rerun_deterministic () =
+  let s = synthetic_scenario Runner.Tcp in
+  check_same_result "same scenario twice" (Scenario.run s) (Scenario.run s)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: parallel = sequential, in input order *)
+
+let mixed_scenarios =
+  List.concat_map
+    (fun proto ->
+      List.map
+        (fun seed -> Scenario.with_seed (synthetic_scenario proto) seed)
+        [ 1; 2 ])
+    [ Runner.Pdq Config.full; Runner.Rcp; Runner.Tcp ]
+
+let test_sweep_matches_sequential () =
+  let seq = Sweep.run ~jobs:1 mixed_scenarios in
+  let par = Sweep.run ~jobs:4 mixed_scenarios in
+  Alcotest.(check int) "same length" (List.length seq) (List.length par);
+  List.iteri
+    (fun i (a, b) ->
+      check_same_result (Printf.sprintf "scenario %d identical" i) a b)
+    (List.combine seq par)
+
+let test_map_preserves_order () =
+  let xs = List.init 37 Fun.id in
+  Alcotest.(check (list int))
+    "input order" (List.map (fun x -> x * x) xs)
+    (Sweep.map ~jobs:5 (fun x -> x * x) xs);
+  Alcotest.(check (list int))
+    "more jobs than items" [ 9 ]
+    (Sweep.map ~jobs:8 (fun x -> x * x) [ 3 ])
+
+let test_map_propagates_exceptions () =
+  match Sweep.map ~jobs:3 (fun x -> if x = 5 then failwith "boom" else x)
+          (List.init 8 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure m -> Alcotest.(check string) "first error" "boom" m
+
+let test_average_matches_manual () =
+  let f seed = float_of_int (seed * seed) in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let manual =
+    List.fold_left (fun acc s -> acc +. f s) 0. seeds
+    /. float_of_int (List.length seeds)
+  in
+  Alcotest.(check (float 0.)) "jobs:1" manual (Sweep.average ~jobs:1 ~seeds f);
+  Alcotest.(check (float 0.)) "jobs:4" manual (Sweep.average ~jobs:4 ~seeds f)
+
+let test_sweep_with_profiler_enabled () =
+  (* The global profiler must tolerate runs on worker domains: enable,
+     sweep, report, reset — no crash, and the sweep output unchanged. *)
+  let p = Pdq_engine.Profiler.enable_global () in
+  let expected = Sweep.run ~jobs:1 mixed_scenarios in
+  let got = Sweep.run ~jobs:4 mixed_scenarios in
+  ignore (Format.asprintf "%a" Pdq_engine.Profiler.pp_report p);
+  Pdq_engine.Profiler.reset p;
+  Pdq_engine.Profiler.disable_global ();
+  List.iteri
+    (fun i (a, b) ->
+      check_same_result (Printf.sprintf "profiled scenario %d" i) a b)
+    (List.combine expected got)
+
+(* ------------------------------------------------------------------ *)
+(* CLI-facing parsers *)
+
+let test_parsers () =
+  (match Scenario.protocol_of_string "pdq" with
+  | Ok (Runner.Pdq _) -> ()
+  | _ -> Alcotest.fail "pdq should parse");
+  (match Scenario.protocol_of_string ~subflows:4 "mpdq" with
+  | Ok (Runner.Mpdq { subflows = 4; _ }) -> ()
+  | _ -> Alcotest.fail "mpdq should parse with subflows");
+  (match Scenario.protocol_of_string "nosuch" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad protocol must be an Error");
+  (match Scenario.topo_of_string "fat-tree" with
+  | Ok (Scenario.Fat_tree _) -> ()
+  | _ -> Alcotest.fail "fat-tree should parse");
+  (match Scenario.topo_of_string "moebius" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad topology must be an Error");
+  (match Scenario.pattern_of_string "permutation" with
+  | Ok Scenario.Random_permutation -> ()
+  | _ -> Alcotest.fail "permutation should parse");
+  (match Scenario.pattern_of_string "chaos" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad pattern must be an Error")
+
+let suites =
+  [
+    ( "exec.scenario",
+      [
+        Alcotest.test_case "synthetic = hand-built" `Quick
+          test_scenario_matches_handbuilt;
+        Alcotest.test_case "generated = hand-built" `Quick
+          test_explicit_matches_handbuilt;
+        Alcotest.test_case "rerun deterministic" `Quick
+          test_rerun_deterministic;
+        Alcotest.test_case "parsers" `Quick test_parsers;
+      ] );
+    ( "exec.sweep",
+      [
+        Alcotest.test_case "jobs:4 = jobs:1 on mixed roster" `Quick
+          test_sweep_matches_sequential;
+        Alcotest.test_case "map preserves order" `Quick
+          test_map_preserves_order;
+        Alcotest.test_case "map propagates exceptions" `Quick
+          test_map_propagates_exceptions;
+        Alcotest.test_case "average = manual mean" `Quick
+          test_average_matches_manual;
+        Alcotest.test_case "profiler-safe" `Quick
+          test_sweep_with_profiler_enabled;
+      ] );
+  ]

@@ -14,5 +14,6 @@ let () =
          Test_sched.suites;
          Test_workload.suites;
          Test_flowsim.suites;
+         Test_exec.suites;
          Test_experiments.suites;
        ])
