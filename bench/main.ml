@@ -6,7 +6,15 @@
      dune exec bench/main.exe                 -- all figures, quick mode
      dune exec bench/main.exe -- --only fig3a -- one figure
      dune exec bench/main.exe -- --full       -- full sweeps (slow)
-     dune exec bench/main.exe -- --micro      -- Bechamel microbenchmarks *)
+     dune exec bench/main.exe -- --micro      -- Bechamel microbenchmarks
+     dune exec bench/main.exe -- --fidelity   -- paper-fidelity regression
+                                                gate (exit 1 on drift)
+     dune exec bench/main.exe -- --fidelity-dump -- measured values for a
+                                                band refresh
+
+   Every figure target additionally writes BENCH_<target>.json (wall
+   time, simulator events, events/s, peak heap) next to the cwd for
+   machine-readable perf tracking; the files are gitignored. *)
 
 module E = Pdq_experiments
 open E
@@ -132,8 +140,24 @@ let micro () =
         results)
     [ heap_bench; switch_bench; sim_bench ]
 
+(* Machine-readable per-target record: wall-clock seconds, simulator
+   events executed (global-profiler delta over the target), resulting
+   events/s and the process peak heap. One JSON object per file so CI
+   can diff runs without parsing the human tables. *)
+let write_bench_json ~name ~wall ~events =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"target\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \
+     \"events_per_s\": %.0f, \"peak_heap_words\": %d}\n"
+    name wall events
+    (if wall > 0. then float_of_int events /. wall else 0.)
+    (Gc.quick_stat ()).Gc.top_heap_words;
+  close_out oc
+
 let () =
   let only = ref None and full = ref false and run_micro = ref false in
+  let fidelity = ref false and fidelity_dump = ref false in
   let jobs = ref None in
   let args =
     [
@@ -143,10 +167,23 @@ let () =
        "N worker domains for the scenario sweeps (results are identical \
         for any N)");
       ("--micro", Arg.Set run_micro, " Bechamel micro-benchmarks");
+      ("--fidelity", Arg.Set fidelity,
+       " paper-fidelity regression gate (exit 1 when a metric drifts out \
+        of its committed band or an invariant is violated)");
+      ("--fidelity-dump", Arg.Set fidelity_dump,
+       " print measured fidelity values for a deliberate band refresh");
     ]
   in
   Arg.parse args (fun _ -> ()) "pdq bench";
-  if !run_micro then micro ()
+  if !fidelity_dump then Fidelity.dump ?jobs:!jobs ppf
+  else if !fidelity then begin
+    if not (Fidelity.run ?jobs:!jobs ppf) then begin
+      Format.printf "fidelity gate FAILED@.";
+      exit 1
+    end;
+    Format.printf "fidelity gate passed@."
+  end
+  else if !run_micro then micro ()
   else begin
     let quick = not !full in
     let selected =
@@ -168,9 +205,11 @@ let () =
           Pdq_engine.Profiler.reset profiler;
           let t0 = Unix.gettimeofday () in
           f ~quick ~jobs:!jobs;
-          Format.printf "[%s done in %.1fs]@.%a@.@." name
-            (Unix.gettimeofday () -. t0)
-            Pdq_engine.Profiler.pp_report profiler)
+          let wall = Unix.gettimeofday () -. t0 in
+          Format.printf "[%s done in %.1fs]@.%a@.@." name wall
+            Pdq_engine.Profiler.pp_report profiler;
+          write_bench_json ~name ~wall
+            ~events:(Pdq_engine.Profiler.events_executed profiler))
         selected
     end
   end

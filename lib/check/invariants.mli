@@ -1,0 +1,77 @@
+(** Runtime invariant monitors for packet-level runs.
+
+    A monitor consumes the run's trace stream (via a {!sink} attached
+    to the telemetry bus) and per-port scheduler snapshots (via
+    {!port_probe}); {!finalize} then replays the collected soft state
+    against the finished {!Pdq_transport.Runner.result} and returns
+    every violated inequality as a {!Report.violation}.
+
+    Monitored invariants:
+    - {b capacity}: per directed link, the sum of PDQ-granted sender
+      rates stays within the line rate except for Early Start bursts
+      shorter than [es_window];
+    - {b bytes}: receivers never accept more than the flow size, and a
+      completed flow delivered exactly its size;
+    - {b flow_list}: every PDQ port keeps at most [M] entries, the
+      sending/paused split is consistent, internal order and rate
+      bounds hold ({!Pdq_core.Switch_port.invariant_errors}), and the
+      2κ capacity is only exceeded transiently;
+    - {b deadline}: [met_deadline] agrees with [fct <= deadline], and
+      Early Termination only killed flows that could no longer finish
+      in time.
+
+    Attaching a monitor never perturbs the run: the sink only observes
+    the bus, and the port probe rides the same telemetry grid as the
+    metrics probe. With no monitor attached nothing is allocated or
+    scheduled. *)
+
+type t
+
+val create :
+  ?es_window:float ->
+  ?capacity_slack:float ->
+  ?rtt_slack:float ->
+  ?stale_grace:float ->
+  ?max_violations:int ->
+  unit ->
+  t
+(** [es_window] (default 50 ms) — longest tolerated sender-side link
+    oversubscription burst. This is deliberately coarse: Early Start
+    over-commits for ~2 RTTs, and under heavy congestion senders hold
+    stale grants for a further congested RTT (several ms) until the
+    pausing ACK crosses the queues, so the sweep is a gross
+    conservation bound; the tight allocator check is the switch-side
+    [mature_rate_sum] probe, which sees grants with no sender lag. [capacity_slack] (default 2%) — relative headroom over
+    the line rate before a burst counts. [rtt_slack] (default 2 ms) —
+    grace applied to the Early Termination feasibility test.
+    [stale_grace] (default 5 ms) — how long an incomplete flow's last
+    granted rate keeps counting against link capacity after its last
+    rx/rate event (a stalled sender holds a lease it no longer uses).
+    [max_violations] (default 200) caps the report list. *)
+
+val sink : t -> Pdq_telemetry.Trace.sink
+(** Trace-bus sink feeding the monitor's streaming checks. *)
+
+val port_probe :
+  t -> now:float -> Pdq_transport.Runner.port_view -> unit
+(** Per-port snapshot consumer for
+    {!Pdq_transport.Runner.telemetry.port_probe}. *)
+
+val telemetry :
+  t ->
+  base:Pdq_transport.Runner.telemetry ->
+  Pdq_transport.Runner.telemetry
+(** [base] with this monitor's sink and port probe attached (composes
+    with an existing probe). *)
+
+val violations : t -> Report.violation list
+(** Streaming violations collected so far, oldest first. *)
+
+val finalize :
+  t ->
+  result:Pdq_transport.Runner.result ->
+  topo:Pdq_net.Topology.t ->
+  Report.violation list
+(** Run the end-of-run checks (capacity sweep over pinned routes, byte
+    conservation at completion, deadline accounting) and return all
+    violations sorted by time. Call once, after the simulation. *)

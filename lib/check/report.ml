@@ -1,0 +1,44 @@
+type violation = {
+  time : float;
+  entity : string;
+  invariant : string;
+  detail : string;
+}
+
+let violation ~time ~entity ~invariant detail = { time; entity; invariant; detail }
+
+let pp ppf v =
+  Format.fprintf ppf "[%.6f] %s %s: %s" v.time v.invariant v.entity v.detail
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json v =
+  Printf.sprintf {|{"t":%.9f,"invariant":"%s","entity":"%s","detail":"%s"}|}
+    v.time (json_escape v.invariant) (json_escape v.entity)
+    (json_escape v.detail)
+
+let write_jsonl oc vs =
+  List.iter
+    (fun v ->
+      output_string oc (to_json v);
+      output_char oc '\n')
+    vs;
+  flush oc
+
+let pp_list ppf = function
+  | [] -> Format.fprintf ppf "no invariant violations@."
+  | vs ->
+      Format.fprintf ppf "%d invariant violation(s):@." (List.length vs);
+      List.iter (fun v -> Format.fprintf ppf "  %a@." pp v) vs

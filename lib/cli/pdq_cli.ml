@@ -1,0 +1,410 @@
+(* pdq_sim: command-line front end for single packet-level experiments.
+
+   The flags parse directly into a {!Pdq_exec.Scenario.t}; everything
+   except the telemetry/validation/profiler/jobs flags is scenario
+   data.
+
+   Examples:
+     pdq_sim --proto pdq --flows 10 --deadline-mean 20
+     pdq_sim --proto tcp --topo bottleneck --flows 8 --no-deadlines
+     pdq_sim --proto mpdq --subflows 4 --topo bcube --mean-size 400
+     pdq_sim --proto pdq --topo fat-tree --flows 16 --flap-mtbf 0.3
+     pdq_sim --proto pdq --seeds 1,2,3,4 --jobs 4
+     pdq_sim --proto pdq --check --check-out violations.jsonl
+     pdq_sim --resilience --jobs 4 *)
+
+open Cmdliner
+module Runner = Pdq_transport.Runner
+module Context = Pdq_transport.Context
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
+module Report = Pdq_check.Report
+
+let exit_fault_aborted = 3
+let exit_invariant_violation = 4
+
+(* Flags that are about this invocation, not about the experiment:
+   telemetry sinks, the validation monitors, the profiler and the
+   worker-domain count. *)
+type cli_opts = {
+  trace_out : string option;
+  metrics_out : string option;
+  metrics_every : float;
+  profile : bool;
+  jobs : int option;
+  seeds : int list;
+  check : bool;
+  check_out : string option;
+}
+
+let print_result ~(scenario : Scenario.t) (r : Runner.result) =
+  Printf.printf "%s: %d flows (seed %d)\n" scenario.Scenario.name
+    (Array.length r.Runner.flows)
+    scenario.Scenario.seed;
+  Array.iteri
+    (fun i (f : Runner.flow_result) ->
+      Printf.printf
+        "  flow %2d  %3d->%3d  %7dB  %s%s%s\n" i f.Runner.spec.Context.src
+        f.Runner.spec.Context.dst f.Runner.spec.Context.size
+        (match f.Runner.fct with
+        | Some x -> Printf.sprintf "fct %7.2f ms" (1e3 *. x)
+        | None -> "incomplete   ")
+        (match f.Runner.spec.Context.deadline with
+        | Some d ->
+            Printf.sprintf "  deadline %5.1f ms %s" (1e3 *. d)
+              (if f.Runner.met_deadline then "MET" else "MISSED")
+        | None -> "")
+        (if f.Runner.terminated then "  [early terminated]"
+         else if f.Runner.aborted then "  [aborted]"
+         else ""))
+    r.Runner.flows;
+  Printf.printf "mean FCT %.3f ms | application throughput %.1f%% | %d/%d \
+                 completed | %d aborted\n"
+    (1e3 *. r.Runner.mean_fct)
+    (100. *. r.Runner.application_throughput)
+    r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted;
+  if r.Runner.counters <> [] then begin
+    Printf.printf "counters:";
+    List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) r.Runner.counters;
+    print_newline ()
+  end
+
+let print_check_summary (c : Scenario.checked) =
+  Format.printf "%a" Report.pp_list c.Scenario.violations;
+  let o = c.Scenario.oracle in
+  Format.printf
+    "oracle: sim mean FCT %.3f ms | SJF oracle %.3f ms | emulation gap %.2fx \
+     | EDF deadline throughput %.1f%%@."
+    (1e3 *. o.Pdq_check.Oracle.sim_mean_fct)
+    (1e3 *. o.Pdq_check.Oracle.sjf_mean_fct)
+    o.Pdq_check.Oracle.gap
+    (100. *. o.Pdq_check.Oracle.edf_deadline_frac)
+
+let write_check_out path violations =
+  let oc = open_out path in
+  Report.write_jsonl oc violations;
+  close_out oc;
+  Printf.printf "violation report written to %s (%d entries)\n" path
+    (List.length violations)
+
+(* Exit-status discipline: invariant violations dominate fault aborts,
+   which dominate success. Deadline misses are experiment results, not
+   process failures. *)
+let code_of ~violations (r : Runner.result) =
+  if violations <> [] then exit_invariant_violation
+  else if r.Runner.aborted > 0 then exit_fault_aborted
+  else 0
+
+(* One run with the full telemetry plumbing attached. *)
+let run_single scenario opts =
+  let trace_chan = Option.map open_out opts.trace_out in
+  let metrics =
+    match opts.metrics_out with
+    | Some _ -> Some (Pdq_telemetry.Metrics.create ())
+    | None -> None
+  in
+  let telemetry =
+    {
+      Runner.no_telemetry with
+      Runner.sinks =
+        (match trace_chan with
+        | Some oc -> [ Pdq_telemetry.Trace.jsonl oc ]
+        | None -> []);
+      metrics;
+      metrics_every = opts.metrics_every;
+    }
+  in
+  let checking = opts.check || opts.check_out <> None in
+  let r, violations =
+    if checking then begin
+      let c = Scenario.run_checked ~telemetry scenario in
+      print_result ~scenario c.Scenario.result;
+      print_check_summary c;
+      Option.iter
+        (fun path -> write_check_out path c.Scenario.violations)
+        opts.check_out;
+      (c.Scenario.result, c.Scenario.violations)
+    end
+    else begin
+      let r = Scenario.run ~telemetry scenario in
+      print_result ~scenario r;
+      (r, [])
+    end
+  in
+  (match trace_chan with
+  | Some oc ->
+      close_out oc;
+      Printf.printf "trace written to %s\n" (Option.get opts.trace_out)
+  | None -> ());
+  (match (metrics, opts.metrics_out) with
+  | Some m, Some path ->
+      let oc = open_out path in
+      if Filename.check_suffix path ".jsonl" then
+        Pdq_telemetry.Metrics.write_jsonl m oc
+      else Pdq_telemetry.Metrics.write_csv m oc;
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path
+  | _ -> ());
+  code_of ~violations r
+
+(* A --seeds sweep: scenarios fan out over the domain pool; sinks are
+   per-run state, so the sweep reports aggregates instead. A checked
+   sweep attaches one self-contained monitor per run, which keeps the
+   fan-out domain-safe. *)
+let run_sweep scenario opts =
+  if opts.trace_out <> None || opts.metrics_out <> None then
+    prerr_endline
+      "note: --trace-out/--metrics-out are ignored with --seeds (sinks are \
+       per-run; rerun with a single seed to capture a trace)";
+  let scenarios = List.map (Scenario.with_seed scenario) opts.seeds in
+  let checking = opts.check || opts.check_out <> None in
+  let results, violations =
+    if checking then begin
+      let checked = Sweep.map ?jobs:opts.jobs Scenario.run_checked scenarios in
+      ( List.map (fun c -> c.Scenario.result) checked,
+        List.concat_map (fun c -> c.Scenario.violations) checked )
+    end
+    else (Sweep.run ?jobs:opts.jobs scenarios, [])
+  in
+  (* The domain count is an execution detail: stdout must be identical
+     for any --jobs value. *)
+  Printf.printf "%s: %d seeds\n" scenario.Scenario.name
+    (List.length opts.seeds);
+  List.iter2
+    (fun seed (r : Runner.result) ->
+      Printf.printf
+        "  seed %3d  mean FCT %8.3f ms  app tput %5.1f%%  %d/%d completed  %d \
+         aborted\n"
+        seed
+        (1e3 *. r.Runner.mean_fct)
+        (100. *. r.Runner.application_throughput)
+        r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted)
+    opts.seeds results;
+  let n = float_of_int (List.length results) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
+  Printf.printf "mean over seeds: FCT %.3f ms | application throughput %.1f%%\n"
+    (1e3 *. mean (fun r -> r.Runner.mean_fct))
+    (100. *. mean (fun r -> r.Runner.application_throughput));
+  if checking then Format.printf "%a" Report.pp_list violations;
+  Option.iter (fun path -> write_check_out path violations) opts.check_out;
+  let aborted = List.exists (fun (r : Runner.result) -> r.Runner.aborted > 0) results in
+  if violations <> [] then exit_invariant_violation
+  else if aborted then exit_fault_aborted
+  else 0
+
+let run scenario opts resilience full =
+  (* Enable before any simulator exists so every run attaches to the
+     global profiler; worker-domain shards merge in the report. *)
+  let profiler =
+    if opts.profile then Some (Pdq_engine.Profiler.enable_global ()) else None
+  in
+  let code =
+    if resilience then begin
+      Pdq_experiments.Resilience.run_all ?jobs:opts.jobs ~quick:(not full)
+        Format.std_formatter ();
+      0
+    end
+    else begin
+      match opts.seeds with
+      | [] | [ _ ] ->
+          let scenario =
+            match opts.seeds with
+            | [ seed ] -> Scenario.with_seed scenario seed
+            | _ -> scenario
+          in
+          run_single scenario opts
+      | _ -> run_sweep scenario opts
+    end
+  in
+  (match profiler with
+  | Some p -> Format.printf "%a@." Pdq_engine.Profiler.pp_report p
+  | None -> ());
+  code
+
+(* Parsers return [Result] so bad names surface as cmdliner usage
+   errors instead of exceptions. *)
+let msg r = Result.map_error (fun e -> `Msg e) r
+
+let scenario_term =
+  let make proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
+      no_deadlines pattern_name seed flap_mtbf flap_mttr reboot_mtbf
+      fault_until =
+    let ( let* ) = Result.bind in
+    let* protocol = msg (Scenario.protocol_of_string ~subflows proto_name) in
+    let* topo = msg (Scenario.topo_of_string topo_name) in
+    let* pattern = msg (Scenario.pattern_of_string pattern_name) in
+    let workload =
+      Scenario.Synthetic
+        {
+          pattern;
+          flows;
+          sizes = Scenario.Uniform_paper { mean_bytes = mean_size_kb * 1000 };
+          deadlines =
+            (if no_deadlines then Scenario.No_deadlines
+             else
+               Scenario.Exp_deadlines
+                 { mean = deadline_mean_ms /. 1e3; floor = 3e-3 });
+        }
+    in
+    let faults =
+      match (flap_mtbf, reboot_mtbf) with
+      | None, None -> Scenario.No_faults
+      | _ ->
+          Scenario.Flaps_and_reboots
+            { flap_mtbf; flap_mttr; reboot_mtbf; until = fault_until }
+    in
+    Ok (Scenario.make ~topo ~seed ~faults ~workload protocol)
+  in
+  let proto =
+    Arg.(value & opt string "pdq"
+         & info [ "proto" ]
+             ~doc:"pdq, pdq-basic, pdq-es, pdq-es-et, mpdq, rcp, d3, tcp \
+                   (pdq-broken: a deliberately broken rate allocator for \
+                   exercising --check)")
+  in
+  let subflows =
+    Arg.(value & opt int 3 & info [ "subflows" ] ~doc:"M-PDQ subflows")
+  in
+  let topo =
+    Arg.(value & opt string "tree"
+         & info [ "topo" ] ~doc:"tree, bottleneck, fat-tree, bcube, jellyfish")
+  in
+  let flows = Arg.(value & opt int 10 & info [ "flows" ] ~doc:"number of flows") in
+  let mean_size =
+    Arg.(value & opt int 100 & info [ "mean-size" ] ~doc:"mean flow size [KB]")
+  in
+  let deadline_mean =
+    Arg.(value & opt float 20. & info [ "deadline-mean" ] ~doc:"mean deadline [ms]")
+  in
+  let no_deadlines =
+    Arg.(value & flag & info [ "no-deadlines" ] ~doc:"deadline-unconstrained flows")
+  in
+  let pattern =
+    Arg.(value & opt string "aggregation"
+         & info [ "pattern" ]
+             ~doc:"aggregation, stride, staggered, permutation, pairs")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed") in
+  let flap_mtbf =
+    Arg.(value & opt (some float) None
+         & info [ "flap-mtbf" ]
+             ~doc:"Flap switch-switch cables: mean time between failures [s]")
+  in
+  let flap_mttr =
+    Arg.(value & opt float 0.03
+         & info [ "flap-mttr" ] ~doc:"Mean time to repair a flapped cable [s]")
+  in
+  let reboot_mtbf =
+    Arg.(value & opt (some float) None
+         & info [ "reboot-mtbf" ]
+             ~doc:"Crash-reboot switches: mean time between reboots [s]")
+  in
+  let fault_until =
+    Arg.(value & opt float 0.5
+         & info [ "fault-until" ] ~doc:"Stop injecting faults after this time [s]")
+  in
+  Term.term_result
+    Term.(
+      const make $ proto $ subflows $ topo $ flows $ mean_size $ deadline_mean
+      $ no_deadlines $ pattern $ seed $ flap_mtbf $ flap_mttr $ reboot_mtbf
+      $ fault_until)
+
+let opts_term =
+  let make trace_out metrics_out metrics_every profile jobs seeds check
+      check_out =
+    {
+      trace_out;
+      metrics_out;
+      metrics_every;
+      profile;
+      jobs;
+      seeds;
+      check;
+      check_out;
+    }
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"Write the structured event trace as JSONL to $(docv)"
+             ~docv:"FILE")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ]
+             ~doc:"Write the metrics registry (probe series, counters, \
+                   histograms) to $(docv); .jsonl extension selects JSONL, \
+                   anything else CSV"
+             ~docv:"FILE")
+  in
+  let metrics_every =
+    Arg.(value & opt float 1e-3
+         & info [ "metrics-every" ]
+             ~doc:"Metrics and validation probe period in simulated seconds"
+             ~docv:"SEC")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print the simulator profiler report (events executed, \
+                   queue high-water mark, CPU per simulated second, per \
+                   event kind timing)")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ]
+             ~doc:"Worker domains for --seeds sweeps and --resilience \
+                   (default: the recommended domain count); results are \
+                   identical for any value" ~docv:"N")
+  in
+  let seeds =
+    Arg.(value & opt (list int) []
+         & info [ "seeds" ]
+             ~doc:"Run the scenario under each comma-separated seed (in \
+                   parallel with --jobs) and report per-seed and mean \
+                   figures" ~docv:"S1,S2,...")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Attach the validation monitors (link capacity, byte \
+                   conservation, switch flow-state bounds, deadline \
+                   accounting) and the EDF/SJF oracle bounds; exit 4 on any \
+                   violation")
+  in
+  let check_out =
+    Arg.(value & opt (some string) None
+         & info [ "check-out" ]
+             ~doc:"With --check (implied): write the violation report as \
+                   JSONL to $(docv)"
+             ~docv:"FILE")
+  in
+  Term.(
+    const make $ trace_out $ metrics_out $ metrics_every $ profile $ jobs
+    $ seeds $ check $ check_out)
+
+let cmd =
+  let resilience =
+    Arg.(value & flag
+         & info [ "resilience" ]
+             ~doc:"Run the resilience sweeps (bursty loss, link flapping, \
+                   switch reboots) for PDQ vs. RCP/D3/TCP and exit")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"With --resilience: more seeds and intensities")
+  in
+  let exits =
+    Cmd.Exit.info ~doc:"at least one flow was aborted by its watchdog \
+                        (faults cut every path)."
+      exit_fault_aborted
+    :: Cmd.Exit.info ~doc:"$(b,--check) found invariant or oracle violations."
+         exit_invariant_violation
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "pdq_sim" ~exits
+       ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
+    Term.(const run $ scenario_term $ opts_term $ resilience $ full)
+
+let eval ?argv () = Cmd.eval' ?argv cmd

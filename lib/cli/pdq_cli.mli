@@ -1,0 +1,19 @@
+(** The [pdq_sim] command line as a library, so the test suite can
+    drive it in-process and assert on its exit-status discipline.
+
+    Exit codes:
+    - [0] — the run(s) completed (deadline misses are results, not
+      errors);
+    - {!exit_fault_aborted} ([3]) — at least one flow was aborted by
+      its watchdog (injected faults cut every path);
+    - {!exit_invariant_violation} ([4]) — [--check] found invariant or
+      oracle violations (takes precedence over [3]);
+    - [124] — command-line usage error (cmdliner's default). *)
+
+val exit_fault_aborted : int
+val exit_invariant_violation : int
+
+val eval : ?argv:string array -> unit -> int
+(** Evaluate the [pdq_sim] command (arguments default to
+    [Sys.argv]) and return the process exit code without exiting.
+    Output goes to stdout/stderr. *)

@@ -96,6 +96,60 @@ let availbw t j ~now:_ =
    with Exit -> ());
   if !a >= t.c then 0. else t.c -. !a
 
+(* Spec-side Early Start budget (§3.3.2): the paper justifies granting
+   overlapping rates only to flows within ~K RTTs of completion, K = 2.
+   The validation monitor checks allocations against a generous
+   multiple of that, independent of the configured [k_early_start] — a
+   misconfigured allocator must not get to excuse itself. *)
+let spec_early_start_rtts = 4.
+
+let mature_rate_sum ?(k_spec = spec_early_start_rtts) t =
+  let rtt = max t.rtt_avg 1e-9 in
+  let x = ref 0. and sum = ref 0. in
+  Flow_list.iteri
+    (fun _ (e : Flow_state.t) ->
+      if Flow_state.is_sending e then begin
+        let ttx_rtts = e.Flow_state.expected_tx_time /. rtt in
+        if ttx_rtts < k_spec && !x < k_spec then x := !x +. ttx_rtts
+        else sum := !sum +. e.Flow_state.rate
+      end)
+    t.flows;
+  !sum
+
+let paused_count t =
+  Flow_list.fold
+    (fun n e -> if Flow_state.is_sending e then n else n + 1)
+    0 t.flows
+
+(* Machine-checkable internal-consistency conditions: every stored
+   rate is a real, bounded allocation; the list honours the
+   criticality order; a flow is never simultaneously stored and in the
+   RCP fallback; the rate-controller variable stays within [0, rPDQ].
+   Returned as human-readable inequalities (empty = consistent). *)
+let invariant_errors t =
+  let errs = ref [] in
+  let add e = errs := e :: !errs in
+  if not (Flow_list.is_sorted t.flows) then
+    add "flow list not in criticality order";
+  Flow_list.iteri
+    (fun _ (e : Flow_state.t) ->
+      if not (Float.is_finite e.Flow_state.rate) || e.Flow_state.rate < 0. then
+        add
+          (Printf.sprintf "flow %d: rate %g < 0 or not finite"
+             e.Flow_state.flow_id e.Flow_state.rate);
+      if e.Flow_state.rate > t.link_rate *. (1. +. 1e-9) then
+        add
+          (Printf.sprintf "flow %d: rate %g > link rate %g"
+             e.Flow_state.flow_id e.Flow_state.rate t.link_rate);
+      if Hashtbl.mem t.fallback_seen e.Flow_state.flow_id then
+        add
+          (Printf.sprintf "flow %d: both stored and in RCP fallback"
+             e.Flow_state.flow_id))
+    t.flows;
+  if t.c < 0. || t.c > t.rpdq *. (1. +. 1e-9) then
+    add (Printf.sprintf "rate controller C = %g outside [0, rPDQ = %g]" t.c t.rpdq);
+  List.rev !errs
+
 let dampening_active t ~now ~flow_id =
   flow_id <> t.last_accepted_flow
   && now -. t.last_accept < t.config.Config.dampening

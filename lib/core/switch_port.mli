@@ -48,6 +48,33 @@ val flow_list : t -> Flow_list.t
 val kappa : t -> int
 (** Number of stored flows currently sending (rate > 0). *)
 
+val paused_count : t -> int
+(** Number of stored flows currently paused (rate = 0). *)
+
+val list_capacity : t -> int
+(** Current flow-list capacity: the [2κ] bound of §3.3.1
+    ([kappa_multiplier × κ], floored at [min_list_size]) capped by the
+    hard memory bound [M]. The validation monitors assert
+    [length (flow_list t) <= list_capacity t] at every probe tick. *)
+
+val mature_rate_sum : ?k_spec:float -> t -> float
+(** Sum of granted rates over sending flows {e beyond} the Early Start
+    allowance: walking the list in criticality order, flows within
+    [k_spec] average RTTs of completion are excused while their
+    cumulative transmission time stays under [k_spec] RTTs (the §3.3.2
+    budget, checked against the paper's constant — default 4 RTTs, a
+    generous 2× the paper's K — {e not} the configured
+    [k_early_start], so a broken allocator cannot excuse itself). A
+    correct port keeps this at or below the line rate; the validation
+    monitors flag sustained excess. *)
+
+val invariant_errors : t -> string list
+(** Internal-consistency check for the validation subsystem: the flow
+    list is in criticality order, every stored rate is finite and in
+    [0, link rate], no flow is both stored and in the RCP fallback, and
+    the rate-controller variable stays within [0, rPDQ]. Empty when
+    consistent; each entry names the violated inequality. *)
+
 val process_forward : t -> Header.t -> flow_id:int -> now:float -> unit
 (** Algorithm 1 — run on every data/probe/SYN header travelling
     source→destination: updates stored flow state, decides

@@ -281,6 +281,32 @@ let run ?(telemetry = Runner.no_telemetry) t =
   let options = { options with Runner.telemetry } in
   Runner.run ~options ~topo:built.Builder.topo t.protocol specs
 
+type checked = {
+  result : Runner.result;
+  violations : Pdq_check.Report.violation list;
+  oracle : Pdq_check.Oracle.t;
+}
+
+let run_checked ?(telemetry = Runner.no_telemetry) ?es_window ?capacity_slack
+    t =
+  let built, specs, options = build t in
+  let monitor = Pdq_check.Invariants.create ?es_window ?capacity_slack () in
+  let options =
+    {
+      options with
+      Runner.telemetry = Pdq_check.Invariants.telemetry monitor ~base:telemetry;
+    }
+  in
+  let topo = built.Builder.topo in
+  let result = Runner.run ~options ~topo t.protocol specs in
+  let violations = Pdq_check.Invariants.finalize monitor ~result ~topo in
+  (* M-PDQ stripes a flow over several paths, so no single path's
+     contention-free bound applies per flow; keep only the aggregate
+     references there. *)
+  let per_flow = match t.protocol with Runner.Mpdq _ -> false | _ -> true in
+  let oracle = Pdq_check.Oracle.check ~per_flow ~result ~topo () in
+  { result; violations = violations @ oracle.Pdq_check.Oracle.violations; oracle }
+
 let protocol_of_string ?(subflows = 3) name =
   match String.lowercase_ascii name with
   | "pdq" | "pdq-full" -> Ok (Runner.Pdq Pdq_core.Config.full)
@@ -288,6 +314,7 @@ let protocol_of_string ?(subflows = 3) name =
   | "pdq-es" -> Ok (Runner.Pdq Pdq_core.Config.es)
   | "pdq-es-et" -> Ok (Runner.Pdq Pdq_core.Config.es_et)
   | "mpdq" | "m-pdq" -> Ok (Runner.mpdq ~subflows ())
+  | "pdq-broken" -> Ok (Runner.Pdq Pdq_check.Fixtures.broken_allocator)
   | "rcp" -> Ok Runner.Rcp
   | "d3" -> Ok Runner.D3
   | "tcp" -> Ok Runner.Tcp

@@ -180,10 +180,36 @@ val run : ?telemetry:Pdq_transport.Runner.telemetry -> t -> Pdq_transport.Runner
     the scenario, because sinks (channels, memory rings) are per-run
     mutable state. *)
 
+type checked = {
+  result : Pdq_transport.Runner.result;
+  violations : Pdq_check.Report.violation list;
+      (** All invariant and per-flow oracle violations, time-sorted
+          (empty = the run validated). *)
+  oracle : Pdq_check.Oracle.t;
+      (** Per-flow bounds and the centralized EDF/SJF references
+          (emulation gap). *)
+}
+
+val run_checked :
+  ?telemetry:Pdq_transport.Runner.telemetry ->
+  ?es_window:float ->
+  ?capacity_slack:float ->
+  t ->
+  checked
+(** {!run} with the validation subsystem attached: a
+    {!Pdq_check.Invariants} monitor rides the trace bus and the
+    per-port probe, and the finished run is checked against the
+    {!Pdq_check.Oracle} bounds. Monitoring only observes — the
+    [result] is bit-for-bit the one {!run} returns. [telemetry] is
+    composed with (not replaced by) the monitor's sinks; its
+    [metrics_every] field also sets the port-probe grid. *)
+
 val protocol_of_string :
   ?subflows:int -> string -> (Pdq_transport.Runner.protocol, string) result
 (** "pdq", "pdq-basic", "pdq-es", "pdq-es-et", "mpdq" (with
-    [subflows], default 3), "rcp", "d3", "tcp". *)
+    [subflows], default 3), "rcp", "d3", "tcp" — plus "pdq-broken",
+    the {!Pdq_check.Fixtures.broken_allocator} used to validate the
+    validators. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line human description. *)

@@ -46,6 +46,7 @@ let run_traced ~senders ~specs_of ~t_end ~bin =
       options with
       Runner.telemetry =
         {
+          Runner.no_telemetry with
           Runner.sinks = [ mem ];
           metrics = Some metrics;
           metrics_every = bin /. 4.;

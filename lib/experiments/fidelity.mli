@@ -1,0 +1,24 @@
+(** Paper-fidelity regression gate.
+
+    One committed {!Pdq_check.Fidelity.band} per evaluated figure
+    (3a, 4b, 5b, 8a, 9b, 10, 11a, 12), each pinning a summary metric
+    of that figure's smoke-scale experiment at seeds 1–2. The
+    packet-level entries run through {!Pdq_exec.Scenario.run_checked},
+    so the gate simultaneously asserts zero invariant/oracle
+    violations; Fig. 12 exercises the flow-level engine's aging
+    comparator and has no packet-level monitor.
+
+    Runs are deterministic, so an out-of-band value is a behavioural
+    code change, never noise. After an {e intentional} change, refresh
+    the bands from [bench/main.exe -- --fidelity-dump] and commit the
+    new intervals alongside the change. *)
+
+val run : ?jobs:int -> Format.formatter -> bool
+(** Evaluate every entry ([jobs] worker domains per entry's seed
+    sweep), print the band outcomes plus any invariant violations, and
+    return [true] iff all values are in band and no run violated an
+    invariant. *)
+
+val dump : ?jobs:int -> Format.formatter -> unit
+(** Print each entry's measured value next to its committed band —
+    the input for a deliberate band refresh. *)

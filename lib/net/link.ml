@@ -72,6 +72,8 @@ let id t = t.id
 let src t = t.src
 let dst t = t.dst
 let rate t = t.rate
+let prop_delay t = t.prop_delay
+let proc_delay t = t.proc_delay
 let set_receiver t f = t.receiver <- f
 let queue_bytes t = t.queued_bytes
 let queue_packets t = Queue.length t.queue

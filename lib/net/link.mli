@@ -43,6 +43,13 @@ val src : t -> int
 val dst : t -> int
 val rate : t -> float
 
+val prop_delay : t -> float
+(** Propagation delay in seconds (used by the validation oracle to
+    compute contention-free completion-time lower bounds). *)
+
+val proc_delay : t -> float
+(** Per-hop processing delay in seconds. *)
+
 val set_receiver : t -> (Packet.t -> unit) -> unit
 (** Install the delivery callback (the destination node's packet
     handler). Must be called before the first {!send}. *)

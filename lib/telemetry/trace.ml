@@ -151,15 +151,18 @@ type sink =
   | Memory of memory_ring
   | Jsonl of out_channel
   | Console of { min_severity : severity; chan : out_channel }
+  | Callback of (time:float -> event -> unit)
 
 let memory ?capacity () = Memory { capacity; items_rev = []; count = 0 }
 
 let memory_events = function
   | Memory r -> List.rev r.items_rev
-  | Jsonl _ | Console _ -> invalid_arg "Trace.memory_events: not a memory sink"
+  | Jsonl _ | Console _ | Callback _ ->
+      invalid_arg "Trace.memory_events: not a memory sink"
 
 let jsonl chan = Jsonl chan
 let console ?(min_severity = Debug) chan = Console { min_severity; chan }
+let callback f = Callback f
 
 let drop_oldest r =
   (* The ring is kept as a reversed list; trimming the oldest entry is
@@ -190,6 +193,7 @@ let sink_emit sink ~time ev =
         Format.fprintf ppf "[%s] %.6f %a@." (severity_name sev) time pp_event
           ev
       end
+  | Callback f -> f ~time ev
 
 (* ------------------------------------------------------------------ *)
 (* The bus *)

@@ -85,6 +85,11 @@ val console : ?min_severity:severity -> out_channel -> sink
 (** Human-readable one-line-per-event sink, filtered by severity
     (default: [Debug] and up). *)
 
+val callback : (time:float -> event -> unit) -> sink
+(** Arbitrary consumer sink (streaming analysis, invariant monitors).
+    The callback must not schedule simulator events or consume
+    randomness — the bus contract is that sinks only observe. *)
+
 (** {1 The bus} *)
 
 type t

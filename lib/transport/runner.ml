@@ -27,13 +27,27 @@ let protocol_name = function
   | D3 -> "D3"
   | Tcp -> "TCP"
 
+type port_view = {
+  pv_link : int;
+  stored : int;
+  sending : int;
+  paused : int;
+  capacity_bound : int;
+  max_list : int;
+  line_rate : float;
+  mature_rate_sum : float;
+  inconsistencies : string list;
+}
+
 type telemetry = {
   sinks : Trace.sink list;
   metrics : Metrics.t option;
   metrics_every : float;
+  port_probe : (now:float -> port_view -> unit) option;
 }
 
-let no_telemetry = { sinks = []; metrics = None; metrics_every = 1e-3 }
+let no_telemetry =
+  { sinks = []; metrics = None; metrics_every = 1e-3; port_probe = None }
 
 type options = {
   seed : int;
@@ -98,13 +112,32 @@ let run ?(options = default_options) ~topo protocol specs =
         (fun l -> Link.set_loss (Topology.link topo l) ~rate ~rng:(Rng.split rng))
         links
   | None -> ());
+  (* The PDQ-family scheduler state a validation probe may inspect;
+     RCP/D3/TCP ports hold no flow list, so they expose no view. *)
+  let pdq_port_view p ~link =
+    let port = Pdq_proto.port p link in
+    let open Pdq_core in
+    {
+      pv_link = link;
+      stored = Flow_list.length (Switch_port.flow_list port);
+      sending = Switch_port.kappa port;
+      paused = Switch_port.paused_count port;
+      capacity_bound = Switch_port.list_capacity port;
+      max_list = (Switch_port.config port).Config.max_list_size;
+      line_rate = Link.rate (Topology.link topo link);
+      mature_rate_sum = Switch_port.mature_rate_sum port;
+      inconsistencies = Switch_port.invariant_errors port;
+    }
+  in
   let (start_flow : Context.flow -> unit),
-      (port_counts : link:int -> (int * int) option) =
+      (port_counts : link:int -> (int * int) option),
+      (port_view : (link:int -> port_view) option) =
     match protocol with
     | Pdq config ->
         let p = Pdq_proto.install ~config ~ctx ~until:options.horizon () in
         ( Pdq_proto.start_flow p,
-          fun ~link -> Some (Pdq_proto.port_flow_counts p ~link) )
+          (fun ~link -> Some (Pdq_proto.port_flow_counts p ~link)),
+          Some (fun ~link -> pdq_port_view p ~link) )
     | Pdq_estimated { config; quantum } ->
         let p =
           Pdq_proto.install
@@ -112,25 +145,47 @@ let run ?(options = default_options) ~topo protocol specs =
             ~config ~ctx ~until:options.horizon ()
         in
         ( Pdq_proto.start_flow p,
-          fun ~link -> Some (Pdq_proto.port_flow_counts p ~link) )
+          (fun ~link -> Some (Pdq_proto.port_flow_counts p ~link)),
+          Some (fun ~link -> pdq_port_view p ~link) )
     | Mpdq { config; subflows; paths } ->
         let p =
           Mpdq_proto.install ~config ~ctx ~until:options.horizon ~subflows
             ?paths ()
         in
         ( Mpdq_proto.start_flow p,
-          fun ~link ->
-            Some (Pdq_proto.port_flow_counts (Mpdq_proto.pdq p) ~link) )
+          (fun ~link ->
+            Some (Pdq_proto.port_flow_counts (Mpdq_proto.pdq p) ~link)),
+          Some (fun ~link -> pdq_port_view (Mpdq_proto.pdq p) ~link) )
     | Rcp ->
         let p = Rcp_proto.install ~ctx ~until:options.horizon in
-        (Rcp_proto.start_flow p, fun ~link -> Some (Rcp_proto.flow_count p ~link, 0))
+        ( Rcp_proto.start_flow p,
+          (fun ~link -> Some (Rcp_proto.flow_count p ~link, 0)),
+          None )
     | D3 ->
         let p = D3_proto.install ~ctx ~until:options.horizon in
-        (D3_proto.start_flow p, fun ~link -> Some (D3_proto.flow_count p ~link, 0))
+        ( D3_proto.start_flow p,
+          (fun ~link -> Some (D3_proto.flow_count p ~link, 0)),
+          None )
     | Tcp ->
         let p = Tcp_proto.install ~rto_min:options.rto_min ~ctx () in
-        (Tcp_proto.start_flow p, fun ~link:_ -> None)
+        (Tcp_proto.start_flow p, (fun ~link:_ -> None), None)
   in
+  (* Validation probe: hand every PDQ port's scheduler state to the
+     attached monitor on the telemetry grid. Like the metrics probe,
+     nothing is scheduled when no monitor is attached. *)
+  (match (options.telemetry.port_probe, port_view) with
+  | Some on_port, Some view ->
+      let every = max options.telemetry.metrics_every 1e-6 in
+      let rec probe () =
+        let time = Sim.now sim in
+        Topology.iter_links
+          (fun l -> on_port ~now:time (view ~link:(Link.id l)))
+          topo;
+        if time +. every <= options.horizon then
+          ignore (Sim.schedule ~kind:"check.probe" sim ~delay:every probe)
+      in
+      ignore (Sim.schedule ~kind:"check.probe" sim ~delay:0. probe)
+  | _ -> ());
   (* Fault injection. The empty plan is skipped entirely — not even an
      [Rng.split] — so a run with [faults = Some Fault_plan.empty] is
      bit-for-bit identical to one with [faults = None]. Installed after

@@ -23,6 +23,24 @@ val mpdq : ?paths:(src:int -> dst:int -> int array list) -> subflows:int -> unit
 
 val protocol_name : protocol -> string
 
+type port_view = {
+  pv_link : int;          (** Directed link id of the probed port. *)
+  stored : int;           (** Flow-list entries currently stored. *)
+  sending : int;          (** κ: stored flows with positive rate. *)
+  paused : int;           (** Stored flows with rate 0. *)
+  capacity_bound : int;   (** Current 2κ-style list capacity. *)
+  max_list : int;         (** Hard memory bound [M]. *)
+  line_rate : float;      (** Output line rate, bits/s. *)
+  mature_rate_sum : float;
+      (** {!Pdq_core.Switch_port.mature_rate_sum}: granted rate beyond
+          the paper's Early Start allowance; must stay within
+          [line_rate]. *)
+  inconsistencies : string list;
+      (** {!Pdq_core.Switch_port.invariant_errors} of the port. *)
+}
+(** Snapshot of one PDQ port's scheduler state, taken on the telemetry
+    grid for the validation monitors ({!Pdq_check.Invariants}). *)
+
 type telemetry = {
   sinks : Pdq_telemetry.Trace.sink list;
       (** Trace sinks attached to the run's event bus. Empty = the
@@ -34,12 +52,17 @@ type telemetry = {
           queue depth, per-port active/paused flow counts) plus the
           run's counters and FCT histogram. *)
   metrics_every : float;
-      (** Probe grid in simulated seconds (only used with
-          [metrics]). *)
+      (** Probe grid in simulated seconds (used by [metrics] and
+          [port_probe]). *)
+  port_probe : (now:float -> port_view -> unit) option;
+      (** Called for every PDQ port on the telemetry grid. [None] (the
+          default) schedules nothing; probing never perturbs the run —
+          it only observes. Protocols without PDQ ports (RCP/D3/TCP)
+          produce no views. *)
 }
 
 val no_telemetry : telemetry
-(** No sinks, no metrics; probe grid 1 ms. *)
+(** No sinks, no metrics, no port probe; probe grid 1 ms. *)
 
 type options = {
   seed : int;

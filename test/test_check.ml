@@ -1,0 +1,220 @@
+(* Tests for pdq_check: invariant monitors (streaming and end-of-run),
+   the broken-allocator fixture, oracle bounds, fidelity bands. *)
+
+module Runner = Pdq_transport.Runner
+module Scenario = Pdq_exec.Scenario
+module Sweep = Pdq_exec.Sweep
+module Config = Pdq_core.Config
+module Trace = Pdq_telemetry.Trace
+module Invariants = Pdq_check.Invariants
+module Report = Pdq_check.Report
+module Oracle = Pdq_check.Oracle
+module Fixtures = Pdq_check.Fixtures
+module Fidelity = Pdq_check.Fidelity
+
+let agg ?topo ?(flows = 8) ?(deadlines = true) protocol =
+  Scenario.make ?topo ~horizon:5.
+    ~workload:
+      (Scenario.Synthetic
+         {
+           pattern = Scenario.Aggregation;
+           flows;
+           sizes = Scenario.Uniform_paper { mean_bytes = 100_000 };
+           deadlines =
+             (if deadlines then
+                Scenario.Exp_deadlines { mean = 0.02; floor = 3e-3 }
+              else Scenario.No_deadlines);
+         })
+    protocol
+
+let has_invariant inv vs =
+  List.exists (fun (v : Report.violation) -> v.Report.invariant = inv) vs
+
+let check_clean name (c : Scenario.checked) =
+  if c.Scenario.violations <> [] then
+    Alcotest.failf "%s: unexpected violations:@ %a" name Report.pp_list
+      c.Scenario.violations
+
+(* ------------------------------------------------------------------ *)
+(* Honest runs validate; oracle bounds hold per flow. *)
+
+let test_honest_run_clean () =
+  let c = Scenario.run_checked (agg (Runner.Pdq Config.full)) in
+  check_clean "PDQ(Full)" c;
+  Array.iter
+    (fun (b : Oracle.flow_bound) ->
+      match b.Oracle.fct with
+      | Some fct ->
+          if b.Oracle.bound > fct +. 1e-9 then
+            Alcotest.failf "oracle bound %.6g above simulated FCT %.6g"
+              b.Oracle.bound fct
+      | None -> ())
+    c.Scenario.oracle.Oracle.bounds;
+  let gap = c.Scenario.oracle.Oracle.gap in
+  if Float.is_nan gap || gap < 1. then
+    Alcotest.failf "emulation gap %.3g should be >= 1 (SJF is a lower bound)"
+      gap
+
+(* Per-seed monitors are self-contained, so a checked sweep is domain-
+   safe: four protocols fanned over four domains all validate. *)
+let test_honest_sweep_clean_parallel () =
+  let scenarios =
+    [
+      agg (Runner.Pdq Config.full);
+      agg ~topo:(Scenario.Bottleneck { senders = 8 }) (Runner.Pdq Config.basic);
+      agg ~topo:(Scenario.Bcube { n = 2; k = 3 }) (Runner.mpdq ~subflows:2 ());
+      agg ~deadlines:false (Runner.Pdq Config.es);
+    ]
+  in
+  let checked = Sweep.map ~jobs:4 Scenario.run_checked scenarios in
+  List.iteri (fun i c -> check_clean (Printf.sprintf "scenario %d" i) c) checked
+
+(* The deliberately broken rate allocator (Early Start horizon so large
+   every flow is granted the full line rate at once) must be caught by
+   the switch-side capacity monitor. *)
+let test_broken_allocator_caught () =
+  let c =
+    Scenario.run_checked (agg ~flows:12 (Runner.Pdq Fixtures.broken_allocator))
+  in
+  if c.Scenario.violations = [] then
+    Alcotest.fail "broken allocator produced no violations";
+  Alcotest.(check bool)
+    "capacity invariant fired" true
+    (has_invariant "capacity" c.Scenario.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming checks against a synthetic trace stream. *)
+
+let feed events =
+  let m = Invariants.create () in
+  let now = ref 0. in
+  let bus = Trace.create ~clock:(fun () -> !now) ~sinks:[ Invariants.sink m ] in
+  List.iter
+    (fun (t, ev) ->
+      now := t;
+      Trace.emit bus ev)
+    events;
+  m
+
+let admitted ?deadline ~flow ~size () =
+  Trace.Flow_admitted { flow; src = 0; dst = 1; size; deadline }
+
+let test_rx_overflow_flagged () =
+  let m =
+    feed
+      [
+        (0., admitted ~flow:0 ~size:1_000 ());
+        (1e-3, Trace.Flow_rx { flow = 0; bytes = 600 });
+        (2e-3, Trace.Flow_rx { flow = 0; bytes = 600 });
+      ]
+  in
+  Alcotest.(check bool)
+    "byte overflow flagged" true
+    (has_invariant "bytes" (Invariants.violations m))
+
+let test_negative_rate_flagged () =
+  let m =
+    feed
+      [
+        (0., admitted ~flow:0 ~size:1_000 ());
+        (1e-3, Trace.Flow_rate_set { flow = 0; rate = -5. });
+      ]
+  in
+  Alcotest.(check bool)
+    "negative rate flagged" true
+    (has_invariant "capacity" (Invariants.violations m))
+
+let test_unknown_flow_ignored () =
+  (* M-PDQ attributes rx to subflow ids outside the experiment space:
+     events for unadmitted flows must not crash or report. *)
+  let m = feed [ (1e-3, Trace.Flow_rx { flow = 42; bytes = 600 }) ] in
+  Alcotest.(check int) "no violations" 0 (List.length (Invariants.violations m))
+
+(* ------------------------------------------------------------------ *)
+(* End-of-run checks against tampered results. *)
+
+let built_run scenario =
+  let built, specs, options = Scenario.build scenario in
+  let r =
+    Runner.run ~options ~topo:built.Pdq_topo.Builder.topo
+      scenario.Scenario.protocol specs
+  in
+  (built.Pdq_topo.Builder.topo, r)
+
+let test_met_deadline_disagreement_flagged () =
+  let topo, r = built_run (agg (Runner.Pdq Config.full)) in
+  let tampered =
+    {
+      r with
+      Runner.flows =
+        Array.map
+          (fun (fr : Runner.flow_result) ->
+            match (fr.Runner.fct, fr.Runner.spec.Pdq_transport.Context.deadline) with
+            | Some _, Some _ ->
+                { fr with Runner.met_deadline = not fr.Runner.met_deadline }
+            | _ -> fr)
+          r.Runner.flows;
+    }
+  in
+  let m = Invariants.create () in
+  let vs = Invariants.finalize m ~result:tampered ~topo in
+  Alcotest.(check bool)
+    "met_deadline disagreement flagged" true (has_invariant "deadline" vs)
+
+let test_feasible_early_termination_flagged () =
+  let topo, r = built_run (agg (Runner.Pdq Config.full)) in
+  (* Pretend flow 0 was early-terminated at t = 1 ms with a deadline a
+     full second away: trivially feasible, so ET was wrong. *)
+  let m = Invariants.create () in
+  let now = ref 0. in
+  let bus = Trace.create ~clock:(fun () -> !now) ~sinks:[ Invariants.sink m ] in
+  Trace.emit bus (admitted ~flow:0 ~size:100_000 ~deadline:1.0 ());
+  now := 1e-3;
+  Trace.emit bus (Trace.Flow_terminated { flow = 0 });
+  let vs = Invariants.finalize m ~result:r ~topo in
+  Alcotest.(check bool)
+    "feasible early termination flagged" true
+    (List.exists
+       (fun (v : Report.violation) ->
+         v.Report.invariant = "deadline"
+         && v.Report.entity = "flow 0")
+       vs)
+
+(* ------------------------------------------------------------------ *)
+(* Fidelity bands. *)
+
+let test_fidelity_eval () =
+  let b =
+    Fidelity.band ~id:"t.x" ~figure:"t" ~metric:"m" ~lo:1. ~hi:2.
+  in
+  Alcotest.(check bool) "in band" true (Fidelity.eval b 1.5).Fidelity.ok;
+  Alcotest.(check bool) "below" false (Fidelity.eval b 0.99).Fidelity.ok;
+  Alcotest.(check bool) "above" false (Fidelity.eval b 2.01).Fidelity.ok;
+  Alcotest.(check bool) "nan fails" false (Fidelity.eval b nan).Fidelity.ok;
+  Alcotest.(check bool)
+    "all_ok" true
+    (Fidelity.all_ok [ Fidelity.eval b 1.; Fidelity.eval b 2. ])
+
+let suites =
+  [
+    ( "check.invariants",
+      [
+        Alcotest.test_case "honest run clean + oracle bound" `Quick
+          test_honest_run_clean;
+        Alcotest.test_case "checked sweep clean on 4 domains" `Quick
+          test_honest_sweep_clean_parallel;
+        Alcotest.test_case "broken allocator caught" `Quick
+          test_broken_allocator_caught;
+        Alcotest.test_case "rx overflow flagged" `Quick test_rx_overflow_flagged;
+        Alcotest.test_case "negative rate flagged" `Quick
+          test_negative_rate_flagged;
+        Alcotest.test_case "unknown flow ignored" `Quick
+          test_unknown_flow_ignored;
+        Alcotest.test_case "met_deadline disagreement flagged" `Quick
+          test_met_deadline_disagreement_flagged;
+        Alcotest.test_case "feasible early termination flagged" `Quick
+          test_feasible_early_termination_flagged;
+      ] );
+    ( "check.fidelity",
+      [ Alcotest.test_case "band eval" `Quick test_fidelity_eval ] );
+  ]

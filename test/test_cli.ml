@@ -1,0 +1,72 @@
+(* In-process tests of the pdq_sim command line: one case per exit
+   status of the documented discipline (0 ok, 3 fault-aborted, 4
+   invariant violation, 124 usage error). *)
+
+let eval args = Pdq_cli.eval ~argv:(Array.of_list ("pdq_sim" :: args)) ()
+
+let test_ok () =
+  Alcotest.(check int) "clean run exits 0" 0 (eval [ "--flows"; "4" ])
+
+let test_check_ok () =
+  Alcotest.(check int) "validated run exits 0" 0
+    (eval [ "--flows"; "6"; "--check" ])
+
+let test_usage_error () =
+  Alcotest.(check int) "unknown flag" 124 (eval [ "--no-such-flag" ]);
+  Alcotest.(check int) "unknown protocol" 124 (eval [ "--proto"; "carrier-pigeon" ]);
+  Alcotest.(check int) "unknown topology" 124 (eval [ "--topo"; "moebius" ])
+
+(* Aggressive link flapping with a repair time far beyond the horizon
+   cuts every path for good: the watchdogs abort and the process must
+   say so. Deterministic for the fixed seed. *)
+let fault_args =
+  [
+    "--flows"; "8"; "--mean-size"; "2000"; "--no-deadlines";
+    "--flap-mtbf"; "0.002"; "--flap-mttr"; "30"; "--fault-until"; "5";
+  ]
+
+let test_fault_aborted () =
+  Alcotest.(check int) "fault-aborted run exits 3" 3 (eval fault_args)
+
+let test_fault_aborted_sweep () =
+  Alcotest.(check int) "fault-aborted sweep exits 3" 3
+    (eval (fault_args @ [ "--seeds"; "1,2"; "--jobs"; "2" ]))
+
+let test_invariant_violation () =
+  Alcotest.(check int) "broken allocator exits 4" 4
+    (eval [ "--proto"; "pdq-broken"; "--check"; "--flows"; "12" ])
+
+(* Violations dominate aborts: a broken allocator under path-cutting
+   faults still reports 4, not 3. *)
+let test_violation_dominates_abort () =
+  Alcotest.(check int) "violation takes precedence" 4
+    (eval ([ "--proto"; "pdq-broken"; "--check" ] @ fault_args))
+
+let test_check_out_written () =
+  let path = Filename.temp_file "pdq_violations" ".jsonl" in
+  let code =
+    eval [ "--proto"; "pdq-broken"; "--check-out"; path; "--flows"; "12" ]
+  in
+  Alcotest.(check int) "--check-out implies --check" 4 code;
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "JSONL report written" true
+    (String.length first > 0 && first.[0] = '{')
+
+let suites =
+  [
+    ( "cli.exit_codes",
+      [
+        Alcotest.test_case "ok" `Quick test_ok;
+        Alcotest.test_case "ok with --check" `Quick test_check_ok;
+        Alcotest.test_case "usage errors" `Quick test_usage_error;
+        Alcotest.test_case "fault-aborted" `Quick test_fault_aborted;
+        Alcotest.test_case "fault-aborted sweep" `Quick test_fault_aborted_sweep;
+        Alcotest.test_case "invariant violation" `Quick test_invariant_violation;
+        Alcotest.test_case "violation dominates abort" `Quick
+          test_violation_dominates_abort;
+        Alcotest.test_case "check-out report" `Quick test_check_out_written;
+      ] );
+  ]

@@ -56,6 +56,19 @@ let test_crit_aging () =
   Alcotest.(check bool) "aging promotes the old flow" true
     (Criticality.compare_aged ~aging_rate:1. ~now:1. old_big young_small < 0)
 
+let test_crit_equal_deadline_tiebreak () =
+  (* Equal deadlines fall through to SJF... *)
+  let a = key ~deadline:1. ~ttx:2. ~id:1 () in
+  let b = key ~deadline:1. ~ttx:1. ~id:9 () in
+  Alcotest.(check bool) "equal deadlines -> SJF decides" true
+    (Criticality.more_critical b a);
+  (* ...and a full tie on deadline and size to the flow id. *)
+  let c = key ~deadline:1. ~ttx:1. ~id:2 () in
+  Alcotest.(check bool) "full tie -> lower id wins" true
+    (Criticality.more_critical c b);
+  Alcotest.(check bool) "tie-break is antisymmetric" false
+    (Criticality.more_critical b c)
+
 let prop_crit_total_order =
   QCheck.Test.make ~name:"criticality is a strict total order" ~count:300
     QCheck.(
@@ -121,6 +134,24 @@ let test_flow_list_sending_count () =
   s1.Flow_state.rate <- 1e9;
   Alcotest.(check int) "one sending" 1 (Flow_list.sending_count l);
   if not (feq 1e9 (Flow_list.total_rate l)) then Alcotest.fail "total rate"
+
+let test_flow_list_empty_probes () =
+  (* Every read-only probe must be total on the empty list (the
+     validation monitor calls them on freshly rebooted ports). *)
+  let l = Flow_list.create () in
+  Alcotest.(check int) "length" 0 (Flow_list.length l);
+  Alcotest.(check bool) "is_empty" true (Flow_list.is_empty l);
+  Alcotest.(check bool) "sorted" true (Flow_list.is_sorted l);
+  Alcotest.(check bool) "least_critical" true (Flow_list.least_critical l = None);
+  Alcotest.(check bool) "find" true (Flow_list.find l 0 = None);
+  Alcotest.(check bool) "remove" true (Flow_list.remove l 0 = None);
+  Alcotest.(check bool) "remove_least_critical" true
+    (Flow_list.remove_least_critical l = None);
+  Alcotest.(check bool) "mem" false (Flow_list.mem l 0);
+  Alcotest.(check int) "sending_count" 0 (Flow_list.sending_count l);
+  if not (feq 0. (Flow_list.total_rate l)) then Alcotest.fail "total_rate";
+  Flow_list.iteri (fun _ _ -> Alcotest.fail "iteri on empty") l;
+  Alcotest.(check int) "fold" 0 (Flow_list.fold (fun n _ -> n + 1) 0 l)
 
 let prop_flow_list_sorted =
   QCheck.Test.make ~name:"flow list stays sorted under inserts" ~count:200
@@ -390,6 +421,57 @@ let test_sender_resize () =
   Sender.set_size s ~size:200 ~acked:200;
   Alcotest.(check bool) "finished after shrink" true (Sender.finished s)
 
+let test_port_pause_accept_stability () =
+  let port = mk_port () in
+  (* Flow 1 holds the bandwidth... *)
+  let h1 = mk_header ~ttx:1. () in
+  Switch_port.process_forward port h1 ~flow_id:1 ~now:0.;
+  Switch_port.process_reverse port h1 ~flow_id:1 ~now:1e-4;
+  (* ...so a longer flow stays paused on every consecutive header
+     instead of flapping accept/pause as its own headers traverse. *)
+  for i = 1 to 4 do
+    let h2 = mk_header ~ttx:10. () in
+    Switch_port.process_forward port h2 ~flow_id:2 ~now:(float_of_int i *. 1e-3);
+    Alcotest.(check bool)
+      (Printf.sprintf "header %d paused" i)
+      true
+      (h2.Header.pause_by = Some 99);
+    Switch_port.process_reverse port h2 ~flow_id:2
+      ~now:((float_of_int i *. 1e-3) +. 1e-4)
+  done;
+  (* The holder is never paused by the flapping candidate. *)
+  let h1' = mk_header ~ttx:1. () in
+  Switch_port.process_forward port h1' ~flow_id:1 ~now:5e-3;
+  Alcotest.(check bool) "holder keeps sending" true (h1'.Header.pause_by = None);
+  Alcotest.(check int) "exactly one sender" 1
+    (Flow_list.sending_count (Switch_port.flow_list port))
+
+let test_port_invariant_errors_clean () =
+  let port = mk_port () in
+  let h = mk_header ~ttx:1. () in
+  Switch_port.process_forward port h ~flow_id:1 ~now:0.;
+  Switch_port.process_reverse port h ~flow_id:1 ~now:1e-4;
+  Alcotest.(check (list string)) "healthy port self-checks clean" []
+    (Switch_port.invariant_errors port)
+
+let test_port_mature_rate_sum () =
+  (* A committed sender far from finishing counts fully against the
+     line rate; a nearly-finished one (ttx under the paper's 4-RTT
+     Early Start allowance) is excused. *)
+  let port = mk_port () in
+  let h = mk_header ~ttx:10. () in
+  Switch_port.process_forward port h ~flow_id:1 ~now:0.;
+  Switch_port.process_reverse port h ~flow_id:1 ~now:1e-4;
+  if not (feq ~eps:1e-6 gbps (Switch_port.mature_rate_sum port)) then
+    Alcotest.failf "mature flow counted, got %g" (Switch_port.mature_rate_sum port);
+  let young = mk_port () in
+  let hy = mk_header ~ttx:1e-4 () in
+  Switch_port.process_forward young hy ~flow_id:1 ~now:0.;
+  Switch_port.process_reverse young hy ~flow_id:1 ~now:1e-4;
+  if not (feq ~eps:1e-6 0. (Switch_port.mature_rate_sum young)) then
+    Alcotest.failf "nearly-finished flow excused, got %g"
+      (Switch_port.mature_rate_sum young)
+
 (* ------------------------------------------------------------------ *)
 (* Config *)
 
@@ -413,6 +495,8 @@ let suites =
         Alcotest.test_case "SJF tiebreak" `Quick test_crit_sjf_tiebreak;
         Alcotest.test_case "id tiebreak" `Quick test_crit_id_tiebreak;
         Alcotest.test_case "aging (Fig 12)" `Quick test_crit_aging;
+        Alcotest.test_case "equal-deadline tie-break" `Quick
+          test_crit_equal_deadline_tiebreak;
       ]
       @ qsuite [ prop_crit_total_order ] );
     ( "core.flow_list",
@@ -421,6 +505,7 @@ let suites =
         Alcotest.test_case "find/remove" `Quick test_flow_list_find_remove;
         Alcotest.test_case "reposition" `Quick test_flow_list_reposition;
         Alcotest.test_case "sending count" `Quick test_flow_list_sending_count;
+        Alcotest.test_case "empty-list probes" `Quick test_flow_list_empty_probes;
       ]
       @ qsuite [ prop_flow_list_sorted ] );
     ( "core.switch_port",
@@ -431,6 +516,11 @@ let suites =
         Alcotest.test_case "EDF preempts SJF" `Quick test_port_edf_preempts_sjf;
         Alcotest.test_case "upstream pause respected" `Quick
           test_port_respects_upstream_pause;
+        Alcotest.test_case "pause/accept stability" `Quick
+          test_port_pause_accept_stability;
+        Alcotest.test_case "invariant self-checks clean" `Quick
+          test_port_invariant_errors_clean;
+        Alcotest.test_case "mature rate sum" `Quick test_port_mature_rate_sum;
         Alcotest.test_case "reverse commits rate" `Quick
           test_port_reverse_commits_rate;
         Alcotest.test_case "reverse zeroes paused rate" `Quick

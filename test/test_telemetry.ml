@@ -341,7 +341,7 @@ let test_sinks_do_not_perturb () =
   let instrumented =
     bottleneck_run
       ~telemetry:
-        { Runner.sinks = [ mem ]; metrics = Some m; metrics_every = 1e-4 }
+        { Runner.no_telemetry with Runner.sinks = [ mem ]; metrics = Some m; metrics_every = 1e-4 }
       ()
   in
   Alcotest.(check bool) "identical flow results" true
@@ -356,7 +356,7 @@ let test_metrics_probe () =
   let r =
     bottleneck_run
       ~telemetry:
-        { Runner.sinks = []; metrics = Some m; metrics_every = 2e-4 }
+        { Runner.no_telemetry with metrics = Some m; metrics_every = 2e-4 }
       ~senders:3
       ~sizes:[ 100_000; 100_000; 100_000 ]
       ()
@@ -436,7 +436,7 @@ let test_all_protocols_emit () =
       let r =
         bottleneck_run
           ~telemetry:
-            { Runner.sinks = [ mem ]; metrics = Some m; metrics_every = 5e-4 }
+            { Runner.no_telemetry with Runner.sinks = [ mem ]; metrics = Some m; metrics_every = 5e-4 }
           ~proto
           ~sizes:[ 30_000; 60_000 ]
           ()
