@@ -155,10 +155,27 @@ let write_bench_json ~name ~wall ~events =
     (Gc.quick_stat ()).Gc.top_heap_words;
   close_out oc
 
+(* Per-target wall-clock deadline: installed as the process-wide
+   default cancel hook so the simulators created on sweep worker
+   domains see it too (a domain-local default would not reach them).
+   A target that blows the deadline raises [Sim.Cancelled] out of its
+   deepest simulation; the driver prints a marker and moves on, so one
+   runaway figure cannot eat the whole bench run. *)
+let with_target_deadline timeout f =
+  match timeout with
+  | None -> f ()
+  | Some secs ->
+      let deadline = Unix.gettimeofday () +. secs in
+      Pdq_engine.Sim.set_global_cancel (fun _ ->
+          if Unix.gettimeofday () > deadline then
+            Some (Printf.sprintf "wall>%gs" secs)
+          else None);
+      Fun.protect ~finally:Pdq_engine.Sim.clear_global_cancel f
+
 let () =
   let only = ref None and full = ref false and run_micro = ref false in
   let fidelity = ref false and fidelity_dump = ref false in
-  let jobs = ref None in
+  let jobs = ref None and timeout = ref None in
   let args =
     [
       ("--only", Arg.String (fun s -> only := Some s), "FIG run a single target");
@@ -166,6 +183,9 @@ let () =
       ("--jobs", Arg.Int (fun n -> jobs := Some n),
        "N worker domains for the scenario sweeps (results are identical \
         for any N)");
+      ("--timeout", Arg.Float (fun s -> timeout := Some s),
+       "SEC wall-clock budget per figure target; a target that blows it \
+        is marked TIMED OUT and the next one runs");
       ("--micro", Arg.Set run_micro, " Bechamel micro-benchmarks");
       ("--fidelity", Arg.Set fidelity,
        " paper-fidelity regression gate (exit 1 when a metric drifts out \
@@ -204,12 +224,26 @@ let () =
         (fun (name, f) ->
           Pdq_engine.Profiler.reset profiler;
           let t0 = Unix.gettimeofday () in
-          f ~quick ~jobs:!jobs;
-          let wall = Unix.gettimeofday () -. t0 in
-          Format.printf "[%s done in %.1fs]@.%a@.@." name wall
-            Pdq_engine.Profiler.pp_report profiler;
-          write_bench_json ~name ~wall
-            ~events:(Pdq_engine.Profiler.events_executed profiler))
+          (match
+             with_target_deadline !timeout (fun () -> f ~quick ~jobs:!jobs)
+           with
+          | () ->
+              let wall = Unix.gettimeofday () -. t0 in
+              Format.printf "[%s done in %.1fs]@.%a@.@." name wall
+                Pdq_engine.Profiler.pp_report profiler;
+              write_bench_json ~name ~wall
+                ~events:(Pdq_engine.Profiler.events_executed profiler)
+          | exception e ->
+              (* A deadline surfaces as Sim.Cancelled, possibly wrapped
+                 in Sweep_errors by a parallel figure sweep. *)
+              let wall = Unix.gettimeofday () -. t0 in
+              Format.printf "[%s %s after %.1fs: %s]@.@." name
+                (match e with
+                | Pdq_engine.Sim.Cancelled _
+                | Pdq_exec.Sweep.Sweep_errors _ ->
+                    "TIMED OUT"
+                | _ -> "FAILED")
+                wall (Printexc.to_string e)))
         selected
     end
   end

@@ -1,8 +1,8 @@
 (* pdq_sim: command-line front end for single packet-level experiments.
 
    The flags parse directly into a {!Pdq_exec.Scenario.t}; everything
-   except the telemetry/validation/profiler/jobs flags is scenario
-   data.
+   except the telemetry/validation/profiler/jobs/supervision flags is
+   scenario data.
 
    Examples:
      pdq_sim --proto pdq --flows 10 --deadline-mean 20
@@ -11,6 +11,9 @@
      pdq_sim --proto pdq --topo fat-tree --flows 16 --flap-mtbf 0.3
      pdq_sim --proto pdq --seeds 1,2,3,4 --jobs 4
      pdq_sim --proto pdq --check --check-out violations.jsonl
+     pdq_sim --seeds 1,2,3,4 --timeout 30 --retries 2 --keep-going \
+             --checkpoint sweep.ckpt
+     pdq_sim --seeds 1,2,3,4 --resume sweep.ckpt --report-out report.json
      pdq_sim --resilience --jobs 4 *)
 
 open Cmdliner
@@ -18,14 +21,19 @@ module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
 module Scenario = Pdq_exec.Scenario
 module Sweep = Pdq_exec.Sweep
+module Task = Pdq_exec.Task
+module Trace = Pdq_telemetry.Trace
 module Report = Pdq_check.Report
 
 let exit_fault_aborted = 3
 let exit_invariant_violation = 4
+let exit_timed_out = 5
+let exit_run_failed = 6
 
 (* Flags that are about this invocation, not about the experiment:
-   telemetry sinks, the validation monitors, the profiler and the
-   worker-domain count. *)
+   telemetry sinks, the validation monitors, the profiler, the
+   worker-domain count and the supervision (budget / retry /
+   checkpoint) knobs. *)
 type cli_opts = {
   trace_out : string option;
   metrics_out : string option;
@@ -35,7 +43,33 @@ type cli_opts = {
   seeds : int list;
   check : bool;
   check_out : string option;
+  timeout : float option;
+  max_events : int option;
+  retries : int;
+  keep_going : bool;
+  checkpoint : string option;
+  resume : string option;
+  report_out : string option;
 }
+
+(* The per-attempt budget implied by --timeout/--max-events, or [None]
+   when neither is set (so the unsupervised paths stay bit-identical
+   to builds without this feature). *)
+let budget_opt opts =
+  match (opts.timeout, opts.max_events) with
+  | None, None -> None
+  | wall, events -> Some (Sweep.budget ?wall ?events ())
+
+let retry_opt opts =
+  if opts.retries > 0 then Some (Sweep.retry ~attempts:(opts.retries + 1) ())
+  else None
+
+(* Any supervision flag routes a --seeds sweep through the
+   fault-tolerant executor. *)
+let supervised opts =
+  budget_opt opts <> None || opts.retries > 0 || opts.keep_going
+  || opts.checkpoint <> None || opts.resume <> None
+  || opts.report_out <> None
 
 let print_result ~(scenario : Scenario.t) (r : Runner.result) =
   Printf.printf "%s: %d flows (seed %d)\n" scenario.Scenario.name
@@ -87,8 +121,9 @@ let write_check_out path violations =
   Printf.printf "violation report written to %s (%d entries)\n" path
     (List.length violations)
 
-(* Exit-status discipline: invariant violations dominate fault aborts,
-   which dominate success. Deadline misses are experiment results, not
+(* Exit-status discipline: invariant violations dominate run failures,
+   which dominate timeouts, which dominate fault aborts, which
+   dominate success. Deadline misses are experiment results, not
    process failures. *)
 let code_of ~violations (r : Runner.result) =
   if violations <> [] then exit_invariant_violation
@@ -96,7 +131,7 @@ let code_of ~violations (r : Runner.result) =
   else 0
 
 (* One run with the full telemetry plumbing attached. *)
-let run_single scenario opts =
+let run_single_plain scenario opts =
   let trace_chan = Option.map open_out opts.trace_out in
   let metrics =
     match opts.metrics_out with
@@ -147,6 +182,141 @@ let run_single scenario opts =
   | _ -> ());
   code_of ~violations r
 
+(* A single run honors --timeout/--max-events through the same
+   cooperative-cancellation hook the sweep supervisor uses. *)
+let run_single scenario opts =
+  match budget_opt opts with
+  | None -> run_single_plain scenario opts
+  | Some b -> (
+      match Sweep.with_budget b (fun () -> run_single_plain scenario opts) with
+      | code -> code
+      | exception Pdq_engine.Sim.Cancelled { reason; events } ->
+          Printf.printf "%s: TIMED OUT (%s) after %d events\n"
+            scenario.Scenario.name reason events;
+          exit_timed_out)
+
+(* Per-seed line shared by the legacy and supervised sweep printers;
+   stdout must be identical for any --jobs value and for a resumed vs.
+   uninterrupted supervised sweep. *)
+let print_seed_line seed (r : Runner.result) =
+  Printf.printf
+    "  seed %3d  mean FCT %8.3f ms  app tput %5.1f%%  %d/%d completed  %d \
+     aborted\n"
+    seed
+    (1e3 *. r.Runner.mean_fct)
+    (100. *. r.Runner.application_throughput)
+    r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted
+
+let print_mean ~label results =
+  let n = float_of_int (List.length results) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
+  Printf.printf "%s: FCT %.3f ms | application throughput %.1f%%\n" label
+    (1e3 *. mean (fun r -> r.Runner.mean_fct))
+    (100. *. mean (fun r -> r.Runner.application_throughput))
+
+(* Fault-tolerant --seeds sweep: every seed settles as a Task, crashed
+   or timed-out seeds print a deterministic cause line, the mean is
+   taken over the Ok seeds, and a resilience report summarizes the
+   damage. Ok results stream to --checkpoint; --resume re-executes
+   only the missing seeds. *)
+let run_sweep_supervised scenario opts =
+  if opts.metrics_out <> None then
+    prerr_endline
+      "note: --metrics-out is ignored with --seeds (sinks are per-run; rerun \
+       with a single seed to capture metrics)";
+  let scenarios = List.map (Scenario.with_seed scenario) opts.seeds in
+  let checking = opts.check || opts.check_out <> None in
+  (* --resume keeps appending new completions to the same file unless
+     a distinct --checkpoint is given. *)
+  let checkpoint =
+    match (opts.checkpoint, opts.resume) with
+    | None, Some p -> Some p
+    | c, _ -> c
+  in
+  (* With supervision, --trace-out captures the sweep lifecycle (slot
+     settled / retry / worker crash) on a wall-clock bus instead of a
+     per-run simulation trace. *)
+  let trace_chan = Option.map open_out opts.trace_out in
+  let bus =
+    Option.map
+      (fun oc -> Trace.create ~clock:Unix.gettimeofday ~sinks:[ Trace.jsonl oc ])
+      trace_chan
+  in
+  let on_event = Option.map (fun b ev -> Sweep.emit_trace b ev) bus in
+  let tasks, report, violations =
+    if checking then begin
+      let sup =
+        Sweep.supervise ?jobs:opts.jobs ?budget:(budget_opt opts)
+          ?retry:(retry_opt opts) ~keep_going:opts.keep_going ?on_event
+          ~key:Scenario.digest
+          (fun s -> Scenario.run_checked s)
+          scenarios
+      in
+      ( List.map (Task.map (fun c -> c.Scenario.result)) sup.Sweep.tasks,
+        sup.Sweep.report,
+        List.concat_map
+          (fun t ->
+            match Task.ok t with
+            | Some c -> c.Scenario.violations
+            | None -> [])
+          sup.Sweep.tasks )
+    end
+    else
+      let sup =
+        Sweep.run_supervised ?jobs:opts.jobs ?budget:(budget_opt opts)
+          ?retry:(retry_opt opts) ~keep_going:opts.keep_going ?checkpoint
+          ?resume:opts.resume ?on_event scenarios
+      in
+      (sup.Sweep.tasks, sup.Sweep.report, [])
+  in
+  (match trace_chan with
+  | Some oc ->
+      close_out oc;
+      Printf.eprintf "sweep trace written to %s\n%!" (Option.get opts.trace_out)
+  | None -> ());
+  Printf.printf "%s: %d seeds\n" scenario.Scenario.name
+    (List.length opts.seeds);
+  List.iter2
+    (fun seed task ->
+      match task with
+      | Task.Ok r -> print_seed_line seed r
+      | t -> Printf.printf "  seed %3d  %s\n" seed (Format.asprintf "%a" Task.pp t))
+    opts.seeds tasks;
+  let oks = List.filter_map Task.ok tasks in
+  (match oks with
+  | [] -> Printf.printf "no seeds completed\n"
+  | _ when List.length oks = List.length tasks ->
+      print_mean ~label:"mean over seeds" oks
+  | _ ->
+      print_mean
+        ~label:(Printf.sprintf "mean over %d ok seeds" (List.length oks))
+        oks);
+  if report.Sweep.slots <> [] then Format.printf "%a" Sweep.pp_report report;
+  if checking then Format.printf "%a" Report.pp_list violations;
+  Option.iter (fun path -> write_check_out path violations) opts.check_out;
+  (* Resume bookkeeping and wall-clock material go to stderr so stdout
+     stays diffable against an uninterrupted run. *)
+  if report.Sweep.resumed > 0 then
+    Printf.eprintf "resumed %d of %d seeds from checkpoint\n%!"
+      report.Sweep.resumed report.Sweep.total;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Sweep.report_to_json report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "sweep report written to %s\n%!" path)
+    opts.report_out;
+  let aborted =
+    List.exists (fun (r : Runner.result) -> r.Runner.aborted > 0) oks
+  in
+  if violations <> [] then exit_invariant_violation
+  else if report.Sweep.failed > 0 || report.Sweep.skipped > 0 then
+    exit_run_failed
+  else if report.Sweep.timed_out > 0 then exit_timed_out
+  else if aborted then exit_fault_aborted
+  else 0
+
 (* A --seeds sweep: scenarios fan out over the domain pool; sinks are
    per-run state, so the sweep reports aggregates instead. A checked
    sweep attaches one self-contained monitor per run, which keeps the
@@ -170,21 +340,8 @@ let run_sweep scenario opts =
      for any --jobs value. *)
   Printf.printf "%s: %d seeds\n" scenario.Scenario.name
     (List.length opts.seeds);
-  List.iter2
-    (fun seed (r : Runner.result) ->
-      Printf.printf
-        "  seed %3d  mean FCT %8.3f ms  app tput %5.1f%%  %d/%d completed  %d \
-         aborted\n"
-        seed
-        (1e3 *. r.Runner.mean_fct)
-        (100. *. r.Runner.application_throughput)
-        r.Runner.completed (Array.length r.Runner.flows) r.Runner.aborted)
-    opts.seeds results;
-  let n = float_of_int (List.length results) in
-  let mean f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
-  Printf.printf "mean over seeds: FCT %.3f ms | application throughput %.1f%%\n"
-    (1e3 *. mean (fun r -> r.Runner.mean_fct))
-    (100. *. mean (fun r -> r.Runner.application_throughput));
+  List.iter2 print_seed_line opts.seeds results;
+  print_mean ~label:"mean over seeds" results;
   if checking then Format.printf "%a" Report.pp_list violations;
   Option.iter (fun path -> write_check_out path violations) opts.check_out;
   let aborted = List.exists (fun (r : Runner.result) -> r.Runner.aborted > 0) results in
@@ -200,9 +357,21 @@ let run scenario opts resilience full =
   in
   let code =
     if resilience then begin
-      Pdq_experiments.Resilience.run_all ?jobs:opts.jobs ~quick:(not full)
-        Format.std_formatter ();
-      0
+      match
+        Pdq_experiments.Resilience.run_all ?jobs:opts.jobs
+          ?budget:(budget_opt opts) ~quick:(not full) Format.std_formatter ()
+      with
+      | () -> 0
+      | exception Sweep.Sweep_errors errs ->
+          Printf.eprintf "resilience sweep failed:\n%s\n%!"
+            (Printexc.to_string (Sweep.Sweep_errors errs));
+          if
+            List.for_all
+              (fun (_, e) ->
+                match e with Pdq_engine.Sim.Cancelled _ -> true | _ -> false)
+              errs
+          then exit_timed_out
+          else exit_run_failed
     end
     else begin
       match opts.seeds with
@@ -213,7 +382,9 @@ let run scenario opts resilience full =
             | _ -> scenario
           in
           run_single scenario opts
-      | _ -> run_sweep scenario opts
+      | _ ->
+          if supervised opts then run_sweep_supervised scenario opts
+          else run_sweep scenario opts
     end
   in
   (match profiler with
@@ -311,22 +482,41 @@ let scenario_term =
 
 let opts_term =
   let make trace_out metrics_out metrics_every profile jobs seeds check
-      check_out =
-    {
-      trace_out;
-      metrics_out;
-      metrics_every;
-      profile;
-      jobs;
-      seeds;
-      check;
-      check_out;
-    }
+      check_out timeout max_events retries keep_going checkpoint resume
+      report_out =
+    let checking = check || check_out <> None in
+    if checking && (checkpoint <> None || resume <> None) then
+      Error
+        (`Msg
+           "--checkpoint/--resume cannot be combined with --check: checked \
+            results carry live monitor state and are not checkpointable \
+            (budgets, --retries and --keep-going do work with --check)")
+    else if retries < 0 then Error (`Msg "--retries must be >= 0")
+    else
+      Ok
+        {
+          trace_out;
+          metrics_out;
+          metrics_every;
+          profile;
+          jobs;
+          seeds;
+          check;
+          check_out;
+          timeout;
+          max_events;
+          retries;
+          keep_going;
+          checkpoint;
+          resume;
+          report_out;
+        }
   in
   let trace_out =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ]
-             ~doc:"Write the structured event trace as JSONL to $(docv)"
+             ~doc:"Write the structured event trace as JSONL to $(docv) (with \
+                   a supervised sweep: the sweep lifecycle events instead)"
              ~docv:"FILE")
   in
   let metrics_out =
@@ -354,8 +544,9 @@ let opts_term =
     Arg.(value & opt (some int) None
          & info [ "jobs" ]
              ~doc:"Worker domains for --seeds sweeps and --resilience \
-                   (default: the recommended domain count); results are \
-                   identical for any value" ~docv:"N")
+                   (default: the recommended domain count, or the PDQ_JOBS \
+                   environment variable); \
+                   results are identical for any value" ~docv:"N")
   in
   let seeds =
     Arg.(value & opt (list int) []
@@ -379,9 +570,66 @@ let opts_term =
                    JSONL to $(docv)"
              ~docv:"FILE")
   in
-  Term.(
-    const make $ trace_out $ metrics_out $ metrics_every $ profile $ jobs
-    $ seeds $ check $ check_out)
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ]
+             ~doc:"Per-run (per-attempt) wall-clock budget in seconds, \
+                   enforced cooperatively inside the simulator; a run that \
+                   blows it is reported TIMED OUT (exit 5)"
+             ~docv:"SEC")
+  in
+  let max_events =
+    Arg.(value & opt (some int) None
+         & info [ "max-events" ]
+             ~doc:"Per-run (per-attempt) simulator event budget; a run that \
+                   blows it is reported TIMED OUT (exit 5)"
+             ~docv:"N")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ]
+             ~doc:"With --seeds: retry a crashed seed up to $(docv) more \
+                   times with jittered exponential backoff (timeouts are \
+                   never retried)"
+             ~docv:"N")
+  in
+  let keep_going =
+    Arg.(value & flag
+         & info [ "keep-going" ]
+             ~doc:"With --seeds: a crashed or timed-out seed settles as a \
+                   structured failure slot and the sweep continues instead \
+                   of stopping at the first casualty")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ]
+             ~doc:"With --seeds: stream each completed run to $(docv) as \
+                   JSONL keyed by scenario content hash, flushed per line, \
+                   so a killed sweep loses at most the in-flight runs"
+             ~docv:"FILE")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ]
+             ~doc:"With --seeds: preload completed runs from checkpoint \
+                   $(docv), re-execute only the missing seeds (bit-identical \
+                   to an uninterrupted sweep) and keep appending new \
+                   completions to the same file"
+             ~docv:"FILE")
+  in
+  let report_out =
+    Arg.(value & opt (some string) None
+         & info [ "report-out" ]
+             ~doc:"With --seeds supervision: write the sweep resilience \
+                   report (ok/resumed/failed/timed-out counts, attempts, \
+                   per-slot causes, wall time) as JSON to $(docv)"
+             ~docv:"FILE")
+  in
+  Term.term_result
+    Term.(
+      const make $ trace_out $ metrics_out $ metrics_every $ profile $ jobs
+      $ seeds $ check $ check_out $ timeout $ max_events $ retries
+      $ keep_going $ checkpoint $ resume $ report_out)
 
 let cmd =
   let resilience =
@@ -400,6 +648,11 @@ let cmd =
       exit_fault_aborted
     :: Cmd.Exit.info ~doc:"$(b,--check) found invariant or oracle violations."
          exit_invariant_violation
+    :: Cmd.Exit.info ~doc:"a run blew its $(b,--timeout)/$(b,--max-events) \
+                           budget (and nothing worse happened)."
+         exit_timed_out
+    :: Cmd.Exit.info ~doc:"a supervised sweep left crashed or skipped slots."
+         exit_run_failed
     :: Cmd.Exit.defaults
   in
   Cmd.v

@@ -3,9 +3,11 @@ type t = {
   queue : handle Heap.t;
   mutable stopped : bool;
   mutable live_count : int;
+  mutable executed : int;
   mutable profiler : Profiler.slot option;
       (* This domain's shard of the attached profiler; recording into
          it is lock-free and domain-private. *)
+  mutable cancel : cancel option;
 }
 
 and handle = {
@@ -15,16 +17,77 @@ and handle = {
   owner : t;
 }
 
+(* Cooperative cancellation: the hook runs on this simulator's domain
+   every [every] executed events; returning [Some reason] aborts the
+   run by raising {!Cancelled} out of [step]. *)
+and cancel = {
+  every : int;
+  hook : t -> string option;
+  mutable countdown : int;
+}
+
+exception Cancelled of { reason : string; events : int }
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled { reason; events } ->
+        Some
+          (Printf.sprintf "Pdq_engine.Sim.Cancelled(%s after %d events)"
+             reason events)
+    | _ -> None)
+
+let default_check_every = 1024
+
+(* Default cancellation hooks for simulators that have not been created
+   yet: a supervisor installs a per-attempt budget here and every
+   [create] during the attempt picks it up. The DLS default scopes to
+   the installing domain (each sweep worker budgets its own slot); the
+   global default covers every domain (whole-process deadlines, e.g.
+   bench --timeout, whose sweeps spawn their own workers). *)
+let dls_default : (int * (t -> string option)) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let global_default : (int * (t -> string option)) option Atomic.t =
+  Atomic.make None
+
+let with_default_cancel ?(every = default_check_every) hook fn =
+  let prev = Domain.DLS.get dls_default in
+  Domain.DLS.set dls_default (Some (every, hook));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_default prev) fn
+
+let set_global_cancel ?(every = default_check_every) hook =
+  Atomic.set global_default (Some (every, hook))
+
+let clear_global_cancel () = Atomic.set global_default None
+
+let cancel_of = function
+  | None -> None
+  | Some (every, hook) ->
+      let every = max 1 every in
+      Some { every; hook; countdown = every }
+
 let create () =
   {
     clock = 0.;
     queue = Heap.create ();
     stopped = false;
     live_count = 0;
+    executed = 0;
     profiler = Option.map Profiler.slot (Profiler.global ());
+    cancel =
+      cancel_of
+        (match Domain.DLS.get dls_default with
+        | Some _ as d -> d
+        | None -> Atomic.get global_default);
   }
 
 let set_profiler t p = t.profiler <- Option.map Profiler.slot p
+
+let set_cancel t ?(every = default_check_every) hook =
+  t.cancel <- cancel_of (Some (every, hook))
+
+let clear_cancel t = t.cancel <- None
+let events_executed t = t.executed
 let stop t = t.stopped <- true
 let now t = t.clock
 
@@ -51,6 +114,21 @@ let cancelled h = not h.live
 let pending t = Heap.length t.queue
 let live_pending t = t.live_count
 
+(* One decrement per executed event; the hook itself only runs every
+   [every] events, so an installed budget costs almost nothing and an
+   uninstalled one is a single [match] per step. *)
+let check_cancel t =
+  match t.cancel with
+  | None -> ()
+  | Some c ->
+      c.countdown <- c.countdown - 1;
+      if c.countdown <= 0 then begin
+        c.countdown <- c.every;
+        match c.hook t with
+        | None -> ()
+        | Some reason -> raise (Cancelled { reason; events = t.executed })
+      end
+
 let step t =
   match t.profiler with
   | None -> (
@@ -61,7 +139,9 @@ let step t =
           if h.live then begin
             h.live <- false;
             t.live_count <- t.live_count - 1;
-            h.action ()
+            h.action ();
+            t.executed <- t.executed + 1;
+            check_cancel t
           end;
           true)
   | Some p -> (
@@ -78,7 +158,9 @@ let step t =
             t.live_count <- t.live_count - 1;
             let t0 = Sys.time () in
             h.action ();
-            Profiler.record_event p ~kind:h.kind ~cpu:(Sys.time () -. t0)
+            Profiler.record_event p ~kind:h.kind ~cpu:(Sys.time () -. t0);
+            t.executed <- t.executed + 1;
+            check_cancel t
           end
           else Profiler.record_cancelled p;
           true)

@@ -53,6 +53,47 @@ val set_profiler : t -> Profiler.t option -> unit
     domain's shard of it). Unattached simulators pay a single match
     per step. *)
 
+(** {2 Cooperative cancellation}
+
+    A supervisor (e.g. {!Pdq_exec.Sweep}) bounds a run by installing a
+    cancellation hook: after every [every] executed events the hook is
+    asked whether the run is still within budget, and a [Some reason]
+    answer aborts the run by raising {!Cancelled} out of {!step} /
+    {!run}. The check is cooperative — it only fires between events —
+    and costs a single [match] per step when no hook is installed. *)
+
+exception Cancelled of { reason : string; events : int }
+(** Raised out of {!step} / {!run} when a cancellation hook trips.
+    [events] is {!events_executed} at that point. The simulator is left
+    mid-run and should be discarded. *)
+
+val events_executed : t -> int
+(** Live events executed by this simulator so far (the budget
+    currency of event-count limits). *)
+
+val set_cancel : t -> ?every:int -> (t -> string option) -> unit
+(** Install the cancellation hook on an existing simulator, checked
+    every [every] executed events (default 1024, clamped to [>= 1]). *)
+
+val clear_cancel : t -> unit
+
+val with_default_cancel :
+  ?every:int -> (t -> string option) -> (unit -> 'a) -> 'a
+(** [with_default_cancel hook f] runs [f] with [hook] installed as the
+    {e calling domain's} default: every simulator {!create}d by this
+    domain during [f] starts with the hook attached. This is how a
+    sweep worker imposes a per-attempt budget on the simulators a
+    scenario builds internally. Restores the previous default on exit,
+    also on exception. *)
+
+val set_global_cancel : ?every:int -> (t -> string option) -> unit
+(** Process-wide default hook, attached to every subsequently created
+    simulator on {e any} domain that has no domain-local default — a
+    whole-process deadline for multi-domain sweeps (bench
+    [--timeout]). *)
+
+val clear_global_cancel : unit -> unit
+
 val step : t -> bool
 (** Execute the next event, advancing the clock to its timestamp.
     Returns [false] when the queue is empty. *)

@@ -334,6 +334,85 @@ let workload_desc = function
   | Explicit l -> Printf.sprintf "%d explicit flows" (List.length l)
   | Generated { label; _ } -> label
 
+(* Content hash identifying a scenario in a sweep checkpoint. Scenarios
+   can embed closures (Generated workloads, Fault_gen plans), so the
+   primary key marshals the whole value with [Closures] — exact, but
+   only stable within one binary, which is the resume use case; across
+   rebuilds a changed key merely forces a (safe) re-run. When closure
+   marshaling is impossible the printable description plus the plain
+   run options stands in; bespoke generators must then carry distinct
+   labels. *)
+let digest t =
+  let bytes =
+    match Marshal.to_string t [ Marshal.Closures ] with
+    | s -> s
+    | exception _ ->
+        Marshal.to_string
+          ( t.name,
+            topo_name t.topo,
+            Runner.protocol_name t.protocol,
+            workload_desc t.workload,
+            t.seed,
+            t.horizon,
+            t.stop_when_done,
+            t.init_rtt,
+            t.rto_min )
+          []
+  in
+  Digest.to_hex (Digest.string bytes)
+
+(* Checkpoint codec for results. Everything measurable round-trips
+   bit-for-bit through Marshal of plain data; the live [ctx] is per-run
+   simulator state and cannot be reconstituted, so decoded results
+   carry a shared empty placeholder context (post-run inspection is
+   only meaningful on freshly executed slots anyway). *)
+let placeholder_ctx =
+  lazy
+    (let sim = Sim.create () in
+     let topo = Topology.create ~sim () in
+     Context.create ~sim ~topo ~rng:(Rng.create 0) ~init_rtt:2e-4 ())
+
+let result_codec =
+  let encode (r : Runner.result) =
+    Marshal.to_string
+      ( r.Runner.flows,
+        r.Runner.application_throughput,
+        r.Runner.mean_fct,
+        r.Runner.completed,
+        r.Runner.aborted,
+        r.Runner.counters,
+        r.Runner.sim_end )
+      []
+  and decode s =
+    let ( flows,
+          application_throughput,
+          mean_fct,
+          completed,
+          aborted,
+          counters,
+          sim_end ) :
+        Runner.flow_result array
+        * float
+        * float
+        * int
+        * int
+        * (string * int) list
+        * float =
+      Marshal.from_string s 0
+    in
+    {
+      Runner.flows;
+      application_throughput;
+      mean_fct;
+      completed;
+      aborted;
+      counters;
+      sim_end;
+      ctx = Lazy.force placeholder_ctx;
+    }
+  in
+  { Task.encode; decode }
+
 let pp ppf t =
   Format.fprintf ppf "%s: %s on %s, %s, seed %d" t.name
     (Runner.protocol_name t.protocol)

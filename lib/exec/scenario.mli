@@ -204,6 +204,18 @@ val run_checked :
     composed with (not replaced by) the monitor's sinks; its
     [metrics_every] field also sets the port-probe grid. *)
 
+val digest : t -> string
+(** Content hash of the scenario (seed included) keying its slot in a
+    sweep checkpoint file. Exact — it covers closures via
+    [Marshal.Closures] — but stable only within one binary; after a
+    rebuild a changed key just forces a safe re-run of that slot. *)
+
+val result_codec : Pdq_transport.Runner.result Task.codec
+(** Checkpoint serialization for run results. Round-trips every
+    measurable field (flows, FCTs, throughput, counters, [sim_end])
+    bit-for-bit; the live [ctx] is not serializable, so decoded
+    results share an empty placeholder context. *)
+
 val protocol_of_string :
   ?subflows:int -> string -> (Pdq_transport.Runner.protocol, string) result
 (** "pdq", "pdq-basic", "pdq-es", "pdq-es-et", "mpdq" (with

@@ -1,12 +1,114 @@
-let default_jobs () = Domain.recommended_domain_count ()
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Trace = Pdq_telemetry.Trace
 
-(* Work-stealing over an index counter: each worker claims the next
-   unclaimed index and writes its result into a per-index slot, so the
-   output order is the input order no matter which domain ran what. *)
-let map ?jobs f xs =
+exception Sweep_errors of (int * exn) list
+
+let () =
+  Printexc.register_printer (function
+    | Sweep_errors errs ->
+        Some
+          (Printf.sprintf "Pdq_exec.Sweep.Sweep_errors([%s])"
+             (String.concat "; "
+                (List.map
+                   (fun (i, e) ->
+                     Printf.sprintf "%d: %s" i (Printexc.to_string e))
+                   errs)))
+    | _ -> None)
+
+let default_jobs () =
+  match Sys.getenv_opt "PDQ_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j -> max 1 j
+      | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* Budgets *)
+
+type budget = {
+  wall : float option;
+  events : int option;
+  live : int option;
+  check_every : int;
+}
+
+let no_budget = { wall = None; events = None; live = None; check_every = 1024 }
+
+let budget ?wall ?events ?live ?(check_every = 1024) () =
+  { wall; events; live; check_every = max 1 check_every }
+
+let budget_is_empty b = b.wall = None && b.events = None && b.live = None
+
+(* Run [fn] with the budget installed as the calling domain's default
+   cancellation hook, so every simulator the attempt creates enforces
+   it. [start] anchors the wall-clock deadline at the attempt start. *)
+let with_budget_from b ~start fn =
+  if budget_is_empty b then fn ()
+  else begin
+    let deadline = Option.map (fun w -> start +. w) b.wall in
+    let hook sim =
+      match b.events with
+      | Some m when Sim.events_executed sim > m ->
+          Some (Printf.sprintf "events>%d" m)
+      | _ -> (
+          match b.live with
+          | Some m when Sim.live_pending sim > m ->
+              Some (Printf.sprintf "live>%d" m)
+          | _ -> (
+              match deadline with
+              | Some d when Unix.gettimeofday () > d ->
+                  Some (Printf.sprintf "wall>%gs" (Option.get b.wall))
+              | _ -> None))
+    in
+    (* Tiny event budgets must be checked more often than the default
+       grid or they would only trip at the first grid point. *)
+    let every =
+      match b.events with
+      | Some m -> max 1 (min b.check_every ((m / 4) + 1))
+      | None -> b.check_every
+    in
+    Sim.with_default_cancel ~every hook fn
+  end
+
+let with_budget b fn = with_budget_from b ~start:(Unix.gettimeofday ()) fn
+
+(* ------------------------------------------------------------------ *)
+(* Plain map (kept simple: first-error semantics replaced by an
+   aggregate Sweep_errors; the supervised executor below adds budgets,
+   retries and checkpointing on top of the same claiming loop). *)
+
+let map ?jobs ?(budget = no_budget) f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let f x =
+    if budget_is_empty budget then f x
+    else with_budget_from budget ~start:(Unix.gettimeofday ()) (fun () -> f x)
+  in
   let n = List.length xs in
-  if jobs <= 1 || n <= 1 then List.map f xs
+  let raise_errors errors =
+    match List.filter_map Fun.id errors with
+    | [] -> ()
+    | errs -> raise (Sweep_errors errs)
+  in
+  if jobs <= 1 || n <= 1 then begin
+    (* Sequential path with the same aggregate error contract as the
+       parallel one: every failing index is reported, not just the
+       first. *)
+    let results = Array.make n None in
+    let errors =
+      List.mapi
+        (fun i x ->
+          match f x with
+          | r ->
+              results.(i) <- Some r;
+              None
+          | exception e -> Some (i, e))
+        xs
+    in
+    raise_errors errors;
+    Array.to_list results |> List.map Option.get
+  end
   else begin
     let inputs = Array.of_list xs in
     let results = Array.make n None in
@@ -17,27 +119,472 @@ let map ?jobs f xs =
       if i < n then begin
         (match f inputs.(i) with
         | r -> results.(i) <- Some r
-        | exception e -> errors.(i) <- Some e);
+        | exception e -> errors.(i) <- Some (i, e));
         worker ()
       end
     in
-    let spawned =
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
+    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
-    Array.iter (function Some e -> raise e | None -> ()) errors;
+    raise_errors (Array.to_list errors);
     Array.to_list results
     |> List.map (function
          | Some r -> r
          | None -> assert false (* no error ⇒ every slot was filled *))
   end
 
-let run ?jobs scenarios = map ?jobs (fun s -> Scenario.run s) scenarios
+let run ?jobs ?budget scenarios =
+  map ?jobs ?budget (fun s -> Scenario.run s) scenarios
 
-let average ?jobs ~seeds f =
+let average ?jobs ?budget ~seeds f =
   match seeds with
   | [] -> invalid_arg "Sweep.average: no seeds"
   | _ ->
-      let vs = map ?jobs f seeds in
+      let vs = map ?jobs ?budget f seeds in
       List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+
+(* ------------------------------------------------------------------ *)
+(* Retry policy *)
+
+type retry = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  transient : exn -> bool;
+}
+
+let no_retry =
+  { attempts = 1; base_delay = 0.05; max_delay = 2.; transient = (fun _ -> true) }
+
+let retry ?(attempts = 1) ?(base_delay = 0.05) ?(max_delay = 2.)
+    ?(transient = fun _ -> true) () =
+  { attempts = max 1 attempts; base_delay; max_delay; transient }
+
+(* Jittered exponential backoff, deterministically seeded per (slot,
+   attempt) so retry schedules do not depend on the worker count. *)
+let backoff_delay retry ~index ~attempt =
+  let exp = retry.base_delay *. (2. ** float_of_int (attempt - 1)) in
+  let capped = Float.min retry.max_delay exp in
+  let rng = Rng.create (0xB0FF + (index * 7919) + attempt) in
+  capped *. (0.5 +. Rng.float rng)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor telemetry *)
+
+type event =
+  | Slot_ok of {
+      index : int;
+      key : string;
+      attempts : int;
+      elapsed : float;
+      resumed : bool;
+    }
+  | Slot_failed of { index : int; key : string; failure : Task.failure }
+  | Slot_timed_out of { index : int; key : string; timeout : Task.timeout }
+  | Slot_retry of {
+      index : int;
+      key : string;
+      attempt : int;
+      delay : float;
+      exn : string;
+    }
+  | Worker_crashed of { worker : int; index : int option; exn : string }
+  | Worker_respawned of { worker : int }
+
+let emit_trace bus ev =
+  if Trace.active bus then
+    Trace.emit bus
+      (match ev with
+      | Slot_ok { index; key; attempts; elapsed; resumed } ->
+          Trace.Sweep_task
+            {
+              index;
+              key;
+              state = (if resumed then "resumed" else "ok");
+              attempts;
+              elapsed;
+              detail = "";
+            }
+      | Slot_failed { index; key; failure } ->
+          Trace.Sweep_task
+            {
+              index;
+              key;
+              state = "failed";
+              attempts = failure.Task.attempts;
+              elapsed = failure.Task.elapsed;
+              detail = failure.Task.exn;
+            }
+      | Slot_timed_out { index; key; timeout } ->
+          Trace.Sweep_task
+            {
+              index;
+              key;
+              state = "timed-out";
+              attempts = timeout.Task.attempts;
+              elapsed = timeout.Task.elapsed;
+              detail = timeout.Task.budget;
+            }
+      | Slot_retry { index; key; attempt; delay; exn } ->
+          Trace.Sweep_task
+            {
+              index;
+              key;
+              state = "retry";
+              attempts = attempt;
+              elapsed = delay;
+              detail = exn;
+            }
+      | Worker_crashed { worker; index; exn } ->
+          Trace.Sweep_task
+            {
+              index = Option.value ~default:(-1) index;
+              key = Printf.sprintf "worker:%d" worker;
+              state = "crashed";
+              attempts = 0;
+              elapsed = 0.;
+              detail = exn;
+            }
+      | Worker_respawned { worker } ->
+          Trace.Sweep_task
+            {
+              index = -1;
+              key = Printf.sprintf "worker:%d" worker;
+              state = "respawned";
+              attempts = 0;
+              elapsed = 0.;
+              detail = "";
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Resilience report *)
+
+type report = {
+  total : int;
+  ok : int;
+  resumed : int;
+  failed : int;
+  timed_out : int;
+  skipped : int;
+  attempts : int;
+  wall : float;
+  slots : (int * string) list;
+}
+
+let report_of ~resumed ~attempts ~wall tasks =
+  let count p = List.length (List.filter p tasks) in
+  {
+    total = List.length tasks;
+    ok = count Task.is_ok;
+    resumed;
+    failed = count (function Task.Failed _ -> true | _ -> false);
+    timed_out = count (function Task.Timed_out _ -> true | _ -> false);
+    skipped = count (function Task.Skipped -> true | _ -> false);
+    attempts;
+    wall;
+    slots =
+      List.mapi (fun i t -> (i, t)) tasks
+      |> List.filter (fun (_, t) -> not (Task.is_ok t))
+      |> List.map (fun (i, t) -> (i, Format.asprintf "%a" Task.pp t));
+  }
+
+(* Deterministic: counts and per-slot causes only — wall-clock numbers
+   stay out of the pretty report so sweep stdout is reproducible (they
+   are in the JSON report for machines). *)
+let pp_report ppf r =
+  Format.fprintf ppf "sweep: %d/%d ok%s, %d failed, %d timed-out, %d skipped@."
+    r.ok r.total
+    (if r.resumed > 0 then Printf.sprintf " (%d resumed)" r.resumed else "")
+    r.failed r.timed_out r.skipped;
+  List.iter
+    (fun (i, cause) -> Format.fprintf ppf "  slot %d: %s@." i cause)
+    r.slots
+
+let report_to_json r =
+  let slot (i, cause) =
+    Printf.sprintf "{\"slot\":%d,\"cause\":\"%s\"}" i
+      (String.concat ""
+         (List.map
+            (function
+              | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+              | c when Char.code c < 0x20 ->
+                  Printf.sprintf "\\u%04x" (Char.code c)
+              | c -> String.make 1 c)
+            (List.init (String.length cause) (String.get cause))))
+  in
+  Printf.sprintf
+    "{\"total\":%d,\"ok\":%d,\"resumed\":%d,\"failed\":%d,\"timed_out\":%d,\
+     \"skipped\":%d,\"attempts\":%d,\"wall\":%.3f,\"slots\":[%s]}"
+    r.total r.ok r.resumed r.failed r.timed_out r.skipped r.attempts r.wall
+    (String.concat "," (List.map slot r.slots))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint file: one JSONL line per Ok slot, keyed by the content
+   hash of the input. Values are hex so no JSON escaping is needed and
+   a torn final line (kill -9 mid-write) simply fails to parse. *)
+
+let hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let unhex s =
+  if String.length s mod 2 <> 0 then invalid_arg "unhex: odd length";
+  String.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let json_str_field line name =
+  let pat = Printf.sprintf "\"%s\":\"" name in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+let checkpoint_line ~key ~index ~value =
+  Printf.sprintf "{\"k\":\"%s\",\"n\":%d,\"v\":\"%s\"}" key index (hex value)
+
+let parse_checkpoint_line line =
+  match (json_str_field line "k", json_str_field line "v") with
+  | Some k, Some v -> ( try Some (k, unhex v) with _ -> None)
+  | _ -> None
+
+let load_checkpoint path =
+  let tbl = Hashtbl.create 64 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    (try
+       while true do
+         match parse_checkpoint_line (input_line ic) with
+         | Some (k, v) -> Hashtbl.replace tbl k v
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic
+  end;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* The supervised executor *)
+
+type 'b supervised = { tasks : 'b Task.t list; report : report }
+
+let supervise ?jobs ?(budget = no_budget) ?(retry = no_retry)
+    ?(keep_going = true) ?checkpoint ?resume ?codec ?on_event ~key f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let n = List.length xs in
+  let inputs = Array.of_list xs in
+  let keys = Array.map key inputs in
+  let slots : 'b Task.t option array = Array.make n None in
+  let stop = Atomic.make false in
+  let next = Atomic.make 0 in
+  let attempts_run = Atomic.make 0 in
+  let sweep_start = Unix.gettimeofday () in
+  (* Serializes event callbacks and checkpoint appends across worker
+     domains. *)
+  let io_lock = Mutex.create () in
+  let locked fn =
+    Mutex.lock io_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock io_lock) fn
+  in
+  let emit ev =
+    match on_event with Some g -> locked (fun () -> g ev) | None -> ()
+  in
+  let codec_or_fail what =
+    match codec with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Sweep.supervise: %s requires ~codec" what)
+  in
+  (* Resume: settle every slot whose key has a decodable value in the
+     checkpoint before any worker starts. *)
+  let resumed = ref 0 in
+  (match resume with
+  | None -> ()
+  | Some path ->
+      let codec = codec_or_fail "~resume" in
+      let tbl = load_checkpoint path in
+      Array.iteri
+        (fun i k ->
+          match Hashtbl.find_opt tbl k with
+          | None -> ()
+          | Some v -> (
+              match codec.Task.decode v with
+              | r ->
+                  slots.(i) <- Some (Task.Ok r);
+                  incr resumed;
+                  emit
+                    (Slot_ok
+                       { index = i; key = k; attempts = 0; elapsed = 0.;
+                         resumed = true })
+              | exception _ -> ()))
+        keys);
+  let ckpt_chan =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+        let _ = codec_or_fail "~checkpoint" in
+        Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+  in
+  let write_checkpoint i r =
+    match (ckpt_chan, codec) with
+    | Some oc, Some c ->
+        locked (fun () ->
+            output_string oc
+              (checkpoint_line ~key:keys.(i) ~index:i ~value:(c.Task.encode r));
+            output_char oc '\n';
+            flush oc)
+    | _ -> ()
+  in
+  let settle i task =
+    slots.(i) <- Some task;
+    match task with
+    | Task.Ok _ | Task.Skipped -> ()
+    | Task.Failed _ | Task.Timed_out _ ->
+        if not keep_going then Atomic.set stop true
+  in
+  let attempt_slot i =
+    let t0 = Unix.gettimeofday () in
+    let rec go attempt =
+      Atomic.incr attempts_run;
+      let att_start = Unix.gettimeofday () in
+      match with_budget_from budget ~start:att_start (fun () -> f inputs.(i)) with
+      | r ->
+          settle i (Task.Ok r);
+          write_checkpoint i r;
+          emit
+            (Slot_ok
+               {
+                 index = i;
+                 key = keys.(i);
+                 attempts = attempt;
+                 elapsed = Unix.gettimeofday () -. t0;
+                 resumed = false;
+               })
+      | exception Sim.Cancelled { reason; _ } ->
+          (* Budgets trip deterministically for a given input; retrying
+             a timed-out slot would just burn the budget again. *)
+          let timeout =
+            {
+              Task.budget = reason;
+              attempts = attempt;
+              elapsed = Unix.gettimeofday () -. t0;
+            }
+          in
+          settle i (Task.Timed_out timeout);
+          emit (Slot_timed_out { index = i; key = keys.(i); timeout })
+      | exception e ->
+          let backtrace = Printexc.get_backtrace () in
+          if attempt < retry.attempts && retry.transient e then begin
+            let delay = backoff_delay retry ~index:i ~attempt in
+            emit
+              (Slot_retry
+                 {
+                   index = i;
+                   key = keys.(i);
+                   attempt;
+                   delay;
+                   exn = Printexc.to_string e;
+                 });
+            Unix.sleepf delay;
+            go (attempt + 1)
+          end
+          else begin
+            let failure =
+              {
+                Task.exn = Printexc.to_string e;
+                backtrace;
+                attempts = attempt;
+                elapsed = Unix.gettimeofday () -. t0;
+              }
+            in
+            settle i (Task.Failed failure);
+            emit (Slot_failed { index = i; key = keys.(i); failure })
+          end
+    in
+    go 1
+  in
+  (* Work-stealing claim loop, as in [map]; [claimed] publishes the
+     in-flight index of each worker so the supervisor can settle the
+     slot of a crashed domain. *)
+  let claimed = Array.init jobs (fun _ -> Atomic.make (-1)) in
+  let worker w () =
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          Atomic.set claimed.(w) i;
+          if Option.is_none slots.(i) then attempt_slot i;
+          Atomic.set claimed.(w) (-1);
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  (if jobs <= 1 || n <= 1 then worker 0 ()
+   else begin
+     let workers = min jobs n in
+     let pool =
+       ref (List.init workers (fun w -> (w, Domain.spawn (worker w))))
+     in
+     (* Supervision loop: join every worker; a domain that died outside
+        the per-attempt catch (I/O error in a sink, resource
+        exhaustion in the runtime) has its claimed slot settled as
+        Failed, and a fresh domain replaces it while work remains. *)
+     while !pool <> [] do
+       let (w, d), rest =
+         match !pool with x :: tl -> (x, tl) | [] -> assert false
+       in
+       pool := rest;
+       match Domain.join d with
+       | () -> ()
+       | exception e ->
+           let i =
+             match Atomic.get claimed.(w) with -1 -> None | i -> Some i
+           in
+           emit
+             (Worker_crashed { worker = w; index = i; exn = Printexc.to_string e });
+           (match i with
+           | Some i when Option.is_none slots.(i) ->
+               let failure =
+                 {
+                   Task.exn = Printexc.to_string e;
+                   backtrace = "";
+                   attempts = 1;
+                   elapsed = 0.;
+                 }
+               in
+               settle i (Task.Failed failure);
+               emit (Slot_failed { index = i; key = keys.(i); failure })
+           | _ -> ());
+           Atomic.set claimed.(w) (-1);
+           if Atomic.get next < n && not (Atomic.get stop) then begin
+             emit (Worker_respawned { worker = w });
+             pool := (w, Domain.spawn (worker w)) :: !pool
+           end
+     done
+   end);
+  Option.iter close_out ckpt_chan;
+  let tasks =
+    Array.to_list
+      (Array.map (function Some t -> t | None -> Task.Skipped) slots)
+  in
+  let report =
+    report_of ~resumed:!resumed ~attempts:(Atomic.get attempts_run)
+      ~wall:(Unix.gettimeofday () -. sweep_start)
+      tasks
+  in
+  { tasks; report }
+
+let run_supervised ?jobs ?budget ?retry ?keep_going ?checkpoint ?resume
+    ?on_event scenarios =
+  supervise ?jobs ?budget ?retry ?keep_going ?checkpoint ?resume
+    ~codec:Scenario.result_codec ?on_event ~key:Scenario.digest Scenario.run
+    scenarios

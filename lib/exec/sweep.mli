@@ -8,29 +8,228 @@
     domain-sharded profiler), they are bit-for-bit identical to
     sequential evaluation.
 
+    Two execution regimes share that claiming loop:
+
+    - {!map} / {!run} / {!average} — all-or-nothing: any failure
+      aborts the sweep with {!Sweep_errors} after all workers drain.
+    - {!supervise} / {!run_supervised} — fault-tolerant: every slot
+      settles as a {!Task.t} (keep-going), per-attempt budgets cancel
+      runaway simulations cooperatively, transient failures retry with
+      jittered exponential backoff, completed slots stream to a JSONL
+      checkpoint, and an interrupted sweep resumes re-running only the
+      missing slots.
+
     Telemetry caveat: sweeps run scenarios without trace sinks or
     metrics registries — sinks are per-run mutable state and channels
     would interleave across domains. Attach telemetry to a single
-    {!Scenario.run} instead. The global profiler may stay enabled
-    during a sweep (shards merge in its report); call
-    {!Pdq_engine.Profiler.reset} only between sweeps. *)
+    {!Scenario.run} instead; the supervisor has its own wall-clock
+    event stream ({!event}, bridged to a trace bus by {!emit_trace}).
+    The global profiler may stay enabled during a sweep (shards merge
+    in its report); call {!Pdq_engine.Profiler.reset} only between
+    sweeps. *)
+
+exception Sweep_errors of (int * exn) list
+(** Raised by {!map} (and {!run} / {!average}) after all workers have
+    drained, listing {e every} failing input index with its exception,
+    in input order. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()]. *)
+(** [Domain.recommended_domain_count ()], unless the [PDQ_JOBS]
+    environment variable names a positive integer — the process-wide
+    parallelism pin for CI and bench (clamped to [>= 1]). *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {1 Run budgets} *)
+
+type budget = {
+  wall : float option;   (** Wall-clock seconds per attempt. *)
+  events : int option;   (** Simulator events executed per attempt. *)
+  live : int option;     (** Ceiling on live queued events (heap
+                             blow-up guard). *)
+  check_every : int;     (** Cooperative check period, in events. *)
+}
+(** Per-attempt budget, enforced via {!Pdq_engine.Sim} cooperative
+    cancellation: every simulator created while an attempt runs checks
+    the budget every [check_every] events (tightened automatically for
+    small event budgets) and raises [Sim.Cancelled] when it trips.
+    Costs nothing when empty, one [match] per event otherwise. *)
+
+val no_budget : budget
+
+val budget :
+  ?wall:float -> ?events:int -> ?live:int -> ?check_every:int -> unit -> budget
+(** [check_every] defaults to 1024. *)
+
+val with_budget : budget -> (unit -> 'a) -> 'a
+(** [with_budget b fn] installs [b] as the calling domain's default
+    cancellation hook for the duration of [fn] — every simulator
+    created inside picks it up. The wall deadline is anchored at the
+    call; a tripped budget raises [Sim.Cancelled] out of [fn]. Used by
+    the CLI to give single runs the same [--timeout] semantics as
+    supervised sweeps. *)
+
+(** {1 Retry policy} *)
+
+type retry = {
+  attempts : int;            (** Max attempts per slot ([>= 1]; 1 =
+                                 no retry). *)
+  base_delay : float;        (** Backoff base, seconds. *)
+  max_delay : float;         (** Backoff cap, seconds. *)
+  transient : exn -> bool;   (** Only matching failures are retried
+                                 (timeouts never are — budgets trip
+                                 deterministically). *)
+}
+
+val no_retry : retry
+(** Single attempt. *)
+
+val retry :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?transient:(exn -> bool) ->
+  unit ->
+  retry
+(** Defaults: 1 attempt, 50 ms base, 2 s cap, every exception
+    transient. The backoff delay for attempt [k] is
+    [min max_delay (base_delay * 2^(k-1))] jittered by a factor in
+    [\[0.5, 1.5)] drawn from an RNG seeded by (slot, attempt) — the
+    schedule is deterministic and independent of the worker count. *)
+
+(** {1 All-or-nothing execution} *)
+
+val map : ?jobs:int -> ?budget:budget -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] evaluates [f] over [xs] on [min jobs (length xs)]
     domains and returns the results in input order. [jobs] defaults to
-    {!default_jobs}; [jobs <= 1] degrades to [List.map] (no domain is
-    spawned). If any [f x] raises, the first exception (in input
-    order) is re-raised after all workers have drained. *)
+    {!default_jobs}; [jobs <= 1] degrades to a sequential loop (no
+    domain is spawned). If any [f x] raises, {!Sweep_errors} with
+    every failing index is raised after all workers have drained — one
+    bad slot no longer hides the others' diagnoses, but partial
+    results are still discarded (use {!supervise} to keep them). An
+    optional [budget] bounds each evaluation; a tripped budget raises
+    [Sim.Cancelled] for that index, reported through {!Sweep_errors}
+    like any other failure. *)
 
 val run :
-  ?jobs:int -> Scenario.t list -> Pdq_transport.Runner.result list
+  ?jobs:int ->
+  ?budget:budget ->
+  Scenario.t list ->
+  Pdq_transport.Runner.result list
 (** [map ~jobs Scenario.run], telemetry-free. *)
 
-val average : ?jobs:int -> seeds:int list -> (int -> float) -> float
+val average :
+  ?jobs:int -> ?budget:budget -> seeds:int list -> (int -> float) -> float
 (** [average ~seeds f] is the arithmetic mean of [f seed] over
     [seeds], evaluated in parallel. The summation order is the input
     order, so the result is bit-for-bit independent of [jobs]. The
     single seed-averaging loop behind every figure driver. *)
+
+(** {1 Supervisor telemetry} *)
+
+type event =
+  | Slot_ok of {
+      index : int;
+      key : string;
+      attempts : int;
+      elapsed : float;
+      resumed : bool;  (** Loaded from the checkpoint, not executed. *)
+    }
+  | Slot_failed of { index : int; key : string; failure : Task.failure }
+  | Slot_timed_out of { index : int; key : string; timeout : Task.timeout }
+  | Slot_retry of {
+      index : int;
+      key : string;
+      attempt : int;  (** The attempt that just failed. *)
+      delay : float;  (** Backoff before the next one. *)
+      exn : string;
+    }
+  | Worker_crashed of { worker : int; index : int option; exn : string }
+      (** A worker domain died outside the per-attempt catch; [index]
+          is the slot it had claimed (settled as [Failed]). *)
+  | Worker_respawned of { worker : int }
+      (** A replacement domain joined the pool. *)
+
+val emit_trace : Pdq_telemetry.Trace.t -> event -> unit
+(** Forward a supervisor event to a trace bus as a
+    [Trace.Sweep_task] — pair with a wall-clock bus, e.g.
+    [Trace.create ~clock:Unix.gettimeofday ~sinks]. *)
+
+(** {1 Resilience report} *)
+
+type report = {
+  total : int;
+  ok : int;
+  resumed : int;     (** Subset of [ok] satisfied from the
+                         checkpoint. *)
+  failed : int;
+  timed_out : int;
+  skipped : int;
+  attempts : int;    (** Attempts actually executed (retries included,
+                         resumed slots excluded). *)
+  wall : float;      (** Sweep wall-clock seconds. *)
+  slots : (int * string) list;
+      (** Every non-[Ok] slot with its deterministic cause line. *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+(** Counts and per-slot causes; deliberately omits wall-clock numbers
+    so supervised sweep output is reproducible run to run. *)
+
+val report_to_json : report -> string
+(** One JSON object (wall time included) — the machine-readable sweep
+    failure artifact. *)
+
+(** {1 Supervised execution} *)
+
+type 'b supervised = { tasks : 'b Task.t list; report : report }
+
+val supervise :
+  ?jobs:int ->
+  ?budget:budget ->
+  ?retry:retry ->
+  ?keep_going:bool ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?codec:'b Task.codec ->
+  ?on_event:(event -> unit) ->
+  key:('a -> string) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b supervised
+(** Fault-tolerant {!map}: one {!Task.t} per input, in input order.
+
+    - A crash settles its slot as [Failed] (exception, backtrace,
+      attempts, elapsed); with [keep_going] (default [true]) the sweep
+      continues, otherwise workers stop claiming and unattempted slots
+      settle as [Skipped].
+    - [budget] cancels an attempt cooperatively mid-simulation; the
+      slot settles as [Timed_out] with the tripped budget's name.
+    - [retry] re-runs failing attempts classified [transient], with
+      deterministic jittered exponential backoff.
+    - A worker domain that dies outside the attempt wrapper is
+      detected at join: its claimed slot is settled as [Failed] and a
+      fresh domain replaces it while unclaimed work remains — one
+      poisoned slot cannot idle a pool slot forever.
+    - [checkpoint] streams every [Ok] slot to a JSONL file (append,
+      flushed per line) keyed by [key input]; [resume] pre-settles
+      slots whose key has a decodable value in an existing checkpoint
+      file, so only missing/failed slots re-execute. Both require
+      [codec]; torn or malformed lines (a kill mid-write) are ignored.
+    - [on_event] observes the slot lifecycle (calls are serialized
+      across workers).
+
+    [key] must be injective over the sweep inputs (a content hash —
+    see {!Scenario.digest}); [f] must be deterministic for resume to
+    be bit-identical to an uninterrupted run. *)
+
+val run_supervised :
+  ?jobs:int ->
+  ?budget:budget ->
+  ?retry:retry ->
+  ?keep_going:bool ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?on_event:(event -> unit) ->
+  Scenario.t list ->
+  Pdq_transport.Runner.result supervised
+(** {!supervise} over {!Scenario.run} with {!Scenario.digest} keys and
+    {!Scenario.result_codec} checkpointing. *)

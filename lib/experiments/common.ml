@@ -126,14 +126,14 @@ let chunks k xs =
   in
   go [] xs
 
-let sweep_metric ?jobs ~seeds ~metric scenario_of keys =
+let sweep_metric ?jobs ?budget ~seeds ~metric scenario_of keys =
   let scenarios =
     List.concat_map
       (fun k ->
         List.map (fun seed -> Scenario.with_seed (scenario_of k) seed) seeds)
       keys
   in
-  let results = Array.of_list (Sweep.run ?jobs scenarios) in
+  let results = Array.of_list (Sweep.run ?jobs ?budget scenarios) in
   let nseeds = List.length seeds in
   List.mapi
     (fun i k ->

@@ -88,6 +88,7 @@ val chunks : int -> 'a list -> 'a list list
 
 val sweep_metric :
   ?jobs:int ->
+  ?budget:Pdq_exec.Sweep.budget ->
   seeds:int list ->
   metric:(Pdq_transport.Runner.result -> float) ->
   ('a -> Pdq_exec.Scenario.t) ->
@@ -96,7 +97,8 @@ val sweep_metric :
 (** Flatten [keys × seeds] into one parallel sweep and hand back, per
     key in input order, the seed-average of [metric]. This is how the
     figure drivers expose whole-figure parallelism instead of only the
-    2–5-way seed loop. *)
+    2–5-way seed loop. An optional [budget] bounds each run (a tripped
+    budget surfaces through {!Pdq_exec.Sweep.Sweep_errors}). *)
 
 val search_max_flows :
   ?lo:int ->

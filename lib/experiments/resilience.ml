@@ -110,7 +110,7 @@ let reduce_cell results =
    as the normalization base), columns = per-protocol normalized FCT,
    miss%% and aborts. Returns the table plus the per-cause counters of
    the most intense row for each protocol. *)
-let sweep ?jobs ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
+let sweep ?jobs ?budget ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
   let header =
     axis
     :: List.concat_map
@@ -128,7 +128,7 @@ let sweep ?jobs ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
           protocols)
       rows_spec
   in
-  let results = Sweep.run ?jobs grid in
+  let results = Sweep.run ?jobs ?budget grid in
   let cells =
     List.map2
       (fun row per_row ->
@@ -169,7 +169,7 @@ let sweep ?jobs ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
 
 (* 1. Bursty loss on the tree's root-side cables: Gilbert-Elliott with
    ~5% stationary loss, sweeping the mean burst length (packets). *)
-let loss_burst_sweep ?jobs ?(quick = true) () =
+let loss_burst_sweep ?jobs ?budget ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let burst_lengths = if quick then [ 1.; 20. ] else [ 1.; 5.; 20.; 80. ] in
   let ge_of_burst burst =
@@ -203,13 +203,13 @@ let loss_burst_sweep ?jobs ?(quick = true) () =
     }
   in
   let rows_spec = clean :: List.map bursty burst_lengths in
-  sweep ?jobs
+  sweep ?jobs ?budget
     ~title:"Resilience - 5% Gilbert-Elliott loss vs mean burst length [pkts]"
     ~axis:"burst" ~seeds ~flows:12 ~window:0.1 ~horizon:3. rows_spec
 
 (* 2. Link flapping on a fat-tree: memoryless fail/repair of
    switch-switch cables; ECMP flows are re-pinned around the outage. *)
-let link_failure_sweep ?jobs ?(quick = true) () =
+let link_failure_sweep ?jobs ?budget ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let mtbfs = if quick then [ 0.3 ] else [ 1.; 0.3; 0.1 ] in
   let clean =
@@ -231,13 +231,13 @@ let link_failure_sweep ?jobs ?(quick = true) () =
     }
   in
   let rows_spec = clean :: List.map flapping mtbfs in
-  sweep ?jobs
+  sweep ?jobs ?budget
     ~title:"Resilience - fat-tree link flapping vs cable MTBF [s] (MTTR 30ms)"
     ~axis:"mtbf" ~seeds ~flows:16 ~window:0.2 ~horizon:3. rows_spec
 
 (* 3. Switch crash-reboots on the tree: per-flow scheduler soft state
    is wiped and must be rebuilt from the headers in flight. *)
-let switch_reboot_sweep ?jobs ?(quick = true) () =
+let switch_reboot_sweep ?jobs ?budget ?(quick = true) () =
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let mtbfs = if quick then [ 0.05 ] else [ 0.5; 0.1; 0.02 ] in
   let clean =
@@ -259,7 +259,7 @@ let switch_reboot_sweep ?jobs ?(quick = true) () =
     }
   in
   let rows_spec = clean :: List.map rebooting mtbfs in
-  sweep ?jobs ~title:"Resilience - switch crash-reboots vs switch MTBF [s]"
+  sweep ?jobs ?budget ~title:"Resilience - switch crash-reboots vs switch MTBF [s]"
     ~axis:"mtbf" ~seeds ~flows:12 ~window:0.2 ~horizon:3. rows_spec
 
 let pp_counters counters =
@@ -282,12 +282,12 @@ let counters_table named_counters =
         named_counters;
   }
 
-let run_all ?jobs ?(quick = true) ppf () =
-  let t1, c1 = loss_burst_sweep ?jobs ~quick () in
+let run_all ?jobs ?budget ?(quick = true) ppf () =
+  let t1, c1 = loss_burst_sweep ?jobs ?budget ~quick () in
   Common.pp_table ppf t1;
-  let t2, c2 = link_failure_sweep ?jobs ~quick () in
+  let t2, c2 = link_failure_sweep ?jobs ?budget ~quick () in
   Common.pp_table ppf t2;
-  let t3, c3 = switch_reboot_sweep ?jobs ~quick () in
+  let t3, c3 = switch_reboot_sweep ?jobs ?budget ~quick () in
   Common.pp_table ppf t3;
   Common.pp_table ppf
     (counters_table

@@ -7,26 +7,38 @@
     deadline-miss percentage, and watchdog aborts; alongside each table
     the per-cause counters ([abort.*], [fault.*], [drop.*]) of the
     highest-intensity row. [jobs] spreads the whole
-    intensity × protocol × seed grid over the domain pool. *)
+    intensity × protocol × seed grid over the domain pool; [budget]
+    bounds each run (wall clock and/or simulator events) so a
+    pathological fault configuration cannot hang the whole driver — a
+    tripped budget surfaces as {!Pdq_exec.Sweep.Sweep_errors}. *)
 
 val loss_burst_sweep :
   ?jobs:int ->
+  ?budget:Pdq_exec.Sweep.budget ->
   ?quick:bool ->
   unit ->
   Common.table * (string * (string * int) list) list
 
 val link_failure_sweep :
   ?jobs:int ->
+  ?budget:Pdq_exec.Sweep.budget ->
   ?quick:bool ->
   unit ->
   Common.table * (string * (string * int) list) list
 
 val switch_reboot_sweep :
   ?jobs:int ->
+  ?budget:Pdq_exec.Sweep.budget ->
   ?quick:bool ->
   unit ->
   Common.table * (string * (string * int) list) list
 
-val run_all : ?jobs:int -> ?quick:bool -> Format.formatter -> unit -> unit
+val run_all :
+  ?jobs:int ->
+  ?budget:Pdq_exec.Sweep.budget ->
+  ?quick:bool ->
+  Format.formatter ->
+  unit ->
+  unit
 (** Run all three sweeps and print their tables plus the per-cause
     counter summary. *)

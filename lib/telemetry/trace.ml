@@ -37,6 +37,14 @@ type event =
   | Switch_rebuilt of { switch : int }
   | Packet_dropped of { link : int; cause : drop_cause }
   | Fault of { desc : string }
+  | Sweep_task of {
+      index : int;
+      key : string;
+      state : string;
+      attempts : int;
+      elapsed : float;
+      detail : string;
+    }
 
 let severity_of_event = function
   | Flow_rx _ | Flow_rate_set _ -> Trace
@@ -45,6 +53,10 @@ let severity_of_event = function
     ->
       Info
   | Flow_aborted _ | Switch_flushed _ | Packet_dropped _ | Fault _ -> Warn
+  | Sweep_task { state; _ } -> (
+      match state with
+      | "failed" | "timed-out" | "crashed" -> Warn
+      | _ -> Info)
 
 (* Floats in JSON: %.9g never produces inf/nan here (rates and times
    are finite by construction) and round-trips doubles closely enough
@@ -103,6 +115,14 @@ let event_to_json ~time ev =
           link (drop_cause_name cause)
     | Fault { desc } ->
         Printf.sprintf "\"ev\":\"fault\",\"desc\":\"%s\"" (json_escape desc)
+    | Sweep_task { index; key; state; attempts; elapsed; detail } ->
+        Printf.sprintf
+          "\"ev\":\"sweep_task\",\"slot\":%d,\"key\":\"%s\",\"state\":\"%s\",\
+           \"attempts\":%d,\"elapsed\":%s%s"
+          index (json_escape key) (json_escape state) attempts
+          (j_float elapsed)
+          (if detail = "" then ""
+           else Printf.sprintf ",\"detail\":\"%s\"" (json_escape detail))
   in
   Printf.sprintf "{\"t\":%s,%s}" (j_float time) fields
 
@@ -137,6 +157,10 @@ let pp_event ppf ev =
       Format.fprintf ppf "packet_dropped link=%d cause=%s" link
         (drop_cause_name cause)
   | Fault { desc } -> Format.fprintf ppf "fault %s" desc
+  | Sweep_task { index; key; state; attempts; detail; _ } ->
+      Format.fprintf ppf "sweep_task slot=%d key=%s state=%s attempts=%d%s"
+        index key state attempts
+        (if detail = "" then "" else Printf.sprintf " detail=%s" detail)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks *)

@@ -60,6 +60,19 @@ type event =
       (** Injected fault or fault-handling side effect (reroute
           failure, stale route, reboot), named by its tally key or
           plan-event description. *)
+  | Sweep_task of {
+      index : int;
+      key : string;
+      state : string;
+      attempts : int;
+      elapsed : float;
+      detail : string;
+    }
+      (** Supervised-sweep slot lifecycle ([state] ∈ ok / resumed /
+          failed / timed-out / retry / crashed / respawned). Emitted on
+          a {e wall-clock} bus by the {!Pdq_exec.Sweep} supervisor —
+          the one event family whose timestamps are not simulated
+          time. [detail] carries the exception or tripped budget. *)
 
 val severity_of_event : event -> severity
 

@@ -1,6 +1,7 @@
 (* In-process tests of the pdq_sim command line: one case per exit
    status of the documented discipline (0 ok, 3 fault-aborted, 4
-   invariant violation, 124 usage error). *)
+   invariant violation, 5 timed-out, 6 supervised-sweep failure,
+   124 usage error). *)
 
 let eval args = Pdq_cli.eval ~argv:(Array.of_list ("pdq_sim" :: args)) ()
 
@@ -14,7 +15,10 @@ let test_check_ok () =
 let test_usage_error () =
   Alcotest.(check int) "unknown flag" 124 (eval [ "--no-such-flag" ]);
   Alcotest.(check int) "unknown protocol" 124 (eval [ "--proto"; "carrier-pigeon" ]);
-  Alcotest.(check int) "unknown topology" 124 (eval [ "--topo"; "moebius" ])
+  Alcotest.(check int) "unknown topology" 124 (eval [ "--topo"; "moebius" ]);
+  Alcotest.(check int) "--checkpoint with --check" 124
+    (eval [ "--check"; "--checkpoint"; "x.jsonl" ]);
+  Alcotest.(check int) "negative --retries" 124 (eval [ "--retries"; "-1" ])
 
 (* Aggressive link flapping with a repair time far beyond the horizon
    cuts every path for good: the watchdogs abort and the process must
@@ -55,6 +59,51 @@ let test_check_out_written () =
   Alcotest.(check bool) "JSONL report written" true
     (String.length first > 0 && first.[0] = '{')
 
+(* A 100-event budget cuts any real run short: a supervised sweep
+   where every seed times out must exit 5, and a budgeted single run
+   likewise. *)
+let test_timed_out_sweep () =
+  Alcotest.(check int) "budgeted sweep exits 5" 5
+    (eval [ "--flows"; "4"; "--seeds"; "1,2"; "--max-events"; "100";
+            "--keep-going" ])
+
+let test_timed_out_single () =
+  Alcotest.(check int) "budgeted single run exits 5" 5
+    (eval [ "--flows"; "4"; "--max-events"; "100" ])
+
+(* Checkpoint a 2-seed sweep, then resume it widened to 4 seeds: the
+   resumed sweep must succeed and leave a checkpoint covering all
+   seeds. *)
+let test_checkpoint_resume_flow () =
+  let path = Filename.temp_file "pdq_cli_ck" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Alcotest.(check int) "checkpointed sweep exits 0" 0
+    (eval [ "--flows"; "4"; "--seeds"; "1,2"; "--keep-going";
+            "--checkpoint"; path ]);
+  Alcotest.(check int) "resumed (widened) sweep exits 0" 0
+    (eval [ "--flows"; "4"; "--seeds"; "1,2,3,4"; "--resume"; path ]);
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "checkpoint holds all four seeds" 4 !lines
+
+let test_report_out_written () =
+  let path = Filename.temp_file "pdq_cli_report" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Alcotest.(check int) "supervised sweep exits 0" 0
+    (eval [ "--flows"; "4"; "--seeds"; "1,2"; "--timeout"; "60";
+            "--report-out"; path ]);
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "JSON report written" true
+    (String.length first > 0 && first.[0] = '{')
+
 let suites =
   [
     ( "cli.exit_codes",
@@ -68,5 +117,10 @@ let suites =
         Alcotest.test_case "violation dominates abort" `Quick
           test_violation_dominates_abort;
         Alcotest.test_case "check-out report" `Quick test_check_out_written;
+        Alcotest.test_case "timed-out sweep" `Quick test_timed_out_sweep;
+        Alcotest.test_case "timed-out single run" `Quick test_timed_out_single;
+        Alcotest.test_case "checkpoint then resume" `Quick
+          test_checkpoint_resume_flow;
+        Alcotest.test_case "report-out" `Quick test_report_out_written;
       ] );
   ]

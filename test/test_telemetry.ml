@@ -276,6 +276,9 @@ let tag = function
            | Trace.Stale_route -> "stale"))
   | Trace.Flow_rx _ | Trace.Flow_rate_set _ -> None
   | Trace.Fault _ -> Some "fault"
+  (* Supervisor lifecycle events ride a wall-clock bus, never a
+     simulation trace. *)
+  | Trace.Sweep_task _ -> None
 
 let test_golden_trace () =
   let mem = Trace.memory () in
