@@ -59,6 +59,11 @@ let targets : (string * (quick:bool -> jobs:int option -> unit)) list =
         Common.pp_table ppf (Ablation.early_start_k ?jobs ~quick ());
         Common.pp_table ppf (Ablation.probing ?jobs ~quick ());
         Common.pp_table ppf (Ablation.dampening ?jobs ~quick ()) );
+    ( "forensics",
+      fun ~quick:_ ~jobs:_ ->
+        Common.pp_table ppf (Fig3.attribution ());
+        Common.pp_table ppf (Fig9.attribution ());
+        Common.pp_table ppf (Resilience.attribution ()) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -118,6 +123,25 @@ let micro () =
                   spec built.Pdq_topo.Builder.hosts.(1);
                 ])))
   in
+  let forensics_bench =
+    (* Record the event stream once; the benched unit is the pure
+       analysis fold (span reconstruction + attribution), not the
+       simulation producing it. *)
+    let events =
+      let mem = Pdq_telemetry.Trace.memory () in
+      let telemetry =
+        { Pdq_transport.Runner.no_telemetry with sinks = [ mem ] }
+      in
+      ignore
+        (Pdq_exec.Scenario.run ~telemetry
+           (Common.aggregation_scenario ~flows:12
+              (Pdq_transport.Runner.Pdq Pdq_core.Config.full)));
+      Pdq_telemetry.Trace.memory_events mem
+    in
+    Test.make ~name:"forensics attribution, 12-flow trace"
+      (Staged.stage (fun () ->
+           ignore (Pdq_forensics.Attribution.of_events events)))
+  in
   let benchmark test =
     let instances = Toolkit.Instance.[ monotonic_clock ] in
     let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.) () in
@@ -138,7 +162,7 @@ let micro () =
           | Some [ est ] -> Format.printf "%-32s %12.1f ns/run@." name est
           | _ -> Format.printf "%-32s (no estimate)@." name)
         results)
-    [ heap_bench; switch_bench; sim_bench ]
+    [ heap_bench; switch_bench; sim_bench; forensics_bench ]
 
 (* Machine-readable per-target record: wall-clock seconds, simulator
    events executed (global-profiler delta over the target), resulting

@@ -14,7 +14,10 @@
      pdq_sim --seeds 1,2,3,4 --timeout 30 --retries 2 --keep-going \
              --checkpoint sweep.ckpt
      pdq_sim --seeds 1,2,3,4 --resume sweep.ckpt --report-out report.json
-     pdq_sim --resilience --jobs 4 *)
+     pdq_sim --resilience --jobs 4
+     pdq_sim --proto pdq --trace-out t.jsonl --forensics-out report.txt
+     pdq_sim forensics t.jsonl
+     pdq_sim forensics --diff a.jsonl b.jsonl *)
 
 open Cmdliner
 module Runner = Pdq_transport.Runner
@@ -24,6 +27,8 @@ module Sweep = Pdq_exec.Sweep
 module Task = Pdq_exec.Task
 module Trace = Pdq_telemetry.Trace
 module Report = Pdq_check.Report
+module Attribution = Pdq_forensics.Attribution
+module Trace_diff = Pdq_forensics.Trace_diff
 
 let exit_fault_aborted = 3
 let exit_invariant_violation = 4
@@ -37,6 +42,7 @@ let exit_run_failed = 6
 type cli_opts = {
   trace_out : string option;
   metrics_out : string option;
+  forensics_out : string option;
   metrics_every : float;
   profile : bool;
   jobs : int option;
@@ -70,6 +76,9 @@ let supervised opts =
   budget_opt opts <> None || opts.retries > 0 || opts.keep_going
   || opts.checkpoint <> None || opts.resume <> None
   || opts.report_out <> None
+  (* Forensics over a sweep rides the supervisor so per-slot summaries
+     can thread into its report. *)
+  || opts.forensics_out <> None
 
 let print_result ~(scenario : Scenario.t) (r : Runner.result) =
   Printf.printf "%s: %d flows (seed %d)\n" scenario.Scenario.name
@@ -130,6 +139,50 @@ let code_of ~violations (r : Runner.result) =
   else if r.Runner.aborted > 0 then exit_fault_aborted
   else 0
 
+(* Per-seed sink files for sweeps: trace.jsonl -> trace.seed7.jsonl. *)
+let seed_path path ~seed =
+  Printf.sprintf "%s.seed%d%s"
+    (Filename.remove_extension path)
+    seed
+    (Filename.extension path)
+
+let seed_pattern path =
+  Printf.sprintf "%s.seed<N>%s"
+    (Filename.remove_extension path)
+    (Filename.extension path)
+
+let write_metrics path m =
+  let oc = open_out path in
+  if Filename.check_suffix path ".jsonl" then
+    Pdq_telemetry.Metrics.write_jsonl m oc
+  else Pdq_telemetry.Metrics.write_csv m oc;
+  close_out oc
+
+(* The forensics output format follows the file extension; anything
+   that is not .json or .csv gets the human-readable table. *)
+let render_forensics ~path report =
+  if Filename.check_suffix path ".json" then Attribution.to_json report ^ "\n"
+  else if Filename.check_suffix path ".csv" then Attribution.to_csv report
+  else Attribution.to_text report
+
+let write_forensics path report =
+  let oc = open_out path in
+  output_string oc (render_forensics ~path report);
+  close_out oc
+
+(* One deterministic line per slot, threaded into the supervised sweep
+   report as a note. *)
+let forensics_summary (r : Attribution.report) =
+  let t = r.Attribution.totals in
+  Printf.sprintf
+    "forensics: %d flows, fct %.3f ms (paused %.3f, recovery %.3f, downtime \
+     %.3f)"
+    (List.length r.Attribution.flows)
+    (1e3 *. r.Attribution.total_fct)
+    (1e3 *. t.Attribution.paused)
+    (1e3 *. t.Attribution.recovery)
+    (1e3 *. t.Attribution.downtime)
+
 (* One run with the full telemetry plumbing attached. *)
 let run_single_plain scenario opts =
   let trace_chan = Option.map open_out opts.trace_out in
@@ -138,13 +191,19 @@ let run_single_plain scenario opts =
     | Some _ -> Some (Pdq_telemetry.Metrics.create ())
     | None -> None
   in
+  let forensics_mem =
+    match opts.forensics_out with
+    | Some _ -> Some (Trace.memory ())
+    | None -> None
+  in
   let telemetry =
     {
       Runner.no_telemetry with
       Runner.sinks =
         (match trace_chan with
         | Some oc -> [ Pdq_telemetry.Trace.jsonl oc ]
-        | None -> []);
+        | None -> [])
+        @ (match forensics_mem with Some mem -> [ mem ] | None -> []);
       metrics;
       metrics_every = opts.metrics_every;
     }
@@ -173,12 +232,14 @@ let run_single_plain scenario opts =
   | None -> ());
   (match (metrics, opts.metrics_out) with
   | Some m, Some path ->
-      let oc = open_out path in
-      if Filename.check_suffix path ".jsonl" then
-        Pdq_telemetry.Metrics.write_jsonl m oc
-      else Pdq_telemetry.Metrics.write_csv m oc;
-      close_out oc;
+      write_metrics path m;
       Printf.printf "metrics written to %s\n" path
+  | _ -> ());
+  (match (forensics_mem, opts.forensics_out) with
+  | Some mem, Some path ->
+      write_forensics path
+        (Attribution.of_events (Pdq_telemetry.Trace.memory_events mem));
+      Printf.printf "forensics report written to %s\n" path
   | _ -> ());
   code_of ~violations r
 
@@ -220,12 +281,44 @@ let print_mean ~label results =
    damage. Ok results stream to --checkpoint; --resume re-executes
    only the missing seeds. *)
 let run_sweep_supervised scenario opts =
-  if opts.metrics_out <> None then
-    prerr_endline
-      "note: --metrics-out is ignored with --seeds (sinks are per-run; rerun \
-       with a single seed to capture metrics)";
   let scenarios = List.map (Scenario.with_seed scenario) opts.seeds in
   let checking = opts.check || opts.check_out <> None in
+  (* Per-run sinks get per-seed files (metrics.csv -> metrics.seed7.csv);
+     forensic attribution additionally leaves a one-line summary per
+     slot, threaded into the sweep report below. Resumed slots are not
+     re-executed, so they produce neither. *)
+  let notes_tbl : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let notes_mu = Mutex.create () in
+  let instrumented run s =
+    let seed = s.Scenario.seed in
+    let metrics =
+      Option.map (fun _ -> Pdq_telemetry.Metrics.create ()) opts.metrics_out
+    in
+    let forensics_mem =
+      Option.map (fun _ -> Trace.memory ()) opts.forensics_out
+    in
+    let telemetry =
+      {
+        Runner.no_telemetry with
+        Runner.sinks =
+          (match forensics_mem with Some mem -> [ mem ] | None -> []);
+        metrics;
+        metrics_every = opts.metrics_every;
+      }
+    in
+    let r = run ~telemetry s in
+    (match (metrics, opts.metrics_out) with
+    | Some m, Some path -> write_metrics (seed_path path ~seed) m
+    | _ -> ());
+    (match (forensics_mem, opts.forensics_out) with
+    | Some mem, Some path ->
+        let rep = Attribution.of_events (Trace.memory_events mem) in
+        write_forensics (seed_path path ~seed) rep;
+        let line = forensics_summary rep in
+        Mutex.protect notes_mu (fun () -> Hashtbl.replace notes_tbl seed line)
+    | _ -> ());
+    r
+  in
   (* --resume keeps appending new completions to the same file unless
      a distinct --checkpoint is given. *)
   let checkpoint =
@@ -249,7 +342,7 @@ let run_sweep_supervised scenario opts =
         Sweep.supervise ?jobs:opts.jobs ?budget:(budget_opt opts)
           ?retry:(retry_opt opts) ~keep_going:opts.keep_going ?on_event
           ~key:Scenario.digest
-          (fun s -> Scenario.run_checked s)
+          (instrumented (fun ~telemetry s -> Scenario.run_checked ~telemetry s))
           scenarios
       in
       ( List.map (Task.map (fun c -> c.Scenario.result)) sup.Sweep.tasks,
@@ -263,11 +356,25 @@ let run_sweep_supervised scenario opts =
     end
     else
       let sup =
-        Sweep.run_supervised ?jobs:opts.jobs ?budget:(budget_opt opts)
+        Sweep.supervise ?jobs:opts.jobs ?budget:(budget_opt opts)
           ?retry:(retry_opt opts) ~keep_going:opts.keep_going ?checkpoint
-          ?resume:opts.resume ?on_event scenarios
+          ?resume:opts.resume ~codec:Scenario.result_codec ?on_event
+          ~key:Scenario.digest
+          (instrumented (fun ~telemetry s -> Scenario.run ~telemetry s))
+          scenarios
       in
       (sup.Sweep.tasks, sup.Sweep.report, [])
+  in
+  let report =
+    if opts.forensics_out = None then report
+    else
+      Sweep.with_notes report
+        ~notes:
+          (List.mapi
+             (fun i seed ->
+               Option.map (fun n -> (i, n)) (Hashtbl.find_opt notes_tbl seed))
+             opts.seeds
+          |> List.filter_map Fun.id)
   in
   (match trace_chan with
   | Some oc ->
@@ -291,11 +398,18 @@ let run_sweep_supervised scenario opts =
       print_mean
         ~label:(Printf.sprintf "mean over %d ok seeds" (List.length oks))
         oks);
-  if report.Sweep.slots <> [] then Format.printf "%a" Sweep.pp_report report;
+  if report.Sweep.slots <> [] || report.Sweep.notes <> [] then
+    Format.printf "%a" Sweep.pp_report report;
   if checking then Format.printf "%a" Report.pp_list violations;
   Option.iter (fun path -> write_check_out path violations) opts.check_out;
   (* Resume bookkeeping and wall-clock material go to stderr so stdout
      stays diffable against an uninterrupted run. *)
+  if opts.metrics_out <> None then
+    Printf.eprintf "per-seed metrics written to %s\n%!"
+      (seed_pattern (Option.get opts.metrics_out));
+  if opts.forensics_out <> None then
+    Printf.eprintf "per-seed forensics reports written to %s\n%!"
+      (seed_pattern (Option.get opts.forensics_out));
   if report.Sweep.resumed > 0 then
     Printf.eprintf "resumed %d of %d seeds from checkpoint\n%!"
       report.Sweep.resumed report.Sweep.total;
@@ -322,19 +436,55 @@ let run_sweep_supervised scenario opts =
    sweep attaches one self-contained monitor per run, which keeps the
    fan-out domain-safe. *)
 let run_sweep scenario opts =
-  if opts.trace_out <> None || opts.metrics_out <> None then
-    prerr_endline
-      "note: --trace-out/--metrics-out are ignored with --seeds (sinks are \
-       per-run; rerun with a single seed to capture a trace)";
   let scenarios = List.map (Scenario.with_seed scenario) opts.seeds in
   let checking = opts.check || opts.check_out <> None in
+  (* Sinks are per-run state, so each run writes its own per-seed
+     files: --trace-out trace.jsonl with seed 7 lands in
+     trace.seed7.jsonl. Channels are opened and closed inside the
+     worker, never shared across domains. *)
+  let with_sinks run s =
+    let seed = s.Scenario.seed in
+    let trace_chan =
+      Option.map (fun p -> open_out (seed_path p ~seed)) opts.trace_out
+    in
+    let metrics =
+      Option.map (fun _ -> Pdq_telemetry.Metrics.create ()) opts.metrics_out
+    in
+    let telemetry =
+      {
+        Runner.no_telemetry with
+        Runner.sinks =
+          (match trace_chan with
+          | Some oc -> [ Pdq_telemetry.Trace.jsonl oc ]
+          | None -> []);
+        metrics;
+        metrics_every = opts.metrics_every;
+      }
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out trace_chan)
+      (fun () ->
+        let r = run ~telemetry s in
+        (match (metrics, opts.metrics_out) with
+        | Some m, Some path -> write_metrics (seed_path path ~seed) m
+        | _ -> ());
+        r)
+  in
   let results, violations =
     if checking then begin
-      let checked = Sweep.map ?jobs:opts.jobs Scenario.run_checked scenarios in
+      let checked =
+        Sweep.map ?jobs:opts.jobs
+          (with_sinks (fun ~telemetry s -> Scenario.run_checked ~telemetry s))
+          scenarios
+      in
       ( List.map (fun c -> c.Scenario.result) checked,
         List.concat_map (fun c -> c.Scenario.violations) checked )
     end
-    else (Sweep.run ?jobs:opts.jobs scenarios, [])
+    else
+      ( Sweep.map ?jobs:opts.jobs
+          (with_sinks (fun ~telemetry s -> Scenario.run ~telemetry s))
+          scenarios,
+        [] )
   in
   (* The domain count is an execution detail: stdout must be identical
      for any --jobs value. *)
@@ -344,6 +494,12 @@ let run_sweep scenario opts =
   print_mean ~label:"mean over seeds" results;
   if checking then Format.printf "%a" Report.pp_list violations;
   Option.iter (fun path -> write_check_out path violations) opts.check_out;
+  if opts.trace_out <> None then
+    Printf.eprintf "per-seed traces written to %s\n%!"
+      (seed_pattern (Option.get opts.trace_out));
+  if opts.metrics_out <> None then
+    Printf.eprintf "per-seed metrics written to %s\n%!"
+      (seed_pattern (Option.get opts.metrics_out));
   let aborted = List.exists (fun (r : Runner.result) -> r.Runner.aborted > 0) results in
   if violations <> [] then exit_invariant_violation
   else if aborted then exit_fault_aborted
@@ -481,9 +637,9 @@ let scenario_term =
       $ fault_until)
 
 let opts_term =
-  let make trace_out metrics_out metrics_every profile jobs seeds check
-      check_out timeout max_events retries keep_going checkpoint resume
-      report_out =
+  let make trace_out metrics_out forensics_out metrics_every profile jobs
+      seeds check check_out timeout max_events retries keep_going checkpoint
+      resume report_out =
     let checking = check || check_out <> None in
     if checking && (checkpoint <> None || resume <> None) then
       Error
@@ -497,6 +653,7 @@ let opts_term =
         {
           trace_out;
           metrics_out;
+          forensics_out;
           metrics_every;
           profile;
           jobs;
@@ -515,8 +672,10 @@ let opts_term =
   let trace_out =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ]
-             ~doc:"Write the structured event trace as JSONL to $(docv) (with \
-                   a supervised sweep: the sweep lifecycle events instead)"
+             ~doc:"Write the structured event trace as JSONL to $(docv). With \
+                   a plain --seeds sweep: one file per seed \
+                   (trace.seedN.jsonl); with a supervised sweep: the sweep \
+                   lifecycle events on a wall-clock bus instead"
              ~docv:"FILE")
   in
   let metrics_out =
@@ -525,6 +684,16 @@ let opts_term =
              ~doc:"Write the metrics registry (probe series, counters, \
                    histograms) to $(docv); .jsonl extension selects JSONL, \
                    anything else CSV"
+             ~docv:"FILE")
+  in
+  let forensics_out =
+    Arg.(value & opt (some string) None
+         & info [ "forensics-out" ]
+             ~doc:"Reconstruct per-flow lifecycle spans from the run's event \
+                   stream and write the FCT attribution report to $(docv) \
+                   (.json/.csv select the format, anything else the text \
+                   table). With --seeds: one file per seed plus a per-slot \
+                   summary in the sweep report"
              ~docv:"FILE")
   in
   let metrics_every =
@@ -627,9 +796,130 @@ let opts_term =
   in
   Term.term_result
     Term.(
-      const make $ trace_out $ metrics_out $ metrics_every $ profile $ jobs
-      $ seeds $ check $ check_out $ timeout $ max_events $ retries
-      $ keep_going $ checkpoint $ resume $ report_out)
+      const make $ trace_out $ metrics_out $ forensics_out $ metrics_every
+      $ profile $ jobs $ seeds $ check $ check_out $ timeout $ max_events
+      $ retries $ keep_going $ checkpoint $ resume $ report_out)
+
+(* ------------------------------------------------------------------ *)
+(* pdq_sim forensics: offline span reconstruction, FCT attribution and
+   trace diffing over recorded --trace-out JSONL files. *)
+
+let exit_bad_trace = 1
+
+let load_attribution path =
+  Result.map Attribution.of_events (Pdq_forensics.Replay.read_file path)
+
+let run_forensics ~traces ~diff ~format ~out ~threshold =
+  let write what s =
+    match out with
+    | None ->
+        print_string s;
+        0
+    | Some path ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc;
+        Printf.printf "forensics %s written to %s\n" what path;
+        0
+  in
+  match (diff, traces) with
+  | false, [ path ] -> (
+      match load_attribution path with
+      | Error msg ->
+          Printf.eprintf "pdq_sim forensics: %s\n%!" msg;
+          exit_bad_trace
+      | Ok rep ->
+          write "report"
+            (match format with
+            | `Text -> Attribution.to_text rep
+            | `Csv -> Attribution.to_csv rep
+            | `Json -> Attribution.to_json rep ^ "\n"))
+  | true, [ a; b ] -> (
+      match (load_attribution a, load_attribution b) with
+      | Error msg, _ | _, Error msg ->
+          Printf.eprintf "pdq_sim forensics: %s\n%!" msg;
+          exit_bad_trace
+      | Ok ra, Ok rb ->
+          let d = Trace_diff.diff ~threshold ra rb in
+          write "diff"
+            (match format with
+            | `Json -> Trace_diff.to_json d ^ "\n"
+            | _ -> Trace_diff.to_text d))
+  | _ -> assert false (* arity checked at parse time *)
+
+let forensics_term =
+  let make traces diff format_name out threshold =
+    let ( let* ) = Result.bind in
+    let* format =
+      match format_name with
+      | "text" -> Ok `Text
+      | "csv" -> Ok `Csv
+      | "json" -> Ok `Json
+      | other -> Error (`Msg (Printf.sprintf "unknown --format %S" other))
+    in
+    let* () =
+      match (diff, List.length traces) with
+      | false, 1 | true, 2 -> Ok ()
+      | false, n ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "expected exactly one TRACE (got %d); use --diff to compare \
+                   two"
+                  n))
+      | true, n ->
+          Error
+            (`Msg (Printf.sprintf "--diff expects exactly two traces (got %d)" n))
+    in
+    let* () =
+      if diff && format = `Csv then
+        Error (`Msg "--diff supports --format text or json")
+      else Ok ()
+    in
+    if threshold < 0. then Error (`Msg "--threshold must be >= 0")
+    else Ok (run_forensics ~traces ~diff ~format ~out ~threshold)
+  in
+  let traces =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"TRACE"
+             ~doc:"Recorded JSONL trace(s) from --trace-out")
+  in
+  let diff =
+    Arg.(value & flag
+         & info [ "diff" ]
+             ~doc:"Compare two traces: align flows by id and report \
+                   per-component FCT differences beyond --threshold")
+  in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ]
+             ~doc:"Output format: text, csv or json (csv only without \
+                   --diff)"
+             ~docv:"FMT")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~doc:"Write the report to $(docv) instead of stdout"
+             ~docv:"FILE")
+  in
+  let threshold =
+    Arg.(value & opt float 1e-3
+         & info [ "threshold" ]
+             ~doc:"With --diff: ignore component changes of at most $(docv) \
+                   seconds"
+             ~docv:"SEC")
+  in
+  Term.term_result
+    Term.(const make $ traces $ diff $ format $ out $ threshold)
+
+let forensics_cmd =
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:"Reconstruct per-flow lifecycle spans from a recorded trace, \
+             attribute each flow's completion time to handshake / \
+             serialization / paused / loss-recovery / fault-downtime \
+             components, or diff the attribution of two runs")
+    forensics_term
 
 let cmd =
   let resilience =
@@ -655,9 +945,10 @@ let cmd =
          exit_run_failed
     :: Cmd.Exit.defaults
   in
-  Cmd.v
+  Cmd.group
+    ~default:Term.(const run $ scenario_term $ opts_term $ resilience $ full)
     (Cmd.info "pdq_sim" ~exits
        ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
-    Term.(const run $ scenario_term $ opts_term $ resilience $ full)
+    [ forensics_cmd ]
 
 let eval ?argv () = Cmd.eval' ?argv cmd

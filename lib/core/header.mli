@@ -16,6 +16,13 @@ type t = {
   mutable pause_by : int option;
       (** [P_H]: ID of the switch pausing the flow, or [None] if every
           switch so far accepts it. *)
+  mutable pause_flow : int option;
+      (** Simulator-side diagnostic riding alongside [P_H]: the more
+          critical flow whose reserved rate made the pausing switch
+          say no, when the pause is a preemption ([None] for
+          rate-controller or RCP-fallback pauses). Not part of the
+          16-byte wire header — it only feeds telemetry, and reading
+          it never influences a scheduling decision. *)
   deadline : float option;
       (** [D_H]: absolute flow deadline (seconds of simulated time), if
           any. *)

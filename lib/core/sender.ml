@@ -108,7 +108,9 @@ let on_ack t (h : Header.t) ~acked_bytes ~rtt_sample ~now:_ =
   if Pdq_telemetry.Trace.active t.trace then begin
     let open Pdq_telemetry.Trace in
     match (was_paused, t.paused_by) with
-    | None, Some by -> emit t.trace (Flow_paused { flow = t.flow_id; by })
+    | None, Some by ->
+        emit t.trace
+          (Flow_paused { flow = t.flow_id; by; preempted_by = h.pause_flow })
     | Some _, None ->
         emit t.trace (Flow_resumed { flow = t.flow_id; rate = t.rate })
     | _ ->

@@ -96,6 +96,35 @@ let availbw t j ~now:_ =
    with Exit -> ());
   if !a >= t.c then 0. else t.c -. !a
 
+(* Who is to blame for a denial at index [j]: the most critical flow
+   ahead of it whose reserved rate actually counts against the
+   available bandwidth — i.e. the same walk as [availbw], stopping at
+   the first flow not excused by the Early Start budget. [None] means
+   no stored flow holds the capacity (the rate controller drained C,
+   or j = 0): the pause is congestion, not preemption. Diagnostic
+   only — it never feeds back into an allocation. *)
+let blocking_flow t j =
+  let k_budget =
+    if t.config.Config.features.Config.early_start then
+      t.config.Config.k_early_start
+    else 0.
+  in
+  let x = ref 0. in
+  let found = ref None in
+  (try
+     for i = 0 to j - 1 do
+       let e = Flow_list.get t.flows i in
+       let rtt = max e.Flow_state.rtt 1e-9 in
+       let ttx_rtts = e.Flow_state.expected_tx_time /. rtt in
+       if ttx_rtts < k_budget && !x < k_budget then x := !x +. ttx_rtts
+       else if e.Flow_state.rate > 0. then begin
+         found := Some e.Flow_state.flow_id;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
 (* Spec-side Early Start budget (§3.3.2): the paper justifies granting
    overlapping rates only to flows within ~K RTTs of completion, K = 2.
    The validation monitor checks allocations against a generous
@@ -249,19 +278,31 @@ let process_forward t (h : Header.t) ~flow_id ~now =
       | None ->
           (* Memory bound exceeded: degrade to RCP fair sharing. *)
           h.rate <- min h.rate (fallback_rate t ~flow_id ~now);
-          if h.rate <= 0. then h.pause_by <- Some t.switch_id
+          if h.rate <= 0. then begin
+            h.pause_by <- Some t.switch_id;
+            h.pause_flow <- None
+          end
       | Some (i, e) ->
           Hashtbl.remove t.fallback_seen flow_id;
           let w = min (availbw t i ~now) h.rate in
-          let pause () =
+          let pause ~victim_of =
             h.pause_by <- Some t.switch_id;
+            h.pause_flow <- victim_of;
             e.Flow_state.pause_by <- Some t.switch_id
           in
           if w > 0. then begin
             let sending = Flow_state.is_sending e in
-            if (not sending) && dampening_active t ~now ~flow_id then pause ()
+            if (not sending) && dampening_active t ~now ~flow_id then
+              (* The dampening window exists to let the last accepted
+                 flow ramp up unchallenged — that flow is the one
+                 holding this one back. *)
+              pause
+                ~victim_of:
+                  (if t.last_accepted_flow >= 0 then Some t.last_accepted_flow
+                   else None)
             else begin
               h.pause_by <- None;
+              h.pause_flow <- None;
               h.rate <- w;
               if not sending then begin
                 t.last_accept <- now;
@@ -269,7 +310,7 @@ let process_forward t (h : Header.t) ~flow_id ~now =
               end
             end
           end
-          else pause ())
+          else pause ~victim_of:(blocking_flow t i))
 
 (* Algorithm 3: reverse-path (ACK) processing. *)
 let process_reverse t (h : Header.t) ~flow_id ~now:_ =

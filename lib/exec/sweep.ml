@@ -269,7 +269,11 @@ type report = {
   attempts : int;
   wall : float;
   slots : (int * string) list;
+  notes : (int * string) list;
 }
+
+let with_notes r ~notes =
+  { r with notes = List.sort (fun (a, _) (b, _) -> compare a b) notes }
 
 let report_of ~resumed ~attempts ~wall tasks =
   let count p = List.length (List.filter p tasks) in
@@ -286,6 +290,7 @@ let report_of ~resumed ~attempts ~wall tasks =
       List.mapi (fun i t -> (i, t)) tasks
       |> List.filter (fun (_, t) -> not (Task.is_ok t))
       |> List.map (fun (i, t) -> (i, Format.asprintf "%a" Task.pp t));
+    notes = [];
   }
 
 (* Deterministic: counts and per-slot causes only — wall-clock numbers
@@ -298,11 +303,14 @@ let pp_report ppf r =
     r.failed r.timed_out r.skipped;
   List.iter
     (fun (i, cause) -> Format.fprintf ppf "  slot %d: %s@." i cause)
-    r.slots
+    r.slots;
+  List.iter
+    (fun (i, note) -> Format.fprintf ppf "  slot %d note: %s@." i note)
+    r.notes
 
 let report_to_json r =
-  let slot (i, cause) =
-    Printf.sprintf "{\"slot\":%d,\"cause\":\"%s\"}" i
+  let tagged tag (i, text) =
+    Printf.sprintf "{\"slot\":%d,\"%s\":\"%s\"}" i tag
       (String.concat ""
          (List.map
             (function
@@ -310,13 +318,14 @@ let report_to_json r =
               | c when Char.code c < 0x20 ->
                   Printf.sprintf "\\u%04x" (Char.code c)
               | c -> String.make 1 c)
-            (List.init (String.length cause) (String.get cause))))
+            (List.init (String.length text) (String.get text))))
   in
   Printf.sprintf
     "{\"total\":%d,\"ok\":%d,\"resumed\":%d,\"failed\":%d,\"timed_out\":%d,\
-     \"skipped\":%d,\"attempts\":%d,\"wall\":%.3f,\"slots\":[%s]}"
+     \"skipped\":%d,\"attempts\":%d,\"wall\":%.3f,\"slots\":[%s],\"notes\":[%s]}"
     r.total r.ok r.resumed r.failed r.timed_out r.skipped r.attempts r.wall
-    (String.concat "," (List.map slot r.slots))
+    (String.concat "," (List.map (tagged "cause") r.slots))
+    (String.concat "," (List.map (tagged "note") r.notes))
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint file: one JSONL line per Ok slot, keyed by the content

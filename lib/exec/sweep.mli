@@ -168,7 +168,16 @@ type report = {
   wall : float;      (** Sweep wall-clock seconds. *)
   slots : (int * string) list;
       (** Every non-[Ok] slot with its deterministic cause line. *)
+  notes : (int * string) list;
+      (** Caller-attached per-slot annotations (see {!with_notes}) —
+          e.g. the CLI's one-line forensics attribution summaries.
+          Empty on a freshly built report. *)
 }
+
+val with_notes : report -> notes:(int * string) list -> report
+(** Attach per-slot notes (sorted by slot index) to a report; they
+    render after the failure slots in {!pp_report} and as a [notes]
+    array in {!report_to_json}. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Counts and per-slot causes; deliberately omits wall-clock numbers

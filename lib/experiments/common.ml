@@ -182,3 +182,47 @@ let cell v =
   else if abs_float v >= 100. then Printf.sprintf "%.1f" v
   else if abs_float v >= 1. then Printf.sprintf "%.2f" v
   else Printf.sprintf "%.4f" v
+
+(* Forensic attribution: run the scenario once with an in-memory trace
+   sink and fold the event stream into an FCT decomposition. The sink
+   never perturbs the run, so the attributed run is the same run the
+   figure drivers measure. *)
+let attribution_report scenario =
+  let mem = Pdq_telemetry.Trace.memory () in
+  let telemetry = { Runner.no_telemetry with Runner.sinks = [ mem ] } in
+  ignore (Scenario.run ~telemetry scenario);
+  Pdq_forensics.Attribution.of_events (Pdq_telemetry.Trace.memory_events mem)
+
+let attribution_table ~title (r : Pdq_forensics.Attribution.report) =
+  let open Pdq_forensics.Attribution in
+  let ms x = cell (1e3 *. x) in
+  let row (f : flow_report) =
+    [
+      string_of_int f.flow;
+      ms f.fct;
+      ms f.c.handshake;
+      ms f.c.serialization;
+      ms f.c.paused;
+      ms f.c.recovery;
+      ms f.c.downtime;
+      (match f.ideal with Some i -> ms i | None -> "-");
+    ]
+  in
+  let totals =
+    [
+      "total";
+      ms r.total_fct;
+      ms r.totals.handshake;
+      ms r.totals.serialization;
+      ms r.totals.paused;
+      ms r.totals.recovery;
+      ms r.totals.downtime;
+      "-";
+    ]
+  in
+  {
+    title;
+    header =
+      [ "flow"; "fct"; "hshake"; "send"; "paused"; "recov"; "down"; "ideal" ];
+    rows = List.map row r.flows @ [ totals ];
+  }

@@ -117,3 +117,13 @@ val pp_table : Format.formatter -> table -> unit
 
 val cell : float -> string
 (** Format a numeric cell with sensible precision. *)
+
+val attribution_report : Pdq_exec.Scenario.t -> Pdq_forensics.Attribution.report
+(** Run the scenario once with an in-memory trace sink attached and
+    decompose every flow's completion time with
+    {!Pdq_forensics.Attribution}. The sink never perturbs the run. *)
+
+val attribution_table :
+  title:string -> Pdq_forensics.Attribution.report -> table
+(** Per-flow FCT components in milliseconds (plus a totals row), for
+    {!pp_table}. *)

@@ -197,3 +197,17 @@ let fig3e ?jobs ?(quick = true) () =
     header = "size[KB]" :: List.map fst fct_protocols;
     rows;
   }
+
+(* Forensic companion to (a)/(d): instead of one scalar per cell, show
+   where PDQ(Full)'s completion time actually went on the canonical
+   aggregation scenario — serialization vs. preemption pauses. *)
+let attribution ?(flows = 6) ?(seed = 1) () =
+  let scenario =
+    Common.aggregation_scenario ~seed ~flows (snd (List.hd Common.pdq_variants))
+  in
+  Common.attribution_table
+    ~title:
+      (Printf.sprintf
+         "Fig 3 forensics - PDQ(Full) FCT attribution [ms], %d flows, seed %d"
+         flows seed)
+    (Common.attribution_report scenario)

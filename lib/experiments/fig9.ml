@@ -82,3 +82,19 @@ let fig9b ?jobs ?(quick = true) () =
     header = "loss[%]" :: List.map fst protocols;
     rows;
   }
+
+(* Forensic companion: under injected loss the [recov] column should
+   absorb the FCT inflation that fig9b only shows as a ratio. *)
+let attribution ?(loss_rate = 0.01) ?(flows = 6) ?(seed = 1) () =
+  let s =
+    Scenario.with_seed
+      (scenario ~loss_rate ~flows ~deadlines:false (snd (List.hd protocols)))
+      seed
+  in
+  Common.attribution_table
+    ~title:
+      (Printf.sprintf
+         "Fig 9 forensics - PDQ FCT attribution [ms] at %.1f%% loss, %d \
+          flows, seed %d"
+         (loss_rate *. 100.) flows seed)
+    (Common.attribution_report s)

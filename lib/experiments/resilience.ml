@@ -262,6 +262,35 @@ let switch_reboot_sweep ?jobs ?budget ?(quick = true) () =
   sweep ?jobs ?budget ~title:"Resilience - switch crash-reboots vs switch MTBF [s]"
     ~axis:"mtbf" ~seeds ~flows:12 ~window:0.2 ~horizon:3. rows_spec
 
+(* Forensic view of the link-flapping axis: the [down] column shows
+   fault-induced downtime directly instead of inferring it from FCT
+   inflation against the clean row. *)
+let attribution ?(mtbf = 0.1) ?(seed = 1) () =
+  let row =
+    {
+      label = Printf.sprintf "flaps mtbf=%s" (Common.cell mtbf);
+      topo = Scenario.Fat_tree { k = 4 };
+      plan_of =
+        (fun ~seed (b : Builder.built) ->
+          Fault_plan.link_flaps
+            (Rng.create (0x11AB + seed))
+            ~links:(switch_cables b.Builder.topo) ~mtbf ~mttr:0.03 ~until:0.5);
+    }
+  in
+  let s =
+    Scenario.with_seed
+      (scenario_of_row row ~flows:16 ~window:0.2 ~horizon:3.
+         (snd (List.hd protocols)))
+      seed
+  in
+  Common.attribution_table
+    ~title:
+      (Printf.sprintf
+         "Resilience forensics - PDQ FCT attribution [ms] under link \
+          flapping (MTBF %s s, MTTR 30 ms, seed %d)"
+         (Common.cell mtbf) seed)
+    (Common.attribution_report s)
+
 let pp_counters counters =
   if counters = [] then "-"
   else
@@ -291,4 +320,7 @@ let run_all ?jobs ?budget ?(quick = true) ppf () =
   Common.pp_table ppf t3;
   Common.pp_table ppf
     (counters_table
-       [ ("loss-burst", c1); ("link-flap", c2); ("reboot", c3) ])
+       [ ("loss-burst", c1); ("link-flap", c2); ("reboot", c3) ]);
+  (* One forensic drill-down on the harshest axis: per-flow FCT
+     decomposition under switch reboots, downtime made explicit. *)
+  Common.pp_table ppf (attribution ())

@@ -40,5 +40,10 @@ val run_all :
   Format.formatter ->
   unit ->
   unit
-(** Run all three sweeps and print their tables plus the per-cause
-    counter summary. *)
+(** Run all three sweeps and print their tables, the per-cause counter
+    summary, and the {!attribution} drill-down table. *)
+
+val attribution : ?mtbf:float -> ?seed:int -> unit -> Common.table
+(** Per-flow FCT attribution of one PDQ run under the reboot sweep's
+    fault plan: the downtime column shows the fault-induced share
+    directly. Defaults: switch MTBF 0.05 s, seed 1. *)

@@ -1,0 +1,27 @@
+module Trace = Pdq_telemetry.Trace
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let read_channel ?(path = "<channel>") ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line -> (
+        let line = strip_cr line in
+        if line = "" then go (lineno + 1) acc
+        else
+          match Trace.event_of_json line with
+          | Ok ev -> go (lineno + 1) (ev :: acc)
+          | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+  in
+  go 1 []
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> read_channel ~path ic)

@@ -1,0 +1,100 @@
+type entry = {
+  flow : int;
+  component : string;
+  before : float;
+  after : float;
+}
+
+let delta e = e.after -. e.before
+
+type t = {
+  threshold : float;
+  changed : entry list;
+  only_before : int list;
+  only_after : int list;
+}
+
+let components_of (f : Attribution.flow_report) =
+  [
+    ("fct", f.Attribution.fct);
+    ("handshake", f.Attribution.c.Attribution.handshake);
+    ("serialization", f.Attribution.c.Attribution.serialization);
+    ("paused", f.Attribution.c.Attribution.paused);
+    ("recovery", f.Attribution.c.Attribution.recovery);
+    ("downtime", f.Attribution.c.Attribution.downtime);
+  ]
+
+let diff ?(threshold = 1e-3) (a : Attribution.report)
+    (b : Attribution.report) =
+  let index r =
+    List.map (fun (f : Attribution.flow_report) -> (f.Attribution.flow, f)) r
+  in
+  let ia = index a.Attribution.flows and ib = index b.Attribution.flows in
+  let changed =
+    List.concat_map
+      (fun (id, fa) ->
+        match List.assoc_opt id ib with
+        | None -> []
+        | Some fb ->
+            List.filter_map
+              (fun ((name, va), (name', vb)) ->
+                assert (name = name');
+                if abs_float (vb -. va) > threshold then
+                  Some { flow = id; component = name; before = va; after = vb }
+                else None)
+              (List.combine (components_of fa) (components_of fb)))
+      ia
+  in
+  let missing from into =
+    List.filter_map
+      (fun (id, _) ->
+        if List.mem_assoc id into then None else Some id)
+      from
+  in
+  {
+    threshold;
+    changed;
+    only_before = missing ia ib;
+    only_after = missing ib ia;
+  }
+
+let fl = Printf.sprintf "%.9g"
+let ms x = Printf.sprintf "%+.3f" (1e3 *. x)
+
+let to_text d =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  if d.changed = [] && d.only_before = [] && d.only_after = [] then
+    pr "no differences above %s s\n" (fl d.threshold)
+  else begin
+    pr "differences above %s s:\n" (fl d.threshold);
+    List.iter
+      (fun e ->
+        pr "  flow %d %-13s %s ms (%s -> %s s)\n" e.flow e.component
+          (ms (delta e)) (fl e.before) (fl e.after))
+      d.changed;
+    if d.only_before <> [] then
+      pr "  only in first run: %s\n"
+        (String.concat "," (List.map string_of_int d.only_before));
+    if d.only_after <> [] then
+      pr "  only in second run: %s\n"
+        (String.concat "," (List.map string_of_int d.only_after))
+  end;
+  Buffer.contents b
+
+let to_json d =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf {|{"threshold":%s,"changed":[|} (fl d.threshold));
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           {|{"flow":%d,"component":"%s","before":%s,"after":%s,"delta":%s}|}
+           e.flow e.component (fl e.before) (fl e.after) (fl (delta e))))
+    d.changed;
+  Buffer.add_string b
+    (Printf.sprintf {|],"only_before":[%s],"only_after":[%s]}|}
+       (String.concat "," (List.map string_of_int d.only_before))
+       (String.concat "," (List.map string_of_int d.only_after)));
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** Attribution diffing: align the flows of two runs and surface
+    per-component FCT regressions.
+
+    Flows are aligned by id (the scenario API numbers flows
+    deterministically, so run-to-run ids are stable); each aligned
+    flow's FCT and five attribution components are compared and
+    entries exceeding [threshold] seconds are reported, with flows
+    completing in only one of the runs listed separately. *)
+
+type entry = {
+  flow : int;
+  component : string;
+      (** One of [fct], [handshake], [serialization], [paused],
+          [recovery], [downtime]. *)
+  before : float;
+  after : float;
+}
+
+val delta : entry -> float
+(** [after -. before]; positive means the second run regressed. *)
+
+type t = {
+  threshold : float;
+  changed : entry list;
+  only_before : int list;  (** Completed only in the first run. *)
+  only_after : int list;  (** Completed only in the second run. *)
+}
+
+val diff : ?threshold:float -> Attribution.report -> Attribution.report -> t
+(** Default [threshold] is 1e-3 s — scheduling noise from a perturbed
+    event interleaving sits well below it, real pauses and outages
+    well above. *)
+
+val to_text : t -> string
+val to_json : t -> string

@@ -138,15 +138,34 @@ let scalar_rows t =
   in
   counter_rows @ gauge_rows @ hist_rows
 
+(* RFC 4180: a field containing commas, quotes or newlines is wrapped
+   in double quotes with embedded quotes doubled. Instrument names are
+   caller-chosen strings, so they cannot be trusted to stay out of the
+   delimiter alphabet. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
 let write_csv t chan =
   output_string chan "kind,time,name,value\n";
   List.iter
     (fun (time, name, value) ->
-      Printf.fprintf chan "sample,%s,%s,%s\n" (fl time) name (fl value))
+      Printf.fprintf chan "sample,%s,%s,%s\n" (fl time) (csv_field name)
+        (fl value))
     (List.rev t.samples_rev);
   List.iter
     (fun (kind, name, value) ->
-      Printf.fprintf chan "%s,,%s,%s\n" kind name (fl value))
+      Printf.fprintf chan "%s,,%s,%s\n" kind (csv_field name) (fl value))
     (scalar_rows t);
   flush chan
 
@@ -155,11 +174,11 @@ let write_jsonl t chan =
     (fun (time, name, value) ->
       Printf.fprintf chan
         "{\"kind\":\"sample\",\"t\":%s,\"name\":\"%s\",\"value\":%s}\n"
-        (fl time) name (fl value))
+        (fl time) (Trace.json_escape name) (fl value))
     (List.rev t.samples_rev);
   List.iter
     (fun (kind, name, value) ->
       Printf.fprintf chan "{\"kind\":\"%s\",\"name\":\"%s\",\"value\":%s}\n"
-        kind name (fl value))
+        kind (Trace.json_escape name) (fl value))
     (scalar_rows t);
   flush chan

@@ -87,7 +87,8 @@ val write_csv : t -> out_channel -> unit
 (** [kind,time,name,value] rows: every time-series point (kind
     [sample], in time order), then counters (kind [counter]), gauges
     (kind [gauge]) and histogram summaries (kind [hist.*]) with an
-    empty time column, sorted by name. *)
+    empty time column, sorted by name. Names containing commas,
+    quotes or newlines are RFC 4180-quoted. *)
 
 val write_jsonl : t -> out_channel -> unit
 (** The same data as {!write_csv}, one JSON object per line. *)

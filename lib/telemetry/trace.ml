@@ -26,13 +26,15 @@ type event =
       deadline : float option;
     }
   | Flow_started of { flow : int }
-  | Flow_paused of { flow : int; by : int }
+  | Flow_established of { flow : int }
+  | Flow_paused of { flow : int; by : int; preempted_by : int option }
   | Flow_resumed of { flow : int; rate : float }
   | Flow_rate_set of { flow : int; rate : float }
   | Flow_completed of { flow : int; fct : float }
   | Flow_terminated of { flow : int }
   | Flow_aborted of { flow : int; cause : string }
   | Flow_rx of { flow : int; bytes : int }
+  | Flow_retransmit of { flow : int; kind : string }
   | Switch_flushed of { switch : int }
   | Switch_rebuilt of { switch : int }
   | Packet_dropped of { link : int; cause : drop_cause }
@@ -48,7 +50,9 @@ type event =
 
 let severity_of_event = function
   | Flow_rx _ | Flow_rate_set _ -> Trace
-  | Flow_started _ | Flow_paused _ | Flow_resumed _ -> Debug
+  | Flow_started _ | Flow_established _ | Flow_paused _ | Flow_resumed _
+  | Flow_retransmit _ ->
+      Debug
   | Flow_admitted _ | Flow_completed _ | Flow_terminated _ | Switch_rebuilt _
     ->
       Info
@@ -58,10 +62,17 @@ let severity_of_event = function
       | "failed" | "timed-out" | "crashed" -> Warn
       | _ -> Info)
 
-(* Floats in JSON: %.9g never produces inf/nan here (rates and times
-   are finite by construction) and round-trips doubles closely enough
-   for plotting. *)
-let j_float x = Printf.sprintf "%.9g" x
+(* Floats in JSON: shortest of %.15g/%.16g/%.17g that parses back to
+   the same double. Exact round-tripping is what lets an offline
+   replay of a recorded JSONL trace reproduce a live analysis byte for
+   byte; rates and times are finite by construction, so inf/nan never
+   appear. *)
+let j_float x =
+  let s = Printf.sprintf "%.15g" x in
+  if float_of_string s = x then s
+  else
+    let s = Printf.sprintf "%.16g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -88,8 +99,13 @@ let event_to_json ~time ev =
           | Some d -> Printf.sprintf ",\"deadline\":%s" (j_float d)
           | None -> "")
     | Flow_started { flow } -> Printf.sprintf "\"ev\":\"flow_started\",\"flow\":%d" flow
-    | Flow_paused { flow; by } ->
-        Printf.sprintf "\"ev\":\"flow_paused\",\"flow\":%d,\"by\":%d" flow by
+    | Flow_established { flow } ->
+        Printf.sprintf "\"ev\":\"flow_established\",\"flow\":%d" flow
+    | Flow_paused { flow; by; preempted_by } ->
+        Printf.sprintf "\"ev\":\"flow_paused\",\"flow\":%d,\"by\":%d%s" flow by
+          (match preempted_by with
+          | Some p -> Printf.sprintf ",\"preempted_by\":%d" p
+          | None -> "")
     | Flow_resumed { flow; rate } ->
         Printf.sprintf "\"ev\":\"flow_resumed\",\"flow\":%d,\"rate\":%s" flow
           (j_float rate)
@@ -106,6 +122,9 @@ let event_to_json ~time ev =
           (json_escape cause)
     | Flow_rx { flow; bytes } ->
         Printf.sprintf "\"ev\":\"flow_rx\",\"flow\":%d,\"bytes\":%d" flow bytes
+    | Flow_retransmit { flow; kind } ->
+        Printf.sprintf "\"ev\":\"flow_retransmit\",\"flow\":%d,\"kind\":\"%s\""
+          flow (json_escape kind)
     | Switch_flushed { switch } ->
         Printf.sprintf "\"ev\":\"switch_flushed\",\"switch\":%d" switch
     | Switch_rebuilt { switch } ->
@@ -135,8 +154,13 @@ let pp_event ppf ev =
         | Some d -> Printf.sprintf " deadline=%g" d
         | None -> "")
   | Flow_started { flow } -> Format.fprintf ppf "flow_started flow=%d" flow
-  | Flow_paused { flow; by } ->
-      Format.fprintf ppf "flow_paused flow=%d by=%d" flow by
+  | Flow_established { flow } ->
+      Format.fprintf ppf "flow_established flow=%d" flow
+  | Flow_paused { flow; by; preempted_by } ->
+      Format.fprintf ppf "flow_paused flow=%d by=%d%s" flow by
+        (match preempted_by with
+        | Some p -> Printf.sprintf " preempted_by=%d" p
+        | None -> "")
   | Flow_resumed { flow; rate } ->
       Format.fprintf ppf "flow_resumed flow=%d rate=%g" flow rate
   | Flow_rate_set { flow; rate } ->
@@ -149,6 +173,8 @@ let pp_event ppf ev =
       Format.fprintf ppf "flow_aborted flow=%d cause=%s" flow cause
   | Flow_rx { flow; bytes } ->
       Format.fprintf ppf "flow_rx flow=%d bytes=%d" flow bytes
+  | Flow_retransmit { flow; kind } ->
+      Format.fprintf ppf "flow_retransmit flow=%d kind=%s" flow kind
   | Switch_flushed { switch } ->
       Format.fprintf ppf "switch_flushed switch=%d" switch
   | Switch_rebuilt { switch } ->
@@ -161,6 +187,204 @@ let pp_event ppf ev =
       Format.fprintf ppf "sweep_task slot=%d key=%s state=%s attempts=%d%s"
         index key state attempts
         (if detail = "" then "" else Printf.sprintf " detail=%s" detail)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing recorded JSONL back into events (offline replay).
+
+   The scanner handles exactly the flat shape [event_to_json] emits —
+   one object of string/number fields, no nesting — and is strict
+   about it: anything else is an [Error], never a guess. Combined with
+   the round-tripping float format above, [event_of_json] is an exact
+   inverse of [event_to_json]. *)
+
+type json_field = Num of string | Str of string
+
+exception Scan_error of string
+
+let scan_fields line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Scan_error msg) in
+  let peek () = if !pos < n then line.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c at byte %d" c !pos);
+    advance ()
+  in
+  let scan_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' -> (
+          advance ();
+          match peek () with
+          | '"' ->
+              Buffer.add_char b '"';
+              advance ();
+              loop ()
+          | '\\' ->
+              Buffer.add_char b '\\';
+              advance ();
+              loop ()
+          | 'n' ->
+              Buffer.add_char b '\n';
+              advance ();
+              loop ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub line !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              if code > 0xff then fail "\\u escape beyond latin-1";
+              Buffer.add_char b (Char.chr code);
+              pos := !pos + 4;
+              loop ()
+          | c -> fail (Printf.sprintf "bad escape \\%c" c))
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let scan_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char line.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail (Printf.sprintf "expected number at byte %d" start);
+    String.sub line start (!pos - start)
+  in
+  expect '{';
+  let fields = ref [] in
+  let rec pairs () =
+    let key = scan_string () in
+    expect ':';
+    let value =
+      if peek () = '"' then Str (scan_string ()) else Num (scan_number ())
+    in
+    fields := (key, value) :: !fields;
+    match peek () with
+    | ',' ->
+        advance ();
+        pairs ()
+    | '}' -> advance ()
+    | c -> fail (Printf.sprintf "expected , or } but found %c" c)
+  in
+  pairs ();
+  if !pos <> n then fail "trailing bytes after object";
+  List.rev !fields
+
+let drop_cause_of_name = function
+  | "loss" -> Some Loss
+  | "overflow" -> Some Overflow
+  | "down" -> Some Link_down
+  | "stale_route" -> Some Stale_route
+  | _ -> None
+
+let event_of_json line =
+  match scan_fields line with
+  | exception Scan_error msg -> Error msg
+  | fields -> (
+      let fail msg = raise (Scan_error msg) in
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Str s) -> s
+        | Some (Num _) -> fail (Printf.sprintf "field %S is not a string" k)
+        | None -> fail (Printf.sprintf "missing field %S" k)
+      in
+      let num k =
+        match List.assoc_opt k fields with
+        | Some (Num s) -> s
+        | Some (Str _) -> fail (Printf.sprintf "field %S is not a number" k)
+        | None -> fail (Printf.sprintf "missing field %S" k)
+      in
+      let int k =
+        let s = num k in
+        try int_of_string s
+        with _ -> fail (Printf.sprintf "field %S is not an integer" k)
+      in
+      let float k =
+        let s = num k in
+        try float_of_string s
+        with _ -> fail (Printf.sprintf "field %S is not a float" k)
+      in
+      let opt_int k =
+        if List.mem_assoc k fields then Some (int k) else None
+      in
+      let opt_float k =
+        if List.mem_assoc k fields then Some (float k) else None
+      in
+      let opt_str_default k default =
+        if List.mem_assoc k fields then str k else default
+      in
+      try
+        let time = float "t" in
+        let ev =
+          match str "ev" with
+          | "flow_admitted" ->
+              Flow_admitted
+                {
+                  flow = int "flow";
+                  src = int "src";
+                  dst = int "dst";
+                  size = int "size";
+                  deadline = opt_float "deadline";
+                }
+          | "flow_started" -> Flow_started { flow = int "flow" }
+          | "flow_established" -> Flow_established { flow = int "flow" }
+          | "flow_paused" ->
+              Flow_paused
+                {
+                  flow = int "flow";
+                  by = int "by";
+                  preempted_by = opt_int "preempted_by";
+                }
+          | "flow_resumed" ->
+              Flow_resumed { flow = int "flow"; rate = float "rate" }
+          | "flow_rate_set" ->
+              Flow_rate_set { flow = int "flow"; rate = float "rate" }
+          | "flow_completed" ->
+              Flow_completed { flow = int "flow"; fct = float "fct" }
+          | "flow_terminated" -> Flow_terminated { flow = int "flow" }
+          | "flow_aborted" ->
+              Flow_aborted { flow = int "flow"; cause = str "cause" }
+          | "flow_rx" -> Flow_rx { flow = int "flow"; bytes = int "bytes" }
+          | "flow_retransmit" ->
+              Flow_retransmit { flow = int "flow"; kind = str "kind" }
+          | "switch_flushed" -> Switch_flushed { switch = int "switch" }
+          | "switch_rebuilt" -> Switch_rebuilt { switch = int "switch" }
+          | "packet_dropped" -> (
+              match drop_cause_of_name (str "cause") with
+              | Some cause -> Packet_dropped { link = int "link"; cause }
+              | None ->
+                  fail (Printf.sprintf "unknown drop cause %S" (str "cause")))
+          | "fault" -> Fault { desc = str "desc" }
+          | "sweep_task" ->
+              Sweep_task
+                {
+                  index = int "slot";
+                  key = str "key";
+                  state = str "state";
+                  attempts = int "attempts";
+                  elapsed = float "elapsed";
+                  detail = opt_str_default "detail" "";
+                }
+          | other -> fail (Printf.sprintf "unknown event %S" other)
+        in
+        Ok (time, ev)
+      with Scan_error msg -> Error msg)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks *)

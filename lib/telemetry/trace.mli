@@ -35,8 +35,17 @@ type event =
       deadline : float option;
     }  (** The experiment registered the flow (route pinned). *)
   | Flow_started of { flow : int }  (** First SYN left the sender. *)
-  | Flow_paused of { flow : int; by : int }
-      (** The sender learned it is paused ([by] = pausing switch id). *)
+  | Flow_established of { flow : int }
+      (** The sender's first acknowledgment arrived — the handshake is
+          over and data (or probing, if paused at birth) can begin. *)
+  | Flow_paused of { flow : int; by : int; preempted_by : int option }
+      (** The sender learned it is paused ([by] = pausing switch id).
+          [preempted_by] names the more critical flow whose reserved
+          rate exhausted the switch's capacity, when the pause is a
+          preemption; [None] when the pause comes from the rate
+          controller alone or from the RCP fallback (no single flow to
+          blame). Carried by the scheduling feedback, so forensic
+          attribution can build the who-preempted-whom table. *)
   | Flow_resumed of { flow : int; rate : float }
       (** The sender left the paused state with the given rate. *)
   | Flow_rate_set of { flow : int; rate : float }
@@ -50,6 +59,13 @@ type event =
           ["stall"]. *)
   | Flow_rx of { flow : int; bytes : int }
       (** Receiver accepted [bytes] new in-order payload bytes. *)
+  | Flow_retransmit of { flow : int; kind : string }
+      (** The sender re-sent data it had already transmitted. [kind] ∈
+          ["fast"] (dup-ack fast retransmit / selective repair),
+          ["timeout"] (TCP RTO go-back-N), ["watchdog"] (rate-based
+          sender's stalled-progress go-back-N). Opens a loss-recovery
+          window in forensic span reconstruction; the window closes at
+          the next receiver progress. *)
   | Switch_flushed of { switch : int }
       (** A crash-reboot wiped one port's scheduler soft state. *)
   | Switch_rebuilt of { switch : int }
@@ -127,9 +143,23 @@ val events_seen : t -> int
 
 (** {1 Rendering} *)
 
+val json_escape : string -> string
+(** Escape a string's contents for embedding in a JSON string literal
+    (quotes, backslashes, control characters; no surrounding
+    quotes). *)
+
 val event_to_json : time:float -> event -> string
 (** One self-contained JSON object, e.g.
-    [{"t":0.0012,"ev":"flow_paused","flow":3,"by":2}]. *)
+    [{"t":0.0012,"ev":"flow_paused","flow":3,"by":2}]. Floats are
+    rendered with the shortest format that parses back to the same
+    double, so {!event_of_json} is an exact inverse. *)
+
+val event_of_json : string -> (float * event, string) result
+(** Parse one line of a recorded JSONL trace back into its
+    [(time, event)] pair — the exact inverse of {!event_to_json}
+    (including float values, bit for bit). Strict: a malformed line,
+    an unknown event name, a missing or mistyped field all return
+    [Error] with a description, never a partial event. *)
 
 val pp_event : Format.formatter -> event -> unit
 (** Compact [key=value] rendering used by the console sink. *)

@@ -306,6 +306,10 @@ let rec watchdog s () =
         && Sender.rate s.core > 0.
       then begin
         (* Go-back-N: resume from the cumulative ack point. *)
+        (let trace = Context.trace s.proto.ctx in
+         if Pdq_telemetry.Trace.active trace && s.next_seq > s.acked then
+           Pdq_telemetry.Trace.(
+             emit trace (Flow_retransmit { flow = s.sid; kind = "watchdog" })));
         s.next_seq <- s.acked;
         s.last_progress <- t;
         ensure_sending s
@@ -325,7 +329,12 @@ let on_ack_packet s (hdr : Header.t) (ack : Payloads.ack_info) =
     (match hdr.Header.pause_by with None -> "-" | Some i -> string_of_int i)
     ack.Payloads.cum_ack;
   if not s.closed then begin
-    s.syn_acked <- true;
+    if not s.syn_acked then begin
+      s.syn_acked <- true;
+      let trace = Context.trace s.proto.ctx in
+      if Pdq_telemetry.Trace.active trace then
+        Pdq_telemetry.Trace.(emit trace (Flow_established { flow = s.sid }))
+    end;
     let t = now s in
     s.last_ack <- t;
     s.probes_unanswered <- 0;
@@ -348,6 +357,10 @@ let on_ack_packet s (hdr : Header.t) (ack : Payloads.ack_info) =
       s.dup_acks <- s.dup_acks + 1;
       if s.dup_acks = 3 then begin
         s.dup_acks <- 0;
+        (let trace = Context.trace s.proto.ctx in
+         if Pdq_telemetry.Trace.active trace then
+           Pdq_telemetry.Trace.(
+             emit trace (Flow_retransmit { flow = s.sid; kind = "fast" })));
         let payload = min max_payload (s.size - s.acked) in
         let hdr = Sender.make_header s.core ~t in
         Context.transmit s.proto.ctx ~from:s.src

@@ -163,6 +163,11 @@ let rec watchdog s () =
       else if s.syn_acked && s.acked < size s && t -. s.last_ack > abort_after
       then abort s ~cause:"stall"
       else if s.syn_acked && s.acked < size s && t -. s.last_progress > rto s then begin
+        (let trace = Context.trace s.proto.ctx in
+         if Pdq_telemetry.Trace.active trace && s.next_seq > s.acked then
+           Pdq_telemetry.Trace.(
+             emit trace
+               (Flow_retransmit { flow = s.flow.Context.id; kind = "watchdog" })));
         s.next_seq <- s.acked;
         s.last_progress <- t;
         ensure_sending s
@@ -182,7 +187,13 @@ let rec watchdog s () =
 
 let on_ack s (pkt : Packet.t) =
   if not s.closed then begin
-    s.syn_acked <- true;
+    if not s.syn_acked then begin
+      s.syn_acked <- true;
+      let trace = Context.trace s.proto.ctx in
+      if Pdq_telemetry.Trace.active trace then
+        Pdq_telemetry.Trace.(
+          emit trace (Flow_established { flow = s.flow.Context.id }))
+    end;
     let t = now s in
     s.last_ack <- t;
     (match Payloads.ack_of pkt.Packet.payload with

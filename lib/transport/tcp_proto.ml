@@ -66,6 +66,17 @@ let send_segment s seq =
 
 let flight s = s.next_seq - s.acked
 
+let emit_event s ev =
+  let trace = Context.trace s.proto.ctx in
+  if Pdq_telemetry.Trace.active trace then Pdq_telemetry.Trace.emit trace ev
+
+let mark_established s =
+  if not s.syn_acked then begin
+    s.syn_acked <- true;
+    emit_event s
+      (Pdq_telemetry.Trace.Flow_established { flow = s.flow.Context.id })
+  end
+
 (* Give up after this many consecutive RTOs with zero forward progress
    (dead path): by then the backoff has the timer at 64x RTO, so the
    path has been silent for a long multiple of the RTT. *)
@@ -112,6 +123,10 @@ and on_timeout s =
         s.cwnd <- float_of_int mss;
         s.dup_acks <- 0;
         s.in_recovery <- false;
+        if s.next_seq > s.acked then
+          emit_event s
+            (Pdq_telemetry.Trace.Flow_retransmit
+               { flow = s.flow.Context.id; kind = "timeout" });
         s.next_seq <- s.acked;
         try_send s
       end;
@@ -151,7 +166,7 @@ let finish s =
 
 let on_ack s (pkt : Packet.t) =
   if not s.closed then begin
-    s.syn_acked <- true;
+    mark_established s;
     match Payloads.ack_of pkt.Packet.payload with
     | None -> ()
     | Some ack ->
@@ -193,6 +208,9 @@ let on_ack s (pkt : Packet.t) =
             s.cwnd <- s.ssthresh +. (3. *. float_of_int mss);
             s.in_recovery <- true;
             s.recover_point <- s.next_seq;
+            emit_event s
+              (Pdq_telemetry.Trace.Flow_retransmit
+                 { flow = s.flow.Context.id; kind = "fast" });
             send_segment s s.acked (* fast retransmit *)
           end
           else if s.in_recovery then begin
@@ -204,7 +222,7 @@ let on_ack s (pkt : Packet.t) =
 
 let on_syn_ack s =
   if (not s.syn_acked) && not s.closed then begin
-    s.syn_acked <- true;
+    mark_established s;
     s.cwnd <- 2. *. float_of_int mss;
     s.backoff <- 1.;
     s.retries <- 0;

@@ -15,6 +15,7 @@ let () =
          Test_workload.suites;
          Test_flowsim.suites;
          Test_exec.suites;
+         Test_forensics.suites;
          Test_check.suites;
          Test_cli.suites;
          Test_experiments.suites;

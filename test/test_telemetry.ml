@@ -42,7 +42,11 @@ let test_event_json () =
   Alcotest.(check string) "flow_paused"
     {|{"t":0.0012,"ev":"flow_paused","flow":3,"by":2}|}
     (Trace.event_to_json ~time:0.0012
-       (Trace.Flow_paused { flow = 3; by = 2 }));
+       (Trace.Flow_paused { flow = 3; by = 2; preempted_by = None }));
+  Alcotest.(check string) "flow_paused with preempter"
+    {|{"t":0.0012,"ev":"flow_paused","flow":3,"by":2,"preempted_by":7}|}
+    (Trace.event_to_json ~time:0.0012
+       (Trace.Flow_paused { flow = 3; by = 2; preempted_by = Some 7 }));
   Alcotest.(check string) "flow_admitted with deadline"
     {|{"t":0,"ev":"flow_admitted","flow":1,"src":2,"dst":3,"size":1000,"deadline":0.02}|}
     (Trace.event_to_json ~time:0.
@@ -129,7 +133,7 @@ let test_console_sink_filters () =
       in
       (* Below threshold: dropped. At/above: printed. *)
       Trace.emit bus (Trace.Flow_rx { flow = 1; bytes = 100 });
-      Trace.emit bus (Trace.Flow_paused { flow = 1; by = 2 });
+      Trace.emit bus (Trace.Flow_paused { flow = 1; by = 2; preempted_by = None });
       Trace.emit bus (Trace.Flow_completed { flow = 1; fct = 0.1 });
       Trace.emit bus (Trace.Fault { desc = "fault.unroutable" });
       close_out oc;
@@ -254,7 +258,7 @@ let fcts r =
 let tag = function
   | Trace.Flow_admitted { flow; _ } -> Some (Printf.sprintf "admitted:%d" flow)
   | Trace.Flow_started { flow } -> Some (Printf.sprintf "started:%d" flow)
-  | Trace.Flow_paused { flow; by } ->
+  | Trace.Flow_paused { flow; by; _ } ->
       Some (Printf.sprintf "paused:%d@%d" flow by)
   | Trace.Flow_resumed { flow; _ } -> Some (Printf.sprintf "resumed:%d" flow)
   | Trace.Flow_completed { flow; _ } ->
@@ -275,6 +279,9 @@ let tag = function
            | Trace.Link_down -> "down"
            | Trace.Stale_route -> "stale"))
   | Trace.Flow_rx _ | Trace.Flow_rate_set _ -> None
+  (* Per-flow lifecycle detail consumed by the forensics layer, not
+     part of the compact control-plane projection. *)
+  | Trace.Flow_established _ | Trace.Flow_retransmit _ -> None
   | Trace.Fault _ -> Some "fault"
   (* Supervisor lifecycle events ride a wall-clock bus, never a
      simulation trace. *)
