@@ -116,7 +116,7 @@ let micro () =
              }
            in
            ignore
-             (Pdq_transport.Runner.run ~topo:built.Pdq_topo.Builder.topo
+             (Pdq_transport.Runner.execute ~topo:built.Pdq_topo.Builder.topo
                 (Pdq_transport.Runner.Pdq Pdq_core.Config.full)
                 [
                   spec built.Pdq_topo.Builder.hosts.(0);
@@ -133,7 +133,8 @@ let micro () =
         { Pdq_transport.Runner.no_telemetry with sinks = [ mem ] }
       in
       ignore
-        (Pdq_exec.Scenario.run ~telemetry
+        (Pdq_exec.Scenario.run
+           ~opts:(Pdq_exec.Exec_opts.telemetry telemetry)
            (Common.aggregation_scenario ~flows:12
               (Pdq_transport.Runner.Pdq Pdq_core.Config.full)));
       Pdq_telemetry.Trace.memory_events mem
@@ -179,6 +180,138 @@ let write_bench_json ~name ~wall ~events =
     (Gc.quick_stat ()).Gc.top_heap_words;
   close_out oc
 
+(* Engine microbenchmark: the event-core hot path in isolation.
+
+   64 self-rescheduling tick timers with slightly detuned periods keep
+   the heap busy; every tick also cancels its previous auxiliary
+   one-shot and schedules a fresh one, exercising the
+   generation-counter cancel path and slot reuse exactly the way
+   transport watchdogs do. All closures are preallocated before the
+   clock starts, so the measured loop is the engine alone: schedule,
+   cancel, sift, pop. Reported as best-of-3 events/s plus the
+   GC minor-words-per-event figure that guards the allocation-free
+   claim. *)
+let k_bench_tick = Pdq_engine.Sim.Kind.register "bench.tick"
+let k_bench_aux = Pdq_engine.Sim.Kind.register "bench.aux"
+
+let engine_run_once ~target_events =
+  let module Sim = Pdq_engine.Sim in
+  let sim = Sim.create () in
+  let n = 64 in
+  (* A pre-cancelled far-future dummy seeds the aux-handle array: its
+     stale handle makes each timer's first cancel a recognised no-op
+     without boxing handles in an option. *)
+  let sentinel = Sim.schedule sim ~delay:1e9 ignore in
+  Sim.cancel sim sentinel;
+  let aux = Array.make n sentinel in
+  let ticks = Array.make n (fun () -> ()) in
+  for i = 0 to n - 1 do
+    let delay = 1e-5 +. (1e-7 *. float_of_int i) in
+    ticks.(i) <-
+      (fun () ->
+        Sim.cancel sim aux.(i);
+        aux.(i) <- Sim.schedule_k sim k_bench_aux ~delay:1e-4 ignore;
+        if Sim.events_executed sim < target_events then
+          ignore (Sim.schedule_k sim k_bench_tick ~delay ticks.(i)))
+  done;
+  for i = 0 to n - 1 do
+    ignore
+      (Sim.schedule_k sim k_bench_tick
+         ~delay:(1e-5 +. (1e-7 *. float_of_int i))
+         ticks.(i))
+  done;
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Sim.run sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  let events = Sim.events_executed sim in
+  (wall, events, minor /. float_of_int events)
+
+let engine_json_path = "BENCH_engine.json"
+
+(* Minimal flat-JSON number extraction — the bench artifacts are one
+   object per file written by this binary, so a substring scan beats
+   pulling in a JSON dependency. *)
+let json_number s field =
+  let key = Printf.sprintf "\"%s\":" field in
+  let klen = String.length key and n = String.length s in
+  let rec find i =
+    if i + klen > n then None
+    else if String.sub s i klen = key then begin
+      let j = ref (i + klen) in
+      while !j < n && s.[!j] = ' ' do incr j done;
+      let st = !j in
+      while
+        !j < n
+        && match s.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub s st (!j - st))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let engine_bench ?compare ~threshold () =
+  (* Read the baseline up front: the run overwrites BENCH_engine.json,
+     and comparing a file against itself would always pass. *)
+  let baseline =
+    Option.map
+      (fun path ->
+        match json_number (read_file path) "events_per_s" with
+        | Some v -> v
+        | None ->
+            Format.printf "compare: no events_per_s in %s@." path;
+            exit 1)
+      compare
+  in
+  let target_events = 2_000_000 in
+  Format.printf "engine microbenchmark (%d events, best of 3)@."
+    target_events;
+  let best = ref None in
+  for _run = 1 to 3 do
+    let wall, events, mwpe = engine_run_once ~target_events in
+    let eps = float_of_int events /. wall in
+    Format.printf "  %.3fs  %d events  %.2fM ev/s  %.3f minor words/event@."
+      wall events (eps /. 1e6) mwpe;
+    match !best with
+    | Some (e, _, _, _) when e >= eps -> ()
+    | _ -> best := Some (eps, wall, events, mwpe)
+  done;
+  let eps, wall, events, mwpe = Option.get !best in
+  Format.printf "engine: %.2fM events/s, %.3f minor words/event@."
+    (eps /. 1e6) mwpe;
+  let oc = open_out engine_json_path in
+  Printf.fprintf oc
+    "{\"target\": \"engine\", \"wall_s\": %.3f, \"events\": %d, \
+     \"events_per_s\": %.0f, \"minor_words_per_event\": %.3f}\n"
+    wall events eps mwpe;
+  close_out oc;
+  Format.printf "wrote %s@." engine_json_path;
+  match baseline with
+  | None -> ()
+  | Some baseline ->
+      let floor = baseline /. threshold in
+      Format.printf
+        "compare: current %.2fM ev/s vs baseline %.2fM ev/s \
+         (floor %.2fM at %.2fx threshold)@."
+        (eps /. 1e6) (baseline /. 1e6) (floor /. 1e6) threshold;
+      if eps < floor then begin
+        Format.printf "perf regression: engine below %.2fx floor@." threshold;
+        exit 1
+      end
+      else Format.printf "perf smoke passed@."
+
 (* Per-target wall-clock deadline: installed as the process-wide
    default cancel hook so the simulators created on sweep worker
    domains see it too (a domain-local default would not reach them).
@@ -200,6 +333,8 @@ let () =
   let only = ref None and full = ref false and run_micro = ref false in
   let fidelity = ref false and fidelity_dump = ref false in
   let jobs = ref None and timeout = ref None in
+  let run_engine = ref false and compare_file = ref None in
+  let compare_threshold = ref 1.5 in
   let args =
     [
       ("--only", Arg.String (fun s -> only := Some s), "FIG run a single target");
@@ -211,6 +346,16 @@ let () =
        "SEC wall-clock budget per figure target; a target that blows it \
         is marked TIMED OUT and the next one runs");
       ("--micro", Arg.Set run_micro, " Bechamel micro-benchmarks");
+      ("--engine", Arg.Set run_engine,
+       " engine microbenchmark (events/s + minor words/event); writes \
+        BENCH_engine.json");
+      ("--compare", Arg.String (fun s -> compare_file := Some s),
+       "FILE compare the engine microbenchmark against a baseline JSON \
+        and exit 1 below the threshold floor (implies --engine)");
+      ("--compare-threshold",
+       Arg.Float (fun t -> compare_threshold := t),
+       "X allowed slowdown factor vs baseline before --compare fails \
+        (default 1.5)");
       ("--fidelity", Arg.Set fidelity,
        " paper-fidelity regression gate (exit 1 when a metric drifts out \
         of its committed band or an invariant is violated)");
@@ -227,6 +372,8 @@ let () =
     end;
     Format.printf "fidelity gate passed@."
   end
+  else if !run_engine || !compare_file <> None then
+    engine_bench ?compare:!compare_file ~threshold:!compare_threshold ()
   else if !run_micro then micro ()
   else begin
     let quick = not !full in

@@ -1,0 +1,35 @@
+type t =
+  | Ok
+  | Bad_trace
+  | Fault_aborted
+  | Invariant_violation
+  | Timed_out
+  | Run_failed
+  | Usage
+
+let to_int = function
+  | Ok -> 0
+  | Bad_trace -> 1
+  | Fault_aborted -> 3
+  | Invariant_violation -> 4
+  | Timed_out -> 5
+  | Run_failed -> 6
+  | Usage -> 124
+
+let all =
+  [ Ok; Bad_trace; Fault_aborted; Invariant_violation; Timed_out; Run_failed;
+    Usage ]
+
+let of_int n = List.find_opt (fun c -> to_int c = n) all
+
+let describe = function
+  | Ok -> "the run(s) completed (deadline misses are results, not errors)"
+  | Bad_trace -> "a recorded trace file could not be read or parsed"
+  | Fault_aborted ->
+      "at least one flow was aborted by its watchdog (faults cut every path)"
+  | Invariant_violation -> "--check found invariant or oracle violations"
+  | Timed_out ->
+      "a run blew its --timeout/--max-events budget (and nothing worse \
+       happened)"
+  | Run_failed -> "a supervised sweep left crashed or skipped slots"
+  | Usage -> "command-line usage error"

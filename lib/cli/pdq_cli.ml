@@ -24,16 +24,21 @@ module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
 module Scenario = Pdq_exec.Scenario
 module Sweep = Pdq_exec.Sweep
+module Exec_opts = Pdq_exec.Exec_opts
 module Task = Pdq_exec.Task
 module Trace = Pdq_telemetry.Trace
 module Report = Pdq_check.Report
 module Attribution = Pdq_forensics.Attribution
 module Trace_diff = Pdq_forensics.Trace_diff
 
-let exit_fault_aborted = 3
-let exit_invariant_violation = 4
-let exit_timed_out = 5
-let exit_run_failed = 6
+module Exit_code = Exit_code
+
+(* Integer views of the discipline, for the arithmetic-free call
+   sites below; {!Exit_code} is the source of truth. *)
+let exit_fault_aborted = Exit_code.(to_int Fault_aborted)
+let exit_invariant_violation = Exit_code.(to_int Invariant_violation)
+let exit_timed_out = Exit_code.(to_int Timed_out)
+let exit_run_failed = Exit_code.(to_int Run_failed)
 
 (* Flags that are about this invocation, not about the experiment:
    telemetry sinks, the validation monitors, the profiler, the
@@ -211,7 +216,9 @@ let run_single_plain scenario opts =
   let checking = opts.check || opts.check_out <> None in
   let r, violations =
     if checking then begin
-      let c = Scenario.run_checked ~telemetry scenario in
+      let c =
+        Scenario.run_checked ~opts:(Exec_opts.telemetry telemetry) scenario
+      in
       print_result ~scenario c.Scenario.result;
       print_check_summary c;
       Option.iter
@@ -220,7 +227,7 @@ let run_single_plain scenario opts =
       (c.Scenario.result, c.Scenario.violations)
     end
     else begin
-      let r = Scenario.run ~telemetry scenario in
+      let r = Scenario.run ~opts:(Exec_opts.telemetry telemetry) scenario in
       print_result ~scenario r;
       (r, [])
     end
@@ -339,10 +346,12 @@ let run_sweep_supervised scenario opts =
   let tasks, report, violations =
     if checking then begin
       let sup =
-        Sweep.supervise ?jobs:opts.jobs ?budget:(budget_opt opts)
+        Sweep.supervise
+          ~opts:(Exec_opts.make ?jobs:opts.jobs ?budget:(budget_opt opts) ())
           ?retry:(retry_opt opts) ~keep_going:opts.keep_going ?on_event
           ~key:Scenario.digest
-          (instrumented (fun ~telemetry s -> Scenario.run_checked ~telemetry s))
+          (instrumented (fun ~telemetry s ->
+               Scenario.run_checked ~opts:(Exec_opts.telemetry telemetry) s))
           scenarios
       in
       ( List.map (Task.map (fun c -> c.Scenario.result)) sup.Sweep.tasks,
@@ -356,11 +365,13 @@ let run_sweep_supervised scenario opts =
     end
     else
       let sup =
-        Sweep.supervise ?jobs:opts.jobs ?budget:(budget_opt opts)
+        Sweep.supervise
+          ~opts:(Exec_opts.make ?jobs:opts.jobs ?budget:(budget_opt opts) ())
           ?retry:(retry_opt opts) ~keep_going:opts.keep_going ?checkpoint
           ?resume:opts.resume ~codec:Scenario.result_codec ?on_event
           ~key:Scenario.digest
-          (instrumented (fun ~telemetry s -> Scenario.run ~telemetry s))
+          (instrumented (fun ~telemetry s ->
+               Scenario.run ~opts:(Exec_opts.telemetry telemetry) s))
           scenarios
       in
       (sup.Sweep.tasks, sup.Sweep.report, [])
@@ -474,7 +485,8 @@ let run_sweep scenario opts =
     if checking then begin
       let checked =
         Sweep.map ?jobs:opts.jobs
-          (with_sinks (fun ~telemetry s -> Scenario.run_checked ~telemetry s))
+          (with_sinks (fun ~telemetry s ->
+               Scenario.run_checked ~opts:(Exec_opts.telemetry telemetry) s))
           scenarios
       in
       ( List.map (fun c -> c.Scenario.result) checked,
@@ -482,7 +494,8 @@ let run_sweep scenario opts =
     end
     else
       ( Sweep.map ?jobs:opts.jobs
-          (with_sinks (fun ~telemetry s -> Scenario.run ~telemetry s))
+          (with_sinks (fun ~telemetry s ->
+               Scenario.run ~opts:(Exec_opts.telemetry telemetry) s))
           scenarios,
         [] )
   in
@@ -804,7 +817,7 @@ let opts_term =
 (* pdq_sim forensics: offline span reconstruction, FCT attribution and
    trace diffing over recorded --trace-out JSONL files. *)
 
-let exit_bad_trace = 1
+let exit_bad_trace = Exit_code.(to_int Bad_trace)
 
 let load_attribution path =
   Result.map Attribution.of_events (Pdq_forensics.Replay.read_file path)
@@ -933,17 +946,12 @@ let cmd =
          & info [ "full" ] ~doc:"With --resilience: more seeds and intensities")
   in
   let exits =
-    Cmd.Exit.info ~doc:"at least one flow was aborted by its watchdog \
-                        (faults cut every path)."
-      exit_fault_aborted
-    :: Cmd.Exit.info ~doc:"$(b,--check) found invariant or oracle violations."
-         exit_invariant_violation
-    :: Cmd.Exit.info ~doc:"a run blew its $(b,--timeout)/$(b,--max-events) \
-                           budget (and nothing worse happened)."
-         exit_timed_out
-    :: Cmd.Exit.info ~doc:"a supervised sweep left crashed or skipped slots."
-         exit_run_failed
-    :: Cmd.Exit.defaults
+    (* Rendered straight from the variant, so the man page cannot
+       drift from the tested discipline. *)
+    List.map
+      (fun c -> Cmd.Exit.info ~doc:(Exit_code.describe c) (Exit_code.to_int c))
+      Exit_code.[ Fault_aborted; Invariant_violation; Timed_out; Run_failed ]
+    @ Cmd.Exit.defaults
   in
   Cmd.group
     ~default:Term.(const run $ scenario_term $ opts_term $ resilience $ full)

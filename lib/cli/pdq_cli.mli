@@ -1,17 +1,18 @@
 (** The [pdq_sim] command line as a library, so the test suite can
     drive it in-process and assert on its exit-status discipline.
 
-    Exit codes:
-    - [0] — the run(s) completed (deadline misses are results, not
-      errors);
-    - {!exit_fault_aborted} ([3]) — at least one flow was aborted by
-      its watchdog (injected faults cut every path);
-    - {!exit_invariant_violation} ([4]) — [--check] found invariant or
-      oracle violations (takes precedence over [3]);
-    - [124] — command-line usage error (cmdliner's default). *)
+    The discipline itself is the {!Exit_code} variant; see its
+    documentation for the full code list and precedence. *)
+
+module Exit_code = Exit_code
+(** The exit-status discipline shared by every subcommand. *)
 
 val exit_fault_aborted : int
+(** [Exit_code.(to_int Fault_aborted)], kept for callers that want the
+    bare integer. *)
+
 val exit_invariant_violation : int
+(** [Exit_code.(to_int Invariant_violation)]. *)
 
 val eval : ?argv:string array -> unit -> int
 (** Evaluate the [pdq_sim] command (arguments default to

@@ -1,0 +1,42 @@
+(* Interned event-kind identifiers.
+
+   Kinds used to be free-form strings hashed on every [Sim.schedule];
+   now each subsystem registers its labels once at module init and
+   passes the resulting small int. The registry is append-only and
+   published as an immutable snapshot array, so readers (profiler
+   readouts, possibly on another domain) never take the lock. *)
+
+type t = int
+
+let lock = Mutex.create ()
+
+(* Id 0 is reserved for events scheduled without a kind. *)
+let names : string array Atomic.t = Atomic.make [| "(unlabeled)" |]
+let unlabeled = 0
+
+let register name =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      let a = Atomic.get names in
+      let n = Array.length a in
+      let rec find i =
+        if i >= n then -1 else if String.equal a.(i) name then i else find (i + 1)
+      in
+      match find 0 with
+      | -1 ->
+          let b = Array.make (n + 1) name in
+          Array.blit a 0 b 0 n;
+          Atomic.set names b;
+          n
+      | i -> i)
+
+let name id =
+  let a = Atomic.get names in
+  if id >= 0 && id < Array.length a then a.(id) else "(unknown)"
+
+let count () = Array.length (Atomic.get names)
+let to_int id = id
+let of_int id = id
+let equal (a : t) (b : t) = a = b

@@ -5,9 +5,10 @@
    the hot path (one record per simulator event) takes no lock and
    cannot race. The profiler [t] is just a mutex-protected registry of
    slots; readouts aggregate across them. Slots of worker domains that
-   have since terminated keep their data until [reset] prunes them. *)
+   have since terminated keep their data until [reset] prunes them.
 
-type kind_stat = { mutable count : int; mutable cpu : float }
+   Per-kind statistics are flat arrays indexed by interned {!Kind} id —
+   the record path is two array stores, no hashing. *)
 
 type slot = {
   mutable executed : int;
@@ -15,7 +16,8 @@ type slot = {
   mutable hwm : int;
   mutable sim_advanced : float;
   mutable cpu_in_events : float;
-  kind_tbl : (string, kind_stat) Hashtbl.t;
+  mutable kind_count : int array;
+  mutable kind_cpu : float array;
   domain : int;
 }
 
@@ -28,7 +30,8 @@ let fresh_slot domain =
     hwm = 0;
     sim_advanced = 0.;
     cpu_in_events = 0.;
-    kind_tbl = Hashtbl.create 16;
+    kind_count = [||];
+    kind_cpu = [||];
     domain;
   }
 
@@ -62,7 +65,8 @@ let reset t =
           s.hwm <- 0;
           s.sim_advanced <- 0.;
           s.cpu_in_events <- 0.;
-          Hashtbl.reset s.kind_tbl)
+          s.kind_count <- [||];
+          s.kind_cpu <- [||])
         t.slots)
 
 let the_global : t option Atomic.t = Atomic.make None
@@ -81,20 +85,23 @@ let disable_global () = Atomic.set the_global None
 (* ------------------------------------------------------------------ *)
 (* Recorders: lock-free, on the calling domain's slot only. *)
 
-let kind_stat s kind =
-  match Hashtbl.find_opt s.kind_tbl kind with
-  | Some st -> st
-  | None ->
-      let st = { count = 0; cpu = 0. } in
-      Hashtbl.add s.kind_tbl kind st;
-      st
+(* Cover every registered kind in one growth step so the resize
+   happens at most a handful of times per run. *)
+let grow_kinds s k =
+  let n = max (k + 1) (Kind.count ()) in
+  let count = Array.make n 0 and cpu = Array.make n 0. in
+  Array.blit s.kind_count 0 count 0 (Array.length s.kind_count);
+  Array.blit s.kind_cpu 0 cpu 0 (Array.length s.kind_cpu);
+  s.kind_count <- count;
+  s.kind_cpu <- cpu
 
 let record_event s ~kind ~cpu =
   s.executed <- s.executed + 1;
   s.cpu_in_events <- s.cpu_in_events +. cpu;
-  let st = kind_stat s (if kind = "" then "(unlabeled)" else kind) in
-  st.count <- st.count + 1;
-  st.cpu <- st.cpu +. cpu
+  let k = Kind.to_int kind in
+  if k >= Array.length s.kind_count then grow_kinds s k;
+  s.kind_count.(k) <- s.kind_count.(k) + 1;
+  s.kind_cpu.(k) <- s.kind_cpu.(k) +. cpu
 
 let record_cancelled s = s.cancelled <- s.cancelled + 1
 let observe_queue s n = if n > s.hwm then s.hwm <- n
@@ -115,19 +122,25 @@ let sim_seconds t = sum_float t (fun s -> s.sim_advanced)
 let cpu_seconds t = sum_float t (fun s -> s.cpu_in_events)
 
 let kinds t =
-  let merged : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let n = Kind.count () in
+  let count = Array.make n 0 and cpu = Array.make n 0. in
   locked t (fun () ->
       List.iter
         (fun s ->
-          Hashtbl.iter
-            (fun k st ->
-              let c0, u0 =
-                Option.value ~default:(0, 0.) (Hashtbl.find_opt merged k)
-              in
-              Hashtbl.replace merged k (c0 + st.count, u0 +. st.cpu))
-            s.kind_tbl)
+          Array.iteri
+            (fun k c ->
+              if k < n then begin
+                count.(k) <- count.(k) + c;
+                cpu.(k) <- cpu.(k) +. s.kind_cpu.(k)
+              end)
+            s.kind_count)
         t.slots);
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+  let acc = ref [] in
+  for k = n - 1 downto 0 do
+    if count.(k) > 0 then
+      acc := (Kind.name (Kind.of_int k), (count.(k), cpu.(k))) :: !acc
+  done;
+  !acc
   |> List.sort (fun (ka, (_, a)) (kb, (_, b)) ->
          match compare b a with 0 -> compare ka kb | c -> c)
 

@@ -2,11 +2,13 @@
     regressions show up as numbers instead of vibes.
 
     A profiler accumulates, across every {!Sim.t} it is attached to:
-    events executed, cancelled placeholders popped (dead-heap
-    overhead), the event-queue high-water mark, simulated seconds
-    advanced, CPU seconds spent inside event actions (total and per
-    event kind — see the [?kind] argument of {!Sim.schedule}), and the
-    resulting CPU-per-simulated-second ratio.
+    events executed, cancelled events popped (dead-node overhead),
+    the event-queue high-water mark, simulated seconds advanced,
+    wall-clock seconds spent inside event actions (total and per
+    interned event kind — see the [?kind] argument of {!Sim.schedule}),
+    and the resulting CPU-per-simulated-second ratio. Per-kind statistics are
+    flat arrays indexed by {!Kind} id, so the record path hashes
+    nothing.
 
     Attachment is opt-in; an unattached simulator pays one [match] per
     step and nothing else. Profiling never feeds back into the
@@ -58,7 +60,7 @@ val disable_global : unit -> unit
 
 (** {1 Recorders (called by [Sim] on the owning domain)} *)
 
-val record_event : slot -> kind:string -> cpu:float -> unit
+val record_event : slot -> kind:Kind.t -> cpu:float -> unit
 val record_cancelled : slot -> unit
 val observe_queue : slot -> int -> unit
 val record_advance : slot -> float -> unit
@@ -72,6 +74,9 @@ val events_cancelled : t -> int
 val queue_high_water : t -> int
 val sim_seconds : t -> float
 val cpu_seconds : t -> float
+(** Seconds spent inside event actions, stamped per event with the
+    wall clock (cheap vdso reads; on a loaded machine it includes any
+    preemption, so treat it as a profile, not an accounting). *)
 
 val kinds : t -> (string * (int * float)) list
 (** Per event kind: (count, CPU seconds), sorted by CPU descending.

@@ -1,6 +1,49 @@
+(* Discrete-event core, structure-of-arrays edition.
+
+   The event queue is a binary min-heap on (time, seq) kept in four
+   parallel arrays — an unboxed [float array] for times and int arrays
+   for sequence numbers, slot indices and generation stamps — so heap
+   maintenance touches flat memory and never chases per-event records.
+
+   Event state (the action closure, its kind, its generation) lives in
+   a slot store indexed by small ints. A handle is an immediate int
+   packing the slot index with the slot's generation at scheduling
+   time; cancellation bumps the generation and recycles the slot
+   immediately, so the heap node left behind is recognised as dead by
+   its stale generation when popped. Firing an event also bumps the
+   generation before running the action, which makes [cancelled]
+   truthful after the fact and lets the action itself reschedule into
+   the freed slot.
+
+   The virtual clock lives in a one-element [float array]: a mutable
+   float field in this mixed record would be boxed and every write
+   would allocate, which at one write per event is the difference
+   between an allocation-free pop and 2 words of garbage each. *)
+
+module Kind = Kind
+
 type t = {
-  mutable clock : float;
-  queue : handle Heap.t;
+  clock : float array; (* length 1: current virtual time, unboxed *)
+  tscratch : float array;
+      (* length 1: carries the event time from schedule/schedule_at
+         into the push path. Passing it as a float argument would box
+         it on every call (the compiler only unboxes float arguments
+         across inlined calls); a store into a float array does not. *)
+  (* Heap, structure-of-arrays; [h_size] nodes in heap order. *)
+  mutable h_time : float array;
+  mutable h_seq : int array;
+  mutable h_slot : int array;
+  mutable h_gen : int array;
+  mutable h_size : int;
+  mutable next_seq : int;
+  (* Slot store; [s_top] slots ever handed out. *)
+  mutable s_action : (unit -> unit) array;
+  mutable s_gen : int array;
+  mutable s_kind : int array;
+  mutable s_top : int;
+  (* Stack of recycled slot indices. *)
+  mutable free : int array;
+  mutable free_top : int;
   mutable stopped : bool;
   mutable live_count : int;
   mutable executed : int;
@@ -8,13 +51,6 @@ type t = {
       (* This domain's shard of the attached profiler; recording into
          it is lock-free and domain-private. *)
   mutable cancel : cancel option;
-}
-
-and handle = {
-  mutable live : bool;
-  action : unit -> unit;
-  kind : string;
-  owner : t;
 }
 
 (* Cooperative cancellation: the hook runs on this simulator's domain
@@ -25,6 +61,15 @@ and cancel = {
   hook : t -> string option;
   mutable countdown : int;
 }
+
+type handle = int
+
+(* Handle layout: slot index in the low 30 bits, generation above.
+   Generations wrap at 2^32 per slot; a stale handle aliasing a live
+   event needs 4 billion reuses of one slot between cancel attempts. *)
+let slot_bits = 30
+let slot_mask = (1 lsl slot_bits) - 1
+let gen_mask = (1 lsl 32) - 1
 
 exception Cancelled of { reason : string; events : int }
 
@@ -66,10 +111,25 @@ let cancel_of = function
       let every = max 1 every in
       Some { every; hook; countdown = every }
 
+let noop () = ()
+let initial_capacity = 256
+
 let create () =
   {
-    clock = 0.;
-    queue = Heap.create ();
+    clock = [| 0. |];
+    tscratch = [| 0. |];
+    h_time = Array.make initial_capacity 0.;
+    h_seq = Array.make initial_capacity 0;
+    h_slot = Array.make initial_capacity 0;
+    h_gen = Array.make initial_capacity 0;
+    h_size = 0;
+    next_seq = 0;
+    s_action = Array.make initial_capacity noop;
+    s_gen = Array.make initial_capacity 0;
+    s_kind = Array.make initial_capacity 0;
+    s_top = 0;
+    free = Array.make initial_capacity 0;
+    free_top = 0;
     stopped = false;
     live_count = 0;
     executed = 0;
@@ -89,29 +149,190 @@ let set_cancel t ?(every = default_check_every) hook =
 let clear_cancel t = t.cancel <- None
 let events_executed t = t.executed
 let stop t = t.stopped <- true
-let now t = t.clock
+let now t = t.clock.(0)
 
-let schedule_at ?(kind = "") t ~time f =
-  if time < t.clock then
-    invalid_arg
-      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
-  let h = { live = true; action = f; kind; owner = t } in
-  Heap.push t.queue time h;
-  t.live_count <- t.live_count + 1;
-  h
+(* ------------------------------------------------------------------ *)
+(* Slot store. *)
 
-let schedule ?kind t ~delay f =
-  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
-  schedule_at ?kind t ~time:(t.clock +. delay) f
+let slots_grow t =
+  let cap = Array.length t.s_action in
+  let ncap = 2 * cap in
+  let action = Array.make ncap noop in
+  let gen = Array.make ncap 0 in
+  let kind = Array.make ncap 0 in
+  let free = Array.make ncap 0 in
+  Array.blit t.s_action 0 action 0 cap;
+  Array.blit t.s_gen 0 gen 0 cap;
+  Array.blit t.s_kind 0 kind 0 cap;
+  Array.blit t.free 0 free 0 cap;
+  t.s_action <- action;
+  t.s_gen <- gen;
+  t.s_kind <- kind;
+  t.free <- free
 
-let cancel h =
-  if h.live then begin
-    h.live <- false;
-    h.owner.live_count <- h.owner.live_count - 1
+let alloc_slot t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.free.(t.free_top)
+  end
+  else begin
+    if t.s_top = Array.length t.s_action then slots_grow t;
+    let s = t.s_top in
+    t.s_top <- s + 1;
+    s
   end
 
-let cancelled h = not h.live
-let pending t = Heap.length t.queue
+(* Retire a slot: bump the generation (invalidating every outstanding
+   handle and heap node pointing at it), drop the closure so it can be
+   collected, and recycle the index. *)
+let retire_slot t slot gen =
+  t.s_gen.(slot) <- (gen + 1) land gen_mask;
+  t.s_action.(slot) <- noop;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1;
+  t.live_count <- t.live_count - 1
+
+(* ------------------------------------------------------------------ *)
+(* Heap maintenance. Min on (time, seq): seq is the global scheduling
+   order, so ties fire first-scheduled-first — the determinism
+   contract every figure depends on. *)
+
+let heap_grow t =
+  let cap = Array.length t.h_time in
+  let ncap = 2 * cap in
+  let time = Array.make ncap 0. in
+  let seq = Array.make ncap 0 in
+  let slot = Array.make ncap 0 in
+  let gen = Array.make ncap 0 in
+  Array.blit t.h_time 0 time 0 cap;
+  Array.blit t.h_seq 0 seq 0 cap;
+  Array.blit t.h_slot 0 slot 0 cap;
+  Array.blit t.h_gen 0 gen 0 cap;
+  t.h_time <- time;
+  t.h_seq <- seq;
+  t.h_slot <- slot;
+  t.h_gen <- gen
+
+(* Push the event whose time sits in [t.tscratch.(0)]: allocate a
+   slot, then sift up, moving parents down until (time, seq) fits. *)
+let do_schedule t kind f =
+  let time = t.tscratch.(0) in
+  if time < t.clock.(0) then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time
+         t.clock.(0));
+  let slot = alloc_slot t in
+  let gen = t.s_gen.(slot) in
+  t.s_action.(slot) <- f;
+  t.s_kind.(slot) <- Kind.to_int kind;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.h_size = Array.length t.h_time then heap_grow t;
+  (* Indices below stay within [0, h_size] by construction (the heap
+     was grown above if full), so the sift uses unsafe accesses — this
+     loop and its sift-down twin dominate the per-event cost. *)
+  let ht = t.h_time and hq = t.h_seq and hs = t.h_slot and hg = t.h_gen in
+  let i = ref t.h_size in
+  t.h_size <- t.h_size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let tp = Array.unsafe_get ht p in
+    if time < tp || (time = tp && seq < Array.unsafe_get hq p) then begin
+      Array.unsafe_set ht !i tp;
+      Array.unsafe_set hq !i (Array.unsafe_get hq p);
+      Array.unsafe_set hs !i (Array.unsafe_get hs p);
+      Array.unsafe_set hg !i (Array.unsafe_get hg p)
+    end
+    else continue := false;
+    if !continue then i := p
+  done;
+  Array.unsafe_set ht !i time;
+  Array.unsafe_set hq !i seq;
+  Array.unsafe_set hs !i slot;
+  Array.unsafe_set hg !i gen;
+  t.live_count <- t.live_count + 1;
+  slot lor (gen lsl slot_bits)
+
+(* Remove the root: move the last node into a hole sifted down from the
+   root. The popped node's fields must be read out before calling. *)
+let heap_remove_root t =
+  let n = t.h_size - 1 in
+  t.h_size <- n;
+  if n > 0 then begin
+    (* [l], [r], [c] and [!i] are all [< n <= capacity]; unsafe
+       accesses, same argument as the sift-up. *)
+    let ht = t.h_time and hq = t.h_seq and hs = t.h_slot and hg = t.h_gen in
+    let time = Array.unsafe_get ht n and seq = Array.unsafe_get hq n in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let tl = Array.unsafe_get ht l in
+        let c =
+          if
+            r < n
+            && (let tr = Array.unsafe_get ht r in
+                tr < tl
+                || (tr = tl && Array.unsafe_get hq r < Array.unsafe_get hq l))
+          then r
+          else l
+        in
+        let tc = Array.unsafe_get ht c in
+        if tc < time || (tc = time && Array.unsafe_get hq c < seq) then begin
+          Array.unsafe_set ht !i tc;
+          Array.unsafe_set hq !i (Array.unsafe_get hq c);
+          Array.unsafe_set hs !i (Array.unsafe_get hs c);
+          Array.unsafe_set hg !i (Array.unsafe_get hg c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set ht !i (Array.unsafe_get ht n);
+    Array.unsafe_set hq !i (Array.unsafe_get hq n);
+    Array.unsafe_set hs !i (Array.unsafe_get hs n);
+    Array.unsafe_set hg !i (Array.unsafe_get hg n)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* [_k] variants take the kind positionally: a [~kind] optional
+   argument makes every labeled call site allocate a [Some] cell
+   (non-flambda builds cannot eliminate it), which is exactly the
+   per-event garbage this core exists to avoid. Hot paths call these;
+   the [?kind] wrappers below remain for casual callers, costing
+   nothing when the label is omitted. *)
+let schedule_at_k t kind ~time f =
+  t.tscratch.(0) <- time;
+  do_schedule t kind f
+
+let schedule_k t kind ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  t.tscratch.(0) <- t.clock.(0) +. delay;
+  do_schedule t kind f
+
+let schedule_at ?(kind = Kind.unlabeled) t ~time f =
+  t.tscratch.(0) <- time;
+  do_schedule t kind f
+
+let schedule ?(kind = Kind.unlabeled) t ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  t.tscratch.(0) <- t.clock.(0) +. delay;
+  do_schedule t kind f
+
+let cancel t h =
+  let slot = h land slot_mask and gen = h lsr slot_bits in
+  if slot < t.s_top && t.s_gen.(slot) = gen then retire_slot t slot gen
+
+let cancelled t h =
+  let slot = h land slot_mask and gen = h lsr slot_bits in
+  not (slot < t.s_top && t.s_gen.(slot) = gen)
+
+let pending t = t.h_size
 let live_pending t = t.live_count
 
 (* One decrement per executed event; the hook itself only runs every
@@ -131,39 +352,49 @@ let check_cancel t =
 
 let step t =
   match t.profiler with
-  | None -> (
-      match Heap.pop t.queue with
-      | None -> false
-      | Some (time, h) ->
-          t.clock <- time;
-          if h.live then begin
-            h.live <- false;
-            t.live_count <- t.live_count - 1;
-            h.action ();
-            t.executed <- t.executed + 1;
-            check_cancel t
-          end;
-          true)
-  | Some p -> (
+  | None ->
+      if t.h_size = 0 then false
+      else begin
+        let time = Array.unsafe_get t.h_time 0
+        and slot = Array.unsafe_get t.h_slot 0
+        and gen = Array.unsafe_get t.h_gen 0 in
+        heap_remove_root t;
+        Array.unsafe_set t.clock 0 time;
+        if Array.unsafe_get t.s_gen slot = gen then begin
+          let f = Array.unsafe_get t.s_action slot in
+          retire_slot t slot gen;
+          f ();
+          t.executed <- t.executed + 1;
+          check_cancel t
+        end;
+        true
+      end
+  | Some p ->
       (* Instrumented path: identical semantics, plus statistics. The
          high-water mark observes the queue before the pop. *)
-      Profiler.observe_queue p (Heap.length t.queue);
-      match Heap.pop t.queue with
-      | None -> false
-      | Some (time, h) ->
-          Profiler.record_advance p (time -. t.clock);
-          t.clock <- time;
-          if h.live then begin
-            h.live <- false;
-            t.live_count <- t.live_count - 1;
-            let t0 = Sys.time () in
-            h.action ();
-            Profiler.record_event p ~kind:h.kind ~cpu:(Sys.time () -. t0);
-            t.executed <- t.executed + 1;
-            check_cancel t
-          end
-          else Profiler.record_cancelled p;
-          true)
+      Profiler.observe_queue p t.h_size;
+      if t.h_size = 0 then false
+      else begin
+        let time = t.h_time.(0) and slot = t.h_slot.(0) and gen = t.h_gen.(0) in
+        heap_remove_root t;
+        Profiler.record_advance p (time -. t.clock.(0));
+        t.clock.(0) <- time;
+        if t.s_gen.(slot) = gen then begin
+          let f = t.s_action.(slot) in
+          let k = Kind.of_int t.s_kind.(slot) in
+          retire_slot t slot gen;
+          (* [Unix.gettimeofday] (vdso, ~40 ns) instead of [Sys.time]
+             (a [times] syscall, ~6x dearer per call): two stamps per
+             event would otherwise dominate profiled runs. *)
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Profiler.record_event p ~kind:k ~cpu:(Unix.gettimeofday () -. t0);
+          t.executed <- t.executed + 1;
+          check_cancel t
+        end
+        else Profiler.record_cancelled p;
+        true
+      end
 
 let run ?until t =
   t.stopped <- false;
@@ -172,9 +403,9 @@ let run ?until t =
   | Some horizon ->
       let continue = ref true in
       while !continue && not t.stopped do
-        match Heap.peek t.queue with
-        | Some (time, _) when time <= horizon -> ignore (step t)
-        | Some _ | None ->
-            t.clock <- max t.clock horizon;
-            continue := false
+        if t.h_size > 0 && t.h_time.(0) <= horizon then ignore (step t)
+        else begin
+          t.clock.(0) <- Float.max t.clock.(0) horizon;
+          continue := false
+        end
       done

@@ -3,13 +3,27 @@
     A simulator owns a virtual clock and an event queue. Events are
     thunks scheduled at absolute or relative virtual times; [run]
     executes them in nondecreasing time order (ties broken by
-    scheduling order, so runs are deterministic). *)
+    scheduling order, so runs are deterministic).
+
+    The queue is a monomorphic structure-of-arrays binary heap (unboxed
+    times, flat int arrays for sequence/slot/generation) over a slot
+    store of event records; handles are immediate ints carrying a
+    generation stamp, so scheduling and cancelling allocate nothing and
+    cancellation recycles its slot instead of leaving a dead record to
+    be collected. See DESIGN.md, "Event-core internals". *)
+
+module Kind = Kind
+(** Interned event-kind labels; see {!Kind.register}. Re-exported so
+    callers can write [Sim.Kind.register "link.tx"]. *)
 
 type t
 (** A simulator instance. *)
 
 type handle
-(** A handle on a scheduled event, usable to {!cancel} it. *)
+(** A handle on a scheduled event, usable to {!cancel} it. Handles are
+    immediate ints (no allocation) and carry a generation stamp: a
+    handle whose event has fired or been cancelled is recognised as
+    stale even after its slot has been reused. *)
 
 val create : unit -> t
 (** A fresh simulator with clock at time [0.]. If a global
@@ -18,27 +32,42 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time, in seconds. *)
 
-val schedule : ?kind:string -> t -> delay:float -> (unit -> unit) -> handle
+val schedule : ?kind:Kind.t -> t -> delay:float -> (unit -> unit) -> handle
 (** [schedule sim ~delay f] runs [f] at time [now sim +. delay].
-    Raises [Invalid_argument] if [delay < 0.]. [kind] is a free-form
-    label ("link.tx", "pdq.watchdog", …) grouping the event in
+    Raises [Invalid_argument] if [delay < 0.]. [kind] is an interned
+    label ({!Kind.register}, e.g. "link.tx") grouping the event in
     profiler reports; it does not affect execution. *)
 
-val schedule_at : ?kind:string -> t -> time:float -> (unit -> unit) -> handle
-(** [schedule_at sim ~time f] runs [f] at absolute [time]. Raises
-    [Invalid_argument] if [time] is in the past. *)
+val schedule_at : ?kind:Kind.t -> t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at sim ~time f] runs [f] at absolute [time]. Scheduling
+    at exactly [now sim] is allowed — the event fires after everything
+    already scheduled at that instant (ties break by sequence order).
+    Raises [Invalid_argument] only if [time] is strictly in the
+    past. *)
 
-val cancel : handle -> unit
-(** Cancel a pending event. Cancelling an already-fired or cancelled
-    event is a no-op. *)
+val schedule_k : t -> Kind.t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_k sim kind ~delay f] is {!schedule} with the kind passed
+    positionally. Passing a labeled optional argument allocates a
+    [Some] cell per call (non-flambda builds cannot eliminate it);
+    this variant keeps the labeled scheduling path allocation-free, so
+    the per-event hot paths (links, ports, watchdogs) use it. *)
 
-val cancelled : handle -> bool
+val schedule_at_k : t -> Kind.t -> time:float -> (unit -> unit) -> handle
+(** {!schedule_at}, kind passed positionally (see {!schedule_k}). *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event. Its slot is recycled immediately (the
+    closure is released for collection); the heap node left behind is
+    skipped cheaply when popped. Cancelling an already-fired or
+    cancelled event is a no-op. *)
+
+val cancelled : t -> handle -> bool
 (** Whether the event was cancelled (or already consumed). *)
 
 val pending : t -> int
 (** Number of events still physically queued. Cancellation does not
-    remove an event from the heap — it only marks it dead, to be
-    skipped when popped — so this count {e includes} cancelled
+    remove an event's node from the heap — it only invalidates it, to
+    be skipped when popped — so this count {e includes} cancelled
     placeholders. Use {!live_pending} for the number of events that
     will actually run. *)
 

@@ -276,10 +276,14 @@ let build t =
   in
   (built, specs, options)
 
-let run ?(telemetry = Runner.no_telemetry) t =
-  let built, specs, options = build t in
-  let options = { options with Runner.telemetry } in
-  Runner.run ~options ~topo:built.Builder.topo t.protocol specs
+let run ?(opts = Exec_opts.default) t =
+  Exec_opts.with_budget_opt opts (fun () ->
+      let telemetry =
+        Option.value opts.Exec_opts.telemetry ~default:Runner.no_telemetry
+      in
+      let built, specs, options = build t in
+      let options = { options with Runner.telemetry } in
+      Runner.execute ~options ~topo:built.Builder.topo t.protocol specs)
 
 type checked = {
   result : Runner.result;
@@ -287,8 +291,10 @@ type checked = {
   oracle : Pdq_check.Oracle.t;
 }
 
-let run_checked ?(telemetry = Runner.no_telemetry) ?es_window ?capacity_slack
-    t =
+let run_checked ?(opts = Exec_opts.default) ?es_window ?capacity_slack t =
+  let telemetry =
+    Option.value opts.Exec_opts.telemetry ~default:Runner.no_telemetry
+  in
   let built, specs, options = build t in
   let monitor = Pdq_check.Invariants.create ?es_window ?capacity_slack () in
   let options =
@@ -298,7 +304,10 @@ let run_checked ?(telemetry = Runner.no_telemetry) ?es_window ?capacity_slack
     }
   in
   let topo = built.Builder.topo in
-  let result = Runner.run ~options ~topo t.protocol specs in
+  let result =
+    Exec_opts.with_budget_opt opts (fun () ->
+        Runner.execute ~options ~topo t.protocol specs)
+  in
   let violations = Pdq_check.Invariants.finalize monitor ~result ~topo in
   (* M-PDQ stripes a flow over several paths, so no single path's
      contention-free bound applies per flow; keep only the aggregate

@@ -173,12 +173,14 @@ val build :
     options (no telemetry attached). Exposed for tests and
     inspection; {!run} is [Runner.run] applied to this. *)
 
-val run : ?telemetry:Pdq_transport.Runner.telemetry -> t -> Pdq_transport.Runner.result
+val run : ?opts:Exec_opts.t -> t -> Pdq_transport.Runner.result
 (** Build and simulate. Deterministic: same scenario (and telemetry
     sinks, which never perturb a run) ⇒ bit-for-bit identical result,
-    on any domain. [telemetry] is passed at run time, not stored in
-    the scenario, because sinks (channels, memory rings) are per-run
-    mutable state. *)
+    on any domain. [opts] carries the run-time knobs ({!Exec_opts}):
+    [telemetry] is passed here, not stored in the scenario, because
+    sinks (channels, memory rings) are per-run mutable state; a
+    non-empty [budget] bounds the run ([Sim.Cancelled] on a trip); the
+    [jobs] field is meaningless for a single run and ignored. *)
 
 type checked = {
   result : Pdq_transport.Runner.result;
@@ -191,7 +193,7 @@ type checked = {
 }
 
 val run_checked :
-  ?telemetry:Pdq_transport.Runner.telemetry ->
+  ?opts:Exec_opts.t ->
   ?es_window:float ->
   ?capacity_slack:float ->
   t ->
@@ -200,9 +202,9 @@ val run_checked :
     {!Pdq_check.Invariants} monitor rides the trace bus and the
     per-port probe, and the finished run is checked against the
     {!Pdq_check.Oracle} bounds. Monitoring only observes — the
-    [result] is bit-for-bit the one {!run} returns. [telemetry] is
-    composed with (not replaced by) the monitor's sinks; its
-    [metrics_every] field also sets the port-probe grid. *)
+    [result] is bit-for-bit the one {!run} returns. The [opts]
+    telemetry is composed with (not replaced by) the monitor's sinks;
+    its [metrics_every] field also sets the port-probe grid. *)
 
 val digest : t -> string
 (** Content hash of the scenario (seed included) keying its slot in a

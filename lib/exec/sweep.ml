@@ -25,54 +25,21 @@ let default_jobs () =
   | None -> Domain.recommended_domain_count ()
 
 (* ------------------------------------------------------------------ *)
-(* Budgets *)
+(* Budgets: the machinery lives in [Exec_opts] (shared with single
+   runs); re-exported here under the historical names. *)
 
-type budget = {
+type budget = Exec_opts.budget = {
   wall : float option;
   events : int option;
   live : int option;
   check_every : int;
 }
 
-let no_budget = { wall = None; events = None; live = None; check_every = 1024 }
-
-let budget ?wall ?events ?live ?(check_every = 1024) () =
-  { wall; events; live; check_every = max 1 check_every }
-
-let budget_is_empty b = b.wall = None && b.events = None && b.live = None
-
-(* Run [fn] with the budget installed as the calling domain's default
-   cancellation hook, so every simulator the attempt creates enforces
-   it. [start] anchors the wall-clock deadline at the attempt start. *)
-let with_budget_from b ~start fn =
-  if budget_is_empty b then fn ()
-  else begin
-    let deadline = Option.map (fun w -> start +. w) b.wall in
-    let hook sim =
-      match b.events with
-      | Some m when Sim.events_executed sim > m ->
-          Some (Printf.sprintf "events>%d" m)
-      | _ -> (
-          match b.live with
-          | Some m when Sim.live_pending sim > m ->
-              Some (Printf.sprintf "live>%d" m)
-          | _ -> (
-              match deadline with
-              | Some d when Unix.gettimeofday () > d ->
-                  Some (Printf.sprintf "wall>%gs" (Option.get b.wall))
-              | _ -> None))
-    in
-    (* Tiny event budgets must be checked more often than the default
-       grid or they would only trip at the first grid point. *)
-    let every =
-      match b.events with
-      | Some m -> max 1 (min b.check_every ((m / 4) + 1))
-      | None -> b.check_every
-    in
-    Sim.with_default_cancel ~every hook fn
-  end
-
-let with_budget b fn = with_budget_from b ~start:(Unix.gettimeofday ()) fn
+let no_budget = Exec_opts.no_budget
+let budget = Exec_opts.budget
+let budget_is_empty = Exec_opts.budget_is_empty
+let with_budget_from = Exec_opts.with_budget_from
+let with_budget = Exec_opts.with_budget
 
 (* ------------------------------------------------------------------ *)
 (* Plain map (kept simple: first-error semantics replaced by an
@@ -133,8 +100,13 @@ let map ?jobs ?(budget = no_budget) f xs =
          | None -> assert false (* no error ⇒ every slot was filled *))
   end
 
-let run ?jobs ?budget scenarios =
-  map ?jobs ?budget (fun s -> Scenario.run s) scenarios
+(* The sweep entry points take the unified [Exec_opts.t]; note that a
+   sweep honours [jobs] and [budget] but ignores [telemetry] — sinks
+   are per-run mutable state (see the .mli caveat). *)
+let run ?(opts = Exec_opts.default) scenarios =
+  map ?jobs:opts.Exec_opts.jobs ~budget:opts.Exec_opts.budget
+    (fun s -> Scenario.run s)
+    scenarios
 
 let average ?jobs ?budget ~seeds f =
   match seeds with
@@ -385,9 +357,12 @@ let load_checkpoint path =
 
 type 'b supervised = { tasks : 'b Task.t list; report : report }
 
-let supervise ?jobs ?(budget = no_budget) ?(retry = no_retry)
+let supervise ?(opts = Exec_opts.default) ?(retry = no_retry)
     ?(keep_going = true) ?checkpoint ?resume ?codec ?on_event ~key f xs =
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let budget = opts.Exec_opts.budget in
+  let jobs =
+    match opts.Exec_opts.jobs with Some j -> j | None -> default_jobs ()
+  in
   let n = List.length xs in
   let inputs = Array.of_list xs in
   let keys = Array.map key inputs in
@@ -592,8 +567,9 @@ let supervise ?jobs ?(budget = no_budget) ?(retry = no_retry)
   in
   { tasks; report }
 
-let run_supervised ?jobs ?budget ?retry ?keep_going ?checkpoint ?resume
-    ?on_event scenarios =
-  supervise ?jobs ?budget ?retry ?keep_going ?checkpoint ?resume
-    ~codec:Scenario.result_codec ?on_event ~key:Scenario.digest Scenario.run
+let run_supervised ?opts ?retry ?keep_going ?checkpoint ?resume ?on_event
+    scenarios =
+  supervise ?opts ?retry ?keep_going ?checkpoint ?resume
+    ~codec:Scenario.result_codec ?on_event ~key:Scenario.digest
+    (fun s -> Scenario.run s)
     scenarios

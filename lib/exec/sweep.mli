@@ -38,20 +38,21 @@ val default_jobs : unit -> int
     environment variable names a positive integer — the process-wide
     parallelism pin for CI and bench (clamped to [>= 1]). *)
 
-(** {1 Run budgets} *)
+(** {1 Run budgets}
 
-type budget = {
+    The budget machinery lives in {!Exec_opts} (it is shared with
+    single {!Scenario.run}s); these are re-exports under the
+    historical names, so existing [Sweep.budget ...] callers keep
+    working. *)
+
+type budget = Exec_opts.budget = {
   wall : float option;   (** Wall-clock seconds per attempt. *)
   events : int option;   (** Simulator events executed per attempt. *)
   live : int option;     (** Ceiling on live queued events (heap
                              blow-up guard). *)
   check_every : int;     (** Cooperative check period, in events. *)
 }
-(** Per-attempt budget, enforced via {!Pdq_engine.Sim} cooperative
-    cancellation: every simulator created while an attempt runs checks
-    the budget every [check_every] events (tightened automatically for
-    small event budgets) and raises [Sim.Cancelled] when it trips.
-    Costs nothing when empty, one [match] per event otherwise. *)
+(** See {!Exec_opts.budget}. *)
 
 val no_budget : budget
 
@@ -60,12 +61,10 @@ val budget :
 (** [check_every] defaults to 1024. *)
 
 val with_budget : budget -> (unit -> 'a) -> 'a
-(** [with_budget b fn] installs [b] as the calling domain's default
-    cancellation hook for the duration of [fn] — every simulator
-    created inside picks it up. The wall deadline is anchored at the
-    call; a tripped budget raises [Sim.Cancelled] out of [fn]. Used by
-    the CLI to give single runs the same [--timeout] semantics as
-    supervised sweeps. *)
+(** {!Exec_opts.with_budget}: installs the budget as the calling
+    domain's default cancellation hook for the duration of the thunk.
+    Used by the CLI to give single runs the same [--timeout] semantics
+    as supervised sweeps. *)
 
 (** {1 Retry policy} *)
 
@@ -110,11 +109,10 @@ val map : ?jobs:int -> ?budget:budget -> ('a -> 'b) -> 'a list -> 'b list
     like any other failure. *)
 
 val run :
-  ?jobs:int ->
-  ?budget:budget ->
-  Scenario.t list ->
-  Pdq_transport.Runner.result list
-(** [map ~jobs Scenario.run], telemetry-free. *)
+  ?opts:Exec_opts.t -> Scenario.t list -> Pdq_transport.Runner.result list
+(** [map Scenario.run] with {!Exec_opts} carrying the worker count and
+    per-run budget. The [telemetry] field is ignored — sweeps are
+    telemetry-free (see the caveat above). *)
 
 val average :
   ?jobs:int -> ?budget:budget -> seeds:int list -> (int -> float) -> float
@@ -192,8 +190,7 @@ val report_to_json : report -> string
 type 'b supervised = { tasks : 'b Task.t list; report : report }
 
 val supervise :
-  ?jobs:int ->
-  ?budget:budget ->
+  ?opts:Exec_opts.t ->
   ?retry:retry ->
   ?keep_going:bool ->
   ?checkpoint:string ->
@@ -206,11 +203,15 @@ val supervise :
   'b supervised
 (** Fault-tolerant {!map}: one {!Task.t} per input, in input order.
 
+    [opts] carries the worker count and per-attempt budget
+    ({!Exec_opts}; the [telemetry] field is ignored, as everywhere in
+    [Sweep]).
+
     - A crash settles its slot as [Failed] (exception, backtrace,
       attempts, elapsed); with [keep_going] (default [true]) the sweep
       continues, otherwise workers stop claiming and unattempted slots
       settle as [Skipped].
-    - [budget] cancels an attempt cooperatively mid-simulation; the
+    - The budget cancels an attempt cooperatively mid-simulation; the
       slot settles as [Timed_out] with the tripped budget's name.
     - [retry] re-runs failing attempts classified [transient], with
       deterministic jittered exponential backoff.
@@ -231,8 +232,7 @@ val supervise :
     be bit-identical to an uninterrupted run. *)
 
 val run_supervised :
-  ?jobs:int ->
-  ?budget:budget ->
+  ?opts:Exec_opts.t ->
   ?retry:retry ->
   ?keep_going:bool ->
   ?checkpoint:string ->

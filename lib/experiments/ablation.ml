@@ -7,13 +7,13 @@ let sweep ?jobs ~title ~param_name ~configs ?(quick = true) () =
   (* Two flat config × seed sweeps: one deadline-constrained for
      application throughput, one unconstrained for FCT. *)
   let ats =
-    Common.sweep_metric ?jobs ~seeds
+    Common.sweep_metric ~opts:(Pdq_exec.Exec_opts.make ?jobs ()) ~seeds
       ~metric:(fun r -> 100. *. r.Runner.application_throughput)
       (fun (_, config) -> Common.aggregation_scenario ~flows (Runner.Pdq config))
       configs
   in
   let fcts =
-    Common.sweep_metric ?jobs ~seeds
+    Common.sweep_metric ~opts:(Pdq_exec.Exec_opts.make ?jobs ()) ~seeds
       ~metric:(fun r -> r.Runner.mean_fct)
       (fun (_, config) ->
         Common.aggregation_scenario ~deadlines:false ~flows (Runner.Pdq config))

@@ -126,14 +126,14 @@ let chunks k xs =
   in
   go [] xs
 
-let sweep_metric ?jobs ?budget ~seeds ~metric scenario_of keys =
+let sweep_metric ?opts ~seeds ~metric scenario_of keys =
   let scenarios =
     List.concat_map
       (fun k ->
         List.map (fun seed -> Scenario.with_seed (scenario_of k) seed) seeds)
       keys
   in
-  let results = Array.of_list (Sweep.run ?jobs ?budget scenarios) in
+  let results = Array.of_list (Sweep.run ?opts scenarios) in
   let nseeds = List.length seeds in
   List.mapi
     (fun i k ->
@@ -190,7 +190,7 @@ let cell v =
 let attribution_report scenario =
   let mem = Pdq_telemetry.Trace.memory () in
   let telemetry = { Runner.no_telemetry with Runner.sinks = [ mem ] } in
-  ignore (Scenario.run ~telemetry scenario);
+  ignore (Scenario.run ~opts:(Pdq_exec.Exec_opts.telemetry telemetry) scenario);
   Pdq_forensics.Attribution.of_events (Pdq_telemetry.Trace.memory_events mem)
 
 let attribution_table ~title (r : Pdq_forensics.Attribution.report) =

@@ -87,8 +87,7 @@ val chunks : int -> 'a list -> 'a list list
     for slicing a flattened sweep back into table rows. *)
 
 val sweep_metric :
-  ?jobs:int ->
-  ?budget:Pdq_exec.Sweep.budget ->
+  ?opts:Pdq_exec.Exec_opts.t ->
   seeds:int list ->
   metric:(Pdq_transport.Runner.result -> float) ->
   ('a -> Pdq_exec.Scenario.t) ->
@@ -97,8 +96,9 @@ val sweep_metric :
 (** Flatten [keys × seeds] into one parallel sweep and hand back, per
     key in input order, the seed-average of [metric]. This is how the
     figure drivers expose whole-figure parallelism instead of only the
-    2–5-way seed loop. An optional [budget] bounds each run (a tripped
-    budget surfaces through {!Pdq_exec.Sweep.Sweep_errors}). *)
+    2–5-way seed loop. [opts] rides through to {!Pdq_exec.Sweep.run}
+    (a tripped budget surfaces through
+    {!Pdq_exec.Sweep.Sweep_errors}). *)
 
 val search_max_flows :
   ?lo:int ->

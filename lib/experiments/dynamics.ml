@@ -17,7 +17,7 @@ type trace = {
    goodput from the [Flow_rx] events of a memory sink, utilization and
    queue depth from the metrics probe of the bottleneck link.
    Telemetry sinks are per-run mutable state, so they attach via
-   [Scenario.build] + [Runner.run] rather than living in the
+   [Scenario.build] + [Runner.execute] rather than living in the
    scenario. *)
 let run_traced ~senders ~specs_of ~t_end ~bin =
   let scenario =
@@ -54,7 +54,7 @@ let run_traced ~senders ~specs_of ~t_end ~bin =
     }
   in
   let r =
-    Runner.run ~options ~topo:built.Builder.topo scenario.Scenario.protocol
+    Runner.execute ~options ~topo:built.Builder.topo scenario.Scenario.protocol
       specs
   in
   let per_flow_tbl : (int, Series.t) Hashtbl.t = Hashtbl.create 16 in

@@ -62,7 +62,7 @@ let fig11a ?jobs ?(quick = true) () =
   let loads = if quick then [ 0.25; 0.5; 1.0 ] else [ 0.125; 0.25; 0.5; 0.75; 1.0 ] in
   let protos = [ Runner.Pdq Pdq_core.Config.full; mpdq 3 ] in
   let fcts =
-    Common.sweep_metric ?jobs ~seeds
+    Common.sweep_metric ~opts:(Pdq_exec.Exec_opts.make ?jobs ()) ~seeds
       ~metric:(fun r -> r.Runner.mean_fct)
       (fun (load, proto) -> load_scenario ~load ~deadlines:false proto)
       (List.concat_map

@@ -16,7 +16,7 @@ let cells_by_row ?jobs ~seeds ~metric ~protocols ~scenario_of row_keys =
       (fun rk -> List.map (fun (_, proto) -> (rk, proto)) protocols)
       row_keys
   in
-  Common.sweep_metric ?jobs ~seeds ~metric
+  Common.sweep_metric ~opts:(Pdq_exec.Exec_opts.make ?jobs ()) ~seeds ~metric
     (fun (rk, proto) -> scenario_of rk proto)
     keys
   |> List.map snd

@@ -119,7 +119,7 @@ let fig4b ?jobs ?(quick = true) () =
   let flows = 12 in
   (* One sweep over the whole pattern × protocol grid. *)
   let fcts =
-    Common.sweep_metric ?jobs ~seeds
+    Common.sweep_metric ~opts:(Pdq_exec.Exec_opts.make ?jobs ()) ~seeds
       ~metric:(fun r -> r.Runner.mean_fct)
       (fun (name, proto) -> pattern_scenario name ~deadlines:false ~flows proto)
       (List.concat_map

@@ -60,7 +60,7 @@ let fig9b ?jobs ?(quick = true) () =
   let flows = 6 in
   (* One sweep over the loss × protocol grid; row order is preserved. *)
   let fcts =
-    Common.sweep_metric ?jobs ~seeds
+    Common.sweep_metric ~opts:(Pdq_exec.Exec_opts.make ?jobs ()) ~seeds
       ~metric:(fun r -> r.Runner.mean_fct)
       (fun (loss_rate, proto) -> scenario ~loss_rate ~flows ~deadlines:false proto)
       (List.concat_map

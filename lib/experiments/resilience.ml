@@ -128,7 +128,7 @@ let sweep ?jobs ?budget ~title ~axis ~seeds ~flows ~window ~horizon rows_spec =
           protocols)
       rows_spec
   in
-  let results = Sweep.run ?jobs ?budget grid in
+  let results = Sweep.run ~opts:(Pdq_exec.Exec_opts.make ?jobs ?budget ()) grid in
   let cells =
     List.map2
       (fun row per_row ->

@@ -3,6 +3,9 @@ module Rng = Pdq_engine.Rng
 module Link = Pdq_net.Link
 module Topology = Pdq_net.Topology
 
+let k_clear = Sim.Kind.register "fault.clear"
+let k_apply = Sim.Kind.register "fault.apply"
+
 type event =
   | Link_down of { a : int; b : int }
   | Link_up of { a : int; b : int }
@@ -171,7 +174,7 @@ let install ~sim ~topo ~rng ?(trace = null_trace) ~on_change ~on_reboot t =
           (fun l -> Link.set_loss_model l (Link.Bernoulli loss) ~rng:(Rng.split ev_rng))
           links;
         ignore
-          (Sim.schedule sim ~delay:duration (fun () ->
+          (Sim.schedule_k sim k_clear ~delay:duration (fun () ->
                List.iter2
                  (fun l m -> Link.set_loss_model l m ~rng:(Rng.split ev_rng))
                  links saved))
@@ -188,5 +191,8 @@ let install ~sim ~topo ~rng ?(trace = null_trace) ~on_change ~on_reboot t =
   List.iter
     (fun (time, event, ev_rng) ->
       if time <= Sim.now sim then apply time event ev_rng
-      else ignore (Sim.schedule_at sim ~time (fun () -> apply time event ev_rng)))
+      else
+        ignore
+          (Sim.schedule_at_k sim k_apply ~time (fun () ->
+               apply time event ev_rng)))
     prepared

@@ -10,6 +10,12 @@ type loss_model =
   | Bernoulli of float
   | Gilbert of gilbert_elliott
 
+(* The two per-packet events every delivered packet pays — end of
+   serialization and delivery after propagation — reuse two closures
+   allocated once per link. The packet travels through the [queue] /
+   [inflight] FIFOs instead of being captured: all deliveries on a link
+   share the same constant latency, so they complete in the order they
+   were scheduled and a queue carries exactly the right state. *)
 type t = {
   sim : Pdq_engine.Sim.t;
   id : int;
@@ -20,6 +26,9 @@ type t = {
   proc_delay : float;
   buffer_bytes : int;
   queue : Packet.t Queue.t;
+  inflight : Packet.t Queue.t;
+  mutable tx_done : unit -> unit;
+  mutable deliver : unit -> unit;
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable receiver : Packet.t -> unit;
@@ -39,8 +48,36 @@ type t = {
   mutable trace : Pdq_telemetry.Trace.t;
 }
 
+let noop () = ()
+let k_tx = Pdq_engine.Sim.Kind.register "link.tx"
+let k_deliver = Pdq_engine.Sim.Kind.register "link.deliver"
+
+let start_transmission t =
+  match Queue.peek_opt t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let tx = Pdq_engine.Units.tx_time ~bytes:pkt.Packet.wire_bytes ~rate:t.rate in
+      ignore (Pdq_engine.Sim.schedule_k t.sim k_tx ~delay:tx t.tx_done)
+
+let on_tx_done t =
+  let pkt = Queue.pop t.queue in
+  t.queued_bytes <- t.queued_bytes - pkt.Packet.wire_bytes;
+  t.bytes_sent <- t.bytes_sent + pkt.Packet.wire_bytes;
+  (match t.tap with
+  | Some f -> f ~now:(Pdq_engine.Sim.now t.sim) ~bytes:pkt.Packet.wire_bytes
+  | None -> ());
+  t.delivered <- t.delivered + 1;
+  Queue.push pkt t.inflight;
+  let latency = t.prop_delay +. t.proc_delay in
+  ignore
+    (Pdq_engine.Sim.schedule_k t.sim k_deliver ~delay:latency t.deliver);
+  start_transmission t
+
+let on_deliver t = t.receiver (Queue.pop t.inflight)
+
 let create ~sim ~id ~src ~dst ~rate ~prop_delay ~proc_delay ~buffer_bytes () =
-  {
+  let t = {
     sim;
     id;
     src;
@@ -50,6 +87,9 @@ let create ~sim ~id ~src ~dst ~rate ~prop_delay ~proc_delay ~buffer_bytes () =
     proc_delay;
     buffer_bytes;
     queue = Queue.create ();
+    inflight = Queue.create ();
+    tx_done = noop;
+    deliver = noop;
     queued_bytes = 0;
     busy = false;
     receiver = (fun _ -> failwith "Link: receiver not set");
@@ -67,6 +107,10 @@ let create ~sim ~id ~src ~dst ~rate ~prop_delay ~proc_delay ~buffer_bytes () =
     tap = None;
     trace = Pdq_telemetry.Trace.null;
   }
+  in
+  t.tx_done <- (fun () -> on_tx_done t);
+  t.deliver <- (fun () -> on_deliver t);
+  t
 
 let id t = t.id
 let src t = t.src
@@ -109,28 +153,6 @@ let utilization t ~since ~now =
     t.last_window_bytes <- t.bytes_sent;
     Pdq_engine.Units.bytes_to_bits bytes /. (t.rate *. window)
   end
-
-let rec start_transmission t =
-  match Queue.peek_opt t.queue with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      let tx = Pdq_engine.Units.tx_time ~bytes:pkt.Packet.wire_bytes ~rate:t.rate in
-      ignore
-        (Pdq_engine.Sim.schedule ~kind:"link.tx" t.sim ~delay:tx (fun () ->
-             ignore (Queue.pop t.queue);
-             t.queued_bytes <- t.queued_bytes - pkt.Packet.wire_bytes;
-             t.bytes_sent <- t.bytes_sent + pkt.Packet.wire_bytes;
-             (match t.tap with
-             | Some f ->
-                 f ~now:(Pdq_engine.Sim.now t.sim) ~bytes:pkt.Packet.wire_bytes
-             | None -> ());
-             t.delivered <- t.delivered + 1;
-             let latency = t.prop_delay +. t.proc_delay in
-             ignore
-               (Pdq_engine.Sim.schedule ~kind:"link.deliver" t.sim
-                  ~delay:latency (fun () -> t.receiver pkt));
-             start_transmission t))
 
 (* One draw of the loss process. The Gilbert–Elliott chain steps once
    per offered packet: transition first, then drop with the loss rate

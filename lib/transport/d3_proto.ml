@@ -3,6 +3,8 @@ module Packet = Pdq_net.Packet
 module Link = Pdq_net.Link
 module Topology = Pdq_net.Topology
 
+let k_tick = Sim.Kind.register "d3.tick"
+
 let min_rate = 1e5
 
 type port = {
@@ -171,10 +173,10 @@ let install ~ctx ~until =
       let rec tick () =
         if Sim.now sim <= until then begin
           rollover p;
-          ignore (Sim.schedule ~kind:"d3.tick" sim ~delay:(max p.rtt_avg 5e-5) tick)
+          ignore (Sim.schedule_k sim k_tick ~delay:(max p.rtt_avg 5e-5) tick)
         end
       in
-      ignore (Sim.schedule ~kind:"d3.tick" sim ~delay:0. tick))
+      ignore (Sim.schedule_k sim k_tick ~delay:0. tick))
     ports;
   t
 

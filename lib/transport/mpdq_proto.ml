@@ -1,6 +1,8 @@
 module Sim = Pdq_engine.Sim
 module Units = Pdq_engine.Units
 
+let k_rebalance = Sim.Kind.register "mpdq.rebalance"
+
 type group = {
   flow : Context.flow;
   mutable streams : Pdq_proto.stream array;
@@ -137,11 +139,11 @@ let start_flow t (flow : Context.flow) =
       if group_infeasible g ~now:(Sim.now sim) then group_terminate t g
       else begin
         rebalance g;
-        ignore (Sim.schedule ~kind:"mpdq.rebalance" sim ~delay:t.rebalance_period loop)
+        ignore (Sim.schedule_k sim k_rebalance ~delay:t.rebalance_period loop)
       end
     end
   in
   ignore
-    (Sim.schedule_at ~kind:"mpdq.rebalance" sim
+    (Sim.schedule_at_k sim k_rebalance
        ~time:(max (Sim.now sim) (spec.Context.start +. t.rebalance_period))
        loop)

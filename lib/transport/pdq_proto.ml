@@ -43,12 +43,24 @@ and stream = {
   mutable probe_ev : Sim.handle option;
   mutable closed : bool;
   mutable terminated : bool;
+  (* Allocated once per stream so the pacing, probing and watchdog
+     loops reschedule without building a closure per event. *)
+  mutable send_fn : unit -> unit;
+  mutable probe_fn : unit -> unit;
+  mutable watchdog_fn : unit -> unit;
   (* Receiver side. *)
   rx : Rx_buffer.t;
   rx_max_rate : float;
 }
 
 let max_payload = Packet.max_payload ~scheduling_header:Payloads.pdq_header_bytes
+
+let noop () = ()
+let k_send = Sim.Kind.register "pdq.send"
+let k_probe = Sim.Kind.register "pdq.probe"
+let k_watchdog = Sim.Kind.register "pdq.watchdog"
+let k_rate_ctl = Sim.Kind.register "pdq.rate_ctl"
+let k_launch = Sim.Kind.register "pdq.launch"
 
 (* Watchdog hardening: bounded, backed-off retransmission so a flow on
    a dead path reaches a terminal [Aborted] outcome instead of
@@ -72,10 +84,10 @@ let port_flow_counts t ~link =
   let active = Switch_port.kappa port in
   (active, stored - active)
 
-let cancel_opt ev =
+let cancel_opt s ev =
   match ev with
   | Some h ->
-      Sim.cancel h;
+      Sim.cancel (Context.sim s.proto.ctx) h;
       None
   | None -> None
 
@@ -109,8 +121,8 @@ let send_term s =
 
 let close_sender s =
   s.closed <- true;
-  s.send_ev <- cancel_opt s.send_ev;
-  s.probe_ev <- cancel_opt s.probe_ev
+  s.send_ev <- cancel_opt s s.send_ev;
+  s.probe_ev <- cancel_opt s s.probe_ev
 
 let finish_sender s =
   if not s.closed then begin
@@ -184,7 +196,7 @@ let pacing_interval s ~wire_bytes =
 
 (* Paced data transmission: one packet per event, the next scheduled a
    serialization interval (at the granted rate) later. *)
-let rec send_data s () =
+let send_data s () =
   s.send_ev <- None;
   if (not s.closed) && Sender.rate s.core > 0. && s.next_seq < s.size then begin
     let payload = min max_payload (s.size - s.next_seq) in
@@ -201,8 +213,8 @@ let rec send_data s () =
       let interval = pacing_interval s ~wire_bytes:pkt.Packet.wire_bytes in
       s.send_ev <-
         Some
-          (Sim.schedule ~kind:"pdq.send" (Context.sim s.proto.ctx)
-             ~delay:interval (send_data s))
+          (Sim.schedule_k (Context.sim s.proto.ctx) k_send
+             ~delay:interval s.send_fn)
     end
   end
 
@@ -221,11 +233,10 @@ let ensure_sending s =
     let delay = max 0. (s.last_tx +. interval -. now s) in
     s.send_ev <-
       Some
-        (Sim.schedule ~kind:"pdq.send" (Context.sim s.proto.ctx) ~delay
-           (send_data s))
+        (Sim.schedule_k (Context.sim s.proto.ctx) k_send ~delay s.send_fn)
   end
 
-let rec probe_loop s () =
+let probe_loop s () =
   s.probe_ev <- None;
   if (not s.closed) && Sender.is_paused s.core && s.syn_acked then begin
     Debug.debugf "%.6f probe flow=%d ip=%g rtt=%g" (now s) s.sid
@@ -248,8 +259,7 @@ let rec probe_loop s () =
     in
     s.probe_ev <-
       Some
-        (Sim.schedule ~kind:"pdq.probe" (Context.sim s.proto.ctx) ~delay
-           (probe_loop s))
+        (Sim.schedule_k (Context.sim s.proto.ctx) k_probe ~delay s.probe_fn)
   end
 
 let ensure_probing s =
@@ -258,19 +268,18 @@ let ensure_probing s =
     let delay = max (Sender.inter_probe_interval s.core) 1e-5 in
     s.probe_ev <-
       Some
-        (Sim.schedule ~kind:"pdq.probe" (Context.sim s.proto.ctx) ~delay
-           (probe_loop s))
+        (Sim.schedule_k (Context.sim s.proto.ctx) k_probe ~delay s.probe_fn)
   end
 
 let adjust_loops s =
   if Sender.is_paused s.core then begin
-    s.send_ev <- cancel_opt s.send_ev;
+    s.send_ev <- cancel_opt s s.send_ev;
     ensure_probing s
   end
   else begin
-    s.probe_ev <- cancel_opt s.probe_ev;
+    s.probe_ev <- cancel_opt s s.probe_ev;
     (* Re-pace a pending departure at the fresh rate. *)
-    s.send_ev <- cancel_opt s.send_ev;
+    s.send_ev <- cancel_opt s s.send_ev;
     ensure_sending s
   end
 
@@ -278,7 +287,7 @@ let adjust_loops s =
    jitter once retries mount), go-back-N on stalled cumulative acks,
    liveness abort when no ACK of any kind arrives for [abort_after],
    and Early Termination checks while paused. *)
-let rec watchdog s () =
+let watchdog s () =
   if not s.closed then begin
     let t = now s in
     if et_enabled s && Sender.should_terminate s.core ~now:t then terminate s
@@ -317,8 +326,8 @@ let rec watchdog s () =
       if not s.closed then begin
         let delay = max (Sender.rtt s.core) 5e-4 in
         ignore
-          (Sim.schedule ~kind:"pdq.watchdog" (Context.sim s.proto.ctx) ~delay
-             (fun () -> watchdog s ()))
+          (Sim.schedule_k (Context.sim s.proto.ctx) k_watchdog ~delay
+             s.watchdog_fn)
       end
     end
   end
@@ -482,10 +491,10 @@ let install ?(size_info = Sender.Known) ~config ~ctx ~until () =
           Switch_port.update_rate_controller port
             ~queue_bytes:(Link.queue_bytes link) ~now:(Sim.now sim);
           let delay = max (Switch_port.rate_update_interval port) 2e-5 in
-          ignore (Sim.schedule ~kind:"pdq.rate_ctl" sim ~delay tick)
+          ignore (Sim.schedule_k sim k_rate_ctl ~delay tick)
         end
       in
-      ignore (Sim.schedule ~kind:"pdq.rate_ctl" sim ~delay:0. tick))
+      ignore (Sim.schedule_k sim k_rate_ctl ~delay:0. tick))
     ports;
   t
 
@@ -525,11 +534,17 @@ let launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_r
       probe_ev = None;
       closed = false;
       terminated = false;
+      send_fn = noop;
+      probe_fn = noop;
+      watchdog_fn = noop;
       rx = Rx_buffer.create ?capacity:rx_capacity ~size ~segment:max_payload ();
       rx_max_rate = nic_rate topo dst;
     }
   in
   Hashtbl.replace t.streams sid s;
+  s.send_fn <- send_data s;
+  s.probe_fn <- probe_loop s;
+  s.watchdog_fn <- watchdog s;
   let sim = Context.sim t.ctx in
   let launch () =
     s.syn_wait <- rto s;
@@ -541,7 +556,7 @@ let launch_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_r
     watchdog s ()
   in
   if start <= Sim.now sim then launch ()
-  else ignore (Sim.schedule_at ~kind:"pdq.launch" sim ~time:start launch);
+  else ignore (Sim.schedule_at_k sim k_launch ~time:start launch);
   s
 
 let start_stream ?rx_capacity t ~sid ~src ~dst ~size ~deadline_abs ~start ~on_rx

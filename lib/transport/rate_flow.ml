@@ -18,6 +18,10 @@ type sender = {
   mutable last_tx : float;
   mutable send_ev : Sim.handle option;
   mutable closed : bool;
+  (* Allocated once per sender so the pacing and watchdog loops
+     reschedule without building a closure per event. *)
+  mutable send_fn : unit -> unit;
+  mutable watchdog_fn : unit -> unit;
   rx : Rx_buffer.t;
 }
 (* Senders refresh their rate request every RTT with a header-only
@@ -37,6 +41,11 @@ and ops = {
 and t = { ctx : Context.t; ops : ops; senders : (int, sender) Hashtbl.t }
 
 let install ~ctx ~ops = { ctx; ops; senders = Hashtbl.create 64 }
+
+let noop () = ()
+let k_send = Sim.Kind.register "rate.send"
+let k_watchdog = Sim.Kind.register "rate.watchdog"
+let k_launch = Sim.Kind.register "rate.launch"
 
 let sender_flow s = s.flow
 let sender_rate s = s.rate
@@ -66,15 +75,15 @@ let send_syn s =
 
 let send_term s = transmit s (make_pkt s ~kind:Packet.Term ())
 
-let cancel_opt = function
+let cancel_opt s = function
   | Some h ->
-      Sim.cancel h;
+      Sim.cancel (Context.sim s.proto.ctx) h;
       None
   | None -> None
 
 let close_sender s =
   s.closed <- true;
-  s.send_ev <- cancel_opt s.send_ev
+  s.send_ev <- cancel_opt s s.send_ev
 
 let finish_sender s =
   if not s.closed then begin
@@ -114,7 +123,7 @@ let pacing_interval s ~wire_bytes =
   if s.rate <= 0. then infinity
   else min (Units.tx_time ~bytes:wire_bytes ~rate:s.rate) (max (4. *. s.rtt) 2e-3)
 
-let rec send_data s () =
+let send_data s () =
   s.send_ev <- None;
   if (not s.closed) && s.rate > 0. && s.next_seq < size s then begin
     let payload = min (max_payload s) (size s - s.next_seq) in
@@ -126,8 +135,8 @@ let rec send_data s () =
       let interval = pacing_interval s ~wire_bytes:pkt.Packet.wire_bytes in
       s.send_ev <-
         Some
-          (Sim.schedule ~kind:"rate.send" (Context.sim s.proto.ctx)
-             ~delay:interval (send_data s))
+          (Sim.schedule_k (Context.sim s.proto.ctx) k_send
+             ~delay:interval s.send_fn)
     end
   end
 
@@ -139,11 +148,10 @@ let ensure_sending s =
     let delay = max 0. (s.last_tx +. interval -. now s) in
     s.send_ev <-
       Some
-        (Sim.schedule ~kind:"rate.send" (Context.sim s.proto.ctx) ~delay
-           (send_data s))
+        (Sim.schedule_k (Context.sim s.proto.ctx) k_send ~delay s.send_fn)
   end
 
-let rec watchdog s () =
+let watchdog s () =
   if not s.closed then begin
     let t = now s in
     if s.proto.ops.quench s ~now:t then quench s
@@ -178,9 +186,9 @@ let rec watchdog s () =
         if s.syn_acked && s.acked < size s && t -. s.last_tx > s.rtt then
           transmit s (make_pkt s ~kind:Packet.Probe ());
         ignore
-          (Sim.schedule ~kind:"rate.watchdog" (Context.sim s.proto.ctx)
+          (Sim.schedule_k (Context.sim s.proto.ctx) k_watchdog
              ~delay:(max (min s.rtt 5e-4) 1e-4)
-             (fun () -> watchdog s ()))
+             s.watchdog_fn)
       end
     end
   end
@@ -216,7 +224,7 @@ let on_ack s (pkt : Packet.t) =
         s.rate <- fresh;
         (* A pending departure was paced at the old rate; reschedule so
            a rate increase takes effect immediately. *)
-        s.send_ev <- cancel_opt s.send_ev
+        s.send_ev <- cancel_opt s s.send_ev
     | None -> ());
     if s.acked >= size s then finish_sender s
     else if s.proto.ops.quench s ~now:t then quench s
@@ -277,6 +285,8 @@ let start_flow t (flow : Context.flow) =
       last_tx = neg_infinity;
       send_ev = None;
       closed = false;
+      send_fn = noop;
+      watchdog_fn = noop;
       rx =
         Rx_buffer.create ~size:flow.Context.spec.Context.size
           ~segment:(Packet.max_payload ~scheduling_header:t.ops.extra_header)
@@ -284,6 +294,8 @@ let start_flow t (flow : Context.flow) =
     }
   in
   Hashtbl.replace t.senders flow.Context.id s;
+  s.send_fn <- send_data s;
+  s.watchdog_fn <- watchdog s;
   let sim = Context.sim t.ctx in
   let launch () =
     s.syn_wait <- rto s;
@@ -297,4 +309,4 @@ let start_flow t (flow : Context.flow) =
   in
   let start = flow.Context.spec.Context.start in
   if start <= Sim.now sim then launch ()
-  else ignore (Sim.schedule_at ~kind:"rate.launch" sim ~time:start launch)
+  else ignore (Sim.schedule_at_k sim k_launch ~time:start launch)

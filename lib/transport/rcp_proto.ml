@@ -3,6 +3,8 @@ module Packet = Pdq_net.Packet
 module Link = Pdq_net.Link
 module Topology = Pdq_net.Topology
 
+let k_tick = Sim.Kind.register "rcp.tick"
+
 (* A very low floor keeps every flow probing forward progress; real RCP
    hands out a minimum of one packet per RTT. *)
 let min_rate = 1e5
@@ -128,10 +130,10 @@ let install ~ctx ~until =
           let now = Sim.now sim in
           purge p ~now;
           recompute_fair p ~now;
-          ignore (Sim.schedule ~kind:"rcp.tick" sim ~delay:(max p.rtt_avg 5e-5) tick)
+          ignore (Sim.schedule_k sim k_tick ~delay:(max p.rtt_avg 5e-5) tick)
         end
       in
-      ignore (Sim.schedule ~kind:"rcp.tick" sim ~delay:0. tick))
+      ignore (Sim.schedule_k sim k_tick ~delay:0. tick))
     ports;
   t
 

@@ -5,6 +5,9 @@ module Link = Pdq_net.Link
 module Trace = Pdq_telemetry.Trace
 module Metrics = Pdq_telemetry.Metrics
 
+let k_check_probe = Sim.Kind.register "check.probe"
+let k_telemetry = Sim.Kind.register "telemetry.sample"
+
 type protocol =
   | Pdq of Pdq_core.Config.t
   | Pdq_estimated of { config : Pdq_core.Config.t; quantum : int }
@@ -91,7 +94,7 @@ type result = {
   ctx : Context.t;
 }
 
-let run ?(options = default_options) ~topo protocol specs =
+let execute ?(options = default_options) ~topo protocol specs =
   let sim = Topology.sim topo in
   let rng = Rng.create options.seed in
   (* The trace bus. PDQ_DEBUG=trace additionally echoes every event to
@@ -182,9 +185,9 @@ let run ?(options = default_options) ~topo protocol specs =
           (fun l -> on_port ~now:time (view ~link:(Link.id l)))
           topo;
         if time +. every <= options.horizon then
-          ignore (Sim.schedule ~kind:"check.probe" sim ~delay:every probe)
+          ignore (Sim.schedule_k sim k_check_probe ~delay:every probe)
       in
-      ignore (Sim.schedule ~kind:"check.probe" sim ~delay:0. probe)
+      ignore (Sim.schedule_k sim k_check_probe ~delay:0. probe)
   | _ -> ());
   (* Fault injection. The empty plan is skipped entirely — not even an
      [Rng.split] — so a run with [faults = Some Fault_plan.empty] is
@@ -236,9 +239,9 @@ let run ?(options = default_options) ~topo protocol specs =
             | None -> ())
           topo;
         if time +. every <= options.horizon then
-          ignore (Sim.schedule ~kind:"telemetry.sample" sim ~delay:every probe)
+          ignore (Sim.schedule_k sim k_telemetry ~delay:every probe)
       in
-      ignore (Sim.schedule ~kind:"telemetry.sample" sim ~delay:0. probe)
+      ignore (Sim.schedule_k sim k_telemetry ~delay:0. probe)
   | None -> ());
   let flows = List.map (Context.add_flow ctx) specs in
   List.iter start_flow flows;
@@ -329,3 +332,5 @@ let run ?(options = default_options) ~topo protocol specs =
     sim_end = Sim.now sim;
     ctx;
   }
+
+let run = execute

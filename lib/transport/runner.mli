@@ -118,7 +118,7 @@ type result = {
   ctx : Context.t; (** For post-run inspection. *)
 }
 
-val run :
+val execute :
   ?options:options ->
   topo:Pdq_net.Topology.t ->
   protocol ->
@@ -127,10 +127,23 @@ val run :
 (** Build, simulate, measure. Deterministic for fixed inputs and
     seed.
 
-    This is the low-level entry point; prefer describing the
-    experiment as a {!Pdq_exec.Scenario.t} and calling
-    [Scenario.run] (or [Sweep.run] for a batch across domains) —
-    scenarios are pure data, so they can be stored, printed and
-    fanned out to worker domains. Use [run] directly only when you
-    need to hand-build the topology or attach per-run telemetry
-    state before the simulation starts (see [Scenario.build]). *)
+    This is the low-level machinery under {!Pdq_exec.Scenario.run} —
+    the single blessed entry point for experiments. Describe the
+    experiment as a {!Pdq_exec.Scenario.t} and call [Scenario.run]
+    (or [Sweep.run] for a batch across domains): scenarios are pure
+    data, so they can be stored, printed and fanned out to worker
+    domains. Call [execute] directly only when you need to hand-build
+    the topology or attach per-run telemetry state before the
+    simulation starts (see [Scenario.build]). *)
+
+val run :
+  ?options:options ->
+  topo:Pdq_net.Topology.t ->
+  protocol ->
+  Context.flow_spec list ->
+  result
+  [@@ocaml.deprecated
+    "Use Pdq_exec.Scenario.run (or Runner.execute when hand-building a \
+     topology)."]
+(** @deprecated Alias of {!execute}, kept for source compatibility.
+    New code should go through {!Pdq_exec.Scenario.run}. *)

@@ -3,6 +3,10 @@ module Packet = Pdq_net.Packet
 
 let mss = Packet.max_payload ~scheduling_header:0
 
+let noop () = ()
+let k_timer = Pdq_engine.Sim.Kind.register "tcp.timer"
+let k_launch = Pdq_engine.Sim.Kind.register "tcp.launch"
+
 type sender = {
   proto : t;
   flow : Context.flow;
@@ -22,6 +26,9 @@ type sender = {
   mutable last_syn : float;
   mutable timer : Sim.handle option;
   mutable closed : bool;
+  (* Allocated once per sender: the RTO timer re-arms on every packet
+     without building a closure per event. *)
+  mutable timer_fn : unit -> unit;
   rx : Rx_buffer.t;
 }
 
@@ -49,9 +56,9 @@ let make_pkt s ~kind ?(payload_bytes = 0) ?(seq = 0) () =
 let transmit s pkt =
   Context.transmit s.proto.ctx ~from:s.flow.Context.spec.Context.src pkt
 
-let cancel_opt = function
+let cancel_opt s = function
   | Some h ->
-      Sim.cancel h;
+      Sim.cancel (Context.sim s.proto.ctx) h;
       None
   | None -> None
 
@@ -85,12 +92,12 @@ let max_retries = 10
 let abort s ~cause =
   if not s.closed then begin
     s.closed <- true;
-    s.timer <- cancel_opt s.timer;
+    s.timer <- cancel_opt s s.timer;
     Context.abort s.proto.ctx s.flow ~cause
   end
 
 let rec arm_timer s =
-  s.timer <- cancel_opt s.timer;
+  s.timer <- cancel_opt s s.timer;
   if not s.closed then begin
     let delay = s.rto *. s.backoff in
     (* Jitter the backed-off retry timer so senders that lost the same
@@ -103,8 +110,7 @@ let rec arm_timer s =
     in
     s.timer <-
       Some
-        (Sim.schedule ~kind:"tcp.timer" (Context.sim s.proto.ctx) ~delay
-           (fun () -> on_timeout s))
+        (Sim.schedule_k (Context.sim s.proto.ctx) k_timer ~delay s.timer_fn)
   end
 
 (* Retransmission timeout: multiplicative backoff, window collapse,
@@ -161,7 +167,7 @@ let update_rtt s sample =
 let finish s =
   if not s.closed then begin
     s.closed <- true;
-    s.timer <- cancel_opt s.timer
+    s.timer <- cancel_opt s s.timer
   end
 
 let on_ack s (pkt : Packet.t) =
@@ -299,9 +305,11 @@ let start_flow t (flow : Context.flow) =
       last_syn = 0.;
       timer = None;
       closed = false;
+      timer_fn = noop;
       rx = Rx_buffer.create ~size:flow.Context.spec.Context.size ~segment:mss ();
     }
   in
+  s.timer_fn <- (fun () -> on_timeout s);
   Hashtbl.replace t.senders flow.Context.id s;
   let sim = Context.sim t.ctx in
   let launch () =
@@ -314,4 +322,4 @@ let start_flow t (flow : Context.flow) =
   in
   let start = flow.Context.spec.Context.start in
   if start <= Sim.now sim then launch ()
-  else ignore (Sim.schedule_at ~kind:"tcp.launch" sim ~time:start launch)
+  else ignore (Sim.schedule_at_k sim k_launch ~time:start launch)

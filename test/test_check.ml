@@ -136,7 +136,7 @@ let test_unknown_flow_ignored () =
 let built_run scenario =
   let built, specs, options = Scenario.build scenario in
   let r =
-    Runner.run ~options ~topo:built.Pdq_topo.Builder.topo
+    Runner.execute ~options ~topo:built.Pdq_topo.Builder.topo
       scenario.Scenario.protocol specs
   in
   (built.Pdq_topo.Builder.topo, r)

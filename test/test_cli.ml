@@ -5,20 +5,43 @@
 
 let eval args = Pdq_cli.eval ~argv:(Array.of_list ("pdq_sim" :: args)) ()
 
+(* Assert through the [Exit_code] variant, not bare integers: the test
+   then breaks if a subcommand stops mapping its outcome through the
+   discipline. *)
+module Exit_code = Pdq_cli.Exit_code
+
+let code = Exit_code.to_int
+
+(* The variant and its integer view must stay a bijection, and every
+   documented code must describe itself. *)
+let test_exit_code_module () =
+  List.iter
+    (fun c ->
+      (match Exit_code.of_int (code c) with
+      | Some c' -> Alcotest.(check bool) "of_int inverts to_int" true (c = c')
+      | None -> Alcotest.fail "of_int lost a code");
+      Alcotest.(check bool) "describe nonempty" true
+        (String.length (Exit_code.describe c) > 0))
+    Exit_code.all;
+  Alcotest.(check (option reject)) "2 is outside the discipline" None
+    (Exit_code.of_int 2);
+  Alcotest.(check int) "usage error is cmdliner's 124" 124
+    (code Exit_code.Usage)
+
 let test_ok () =
-  Alcotest.(check int) "clean run exits 0" 0 (eval [ "--flows"; "4" ])
+  Alcotest.(check int) "clean run exits 0" (code Exit_code.Ok) (eval [ "--flows"; "4" ])
 
 let test_check_ok () =
-  Alcotest.(check int) "validated run exits 0" 0
+  Alcotest.(check int) "validated run exits 0" (code Exit_code.Ok)
     (eval [ "--flows"; "6"; "--check" ])
 
 let test_usage_error () =
-  Alcotest.(check int) "unknown flag" 124 (eval [ "--no-such-flag" ]);
-  Alcotest.(check int) "unknown protocol" 124 (eval [ "--proto"; "carrier-pigeon" ]);
-  Alcotest.(check int) "unknown topology" 124 (eval [ "--topo"; "moebius" ]);
-  Alcotest.(check int) "--checkpoint with --check" 124
+  Alcotest.(check int) "unknown flag" (code Exit_code.Usage) (eval [ "--no-such-flag" ]);
+  Alcotest.(check int) "unknown protocol" (code Exit_code.Usage) (eval [ "--proto"; "carrier-pigeon" ]);
+  Alcotest.(check int) "unknown topology" (code Exit_code.Usage) (eval [ "--topo"; "moebius" ]);
+  Alcotest.(check int) "--checkpoint with --check" (code Exit_code.Usage)
     (eval [ "--check"; "--checkpoint"; "x.jsonl" ]);
-  Alcotest.(check int) "negative --retries" 124 (eval [ "--retries"; "-1" ])
+  Alcotest.(check int) "negative --retries" (code Exit_code.Usage) (eval [ "--retries"; "-1" ])
 
 (* Aggressive link flapping with a repair time far beyond the horizon
    cuts every path for good: the watchdogs abort and the process must
@@ -30,28 +53,30 @@ let fault_args =
   ]
 
 let test_fault_aborted () =
-  Alcotest.(check int) "fault-aborted run exits 3" 3 (eval fault_args)
+  Alcotest.(check int) "fault-aborted run exits 3" (code Exit_code.Fault_aborted) (eval fault_args)
 
 let test_fault_aborted_sweep () =
-  Alcotest.(check int) "fault-aborted sweep exits 3" 3
+  Alcotest.(check int) "fault-aborted sweep exits 3" (code Exit_code.Fault_aborted)
     (eval (fault_args @ [ "--seeds"; "1,2"; "--jobs"; "2" ]))
 
 let test_invariant_violation () =
-  Alcotest.(check int) "broken allocator exits 4" 4
+  Alcotest.(check int) "broken allocator exits 4" (code Exit_code.Invariant_violation)
     (eval [ "--proto"; "pdq-broken"; "--check"; "--flows"; "12" ])
 
 (* Violations dominate aborts: a broken allocator under path-cutting
    faults still reports 4, not 3. *)
 let test_violation_dominates_abort () =
-  Alcotest.(check int) "violation takes precedence" 4
+  Alcotest.(check int) "violation takes precedence" (code Exit_code.Invariant_violation)
     (eval ([ "--proto"; "pdq-broken"; "--check" ] @ fault_args))
 
 let test_check_out_written () =
   let path = Filename.temp_file "pdq_violations" ".jsonl" in
-  let code =
+  let rc =
     eval [ "--proto"; "pdq-broken"; "--check-out"; path; "--flows"; "12" ]
   in
-  Alcotest.(check int) "--check-out implies --check" 4 code;
+  Alcotest.(check int) "--check-out implies --check"
+    (code Exit_code.Invariant_violation)
+    rc;
   let ic = open_in path in
   let first = input_line ic in
   close_in ic;
@@ -63,12 +88,12 @@ let test_check_out_written () =
    where every seed times out must exit 5, and a budgeted single run
    likewise. *)
 let test_timed_out_sweep () =
-  Alcotest.(check int) "budgeted sweep exits 5" 5
+  Alcotest.(check int) "budgeted sweep exits 5" (code Exit_code.Timed_out)
     (eval [ "--flows"; "4"; "--seeds"; "1,2"; "--max-events"; "100";
             "--keep-going" ])
 
 let test_timed_out_single () =
-  Alcotest.(check int) "budgeted single run exits 5" 5
+  Alcotest.(check int) "budgeted single run exits 5" (code Exit_code.Timed_out)
     (eval [ "--flows"; "4"; "--max-events"; "100" ])
 
 (* Checkpoint a 2-seed sweep, then resume it widened to 4 seeds: the
@@ -77,10 +102,10 @@ let test_timed_out_single () =
 let test_checkpoint_resume_flow () =
   let path = Filename.temp_file "pdq_cli_ck" ".jsonl" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
-  Alcotest.(check int) "checkpointed sweep exits 0" 0
+  Alcotest.(check int) "checkpointed sweep exits 0" (code Exit_code.Ok)
     (eval [ "--flows"; "4"; "--seeds"; "1,2"; "--keep-going";
             "--checkpoint"; path ]);
-  Alcotest.(check int) "resumed (widened) sweep exits 0" 0
+  Alcotest.(check int) "resumed (widened) sweep exits 0" (code Exit_code.Ok)
     (eval [ "--flows"; "4"; "--seeds"; "1,2,3,4"; "--resume"; path ]);
   let ic = open_in path in
   let lines = ref 0 in
@@ -95,7 +120,7 @@ let test_checkpoint_resume_flow () =
 let test_report_out_written () =
   let path = Filename.temp_file "pdq_cli_report" ".json" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
-  Alcotest.(check int) "supervised sweep exits 0" 0
+  Alcotest.(check int) "supervised sweep exits 0" (code Exit_code.Ok)
     (eval [ "--flows"; "4"; "--seeds"; "1,2"; "--timeout"; "60";
             "--report-out"; path ]);
   let ic = open_in path in
@@ -108,6 +133,8 @@ let suites =
   [
     ( "cli.exit_codes",
       [
+        Alcotest.test_case "exit-code discipline" `Quick
+          test_exit_code_module;
         Alcotest.test_case "ok" `Quick test_ok;
         Alcotest.test_case "ok with --check" `Quick test_check_ok;
         Alcotest.test_case "usage errors" `Quick test_usage_error;

@@ -71,6 +71,50 @@ let test_heap_peek_stable () =
   | None -> Alcotest.fail "peek");
   Alcotest.(check int) "peek does not remove" 2 (Heap.length h)
 
+(* The event core against a reference model: under arbitrary
+   interleavings of schedule and cancel — including slot reuse after
+   cancellation — surviving events must fire in exactly sorted
+   (time, schedule-order) order. *)
+let prop_sim_schedule_cancel_model =
+  QCheck.Test.make ~name:"sim pop order matches reference model" ~count:300
+    QCheck.(list (pair (int_bound 2) (float_bound_exclusive 100.)))
+    (fun ops ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      let model = ref [] in
+      let handles = ref [] in
+      let next_id = ref 0 in
+      List.iter
+        (fun (op, time) ->
+          if op <= 1 then begin
+            let id = !next_id in
+            incr next_id;
+            let h =
+              Sim.schedule_at sim ~time (fun () -> fired := id :: !fired)
+            in
+            handles := (id, h) :: !handles;
+            model := (time, id) :: !model
+          end
+          else
+            (* Cancel the oldest tracked handle so later schedules
+               reuse its slot. *)
+            match List.rev !handles with
+            | [] -> ()
+            | (id, h) :: _ ->
+                Sim.cancel sim h;
+                handles := List.filter (fun (i, _) -> i <> id) !handles;
+                model := List.filter (fun (_, i) -> i <> id) !model)
+        ops;
+      Sim.run sim;
+      let expect =
+        List.stable_sort
+          (fun (ta, ia) (tb, ib) ->
+            match compare ta tb with 0 -> compare ia ib | c -> c)
+          (List.rev !model)
+        |> List.map snd
+      in
+      List.rev !fired = expect)
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops sorted" ~count:200
     QCheck.(list (float_bound_exclusive 1000.))
@@ -100,10 +144,10 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.schedule sim ~delay:0.1 (fun () -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run sim;
   Alcotest.(check bool) "cancelled event did not fire" false !fired;
-  Alcotest.(check bool) "cancelled" true (Sim.cancelled h)
+  Alcotest.(check bool) "cancelled" true (Sim.cancelled sim h)
 
 let test_sim_until () =
   let sim = Sim.create () in
@@ -146,16 +190,83 @@ let test_sim_live_pending () =
   let _h3 = Sim.schedule sim ~delay:0.3 (fun () -> ()) in
   Alcotest.(check int) "pending counts all" 3 (Sim.pending sim);
   Alcotest.(check int) "live_pending counts all" 3 (Sim.live_pending sim);
-  Sim.cancel h1;
+  Sim.cancel sim h1;
   (* The cancelled placeholder stays on the heap until popped: pending
      still sees it, live_pending does not. *)
   Alcotest.(check int) "pending keeps placeholder" 3 (Sim.pending sim);
   Alcotest.(check int) "live_pending drops placeholder" 2 (Sim.live_pending sim);
-  Sim.cancel h1;
+  Sim.cancel sim h1;
   Alcotest.(check int) "double cancel counted once" 2 (Sim.live_pending sim);
   Sim.run sim;
   Alcotest.(check int) "empty after run" 0 (Sim.pending sim);
   Alcotest.(check int) "live empty after run" 0 (Sim.live_pending sim)
+
+(* Regression: scheduling at exactly the current instant is legal and
+   fires after everything already queued at that time (ties break by
+   sequence order). *)
+let test_sim_schedule_at_now () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:0. (fun () -> log := "t0" :: !log));
+  ignore
+    (Sim.schedule sim ~delay:1. (fun () ->
+         log := "a" :: !log;
+         ignore
+           (Sim.schedule_at sim ~time:(Sim.now sim) (fun () ->
+                log := "c" :: !log))));
+  ignore (Sim.schedule_at sim ~time:1. (fun () -> log := "b" :: !log));
+  Sim.run sim;
+  Alcotest.(check (list string)) "now-events fire last at their instant"
+    [ "t0"; "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock" 1. (Sim.now sim)
+
+(* Cancellation recycles the slot immediately; a stale handle must
+   never affect the event that reused its slot. *)
+let test_sim_slot_reuse () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let h1 = Sim.schedule sim ~delay:0.1 (fun () -> fired := 1 :: !fired) in
+  Sim.cancel sim h1;
+  let _h2 = Sim.schedule sim ~delay:0.2 (fun () -> fired := 2 :: !fired) in
+  Sim.cancel sim h1 (* stale: must be a no-op *);
+  Alcotest.(check bool) "stale handle reads cancelled" true
+    (Sim.cancelled sim h1);
+  Sim.run sim;
+  Alcotest.(check (list int)) "only the live event fired" [ 2 ]
+    (List.rev !fired)
+
+let test_kind_interning () =
+  let a = Sim.Kind.register "test.kind.a" in
+  let a' = Sim.Kind.register "test.kind.a" in
+  let b = Sim.Kind.register "test.kind.b" in
+  Alcotest.(check bool) "same label same id" true (Sim.Kind.equal a a');
+  Alcotest.(check bool) "different labels differ" false (Sim.Kind.equal a b);
+  Alcotest.(check string) "name round-trips" "test.kind.a" (Sim.Kind.name a);
+  Alcotest.(check string) "unlabeled name" "(unlabeled)"
+    (Sim.Kind.name Sim.Kind.unlabeled)
+
+(* The schedule/pop path must not allocate: a self-rescheduling timer
+   with a preallocated closure should see (amortised) zero minor words
+   per event. *)
+let test_sim_alloc_free () =
+  let sim = Sim.create () in
+  let n = 50_000 in
+  let remaining = ref n in
+  let tick = ref (fun () -> ()) in
+  (tick :=
+     fun () ->
+       if !remaining > 0 then begin
+         decr remaining;
+         ignore (Sim.schedule sim ~delay:1e-6 !tick)
+       end);
+  ignore (Sim.schedule sim ~delay:0. !tick);
+  let w0 = Gc.minor_words () in
+  Sim.run sim;
+  let per_event = (Gc.minor_words () -. w0) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words per event < 2 (got %.3f)" per_event)
+    true
+    (per_event < 2.)
 
 let test_sim_past_rejected () =
   let sim = Sim.create () in
@@ -368,8 +479,15 @@ let suites =
         Alcotest.test_case "stop" `Quick test_sim_stop;
         Alcotest.test_case "live vs physical pending" `Quick
           test_sim_live_pending;
+        Alcotest.test_case "schedule at now" `Quick test_sim_schedule_at_now;
+        Alcotest.test_case "slot reuse after cancel" `Quick
+          test_sim_slot_reuse;
+        Alcotest.test_case "kind interning" `Quick test_kind_interning;
+        Alcotest.test_case "allocation-free schedule path" `Quick
+          test_sim_alloc_free;
         Alcotest.test_case "past times rejected" `Quick test_sim_past_rejected;
-      ] );
+      ]
+      @ qsuite [ prop_sim_schedule_cancel_model ] );
     ( "engine.rng",
       [
         Alcotest.test_case "determinism" `Quick test_rng_determinism;

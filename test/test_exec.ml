@@ -1,5 +1,5 @@
 (* Tests for the scenario API and the multicore sweep executor:
-   scenarios must reproduce hand-built Runner.run results bit for bit,
+   scenarios must reproduce hand-built Runner.execute results bit for bit,
    and a sweep must be order-preserving and independent of the worker
    domain count. *)
 
@@ -10,6 +10,7 @@ module Runner = Pdq_transport.Runner
 module Context = Pdq_transport.Context
 module Config = Pdq_core.Config
 module Scenario = Pdq_exec.Scenario
+module Exec_opts = Pdq_exec.Exec_opts
 module Sweep = Pdq_exec.Sweep
 module Task = Pdq_exec.Task
 
@@ -31,7 +32,7 @@ let check_same_result msg a b =
   Alcotest.(check bool) msg true (fingerprint a = fingerprint b)
 
 (* ------------------------------------------------------------------ *)
-(* Scenario.run vs. a hand-built Runner.run *)
+(* Scenario.run vs. a hand-built Runner.execute *)
 
 let synthetic_scenario proto =
   Scenario.make ~seed:3 ~horizon:5.
@@ -47,7 +48,7 @@ let synthetic_scenario proto =
 
 let test_scenario_matches_handbuilt () =
   (* The scenario expands to concrete specs + options; running those
-     through Runner.run on a fresh hand-built topology must reproduce
+     through Runner.execute on a fresh hand-built topology must reproduce
      Scenario.run exactly. *)
   let s = synthetic_scenario (Runner.Pdq Config.full) in
   let from_scenario = Scenario.run s in
@@ -55,7 +56,7 @@ let test_scenario_matches_handbuilt () =
   let sim = Sim.create () in
   let built = Builder.single_rooted_tree ~sim () in
   let by_hand =
-    Runner.run ~options ~topo:built.Builder.topo s.Scenario.protocol specs
+    Runner.execute ~options ~topo:built.Builder.topo s.Scenario.protocol specs
   in
   check_same_result "scenario = hand-built" from_scenario by_hand
 
@@ -85,7 +86,7 @@ let test_explicit_matches_handbuilt () =
   let sim = Sim.create () in
   let built, rx = Builder.single_bottleneck ~sim ~senders:2 () in
   let by_hand =
-    Runner.run ~topo:built.Builder.topo Runner.Rcp
+    Runner.execute ~topo:built.Builder.topo Runner.Rcp
       (specs_of built.Builder.hosts rx)
   in
   check_same_result "generated bottleneck = hand-built" from_scenario by_hand
@@ -106,8 +107,8 @@ let mixed_scenarios =
     [ Runner.Pdq Config.full; Runner.Rcp; Runner.Tcp ]
 
 let test_sweep_matches_sequential () =
-  let seq = Sweep.run ~jobs:1 mixed_scenarios in
-  let par = Sweep.run ~jobs:4 mixed_scenarios in
+  let seq = Sweep.run ~opts:(Exec_opts.jobs 1) mixed_scenarios in
+  let par = Sweep.run ~opts:(Exec_opts.jobs 4) mixed_scenarios in
   Alcotest.(check int) "same length" (List.length seq) (List.length par);
   List.iteri
     (fun i (a, b) ->
@@ -169,8 +170,8 @@ let test_sweep_with_profiler_enabled () =
   (* The global profiler must tolerate runs on worker domains: enable,
      sweep, report, reset — no crash, and the sweep output unchanged. *)
   let p = Pdq_engine.Profiler.enable_global () in
-  let expected = Sweep.run ~jobs:1 mixed_scenarios in
-  let got = Sweep.run ~jobs:4 mixed_scenarios in
+  let expected = Sweep.run ~opts:(Exec_opts.jobs 1) mixed_scenarios in
+  let got = Sweep.run ~opts:(Exec_opts.jobs 4) mixed_scenarios in
   ignore (Format.asprintf "%a" Pdq_engine.Profiler.pp_report p);
   Pdq_engine.Profiler.reset p;
   Pdq_engine.Profiler.disable_global ();
@@ -189,7 +190,10 @@ let task_shape t = Format.asprintf "%a" Task.pp t
 let test_supervise_keep_going () =
   let f x = if x = 3 then failwith "boom" else x * 10 in
   let observe jobs =
-    let sup = Sweep.supervise ~jobs ~key:string_of_int f (List.init 6 Fun.id) in
+    let sup =
+      Sweep.supervise ~opts:(Exec_opts.jobs jobs) ~key:string_of_int f
+        (List.init 6 Fun.id)
+    in
     ( List.map task_shape sup.Sweep.tasks,
       (sup.Sweep.report.Sweep.ok, sup.Sweep.report.Sweep.failed) )
   in
@@ -213,7 +217,7 @@ let test_supervise_stop_early () =
     if x = 2 then failwith "boom" else x
   in
   let sup =
-    Sweep.supervise ~jobs:1 ~keep_going:false ~key:string_of_int f
+    Sweep.supervise ~opts:(Exec_opts.jobs 1) ~keep_going:false ~key:string_of_int f
       (List.init 6 Fun.id)
   in
   Alcotest.(check (list string))
@@ -228,8 +232,8 @@ let test_supervise_event_budget () =
      off mid-run and the slot settles Timed_out naming the budget. *)
   let s = synthetic_scenario (Runner.Pdq Config.full) in
   let sup =
-    Sweep.supervise ~jobs:2
-      ~budget:(Sweep.budget ~events:200 ())
+    Sweep.supervise
+      ~opts:(Exec_opts.make ~jobs:2 ~budget:(Sweep.budget ~events:200 ()) ())
       ~key:Scenario.digest Scenario.run
       [ s; Scenario.with_seed s 2 ]
   in
@@ -252,8 +256,11 @@ let test_supervise_wall_budget () =
     Sim.run sim
   in
   let sup =
-    Sweep.supervise ~jobs:1
-      ~budget:(Sweep.budget ~wall:0.05 ~check_every:256 ())
+    Sweep.supervise
+      ~opts:
+        (Exec_opts.make ~jobs:1
+           ~budget:(Sweep.budget ~wall:0.05 ~check_every:256 ())
+           ())
       ~key:(fun () -> "runaway")
       runaway [ () ]
   in
@@ -270,7 +277,7 @@ let test_supervise_retry () =
     if Atomic.fetch_and_add tries 1 = 0 then failwith "flaky" else 42
   in
   let sup =
-    Sweep.supervise ~jobs:1
+    Sweep.supervise ~opts:(Exec_opts.jobs 1)
       ~retry:(Sweep.retry ~attempts:3 ~base_delay:1e-3 ())
       ~key:(fun () -> "flaky")
       f [ () ]
@@ -304,7 +311,7 @@ let test_checkpoint_resume () =
     if s.Scenario.seed > 2 then failwith "injected" else Scenario.run s
   in
   let first =
-    Sweep.supervise ~jobs:2 ~checkpoint:path ~codec:Scenario.result_codec
+    Sweep.supervise ~opts:(Exec_opts.jobs 2) ~checkpoint:path ~codec:Scenario.result_codec
       ~key:Scenario.digest crashy scenarios
   in
   Alcotest.(check (pair int int))
@@ -314,11 +321,11 @@ let test_checkpoint_resume () =
      and the merged results are bit-identical to an uninterrupted
      sequential sweep. *)
   let resumed =
-    Sweep.run_supervised ~jobs:2 ~checkpoint:path ~resume:path scenarios
+    Sweep.run_supervised ~opts:(Exec_opts.jobs 2) ~checkpoint:path ~resume:path scenarios
   in
   Alcotest.(check int) "2 slots resumed" 2 resumed.Sweep.report.Sweep.resumed;
   Alcotest.(check int) "all ok after resume" 4 resumed.Sweep.report.Sweep.ok;
-  let fresh = Sweep.run ~jobs:1 scenarios in
+  let fresh = Sweep.run ~opts:(Exec_opts.jobs 1) scenarios in
   List.iteri
     (fun i (a, b) ->
       check_same_result (Printf.sprintf "resumed slot %d = fresh" i) a b;
@@ -340,7 +347,7 @@ let test_checkpoint_torn_line () =
   let path = Filename.temp_file "pdq_ck_torn" ".jsonl" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   let first =
-    Sweep.run_supervised ~jobs:1 ~checkpoint:path
+    Sweep.run_supervised ~opts:(Exec_opts.jobs 1) ~checkpoint:path
       (List.filteri (fun i _ -> i < 2) scenarios)
   in
   Alcotest.(check int) "two checkpointed" 2 first.Sweep.report.Sweep.ok;
@@ -349,11 +356,11 @@ let test_checkpoint_torn_line () =
   let oc = open_out_gen [ Open_append ] 0o644 path in
   output_string oc "{\"k\":\"dead";
   close_out oc;
-  let resumed = Sweep.run_supervised ~jobs:1 ~resume:path scenarios in
+  let resumed = Sweep.run_supervised ~opts:(Exec_opts.jobs 1) ~resume:path scenarios in
   Alcotest.(check int) "valid lines resumed" 2
     resumed.Sweep.report.Sweep.resumed;
   Alcotest.(check int) "missing slot re-run" 3 resumed.Sweep.report.Sweep.ok;
-  let fresh = Sweep.run ~jobs:1 scenarios in
+  let fresh = Sweep.run ~opts:(Exec_opts.jobs 1) scenarios in
   List.iteri
     (fun i (a, b) ->
       check_same_result (Printf.sprintf "torn-resume slot %d" i) a b)
@@ -383,8 +390,11 @@ let test_acceptance_100_slots () =
   let path = Filename.temp_file "pdq_accept" ".jsonl" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   let first =
-    Sweep.supervise ~jobs:4
-      ~budget:(Sweep.budget ~wall:0.05 ~check_every:256 ())
+    Sweep.supervise
+      ~opts:
+        (Exec_opts.make ~jobs:4
+           ~budget:(Sweep.budget ~wall:0.05 ~check_every:256 ())
+           ())
       ~keep_going:true ~checkpoint:path ~codec:int_codec
       ~key:string_of_int buggy inputs
   in
@@ -398,7 +408,7 @@ let test_acceptance_100_slots () =
       Alcotest.fail
         (Printf.sprintf "slot 13 %s, slot 57 %s" (Task.state a) (Task.state b)));
   let resumed =
-    Sweep.supervise ~jobs:4 ~checkpoint:path ~resume:path ~codec:int_codec
+    Sweep.supervise ~opts:(Exec_opts.jobs 4) ~checkpoint:path ~resume:path ~codec:int_codec
       ~key:string_of_int honest inputs
   in
   Alcotest.(check int) "only the casualties re-ran" 98
@@ -410,8 +420,8 @@ let test_acceptance_100_slots () =
 let test_supervised_matches_plain_run () =
   (* The supervisor must not perturb results: a fully-Ok supervised
      sweep is bit-identical to Sweep.run, at any jobs count. *)
-  let sup = Sweep.run_supervised ~jobs:4 mixed_scenarios in
-  let plain = Sweep.run ~jobs:1 mixed_scenarios in
+  let sup = Sweep.run_supervised ~opts:(Exec_opts.jobs 4) mixed_scenarios in
+  let plain = Sweep.run ~opts:(Exec_opts.jobs 1) mixed_scenarios in
   Alcotest.(check int) "all ok"
     (List.length mixed_scenarios)
     sup.Sweep.report.Sweep.ok;
@@ -446,6 +456,26 @@ let test_parsers () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad pattern must be an Error")
 
+(* The unified options record: a budget passed through [?opts] must
+   bound a single [Scenario.run] exactly like a sweep attempt, and the
+   telemetry field must not perturb the result. *)
+let test_exec_opts_budget () =
+  let s = synthetic_scenario (Runner.Pdq Config.full) in
+  (match
+     Scenario.run ~opts:(Exec_opts.make ~budget:(Sweep.budget ~events:200 ()) ()) s
+   with
+  | _ -> Alcotest.fail "200-event budget should have tripped"
+  | exception Sim.Cancelled { reason; _ } ->
+      Alcotest.(check bool) "reason names events" true
+        (String.length reason >= 6 && String.sub reason 0 6 = "events"));
+  let mem = Pdq_telemetry.Trace.memory () in
+  let telemetry = { Runner.no_telemetry with Runner.sinks = [ mem ] } in
+  let with_tel = Scenario.run ~opts:(Exec_opts.telemetry telemetry) s in
+  check_same_result "telemetry in opts does not perturb" (Scenario.run s)
+    with_tel;
+  Alcotest.(check bool) "sinks saw events" true
+    (Pdq_telemetry.Trace.memory_events mem <> [])
+
 let suites =
   [
     ( "exec.scenario",
@@ -457,6 +487,8 @@ let suites =
         Alcotest.test_case "rerun deterministic" `Quick
           test_rerun_deterministic;
         Alcotest.test_case "parsers" `Quick test_parsers;
+        Alcotest.test_case "exec-opts budget + telemetry" `Quick
+          test_exec_opts_budget;
       ] );
     ( "exec.sweep",
       [

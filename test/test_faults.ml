@@ -131,7 +131,7 @@ let run_tree ?faults ?(protocol = Runner.Pdq Config.full) ?(horizon = 3.)
   let options =
     { Runner.default_options with Runner.seed = 1; horizon; faults }
   in
-  ( Runner.run ~options ~topo:built.Builder.topo protocol
+  ( Runner.execute ~options ~topo:built.Builder.topo protocol
       (specs_cross_rack built ~flows ~size),
     built )
 
@@ -186,7 +186,7 @@ let test_dead_path_aborts () =
         faults = Some faults;
       }
     in
-    let r = Runner.run ~options ~topo:built.Builder.topo protocol specs in
+    let r = Runner.execute ~options ~topo:built.Builder.topo protocol specs in
     Alcotest.(check int)
       (Runner.protocol_name protocol ^ " aborted")
       1 r.Runner.aborted;
@@ -234,7 +234,7 @@ let test_switch_reboot_flows_resume () =
     }
   in
   let r =
-    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
+    Runner.execute ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
   in
   Alcotest.(check int) "all flows complete" 6 r.Runner.completed;
   Alcotest.(check int) "no aborts" 0 r.Runner.aborted;
@@ -264,7 +264,7 @@ let test_loss_burst_recovers () =
     let options =
       { Runner.default_options with Runner.seed = 1; horizon = 3.; faults }
     in
-    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
+    Runner.execute ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
   in
   let clean = run None in
   let bursty =
@@ -316,7 +316,7 @@ let test_fat_tree_flapping_deterministic () =
         faults = Some faults;
       }
     in
-    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
+    Runner.execute ~options ~topo:built.Builder.topo (Runner.Pdq Config.full) specs
   in
   let a = run () in
   let b = run () in

@@ -174,7 +174,10 @@ let test_live_vs_replay_identical () =
   let telemetry =
     { Runner.no_telemetry with Runner.sinks = [ mem; Trace.jsonl oc ] }
   in
-  ignore (Scenario.run ~telemetry two_flow_scenario);
+  ignore
+    (Scenario.run
+       ~opts:(Pdq_exec.Exec_opts.telemetry telemetry)
+       two_flow_scenario);
   close_out oc;
   let live = Attribution.of_events (Trace.memory_events mem) in
   let replayed =
@@ -350,7 +353,7 @@ let test_sweep_task_through_jsonl () =
     Trace.create ~clock:Unix.gettimeofday ~sinks:[ Trace.jsonl oc ]
   in
   let sup =
-    Sweep.run_supervised ~jobs:2
+    Sweep.run_supervised ~opts:(Pdq_exec.Exec_opts.jobs 2)
       ~on_event:(Sweep.emit_trace bus)
       scenarios
   in

@@ -159,7 +159,7 @@ let run_mpdq ~subflows ~with_paths specs_of =
     else None
   in
   let r =
-    Runner.run
+    Runner.execute
       ~options:{ Runner.default_options with Runner.horizon = 5. }
       ~topo:built.Builder.topo
       (Runner.mpdq ?paths ~subflows ())
@@ -193,7 +193,7 @@ let test_mpdq_faster_than_pdq_light_load () =
   let mk proto =
     let sim = Sim.create () in
     let built = Builder.bcube ~sim ~n:2 ~k:3 () in
-    Runner.run
+    Runner.execute
       ~options:{ Runner.default_options with Runner.horizon = 5. }
       ~topo:built.Builder.topo proto
       [
@@ -247,7 +247,7 @@ let test_equilibrium_single_driver () =
     }
   in
   let r =
-    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Pdq_core.Config.full)
+    Runner.execute ~options ~topo:built.Builder.topo (Runner.Pdq Pdq_core.Config.full)
       specs
   in
   ignore r;

@@ -247,7 +247,7 @@ let bottleneck_run ?(telemetry = Runner.no_telemetry)
       sizes
   in
   let options = { Runner.default_options with Runner.telemetry } in
-  Runner.run ~options ~topo:built.Builder.topo proto specs
+  Runner.execute ~options ~topo:built.Builder.topo proto specs
 
 let fcts r =
   Array.to_list (Array.map (fun (f : Runner.flow_result) -> f.Runner.fct) r.Runner.flows)

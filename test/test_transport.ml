@@ -21,7 +21,7 @@ let run_single_bottleneck ?(senders = 4) ?(options = opts) protocol specs_of =
   let sim = Sim.create () in
   let built, rx = Builder.single_bottleneck ~sim ~senders () in
   let result =
-    Runner.run ~options ~topo:built.Builder.topo protocol
+    Runner.execute ~options ~topo:built.Builder.topo protocol
       (specs_of built.Builder.hosts rx)
   in
   result
@@ -158,7 +158,7 @@ let test_pdq_resilient_to_loss () =
     { opts with Runner.loss = Some (0.02, bottleneck_links); horizon = 5. }
   in
   let r =
-    Runner.run ~options ~topo:built.Builder.topo (Runner.Pdq Config.full)
+    Runner.execute ~options ~topo:built.Builder.topo (Runner.Pdq Config.full)
       [
         spec ~src:built.Builder.hosts.(0) ~dst:rx ~size:(kb 300.) ();
         spec ~src:built.Builder.hosts.(1) ~dst:rx ~size:(kb 300.) ();
@@ -292,7 +292,7 @@ let test_mpdq_completes_on_bcube () =
   let built = Builder.bcube ~sim ~n:2 ~k:3 () in
   let hosts = built.Builder.hosts in
   let r =
-    Runner.run ~options:opts ~topo:built.Builder.topo
+    Runner.execute ~options:opts ~topo:built.Builder.topo
       (Runner.mpdq ~subflows:3 ())
       [ spec ~src:hosts.(0) ~dst:hosts.(15) ~size:(kb 500.) () ]
   in
@@ -303,7 +303,7 @@ let test_mpdq_multiple_flows () =
   let built = Builder.bcube ~sim ~n:2 ~k:3 () in
   let hosts = built.Builder.hosts in
   let r =
-    Runner.run ~options:opts ~topo:built.Builder.topo
+    Runner.execute ~options:opts ~topo:built.Builder.topo
       (Runner.mpdq ~subflows:4 ())
       [
         spec ~src:hosts.(0) ~dst:hosts.(15) ~size:(kb 300.) ();
@@ -327,7 +327,7 @@ let test_pdq_on_tree_patterns () =
         spec ~src:hosts.(i) ~dst:hosts.((i + 1) mod n) ~size:(kb 100.) ())
   in
   let r =
-    Runner.run ~options:opts ~topo:built.Builder.topo (Runner.Pdq Config.full)
+    Runner.execute ~options:opts ~topo:built.Builder.topo (Runner.Pdq Config.full)
       specs
   in
   Alcotest.(check int) "all stride flows complete" n r.Runner.completed
