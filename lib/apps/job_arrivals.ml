@@ -1,0 +1,18 @@
+let times ~rng ?rate ~count () =
+  if count < 0 then invalid_arg "Job_arrivals.times: count < 0";
+  match rate with
+  | None -> Pdq_workload.Arrivals.simultaneous ~n:count ~at:0.
+  | Some rate -> Pdq_workload.Arrivals.poisson_n ~rng ~rate ~n:count
+
+(* Explicit recursion, not [List.mapi]: both [job] and [compile] draw
+   from [rng], and the order of those draws must be the arrival order,
+   not whatever argument-evaluation order [mapi]'s cons happens to
+   pick. *)
+let plans ~rng ~hosts ?rate ?floor ~count ~job () =
+  let rec go index = function
+    | [] -> []
+    | arrival :: rest ->
+        let plan = Job_plan.compile ~rng ~hosts ~arrival ?floor (job ~index) in
+        plan :: go (index + 1) rest
+  in
+  go 0 (times ~rng ?rate ~count ())

@@ -1,0 +1,27 @@
+module Attribution = Pdq_forensics.Attribution
+
+type straggler = {
+  job : string;
+  flow : int;
+  jct : float;
+  flow_report : Attribution.flow_report option;
+}
+
+let stragglers ~events (report : Job_metrics.report) =
+  let attribution = Attribution.of_events events in
+  Array.to_list report.Job_metrics.jobs
+  |> List.filter_map (fun (j : Job_metrics.job_outcome) ->
+         match (j.Job_metrics.jct, j.Job_metrics.straggler) with
+         | Some jct, Some flow ->
+             Some
+               {
+                 job = j.Job_metrics.name;
+                 flow;
+                 jct;
+                 flow_report =
+                   List.find_opt
+                     (fun (f : Attribution.flow_report) ->
+                       f.Attribution.flow = flow)
+                     attribution.Attribution.flows;
+               }
+         | _ -> None)

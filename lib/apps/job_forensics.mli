@@ -1,0 +1,23 @@
+(** Straggler attribution: which flow finished each job, and where
+    did {e that} flow's completion time go?
+
+    Bridges {!Job_metrics} to {!Pdq_forensics.Attribution}: a job's
+    JCT is its straggler's completion time, so the straggler's FCT
+    decomposition (handshake / serialization / paused / recovery /
+    downtime) explains the job-level latency. *)
+
+type straggler = {
+  job : string;
+  flow : int;
+  jct : float;
+  flow_report : Pdq_forensics.Attribution.flow_report option;
+      (** The straggler's FCT decomposition; [None] when the trace
+          held no spans for it (e.g. the trace was truncated). *)
+}
+
+val stragglers :
+  events:(float * Pdq_telemetry.Trace.event) list ->
+  Job_metrics.report ->
+  straggler list
+(** One entry per {e completed} job, in report order. [events] is the
+    run's recorded trace (e.g. a memory sink's contents). *)

@@ -1,0 +1,128 @@
+module Rng = Pdq_engine.Rng
+module Size_dist = Pdq_workload.Size_dist
+
+type flow_site = { src : int; dst : int; size : int }
+
+type stage_plan = {
+  label : string;
+  deps : int list;
+  deadline : float option;
+  flows : flow_site array;
+}
+
+type t = {
+  name : string;
+  arrival : float;
+  deadline : float option;
+  stages : stage_plan array;
+}
+
+(* [n] distinct hosts drawn from [hosts] minus [avoid], in draw order. *)
+let distinct ~rng ~hosts ~avoid ~n ~what =
+  let pool = Array.of_list (List.filter (fun h -> not (List.mem h avoid)) hosts) in
+  if Array.length pool < n then
+    invalid_arg
+      (Printf.sprintf "Job_plan.compile: %d hosts left for %d %s"
+         (Array.length pool) n what);
+  (* Partial Fisher–Yates: the first [n] slots are a uniform sample. *)
+  let len = Array.length pool in
+  for i = 0 to n - 1 do
+    let j = i + Rng.int rng (len - i) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 n
+
+let compile ~rng ~hosts ~arrival ?floor (job : Job.t) =
+  let stages = job.Job.stages in
+  let host_list = Array.to_list hosts in
+  let n_hosts = Array.length hosts in
+  if n_hosts < 2 then invalid_arg "Job_plan.compile: need >= 2 hosts";
+  (* Pool sizes over all stages, so every stage of the job reuses the
+     same master/worker/reducer cast. *)
+  let need_workers, need_reducers, transfers =
+    Array.fold_left
+      (fun (w, r, t) (s : Job.stage) ->
+        match s.Job.pattern with
+        | Job.Fan_out { workers } | Job.Fan_in { workers } ->
+            (max w workers, r, t)
+        | Job.Shuffle { mappers; reducers } ->
+            (max w mappers, max r reducers, t)
+        | Job.Transfer -> (w, r, t + 1))
+      (0, 0, 0) stages
+  in
+  let master = hosts.(Rng.int rng n_hosts) in
+  let workers =
+    if need_workers = 0 then [||]
+    else
+      distinct ~rng ~hosts:host_list ~avoid:[ master ] ~n:need_workers
+        ~what:"workers"
+  in
+  let reducers =
+    if need_reducers = 0 then [||]
+    else
+      (* Disjoint from the mappers when the topology allows it;
+         otherwise reducers colocate with workers and the shuffle
+         skips the self-pairs. *)
+      let avoid = master :: Array.to_list workers in
+      if n_hosts - List.length avoid >= need_reducers then
+        distinct ~rng ~hosts:host_list ~avoid ~n:need_reducers ~what:"reducers"
+      else
+        distinct ~rng ~hosts:host_list ~avoid:[ master ] ~n:need_reducers
+          ~what:"reducers"
+  in
+  let chain =
+    if transfers = 0 then [||]
+    else begin
+      (* master → h1 → h2 → …, each hop's endpoints distinct. *)
+      let c = Array.make (transfers + 1) master in
+      for i = 1 to transfers do
+        let rec pick () =
+          let h = hosts.(Rng.int rng n_hosts) in
+          if h = c.(i - 1) then pick () else h
+        in
+        c.(i) <- pick ()
+      done;
+      c
+    end
+  in
+  let deadlines = Job.stage_deadlines ?floor job in
+  let transfer_seen = ref 0 in
+  let plan_stage i (s : Job.stage) =
+    let draw () = Size_dist.sample s.Job.sizes rng in
+    let flows =
+      match s.Job.pattern with
+      | Job.Fan_out { workers = w } ->
+          Array.init w (fun k ->
+              { src = master; dst = workers.(k); size = draw () })
+      | Job.Fan_in { workers = w } ->
+          Array.init w (fun k ->
+              { src = workers.(k); dst = master; size = draw () })
+      | Job.Shuffle { mappers; reducers = r } ->
+          let acc = ref [] in
+          for m = 0 to mappers - 1 do
+            for j = 0 to r - 1 do
+              if workers.(m) <> reducers.(j) then
+                acc :=
+                  { src = workers.(m); dst = reducers.(j); size = draw () }
+                  :: !acc
+            done
+          done;
+          Array.of_list (List.rev !acc)
+      | Job.Transfer ->
+          let k = !transfer_seen in
+          incr transfer_seen;
+          [| { src = chain.(k); dst = chain.(k + 1); size = draw () } |]
+    in
+    { label = s.Job.label; deps = s.Job.deps; deadline = deadlines.(i); flows }
+  in
+  {
+    name = job.Job.name;
+    arrival;
+    deadline = job.Job.deadline;
+    stages = Array.mapi plan_stage stages;
+  }
+
+let flow_count t =
+  Array.fold_left (fun n s -> n + Array.length s.flows) 0 t.stages

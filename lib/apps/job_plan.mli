@@ -1,0 +1,46 @@
+(** A {!Job.t} materialized against a concrete topology: hosts
+    assigned, flow sizes drawn, stage deadlines propagated — still
+    pure data, but everything random is fixed at compile time, so
+    runtime injection ({!Job_tracker}) consumes no randomness and the
+    run stays deterministic regardless of event interleaving. *)
+
+type flow_site = { src : int; dst : int; size : int }
+
+type stage_plan = {
+  label : string;
+  deps : int list;  (** Same indices as in the {!Job.t}. *)
+  deadline : float option;
+      (** Per-flow relative deadline once the stage is injected (the
+          stage's slice of the job deadline, see
+          {!Job.stage_deadlines}). *)
+  flows : flow_site array;
+}
+
+type t = {
+  name : string;
+  arrival : float;  (** Absolute job arrival time. *)
+  deadline : float option;  (** Job deadline, relative to [arrival]. *)
+  stages : stage_plan array;
+}
+
+val compile :
+  rng:Pdq_engine.Rng.t ->
+  hosts:int array ->
+  arrival:float ->
+  ?floor:float ->
+  Job.t ->
+  t
+(** Assign hosts and draw sizes.
+
+    Each job draws a master host, a worker pool shared by every
+    [Fan_out]/[Fan_in]/[Shuffle] stage (reducers are drawn disjoint
+    from the mappers when the topology has enough hosts, otherwise
+    they overlap and colocated mapper/reducer pairs contribute no
+    flow), and a pipeline chain starting at the master for [Transfer]
+    stages. [floor] is passed to {!Job.stage_deadlines}.
+
+    Raises [Invalid_argument] when the topology has too few hosts for
+    the master plus the worker pool. *)
+
+val flow_count : t -> int
+(** Flows actually planned (after shuffle colocation). *)

@@ -7,6 +7,8 @@
    Examples:
      pdq_sim --proto pdq --flows 10 --deadline-mean 20
      pdq_sim --proto tcp --topo bottleneck --flows 8 --no-deadlines
+     pdq_sim --workload jobs --job-pattern partition-aggregate --fan-in 8
+     pdq_sim --workload jobs --job-count 4 --seeds 1,2,3 --job-metrics-out j.json
      pdq_sim --proto mpdq --subflows 4 --topo bcube --mean-size 400
      pdq_sim --proto pdq --topo fat-tree --flows 16 --flap-mtbf 0.3
      pdq_sim --proto pdq --seeds 1,2,3,4 --jobs 4
@@ -30,6 +32,7 @@ module Trace = Pdq_telemetry.Trace
 module Report = Pdq_check.Report
 module Attribution = Pdq_forensics.Attribution
 module Trace_diff = Pdq_forensics.Trace_diff
+module Job_metrics = Pdq_apps.Job_metrics
 
 module Exit_code = Exit_code
 
@@ -48,6 +51,7 @@ type cli_opts = {
   trace_out : string option;
   metrics_out : string option;
   forensics_out : string option;
+  job_metrics_out : string option;
   metrics_every : float;
   profile : bool;
   jobs : int option;
@@ -188,6 +192,17 @@ let forensics_summary (r : Attribution.report) =
     (1e3 *. t.Attribution.recovery)
     (1e3 *. t.Attribution.downtime)
 
+let is_jobs (scenario : Scenario.t) =
+  match scenario.Scenario.workload with
+  | Scenario.Jobs _ -> true
+  | _ -> false
+
+let write_job_metrics path report =
+  let oc = open_out path in
+  output_string oc (Job_metrics.to_json report);
+  output_char oc '\n';
+  close_out oc
+
 (* One run with the full telemetry plumbing attached. *)
 let run_single_plain scenario opts =
   let trace_chan = Option.map open_out opts.trace_out in
@@ -214,7 +229,7 @@ let run_single_plain scenario opts =
     }
   in
   let checking = opts.check || opts.check_out <> None in
-  let r, violations =
+  let r, violations, job_report =
     if checking then begin
       let c =
         Scenario.run_checked ~opts:(Exec_opts.telemetry telemetry) scenario
@@ -224,14 +239,30 @@ let run_single_plain scenario opts =
       Option.iter
         (fun path -> write_check_out path c.Scenario.violations)
         opts.check_out;
-      (c.Scenario.result, c.Scenario.violations)
+      (c.Scenario.result, c.Scenario.violations, c.Scenario.job_report)
+    end
+    else if is_jobs scenario then begin
+      let r, report =
+        Scenario.run_jobs ~opts:(Exec_opts.telemetry telemetry) scenario
+      in
+      print_result ~scenario r;
+      (r, [], Some report)
     end
     else begin
       let r = Scenario.run ~opts:(Exec_opts.telemetry telemetry) scenario in
       print_result ~scenario r;
-      (r, [])
+      (r, [], None)
     end
   in
+  (match job_report with
+  | Some report ->
+      Format.printf "%a" Job_metrics.pp report;
+      Option.iter
+        (fun path ->
+          write_job_metrics path report;
+          Printf.printf "job metrics written to %s\n" path)
+        opts.job_metrics_out
+  | None -> ());
   (match trace_chan with
   | Some oc ->
       close_out oc;
@@ -296,6 +327,23 @@ let run_sweep_supervised scenario opts =
      re-executed, so they produce neither. *)
   let notes_tbl : (int, string) Hashtbl.t = Hashtbl.create 8 in
   let notes_mu = Mutex.create () in
+  let add_note seed line =
+    Mutex.protect notes_mu (fun () ->
+        match Hashtbl.find_opt notes_tbl seed with
+        | None -> Hashtbl.replace notes_tbl seed line
+        | Some prev -> Hashtbl.replace notes_tbl seed (prev ^ " | " ^ line))
+  in
+  (* Job-workload slots leave a per-seed metrics file and a one-line
+     summary note; resumed slots (not re-executed) produce neither,
+     like the forensics files. *)
+  let note_job_report seed = function
+    | None -> ()
+    | Some report ->
+        Option.iter
+          (fun path -> write_job_metrics (seed_path path ~seed) report)
+          opts.job_metrics_out;
+        add_note seed (Job_metrics.summary report)
+  in
   let instrumented run s =
     let seed = s.Scenario.seed in
     let metrics =
@@ -321,8 +369,7 @@ let run_sweep_supervised scenario opts =
     | Some mem, Some path ->
         let rep = Attribution.of_events (Trace.memory_events mem) in
         write_forensics (seed_path path ~seed) rep;
-        let line = forensics_summary rep in
-        Mutex.protect notes_mu (fun () -> Hashtbl.replace notes_tbl seed line)
+        add_note seed (forensics_summary rep)
     | _ -> ());
     r
   in
@@ -351,7 +398,11 @@ let run_sweep_supervised scenario opts =
           ?retry:(retry_opt opts) ~keep_going:opts.keep_going ?on_event
           ~key:Scenario.digest
           (instrumented (fun ~telemetry s ->
-               Scenario.run_checked ~opts:(Exec_opts.telemetry telemetry) s))
+               let c =
+                 Scenario.run_checked ~opts:(Exec_opts.telemetry telemetry) s
+               in
+               note_job_report s.Scenario.seed c.Scenario.job_report;
+               c))
           scenarios
       in
       ( List.map (Task.map (fun c -> c.Scenario.result)) sup.Sweep.tasks,
@@ -371,21 +422,27 @@ let run_sweep_supervised scenario opts =
           ?resume:opts.resume ~codec:Scenario.result_codec ?on_event
           ~key:Scenario.digest
           (instrumented (fun ~telemetry s ->
-               Scenario.run ~opts:(Exec_opts.telemetry telemetry) s))
+               if is_jobs s then begin
+                 let r, job_report =
+                   Scenario.run_jobs ~opts:(Exec_opts.telemetry telemetry) s
+                 in
+                 note_job_report s.Scenario.seed (Some job_report);
+                 r
+               end
+               else Scenario.run ~opts:(Exec_opts.telemetry telemetry) s))
           scenarios
       in
       (sup.Sweep.tasks, sup.Sweep.report, [])
   in
   let report =
-    if opts.forensics_out = None then report
-    else
-      Sweep.with_notes report
-        ~notes:
-          (List.mapi
-             (fun i seed ->
-               Option.map (fun n -> (i, n)) (Hashtbl.find_opt notes_tbl seed))
-             opts.seeds
-          |> List.filter_map Fun.id)
+    let notes =
+      List.mapi
+        (fun i seed ->
+          Option.map (fun n -> (i, n)) (Hashtbl.find_opt notes_tbl seed))
+        opts.seeds
+      |> List.filter_map Fun.id
+    in
+    if notes = [] then report else Sweep.with_notes report ~notes
   in
   (match trace_chan with
   | Some oc ->
@@ -421,6 +478,9 @@ let run_sweep_supervised scenario opts =
   if opts.forensics_out <> None then
     Printf.eprintf "per-seed forensics reports written to %s\n%!"
       (seed_pattern (Option.get opts.forensics_out));
+  if is_jobs scenario && opts.job_metrics_out <> None then
+    Printf.eprintf "per-seed job metrics written to %s\n%!"
+      (seed_pattern (Option.get opts.job_metrics_out));
   if report.Sweep.resumed > 0 then
     Printf.eprintf "resumed %d of %d seeds from checkpoint\n%!"
       report.Sweep.resumed report.Sweep.total;
@@ -481,7 +541,7 @@ let run_sweep scenario opts =
         | _ -> ());
         r)
   in
-  let results, violations =
+  let results, violations, job_reports =
     if checking then begin
       let checked =
         Sweep.map ?jobs:opts.jobs
@@ -490,13 +550,24 @@ let run_sweep scenario opts =
           scenarios
       in
       ( List.map (fun c -> c.Scenario.result) checked,
-        List.concat_map (fun c -> c.Scenario.violations) checked )
+        List.concat_map (fun c -> c.Scenario.violations) checked,
+        List.filter_map (fun c -> c.Scenario.job_report) checked )
+    end
+    else if is_jobs scenario then begin
+      let runs =
+        Sweep.map ?jobs:opts.jobs
+          (with_sinks (fun ~telemetry s ->
+               Scenario.run_jobs ~opts:(Exec_opts.telemetry telemetry) s))
+          scenarios
+      in
+      (List.map fst runs, [], List.map snd runs)
     end
     else
       ( Sweep.map ?jobs:opts.jobs
           (with_sinks (fun ~telemetry s ->
                Scenario.run ~opts:(Exec_opts.telemetry telemetry) s))
           scenarios,
+        [],
         [] )
   in
   (* The domain count is an execution detail: stdout must be identical
@@ -505,8 +576,37 @@ let run_sweep scenario opts =
     (List.length opts.seeds);
   List.iter2 print_seed_line opts.seeds results;
   print_mean ~label:"mean over seeds" results;
+  if job_reports <> [] then begin
+    List.iter2
+      (fun seed report ->
+        Printf.printf "  seed %3d  %s\n" seed (Job_metrics.summary report))
+      opts.seeds job_reports;
+    let n = float_of_int (List.length job_reports) in
+    let sum f =
+      List.fold_left (fun acc r -> acc + f r) 0 job_reports
+    in
+    Printf.printf
+      "jobs mean over seeds: JCT %.3f ms | deadline misses %d/%d\n"
+      (1e3
+      *. (List.fold_left
+            (fun acc (r : Job_metrics.report) -> acc +. r.Job_metrics.mean_jct)
+            0. job_reports
+         /. n))
+      (sum (fun (r : Job_metrics.report) ->
+           r.Job_metrics.deadline_jobs - r.Job_metrics.deadline_met))
+      (sum (fun (r : Job_metrics.report) -> r.Job_metrics.deadline_jobs));
+    Option.iter
+      (fun path ->
+        List.iter2
+          (fun seed report -> write_job_metrics (seed_path path ~seed) report)
+          opts.seeds job_reports)
+      opts.job_metrics_out
+  end;
   if checking then Format.printf "%a" Report.pp_list violations;
   Option.iter (fun path -> write_check_out path violations) opts.check_out;
+  if job_reports <> [] && opts.job_metrics_out <> None then
+    Printf.eprintf "per-seed job metrics written to %s\n%!"
+      (seed_pattern (Option.get opts.job_metrics_out));
   if opts.trace_out <> None then
     Printf.eprintf "per-seed traces written to %s\n%!"
       (seed_pattern (Option.get opts.trace_out));
@@ -518,7 +618,30 @@ let run_sweep scenario opts =
   else if aborted then exit_fault_aborted
   else 0
 
-let run scenario opts resilience full =
+let workload_names = [ "flows"; "jobs" ]
+
+let print_workloads () =
+  print_string
+    (String.concat "\n"
+       [
+         "workloads (--workload):";
+         "  flows  simultaneous flows from --pattern/--flows/--mean-size \
+          (the paper's synthetic workload)";
+         "  jobs   application-level job DAGs (--job-pattern, --job-count, \
+          --fan-in, --stage-depth) with per-job deadlines and JCT metrics";
+         "job patterns (--job-pattern): "
+         ^ String.concat ", " Scenario.job_pattern_names;
+         "flow patterns (--pattern): "
+         ^ String.concat ", " Scenario.pattern_names;
+         "";
+       ])
+
+let run scenario opts resilience full list_workloads =
+  if list_workloads then begin
+    print_workloads ();
+    0
+  end
+  else begin
   (* Enable before any simulator exists so every run attaches to the
      global profiler; worker-domain shards merge in the report. *)
   let profiler =
@@ -560,31 +683,50 @@ let run scenario opts resilience full =
   | Some p -> Format.printf "%a@." Pdq_engine.Profiler.pp_report p
   | None -> ());
   code
+  end
 
 (* Parsers return [Result] so bad names surface as cmdliner usage
    errors instead of exceptions. *)
 let msg r = Result.map_error (fun e -> `Msg e) r
 
 let scenario_term =
-  let make proto_name subflows topo_name flows mean_size_kb deadline_mean_ms
-      no_deadlines pattern_name seed flap_mtbf flap_mttr reboot_mtbf
+  let make proto_name subflows topo_name workload_name flows mean_size_kb
+      deadline_mean_ms no_deadlines pattern_name job_pattern_name job_count
+      fan_in stage_depth job_rate seed flap_mtbf flap_mttr reboot_mtbf
       fault_until =
     let ( let* ) = Result.bind in
     let* protocol = msg (Scenario.protocol_of_string ~subflows proto_name) in
     let* topo = msg (Scenario.topo_of_string topo_name) in
-    let* pattern = msg (Scenario.pattern_of_string pattern_name) in
-    let workload =
-      Scenario.Synthetic
-        {
-          pattern;
-          flows;
-          sizes = Scenario.Uniform_paper { mean_bytes = mean_size_kb * 1000 };
-          deadlines =
-            (if no_deadlines then Scenario.No_deadlines
-             else
-               Scenario.Exp_deadlines
-                 { mean = deadline_mean_ms /. 1e3; floor = 3e-3 });
-        }
+    let sizes = Scenario.Uniform_paper { mean_bytes = mean_size_kb * 1000 } in
+    let deadlines =
+      if no_deadlines then Scenario.No_deadlines
+      else
+        Scenario.Exp_deadlines { mean = deadline_mean_ms /. 1e3; floor = 3e-3 }
+    in
+    let* workload =
+      match String.lowercase_ascii workload_name with
+      | "flows" | "synthetic" ->
+          let* pattern = msg (Scenario.pattern_of_string pattern_name) in
+          Ok (Scenario.Synthetic { pattern; flows; sizes; deadlines })
+      | "jobs" ->
+          let* pattern = msg (Scenario.job_pattern_of_string job_pattern_name) in
+          Ok
+            (Scenario.Jobs
+               {
+                 pattern;
+                 count = job_count;
+                 width = fan_in;
+                 depth = stage_depth;
+                 sizes;
+                 deadlines;
+                 rate = job_rate;
+               })
+      | other ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown workload %S (expected one of: %s)"
+                  other
+                  (String.concat ", " workload_names)))
     in
     let faults =
       match (flap_mtbf, reboot_mtbf) with
@@ -609,6 +751,13 @@ let scenario_term =
     Arg.(value & opt string "tree"
          & info [ "topo" ] ~doc:"tree, bottleneck, fat-tree, bcube, jellyfish")
   in
+  let workload =
+    Arg.(value & opt string "flows"
+         & info [ "workload" ]
+             ~doc:"flows (the paper's synthetic workload) or jobs \
+                   (application-level job DAGs with JCT metrics); see \
+                   --list-workloads")
+  in
   let flows = Arg.(value & opt int 10 & info [ "flows" ] ~doc:"number of flows") in
   let mean_size =
     Arg.(value & opt int 100 & info [ "mean-size" ] ~doc:"mean flow size [KB]")
@@ -623,6 +772,32 @@ let scenario_term =
     Arg.(value & opt string "aggregation"
          & info [ "pattern" ]
              ~doc:"aggregation, stride, staggered, permutation, pairs")
+  in
+  let job_pattern =
+    Arg.(value & opt string "partition-aggregate"
+         & info [ "job-pattern" ]
+             ~doc:"With --workload jobs: partition-aggregate, map-reduce, \
+                   pipeline")
+  in
+  let job_count =
+    Arg.(value & opt int 1
+         & info [ "job-count" ] ~doc:"With --workload jobs: number of jobs")
+  in
+  let fan_in =
+    Arg.(value & opt int 4
+         & info [ "fan-in" ]
+             ~doc:"With --workload jobs: workers (or mappers) per stage")
+  in
+  let stage_depth =
+    Arg.(value & opt int 1
+         & info [ "stage-depth" ]
+             ~doc:"With --workload jobs: rounds per job (pipeline: hops)")
+  in
+  let job_rate =
+    Arg.(value & opt (some float) None
+         & info [ "job-rate" ]
+             ~doc:"With --workload jobs: Poisson job-arrival rate [jobs/s] \
+                   (default: all jobs arrive at t=0)")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed") in
   let flap_mtbf =
@@ -645,14 +820,15 @@ let scenario_term =
   in
   Term.term_result
     Term.(
-      const make $ proto $ subflows $ topo $ flows $ mean_size $ deadline_mean
-      $ no_deadlines $ pattern $ seed $ flap_mtbf $ flap_mttr $ reboot_mtbf
-      $ fault_until)
+      const make $ proto $ subflows $ topo $ workload $ flows $ mean_size
+      $ deadline_mean $ no_deadlines $ pattern $ job_pattern $ job_count
+      $ fan_in $ stage_depth $ job_rate $ seed $ flap_mtbf $ flap_mttr
+      $ reboot_mtbf $ fault_until)
 
 let opts_term =
-  let make trace_out metrics_out forensics_out metrics_every profile jobs
-      seeds check check_out timeout max_events retries keep_going checkpoint
-      resume report_out =
+  let make trace_out metrics_out forensics_out job_metrics_out metrics_every
+      profile jobs seeds check check_out timeout max_events retries keep_going
+      checkpoint resume report_out =
     let checking = check || check_out <> None in
     if checking && (checkpoint <> None || resume <> None) then
       Error
@@ -667,6 +843,7 @@ let opts_term =
           trace_out;
           metrics_out;
           forensics_out;
+          job_metrics_out;
           metrics_every;
           profile;
           jobs;
@@ -707,6 +884,15 @@ let opts_term =
                    (.json/.csv select the format, anything else the text \
                    table). With --seeds: one file per seed plus a per-slot \
                    summary in the sweep report"
+             ~docv:"FILE")
+  in
+  let job_metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "job-metrics-out" ]
+             ~doc:"With --workload jobs: write the job-level report (per-job \
+                   JCT, stage coflow completion times, deadline misses, \
+                   stragglers) as JSON to $(docv). With --seeds: one file per \
+                   seed (file.seedN.json)"
              ~docv:"FILE")
   in
   let metrics_every =
@@ -809,9 +995,9 @@ let opts_term =
   in
   Term.term_result
     Term.(
-      const make $ trace_out $ metrics_out $ forensics_out $ metrics_every
-      $ profile $ jobs $ seeds $ check $ check_out $ timeout $ max_events
-      $ retries $ keep_going $ checkpoint $ resume $ report_out)
+      const make $ trace_out $ metrics_out $ forensics_out $ job_metrics_out
+      $ metrics_every $ profile $ jobs $ seeds $ check $ check_out $ timeout
+      $ max_events $ retries $ keep_going $ checkpoint $ resume $ report_out)
 
 (* ------------------------------------------------------------------ *)
 (* pdq_sim forensics: offline span reconstruction, FCT attribution and
@@ -945,6 +1131,12 @@ let cmd =
     Arg.(value & flag
          & info [ "full" ] ~doc:"With --resilience: more seeds and intensities")
   in
+  let list_workloads =
+    Arg.(value & flag
+         & info [ "list-workloads" ]
+             ~doc:"List the available workload kinds, job patterns and flow \
+                   patterns, then exit")
+  in
   let exits =
     (* Rendered straight from the variant, so the man page cannot
        drift from the tested discipline. *)
@@ -954,7 +1146,10 @@ let cmd =
     @ Cmd.Exit.defaults
   in
   Cmd.group
-    ~default:Term.(const run $ scenario_term $ opts_term $ resilience $ full)
+    ~default:
+      Term.(
+        const run $ scenario_term $ opts_term $ resilience $ full
+        $ list_workloads)
     (Cmd.info "pdq_sim" ~exits
        ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
     [ forensics_cmd ]

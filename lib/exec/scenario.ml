@@ -9,6 +9,10 @@ module Fault_plan = Pdq_faults.Fault_plan
 module Size_dist = Pdq_workload.Size_dist
 module Deadline_dist = Pdq_workload.Deadline_dist
 module Pattern = Pdq_workload.Pattern
+module Job = Pdq_apps.Job
+module Job_arrivals = Pdq_apps.Job_arrivals
+module Job_tracker = Pdq_apps.Job_tracker
+module Job_metrics = Pdq_apps.Job_metrics
 
 type topo =
   | Tree of { tors : int; hosts_per_tor : int }
@@ -35,6 +39,13 @@ let topo_name = function
   | Jellyfish { switches; ports; net_ports; _ } ->
       Printf.sprintf "jellyfish(%d,%d,%d)" switches ports net_ports
 
+let topo_names = [ "tree"; "bottleneck"; "fat-tree"; "bcube"; "jellyfish" ]
+
+let unknown ~what ~names other =
+  Error
+    (Printf.sprintf "unknown %s %S (expected one of: %s)" what other
+       (String.concat ", " names))
+
 let topo_of_string s =
   match String.lowercase_ascii s with
   | "tree" -> Ok default_tree
@@ -43,7 +54,7 @@ let topo_of_string s =
   | "bcube" -> Ok (Bcube { n = 2; k = 3 })
   | "jellyfish" ->
       Ok (Jellyfish { switches = 8; ports = 24; net_ports = 16; wiring_salt = 0 })
-  | other -> Error (Printf.sprintf "unknown topology %S" other)
+  | other -> unknown ~what:"topology" ~names:topo_names other
 
 type sizes =
   | Uniform_paper of { mean_bytes : int }
@@ -71,6 +82,9 @@ type pattern =
   | Random_permutation
   | Random_pairs
 
+let pattern_names =
+  [ "aggregation"; "stride"; "staggered"; "permutation"; "pairs" ]
+
 let pattern_of_string s =
   match String.lowercase_ascii s with
   | "aggregation" -> Ok Aggregation
@@ -78,7 +92,23 @@ let pattern_of_string s =
   | "staggered" -> Ok (Staggered 0.7)
   | "permutation" -> Ok Random_permutation
   | "pairs" -> Ok Random_pairs
-  | other -> Error (Printf.sprintf "unknown pattern %S" other)
+  | other -> unknown ~what:"pattern" ~names:pattern_names other
+
+type job_pattern = Partition_aggregate | Map_reduce | Pipeline
+
+let job_pattern_name = function
+  | Partition_aggregate -> "partition-aggregate"
+  | Map_reduce -> "map-reduce"
+  | Pipeline -> "pipeline"
+
+let job_pattern_names = [ "partition-aggregate"; "map-reduce"; "pipeline" ]
+
+let job_pattern_of_string s =
+  match String.lowercase_ascii s with
+  | "partition-aggregate" | "pa" -> Ok Partition_aggregate
+  | "map-reduce" | "mapreduce" | "shuffle" -> Ok Map_reduce
+  | "pipeline" -> Ok Pipeline
+  | other -> unknown ~what:"job pattern" ~names:job_pattern_names other
 
 type workload =
   | Synthetic of {
@@ -95,6 +125,15 @@ type workload =
         topo:Topology.t ->
         hosts:int array ->
         Context.flow_spec list;
+    }
+  | Jobs of {
+      pattern : job_pattern;
+      count : int;
+      width : int;
+      depth : int;
+      sizes : sizes;
+      deadlines : deadlines;
+      rate : float option;
     }
 
 type faults =
@@ -200,6 +239,36 @@ let synthetic_specs ~pattern ~flows ~sizes ~deadlines ~seed ~topo ~hosts =
         start = 0.;
       })
 
+(* The [--workload jobs] recipe: one Rng seeded with the scenario seed
+   draws, per job in arrival order, its deadline, then its hosts and
+   flow sizes ({!Pdq_apps.Job_plan.compile}). Everything random is
+   fixed here, at plan-compile time; runtime stage injection consumes
+   no randomness, so job runs stay deterministic under any sweep
+   parallelism. *)
+let jobs_plans ~pattern ~count ~width ~depth ~sizes ~deadlines ~rate ~seed
+    ~hosts =
+  let rng = Rng.create seed in
+  let dist = size_dist sizes in
+  let ddist, floor =
+    match deadlines with
+    | No_deadlines -> (None, None)
+    | Exp_deadlines { mean; floor } ->
+        (Some (Deadline_dist.exponential ~floor ~mean ()), Some floor)
+  in
+  let job ~index =
+    let deadline = Option.map (fun d -> Deadline_dist.sample d rng) ddist in
+    let name = Printf.sprintf "job-%d" index in
+    match pattern with
+    | Partition_aggregate ->
+        Job.partition_aggregate ?deadline ~rounds:depth ~name ~workers:width
+          ~response_sizes:dist ()
+    | Map_reduce ->
+        Job.map_reduce ?deadline ~rounds:depth ~name ~mappers:width
+          ~reducers:width ~shuffle_sizes:dist ~output_sizes:dist ()
+    | Pipeline -> Job.pipeline ?deadline ~name ~depth ~sizes:dist ()
+  in
+  Job_arrivals.plans ~rng ~hosts ?rate ?floor ~count ~job ()
+
 let resolve_loss t (built : Builder.built) =
   match t.loss with
   | No_loss -> None
@@ -250,17 +319,30 @@ let resolve_faults t (built : Builder.built) =
       let plan = Fault_plan.merge flaps reboots in
       if Fault_plan.is_empty plan then None else Some plan
 
-let build t =
+let build_ext t =
   let sim = Sim.create () in
   let built = build_topo t.topo ~sim ~seed:t.seed in
   let topo = built.Builder.topo and hosts = built.Builder.hosts in
-  let specs =
+  let tracker = ref None in
+  let specs, driver =
     match t.workload with
-    | Explicit l -> l
+    | Explicit l -> (l, None)
     | Synthetic { pattern; flows; sizes; deadlines } ->
-        synthetic_specs ~pattern ~flows ~sizes ~deadlines ~seed:t.seed ~topo
-          ~hosts
-    | Generated { specs; _ } -> specs ~seed:t.seed ~topo ~hosts
+        ( synthetic_specs ~pattern ~flows ~sizes ~deadlines ~seed:t.seed ~topo
+            ~hosts,
+          None )
+    | Generated { specs; _ } -> (specs ~seed:t.seed ~topo ~hosts, None)
+    | Jobs { pattern; count; width; depth; sizes; deadlines; rate } ->
+        let plans =
+          jobs_plans ~pattern ~count ~width ~depth ~sizes ~deadlines ~rate
+            ~seed:t.seed ~hosts
+        in
+        let driver ~spawn =
+          let tr = Job_tracker.create ~spawn plans in
+          tracker := Some tr;
+          [ Job_tracker.sink tr ]
+        in
+        (Job_tracker.initial_specs plans, Some driver)
   in
   let options =
     {
@@ -270,10 +352,15 @@ let build t =
       loss = resolve_loss t built;
       faults = resolve_faults t built;
       telemetry = Runner.no_telemetry;
+      driver;
       init_rtt = t.init_rtt;
       rto_min = t.rto_min;
     }
   in
+  (built, specs, options, tracker)
+
+let build t =
+  let built, specs, options, _ = build_ext t in
   (built, specs, options)
 
 let run ?(opts = Exec_opts.default) t =
@@ -285,17 +372,35 @@ let run ?(opts = Exec_opts.default) t =
       let options = { options with Runner.telemetry } in
       Runner.execute ~options ~topo:built.Builder.topo t.protocol specs)
 
+let run_jobs ?(opts = Exec_opts.default) t =
+  Exec_opts.with_budget_opt opts (fun () ->
+      let telemetry =
+        Option.value opts.Exec_opts.telemetry ~default:Runner.no_telemetry
+      in
+      let built, specs, options, tracker = build_ext t in
+      let options = { options with Runner.telemetry } in
+      let result =
+        Runner.execute ~options ~topo:built.Builder.topo t.protocol specs
+      in
+      let report =
+        match !tracker with
+        | Some tr -> Job_tracker.report tr
+        | None -> Job_metrics.of_outcomes [||]
+      in
+      (result, report))
+
 type checked = {
   result : Runner.result;
   violations : Pdq_check.Report.violation list;
   oracle : Pdq_check.Oracle.t;
+  job_report : Job_metrics.report option;
 }
 
 let run_checked ?(opts = Exec_opts.default) ?es_window ?capacity_slack t =
   let telemetry =
     Option.value opts.Exec_opts.telemetry ~default:Runner.no_telemetry
   in
-  let built, specs, options = build t in
+  let built, specs, options, tracker = build_ext t in
   let monitor = Pdq_check.Invariants.create ?es_window ?capacity_slack () in
   let options =
     {
@@ -308,13 +413,25 @@ let run_checked ?(opts = Exec_opts.default) ?es_window ?capacity_slack t =
     Exec_opts.with_budget_opt opts (fun () ->
         Runner.execute ~options ~topo t.protocol specs)
   in
+  let job_report = Option.map Job_tracker.report !tracker in
   let violations = Pdq_check.Invariants.finalize monitor ~result ~topo in
   (* M-PDQ stripes a flow over several paths, so no single path's
      contention-free bound applies per flow; keep only the aggregate
      references there. *)
   let per_flow = match t.protocol with Runner.Mpdq _ -> false | _ -> true in
   let oracle = Pdq_check.Oracle.check ~per_flow ~result ~topo () in
-  { result; violations = violations @ oracle.Pdq_check.Oracle.violations; oracle }
+  {
+    result;
+    violations = violations @ oracle.Pdq_check.Oracle.violations;
+    oracle;
+    job_report;
+  }
+
+let protocol_names =
+  [
+    "pdq"; "pdq-basic"; "pdq-es"; "pdq-es-et"; "mpdq"; "rcp"; "d3"; "tcp";
+    "pdq-broken";
+  ]
 
 let protocol_of_string ?(subflows = 3) name =
   match String.lowercase_ascii name with
@@ -327,7 +444,7 @@ let protocol_of_string ?(subflows = 3) name =
   | "rcp" -> Ok Runner.Rcp
   | "d3" -> Ok Runner.D3
   | "tcp" -> Ok Runner.Tcp
-  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+  | other -> unknown ~what:"protocol" ~names:protocol_names other
 
 let workload_desc = function
   | Synthetic { pattern; flows; _ } ->
@@ -342,6 +459,12 @@ let workload_desc = function
       Printf.sprintf "%d %s flows" flows p
   | Explicit l -> Printf.sprintf "%d explicit flows" (List.length l)
   | Generated { label; _ } -> label
+  | Jobs { pattern; count; width; depth; rate; _ } ->
+      Printf.sprintf "%d %s jobs (width %d, depth %d%s)" count
+        (job_pattern_name pattern) width depth
+        (match rate with
+        | None -> ""
+        | Some r -> Printf.sprintf ", %g jobs/s" r)
 
 (* Content hash identifying a scenario in a sweep checkpoint. Scenarios
    can embed closures (Generated workloads, Fault_gen plans), so the

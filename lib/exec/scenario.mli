@@ -41,10 +41,13 @@ val default_tree : topo
 
 val topo_name : topo -> string
 
+val topo_names : string list
+(** The CLI topology names {!topo_of_string} accepts. *)
+
 val topo_of_string : string -> (topo, string) result
 (** Parse a CLI topology name ("tree", "bottleneck", "fat-tree",
     "bcube", "jellyfish") into the evaluation's default parameters for
-    that family. *)
+    that family. The error message lists the valid names. *)
 
 (** {1 Workload specifications} *)
 
@@ -72,8 +75,34 @@ type pattern =
   | Random_permutation
   | Random_pairs
 
+val pattern_names : string list
+(** The CLI pattern names {!pattern_of_string} accepts. *)
+
 val pattern_of_string : string -> (pattern, string) result
-(** "aggregation", "stride", "staggered", "permutation", "pairs". *)
+(** "aggregation", "stride", "staggered", "permutation", "pairs". The
+    error message lists the valid names. *)
+
+(** {1 Application-level jobs} *)
+
+type job_pattern =
+  | Partition_aggregate
+      (** [depth] rounds of request fan-out to [width] workers followed
+          by response fan-in ({!Pdq_apps.Job.partition_aggregate}). *)
+  | Map_reduce
+      (** [depth] rounds of a [width]×[width] all-to-all shuffle
+          followed by an output fan-in ({!Pdq_apps.Job.map_reduce}). *)
+  | Pipeline
+      (** [depth] sequential single-flow transfer stages; [width] is
+          ignored ({!Pdq_apps.Job.pipeline}). *)
+
+val job_pattern_name : job_pattern -> string
+
+val job_pattern_names : string list
+(** The CLI job-pattern names {!job_pattern_of_string} accepts. *)
+
+val job_pattern_of_string : string -> (job_pattern, string) result
+(** "partition-aggregate" (or "pa"), "map-reduce", "pipeline". The
+    error message lists the valid names. *)
 
 type workload =
   | Synthetic of {
@@ -98,6 +127,28 @@ type workload =
       (** Bespoke generator for drivers with their own RNG recipe. The
           function must be pure (derive everything from its arguments)
           so the scenario stays shippable across domains. *)
+  | Jobs of {
+      pattern : job_pattern;
+      count : int;  (** Number of jobs. *)
+      width : int;  (** Fan-in workers / mappers per stage. *)
+      depth : int;  (** Rounds (or pipeline depth). *)
+      sizes : sizes;  (** Response / shuffle flow sizes. *)
+      deadlines : deadlines;
+          (** Per-{e job} deadline draw; each job's deadline is split
+              into stage and per-flow deadlines by
+              {!Pdq_apps.Job.stage_deadlines} (the [Exp_deadlines]
+              floor also clips the stage slices). *)
+      rate : float option;
+          (** Poisson job-arrival rate in jobs/s; [None] = all jobs
+              arrive at t = 0. *)
+    }
+      (** Application-level jobs ({!Pdq_apps}): [count] jobs compiled
+          to {!Pdq_apps.Job_plan.t}s at build time — hosts, sizes,
+          arrivals and deadlines all drawn from one [Rng] seeded with
+          the scenario seed — then executed at runtime by a
+          {!Pdq_apps.Job_tracker} that injects each stage the moment
+          its dependencies finish. Use {!run_jobs} (or {!run_checked})
+          to get the job-level report. *)
 
 (** {1 Fault and loss specifications} *)
 
@@ -170,8 +221,21 @@ val build :
   * Pdq_transport.Runner.options
 (** Materialize the scenario: construct the simulator + topology,
     expand the workload and resolve loss/fault specs into runner
-    options (no telemetry attached). Exposed for tests and
-    inspection; {!run} is [Runner.run] applied to this. *)
+    options (no telemetry attached). For a {!Jobs} workload the specs
+    are only the initially runnable stages and the options carry the
+    {!Pdq_apps.Job_tracker} driver that injects the rest. Exposed for
+    tests and inspection; {!run} is [Runner.run] applied to this. *)
+
+val build_ext :
+  t ->
+  Pdq_topo.Builder.built
+  * Pdq_transport.Context.flow_spec list
+  * Pdq_transport.Runner.options
+  * Pdq_apps.Job_tracker.t option ref
+(** {!build}, plus the cell the job driver fills with its tracker when
+    the runner installs it (always [None] before the run starts, and
+    for every non-{!Jobs} workload). For callers that execute the run
+    themselves but still want {!Pdq_apps.Job_tracker.report}. *)
 
 val run : ?opts:Exec_opts.t -> t -> Pdq_transport.Runner.result
 (** Build and simulate. Deterministic: same scenario (and telemetry
@@ -182,6 +246,15 @@ val run : ?opts:Exec_opts.t -> t -> Pdq_transport.Runner.result
     non-empty [budget] bounds the run ([Sim.Cancelled] on a trip); the
     [jobs] field is meaningless for a single run and ignored. *)
 
+val run_jobs :
+  ?opts:Exec_opts.t ->
+  t ->
+  Pdq_transport.Runner.result * Pdq_apps.Job_metrics.report
+(** {!run}, also returning the job-level report. The result is
+    bit-for-bit the one {!run} returns (the tracker only observes the
+    bus and replays the plan; it consumes no randomness). On a
+    non-{!Jobs} workload the report is empty. *)
+
 type checked = {
   result : Pdq_transport.Runner.result;
   violations : Pdq_check.Report.violation list;
@@ -190,6 +263,9 @@ type checked = {
   oracle : Pdq_check.Oracle.t;
       (** Per-flow bounds and the centralized EDF/SJF references
           (emulation gap). *)
+  job_report : Pdq_apps.Job_metrics.report option;
+      (** Job-level outcomes, present exactly when the workload is
+          {!Jobs}. *)
 }
 
 val run_checked :
@@ -218,12 +294,15 @@ val result_codec : Pdq_transport.Runner.result Task.codec
     bit-for-bit; the live [ctx] is not serializable, so decoded
     results share an empty placeholder context. *)
 
+val protocol_names : string list
+(** The CLI protocol names {!protocol_of_string} accepts. *)
+
 val protocol_of_string :
   ?subflows:int -> string -> (Pdq_transport.Runner.protocol, string) result
 (** "pdq", "pdq-basic", "pdq-es", "pdq-es-et", "mpdq" (with
     [subflows], default 3), "rcp", "d3", "tcp" — plus "pdq-broken",
     the {!Pdq_check.Fixtures.broken_allocator} used to validate the
-    validators. *)
+    validators. The error message lists the valid names. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line human description. *)

@@ -1,0 +1,30 @@
+(** Application-level workloads — job completion time (JCT) and job
+    deadline behaviour of PDQ vs RCP/D3/TCP ({!Pdq_apps}).
+
+    The paper evaluates per-flow metrics; these drivers measure what
+    the application sees: partition-aggregate and shuffle jobs whose
+    stages are injected at runtime as their dependencies finish, so a
+    protocol's preemption policy shows up directly in job latency.
+
+    [quick] trims sweep points and seeds so the whole bench stays
+    interactive; [jobs] spreads the (row × protocol × seed) scenario
+    grid over that many worker domains. Results are identical for any
+    [jobs]. *)
+
+val fanin_table : ?jobs:int -> ?quick:bool -> unit -> Common.table
+(** Mean JCT [ms] of partition-aggregate jobs vs fan-in width. *)
+
+val depth_table : ?jobs:int -> ?quick:bool -> unit -> Common.table
+(** Mean JCT [ms] of partition-aggregate jobs vs stage depth
+    (rounds), fan-in fixed. *)
+
+val miss_table : ?jobs:int -> ?quick:bool -> unit -> Common.table
+(** Job deadline-miss rate [%] vs fan-in width. *)
+
+val straggler_table : ?width:int -> ?count:int -> ?seed:int -> unit -> Common.table
+(** One PDQ(Full) run with an in-memory trace: per job, the straggler
+    flow that finished it and that flow's FCT decomposition
+    ({!Pdq_apps.Job_forensics}). *)
+
+val run_all : ?jobs:int -> ?quick:bool -> Format.formatter -> unit -> unit
+(** Print every table above. *)

@@ -52,6 +52,9 @@ type telemetry = {
 let no_telemetry =
   { sinks = []; metrics = None; metrics_every = 1e-3; port_probe = None }
 
+type driver =
+  spawn:(Context.flow_spec -> Context.flow) -> Trace.sink list
+
 type options = {
   seed : int;
   horizon : float;
@@ -59,6 +62,7 @@ type options = {
   loss : (float * int list) option;
   faults : Pdq_faults.Fault_plan.t option;
   telemetry : telemetry;
+  driver : driver option;
   init_rtt : float;
   rto_min : float;
 }
@@ -71,6 +75,7 @@ let default_options =
     loss = None;
     faults = None;
     telemetry = no_telemetry;
+    driver = None;
     init_rtt = 2e-4;
     rto_min = 1e-3;
   }
@@ -97,13 +102,28 @@ type result = {
 let execute ?(options = default_options) ~topo protocol specs =
   let sim = Topology.sim topo in
   let rng = Rng.create options.seed in
+  (* An application driver (e.g. the job tracker) gets a spawn hook
+     that registers and starts a flow mid-run. The hook is wired to
+     the live context and protocol just before the initial flows
+     start; a driver calling it earlier (i.e. outside a sink
+     callback) is a programming error. *)
+  let spawn_ref =
+    ref (fun (_ : Context.flow_spec) : Context.flow ->
+        invalid_arg "Runner: spawn called before the protocol was installed")
+  in
+  let driver_sinks =
+    match options.driver with
+    | Some d -> d ~spawn:(fun spec -> !spawn_ref spec)
+    | None -> []
+  in
   (* The trace bus. PDQ_DEBUG=trace additionally echoes every event to
      stderr; with no sink at all the bus is {!Trace.null} and the run
      is bit-for-bit identical to an uninstrumented one. *)
   let sinks =
+    let sinks = options.telemetry.sinks @ driver_sinks in
     if Debug.trace_on () then
-      options.telemetry.sinks @ [ Trace.console ~min_severity:Trace.Trace stderr ]
-    else options.telemetry.sinks
+      sinks @ [ Trace.console ~min_severity:Trace.Trace stderr ]
+    else sinks
   in
   let trace = Trace.create ~clock:(fun () -> Sim.now sim) ~sinks in
   if Trace.active trace then
@@ -173,6 +193,15 @@ let execute ?(options = default_options) ~topo protocol specs =
         let p = Tcp_proto.install ~rto_min:options.rto_min ~ctx () in
         (Tcp_proto.start_flow p, (fun ~link:_ -> None), None)
   in
+  (* Arm the driver's spawn hook: registration pins the route and
+     emits [Flow_admitted]; every protocol's [start_flow] launches
+     immediately when [spec.start <= now], so flows spawned from a
+     sink callback mid-run join the simulation at the current time. *)
+  spawn_ref :=
+    (fun spec ->
+      let f = Context.add_flow ctx spec in
+      start_flow f;
+      f);
   (* Validation probe: hand every PDQ port's scheduler state to the
      attached monitor on the telemetry grid. Like the metrics probe,
      nothing is scheduled when no monitor is attached. *)

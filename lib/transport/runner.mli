@@ -64,6 +64,25 @@ type telemetry = {
 val no_telemetry : telemetry
 (** No sinks, no metrics, no port probe; probe grid 1 ms. *)
 
+type driver =
+  spawn:(Context.flow_spec -> Context.flow) -> Pdq_telemetry.Trace.sink list
+(** An application driver: called once per run, before the simulation
+    starts, with the run's dynamic flow-spawn hook; the sinks it
+    returns join the trace bus after the plain telemetry sinks.
+
+    This is the sanctioned exception to the observe-only sink
+    contract: a driver's sink {e may} react to trace events by calling
+    [spawn], which registers a new flow (assigning the next flow id,
+    pinning its route, emitting [Flow_admitted]) and starts it —
+    immediately when [spec.start <= now]. Spawned flows join
+    {!result.flows} like build-time ones. Because terminal flow
+    events are emitted before the flow is counted closed, spawning
+    from the terminal event of the last open flow keeps a
+    [stop_when_done] run alive. [spawn] must only be called from sink
+    callbacks (i.e. while the simulation is running), must not be
+    called after the run returns, and — like any sink — must not
+    consume the run's randomness. *)
+
 type options = {
   seed : int;
   horizon : float;
@@ -83,6 +102,11 @@ type options = {
           single-link [trace] option: bottleneck time series (Fig. 6/7)
           are now reconstructed from the generic [Flow_rx] events and
           metrics samples. *)
+  driver : driver option;
+      (** Application driver installed on the run (see {!driver}).
+          [None] (the default) spawns nothing: the flow set is fixed at
+          build time and the run is bit-for-bit identical to one
+          without the hook. *)
   init_rtt : float;  (** Seed for RTT estimators. *)
   rto_min : float;   (** TCP minimum RTO. *)
 }

@@ -7,3 +7,14 @@ let poisson ~rng ~rate ~horizon =
     if t >= horizon then List.rev acc else gen t (t :: acc)
   in
   gen 0. []
+
+let poisson_n ~rng ~rate ~n =
+  if rate <= 0. then invalid_arg "Arrivals.poisson_n: rate <= 0";
+  if n < 0 then invalid_arg "Arrivals.poisson_n: n < 0";
+  let rec gen t k acc =
+    if k = 0 then List.rev acc
+    else
+      let t = t +. Pdq_engine.Rng.exponential rng ~mean:(1. /. rate) in
+      gen t (k - 1) (t :: acc)
+  in
+  gen 0. n []

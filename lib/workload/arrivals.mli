@@ -7,3 +7,9 @@ val poisson :
   rng:Pdq_engine.Rng.t -> rate:float -> horizon:float -> float list
 (** Poisson arrivals of intensity [rate] (flows/second) on
     [\[0, horizon)], in increasing order. *)
+
+val poisson_n :
+  rng:Pdq_engine.Rng.t -> rate:float -> n:int -> float list
+(** The first [n] arrivals of a Poisson process of intensity [rate]
+    (flows or jobs per second), in increasing order — the count-bounded
+    sibling of {!poisson}. *)

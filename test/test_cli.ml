@@ -41,7 +41,37 @@ let test_usage_error () =
   Alcotest.(check int) "unknown topology" (code Exit_code.Usage) (eval [ "--topo"; "moebius" ]);
   Alcotest.(check int) "--checkpoint with --check" (code Exit_code.Usage)
     (eval [ "--check"; "--checkpoint"; "x.jsonl" ]);
-  Alcotest.(check int) "negative --retries" (code Exit_code.Usage) (eval [ "--retries"; "-1" ])
+  Alcotest.(check int) "negative --retries" (code Exit_code.Usage) (eval [ "--retries"; "-1" ]);
+  Alcotest.(check int) "unknown workload" (code Exit_code.Usage)
+    (eval [ "--workload"; "sorcery" ]);
+  Alcotest.(check int) "unknown job pattern" (code Exit_code.Usage)
+    (eval [ "--workload"; "jobs"; "--job-pattern"; "gossip" ])
+
+let test_list_workloads () =
+  Alcotest.(check int) "--list-workloads exits 0" (code Exit_code.Ok)
+    (eval [ "--list-workloads" ])
+
+let test_jobs_workload () =
+  Alcotest.(check int) "jobs run exits 0" (code Exit_code.Ok)
+    (eval [ "--workload"; "jobs"; "--job-count"; "1"; "--fan-in"; "2" ]);
+  Alcotest.(check int) "jobs run with --check exits 0" (code Exit_code.Ok)
+    (eval
+       [ "--workload"; "jobs"; "--job-count"; "1"; "--fan-in"; "2"; "--check" ]);
+  let path = Filename.temp_file "pdq_job_metrics" ".json" in
+  let rc =
+    eval
+      [
+        "--workload"; "jobs"; "--job-count"; "2"; "--fan-in"; "2";
+        "--job-metrics-out"; path;
+      ]
+  in
+  Alcotest.(check int) "job-metrics run exits 0" (code Exit_code.Ok) rc;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "metrics file is a JSON object" true
+    (String.length line > 0 && line.[0] = '{')
 
 (* Aggressive link flapping with a repair time far beyond the horizon
    cuts every path for good: the watchdogs abort and the process must
@@ -138,6 +168,8 @@ let suites =
         Alcotest.test_case "ok" `Quick test_ok;
         Alcotest.test_case "ok with --check" `Quick test_check_ok;
         Alcotest.test_case "usage errors" `Quick test_usage_error;
+        Alcotest.test_case "list workloads" `Quick test_list_workloads;
+        Alcotest.test_case "jobs workload" `Quick test_jobs_workload;
         Alcotest.test_case "fault-aborted" `Quick test_fault_aborted;
         Alcotest.test_case "fault-aborted sweep" `Quick test_fault_aborted_sweep;
         Alcotest.test_case "invariant violation" `Quick test_invariant_violation;

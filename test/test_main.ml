@@ -17,6 +17,7 @@ let () =
          Test_exec.suites;
          Test_forensics.suites;
          Test_check.suites;
+         Test_apps.suites;
          Test_cli.suites;
          Test_experiments.suites;
        ])

@@ -167,6 +167,70 @@ let prop_pattern_no_self =
       let pairs = Pattern.random_pairs ~hosts ~flows ~rng in
       List.for_all (fun (p : Pattern.pair) -> p.Pattern.src <> p.Pattern.dst) pairs)
 
+(* random_permutation is a derangement for any host count and seed:
+   every host sends once, receives once, and never to itself. *)
+let prop_permutation_derangement =
+  QCheck.Test.make ~name:"random permutation is a derangement" ~count:200
+    QCheck.(pair small_nat (int_range 2 40))
+    (fun (seed, n) ->
+      let hosts = Array.init n (fun i -> 100 + i) in
+      let rng = Rng.create seed in
+      let pairs = Pattern.random_permutation ~hosts ~rng in
+      let srcs = List.map (fun (p : Pattern.pair) -> p.Pattern.src) pairs in
+      let dsts = List.map (fun (p : Pattern.pair) -> p.Pattern.dst) pairs in
+      let sorted_hosts = List.sort compare (Array.to_list hosts) in
+      List.length pairs = n
+      && List.sort compare srcs = sorted_hosts
+      && List.sort compare dsts = sorted_hosts
+      && List.for_all
+           (fun (p : Pattern.pair) -> p.Pattern.src <> p.Pattern.dst)
+           pairs)
+
+(* Footnote 6: f flows over the n-1 senders split as uniformly as
+   integers allow — every sender carries ⌊f/(n-1)⌋ or ⌈f/(n-1)⌉
+   flows, and the counts sum to f. *)
+let prop_aggregation_footnote6 =
+  QCheck.Test.make ~name:"aggregation spreads flows per footnote 6" ~count:200
+    QCheck.(pair (int_range 2 30) (int_range 1 200))
+    (fun (n, flows) ->
+      let hosts = Array.init n (fun i -> 100 + i) in
+      let receiver = hosts.(0) in
+      let pairs = Pattern.aggregation ~hosts ~receiver ~flows in
+      let senders = n - 1 in
+      let lo = flows / senders and hi = (flows + senders - 1) / senders in
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun (p : Pattern.pair) ->
+          if p.Pattern.dst <> receiver || p.Pattern.src = receiver then
+            QCheck.Test.fail_report "flow not sender->receiver";
+          Hashtbl.replace counts p.Pattern.src
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.Pattern.src)))
+        pairs;
+      let total = Hashtbl.fold (fun _ c acc -> c + acc) counts 0 in
+      total = flows
+      && Hashtbl.fold (fun _ c ok -> ok && c >= lo && c <= hi) counts true)
+
+(* The rack-local fraction of staggered traffic tracks p. With 12
+   hosts x 200 seeds = 2400 draws per p, an 0.08 tolerance sits at
+   roughly 8 standard deviations — failures mean a real bias, not bad
+   luck. *)
+let prop_staggered_rack_local_fraction =
+  QCheck.Test.make ~name:"staggered rack-local fraction tracks p" ~count:3
+    QCheck.(oneofl [ 0.25; 0.5; 0.75 ])
+    (fun p ->
+      let rack_of h = (h - 100) / 3 in
+      let local = ref 0 and total = ref 0 in
+      for seed = 1 to 200 do
+        let rng = Rng.create seed in
+        List.iter
+          (fun (pr : Pattern.pair) ->
+            incr total;
+            if rack_of pr.Pattern.src = rack_of pr.Pattern.dst then incr local)
+          (Pattern.staggered ~rack_of ~hosts ~p ~rng)
+      done;
+      let fraction = float_of_int !local /. float_of_int !total in
+      abs_float (fraction -. p) < 0.08)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let suites =
@@ -191,5 +255,11 @@ let suites =
         Alcotest.test_case "random permutation" `Quick test_permutation_pattern;
         Alcotest.test_case "poisson arrivals" `Quick test_poisson_arrivals;
       ]
-      @ qsuite [ prop_pattern_no_self ] );
+      @ qsuite
+          [
+            prop_pattern_no_self;
+            prop_permutation_derangement;
+            prop_aggregation_footnote6;
+            prop_staggered_rack_local_fraction;
+          ] );
   ]
