@@ -65,6 +65,7 @@ let targets : (string * (quick:bool -> jobs:int option -> unit)) list =
         Common.pp_table ppf (Fig9.attribution ());
         Common.pp_table ppf (Resilience.attribution ()) );
     ("apps", fun ~quick ~jobs -> Apps.run_all ?jobs ~quick ppf ());
+    ("chaos", fun ~quick ~jobs -> Chaos.run_all ?jobs ~quick ppf ());
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,268 @@
+module Sim = Pdq_engine.Sim
+module Rng = Pdq_engine.Rng
+module Link = Pdq_net.Link
+module Packet = Pdq_net.Packet
+module Topology = Pdq_net.Topology
+module Payloads = Pdq_transport.Payloads
+module Header = Pdq_core.Header
+module Trace = Pdq_telemetry.Trace
+
+let k_deliver = Sim.Kind.register "chaos.deliver"
+let k_apply = Sim.Kind.register "chaos.apply"
+
+(* Per-directed-link adversarial conditions, mutated by the timed plan
+   events. All-None state passes packets through untouched and draws
+   nothing, so a wrapped link with no active condition behaves
+   bit-identically to an unwrapped one. *)
+type state = {
+  mutable reorder : (float * float) option; (* p, hold *)
+  mutable duplicate : float option;
+  mutable corrupt : float option;
+  mutable jitter : float option;
+}
+
+let fresh_state () =
+  { reorder = None; duplicate = None; corrupt = None; jitter = None }
+
+(* The adversary acts on the forward scheduling pass only (SYN / DATA /
+   PROBE / TERM): switches re-derive their soft state from traversing
+   headers there, which is the robustness surface the paper leans on
+   (§3). Reverse-pass feedback is left intact — corrupting grants in
+   flight defeats any rate-based transport trivially and distinguishes
+   nothing. *)
+let forward_kind (pkt : Packet.t) =
+  match pkt.Packet.kind with
+  | Packet.Syn | Packet.Data | Packet.Probe | Packet.Term -> true
+  | Packet.Syn_ack | Packet.Ack -> false
+
+(* Duplicates share the original's uid (the global counter must not be
+   perturbed) but deep-copy every mutable scheduling payload so
+   downstream in-place header rewrites cannot alias. *)
+let copy_payload = function
+  | Payloads.Pdq_sched (h, a) -> Payloads.Pdq_sched (Header.copy h, a)
+  | Payloads.Rcp_ctrl (r, a) ->
+      Payloads.Rcp_ctrl ({ r with Payloads.rcp_rate = r.Payloads.rcp_rate }, a)
+  | Payloads.D3_ctrl (d, a) ->
+      Payloads.D3_ctrl
+        ({ d with Payloads.d3_allocated = d.Payloads.d3_allocated }, a)
+  | p -> p
+
+let copy_packet (pkt : Packet.t) =
+  { pkt with Packet.payload = copy_payload pkt.Packet.payload }
+
+(* Corrupt one scheduling field in place — garbage a wire bit-flip
+   could plausibly produce, bounded so float arithmetic stays finite.
+   Returns the action label, or None when the payload carries no
+   scheduling state (the whether-draw is already consumed; the
+   field draws below only happen on corruptible payloads, which is a
+   deterministic function of the packet).
+
+   Only fields a correct switch re-derives every RTT are touched:
+   the PDQ rate request and pause attribution (allocations are
+   recomputed per hop and the binding verdict rides the untouched
+   reverse pass), the RCP rate and the D3 allocation. The ET-decision
+   inputs — deadline, expected transmission time, RTT — are
+   deliberately excluded: switches store them verbatim
+   (Flow_state.update_from_header), so garbage there makes a {e
+   correct} implementation terminate feasible flows, indistinguishable
+   from the allocator bug the invariant monitors exist to catch. The
+   same boundary keeps the fuzzer's healthy-protocol runs
+   violation-free. *)
+let corrupt_payload rng (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Payloads.Pdq_sched (h, _) -> (
+      match Rng.int rng 2 with
+      | 0 ->
+          h.Header.rate <- Rng.uniform rng 0. 2e9;
+          Some "corrupt.rate"
+      | _ ->
+          (h.Header.pause_by <-
+             (match h.Header.pause_by with None -> Some 0 | Some _ -> None));
+          Some "corrupt.pause")
+  | Payloads.Rcp_ctrl (r, _) ->
+      r.Payloads.rcp_rate <- Rng.uniform rng 0. 2e9;
+      Some "corrupt.rate"
+  | Payloads.D3_ctrl (d, _) ->
+      d.Payloads.d3_allocated <- Rng.uniform rng 0. 2e9;
+      Some "corrupt.alloc"
+  | _ -> None
+
+(* Clock skew: deadlines in PDQ headers entering the skewed switch
+   appear [skew] seconds more urgent. The header is replaced by a
+   shifted copy — downstream hops see the skewed deadline too, the
+   pessimistic reading of one fast switch clock poisoning the
+   scheduling pipeline. *)
+let skew_packet (pkt : Packet.t) ~skew =
+  match pkt.Packet.payload with
+  | Payloads.Pdq_sched (h, a) when h.Header.deadline <> None ->
+      let deadline = Option.map (fun d -> d -. skew) h.Header.deadline in
+      let h' = { (Header.copy h) with Header.deadline } in
+      pkt.Packet.payload <- Payloads.Pdq_sched (h', a);
+      true
+  | _ -> false
+
+let emit trace ~target ~action =
+  match trace with
+  | Some bus when Trace.active bus ->
+      Trace.emit bus (Trace.Adversary { target; action })
+  | _ -> ()
+
+let wrap ~sim ~trace ~link_id ~state ~skew ~corruptible ~rng orig pkt =
+  (match skew with
+  | Some (switch, sref) when !sref <> 0. && forward_kind pkt ->
+      if skew_packet pkt ~skew:!sref then
+        emit trace ~target:switch ~action:"clock-skew"
+  | _ -> ());
+  if not (forward_kind pkt) then orig pkt
+  else begin
+    (* Fixed per-packet draw order — corrupt, duplicate, reorder,
+       jitter — one whether-draw per *active* condition, none for
+       inactive ones. Corruption fires only on directions entering a
+       switch: the next hop's allocator clamps a corrupted rate
+       request ([process_forward]'s [min availbw]), whereas garbage on
+       the last switch→receiver hop would be echoed to the sender
+       unsanitized and read as an allocator over-grant. *)
+    (match state.corrupt with
+    | Some p when corruptible && Rng.bool rng p -> (
+        match corrupt_payload rng pkt with
+        | Some action -> emit trace ~target:link_id ~action
+        | None -> ())
+    | _ -> ());
+    let dup =
+      match state.duplicate with Some p -> Rng.bool rng p | None -> false
+    in
+    let held =
+      match state.reorder with
+      | Some (p, hold) -> if Rng.bool rng p then hold else 0.
+      | None -> 0.
+    in
+    let jit =
+      match state.jitter with
+      | Some max_delay -> Rng.uniform rng 0. max_delay
+      | None -> 0.
+    in
+    if dup then emit trace ~target:link_id ~action:"duplicate";
+    if held > 0. then emit trace ~target:link_id ~action:"reorder";
+    let deliver () =
+      orig pkt;
+      if dup then orig (copy_packet pkt)
+    in
+    let delay = held +. jit in
+    if delay > 0. then ignore (Sim.schedule_k sim k_deliver ~delay deliver)
+    else deliver ()
+  end
+
+(* All duplex cables of the topology as (a, b) pairs with a < b, in
+   first-link-id order — the full adversary target list (unlike
+   [Fault_plan.switch_cables], host access links are included: header
+   corruption on a switch-ingress access direction and duplication or
+   reordering anywhere are all meaningful). *)
+let cables topo =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  for id = 0 to Topology.link_count topo - 1 do
+    let l = Topology.link topo id in
+    let a = min (Link.src l) (Link.dst l)
+    and b = max (Link.src l) (Link.dst l) in
+    if not (Hashtbl.mem seen (a, b)) then begin
+      Hashtbl.add seen (a, b) ();
+      acc := (a, b) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let directed_links topo ~a ~b =
+  match
+    (Topology.link_to topo ~src:a ~dst:b, Topology.link_to topo ~src:b ~dst:a)
+  with
+  | l1, l2 -> [ l1; l2 ]
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf "Adversary.install: no cable %d<->%d in this topology"
+           a b)
+
+let install ~sim ~topo ~rng ?trace plan =
+  if not (Adversary_plan.is_empty plan) then begin
+    let events = Adversary_plan.events plan in
+    (* Wrap every link the plan can touch, in link-id order, one rng
+       split per wrapped link — the same stream layout for any event
+       timing. *)
+    let states : (int, state) Hashtbl.t = Hashtbl.create 16 in
+    let skews : (int, float ref) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun (_, ev) ->
+        match ev with
+        | Adversary_plan.Reorder { a; b; _ }
+        | Adversary_plan.Duplicate { a; b; _ }
+        | Adversary_plan.Corrupt { a; b; _ }
+        | Adversary_plan.Jitter { a; b; _ }
+        | Adversary_plan.Clear { a; b } ->
+            List.iter
+              (fun l ->
+                let id = Link.id l in
+                if not (Hashtbl.mem states id) then
+                  Hashtbl.add states id (fresh_state ()))
+              (directed_links topo ~a ~b)
+        | Adversary_plan.Clock_skew { switch; _ } ->
+            if not (Hashtbl.mem skews switch) then
+              Hashtbl.add skews switch (ref 0.))
+      events;
+    for id = 0 to Topology.link_count topo - 1 do
+      let l = Topology.link topo id in
+      let state = Hashtbl.find_opt states id in
+      let skew =
+        let dst = Link.dst l in
+        Option.map (fun r -> (dst, r)) (Hashtbl.find_opt skews dst)
+      in
+      match (state, skew) with
+      | None, None -> ()
+      | state, skew ->
+          let state = Option.value state ~default:(fresh_state ()) in
+          let corruptible = Topology.kind topo (Link.dst l) = Topology.Switch in
+          let link_rng = Rng.split rng in
+          let orig = Link.receiver l in
+          Link.set_receiver l
+            (wrap ~sim ~trace ~link_id:id ~state ~skew ~corruptible
+               ~rng:link_rng orig)
+    done;
+    let state_of ~a ~b =
+      List.map
+        (fun l -> Hashtbl.find states (Link.id l))
+        (directed_links topo ~a ~b)
+    in
+    let apply ev =
+      (match trace with
+      | Some bus when Trace.active bus ->
+          Trace.emit bus
+            (Trace.Fault
+               {
+                 desc =
+                   Format.asprintf "adversary %a" Adversary_plan.pp_event ev;
+               })
+      | _ -> ());
+      match ev with
+      | Adversary_plan.Reorder { a; b; p; hold } ->
+          List.iter (fun s -> s.reorder <- Some (p, hold)) (state_of ~a ~b)
+      | Adversary_plan.Duplicate { a; b; p } ->
+          List.iter (fun s -> s.duplicate <- Some p) (state_of ~a ~b)
+      | Adversary_plan.Corrupt { a; b; p } ->
+          List.iter (fun s -> s.corrupt <- Some p) (state_of ~a ~b)
+      | Adversary_plan.Jitter { a; b; max_delay } ->
+          List.iter (fun s -> s.jitter <- Some max_delay) (state_of ~a ~b)
+      | Adversary_plan.Clear { a; b } ->
+          List.iter
+            (fun s ->
+              s.reorder <- None;
+              s.duplicate <- None;
+              s.corrupt <- None;
+              s.jitter <- None)
+            (state_of ~a ~b)
+      | Adversary_plan.Clock_skew { switch; skew } ->
+          Hashtbl.find skews switch := skew
+    in
+    List.iter
+      (fun (time, ev) ->
+        if time <= Sim.now sim then apply ev
+        else ignore (Sim.schedule_at_k sim k_apply ~time (fun () -> apply ev)))
+      events
+  end

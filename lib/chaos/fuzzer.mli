@@ -1,0 +1,137 @@
+(** Invariant fuzzing with counterexample shrinking.
+
+    The fuzzer expands a master seed into a campaign of random {!case}s
+    — (scenario, fault plan, adversary plan) triples as pure data —
+    runs each through {!Pdq_exec.Scenario.run_checked} so every
+    [Pdq_check] monitor fires, and, when a run violates an invariant,
+    shrinks its plans to a minimal reproducer (greedy element removal,
+    then parameter halving). A case's JSON form is the replayable
+    counterexample artifact: [pdq_sim chaos --replay] feeds it back
+    through the same pipeline.
+
+    Determinism: case generation draws from one seeded rng in a fixed
+    order; each case's run derives every stream from the case's own
+    seed. Campaigns execute under {!Pdq_exec.Sweep.supervise}, whose
+    results are in input order — the same master seed gives
+    bit-identical campaigns on any worker count. *)
+
+type case = {
+  protocol : string;  (** A {!Pdq_exec.Scenario.protocol_of_string} name. *)
+  topo : string;      (** A {!Pdq_exec.Scenario.topo_of_string} name. *)
+  pattern : string;   (** A {!Pdq_exec.Scenario.pattern_of_string} name. *)
+  flows : int;
+  mean_bytes : int;   (** Mean of the paper's uniform size law. *)
+  deadlines : bool;   (** Draw paper-default deadlines (20 ms mean). *)
+  seed : int;
+  horizon : float;
+  faults : Pdq_faults.Fault_plan.t;
+  adversary : Adversary_plan.t;
+}
+
+val case_to_json : case -> string
+(** One self-contained JSON object; exact round-trip. *)
+
+val case_of_json : string -> (case, string) result
+(** Exact inverse of {!case_to_json}; strict. *)
+
+val key : case -> string
+(** Content hash of the JSON form — the checkpoint key (stable across
+    binaries, unlike {!Pdq_exec.Scenario.digest}). *)
+
+val scenario_of_case : case -> (Pdq_exec.Scenario.t, string) result
+(** Resolve the case's names into a runnable scenario (the plans ride
+    along via [Fault_gen] and {!run_case}'s prepare hook). *)
+
+val pp_case : Format.formatter -> case -> unit
+
+val default_protocols : string list
+(** ["pdq"; "rcp"; "d3"; "tcp"] — the healthy roster. *)
+
+val targets_of_case :
+  case -> (int * int) list * (int * int) list * int list
+(** [(cables, switch_cables, switches)] of the case's topology (built
+    as a probe instance with the case's seed): all duplex cables in
+    link-id order, the switch-switch subset, and the switch nodes. *)
+
+val generate :
+  Pdq_engine.Rng.t -> protocols:string list -> intensity:float -> int -> case
+(** One random case (the [int] is the campaign index). Protocol, topo,
+    pattern, workload shape and seed are drawn first, then a fault
+    plan (30% of cases, link flaps) and an adversary plan of 1–8
+    events at the given intensity. *)
+
+val run_case :
+  ?opts:Pdq_exec.Exec_opts.t -> case -> (Pdq_exec.Scenario.checked, string) result
+(** Run the case under the full validation stack: faults install via
+    the scenario, the adversary via the [?prepare] hook with an rng
+    derived from the case seed. [Error] on unresolvable names. *)
+
+val signature : Pdq_exec.Scenario.checked -> string option
+(** The first violation's invariant id, or [None] for a clean run. *)
+
+(** {1 Supervised campaigns} *)
+
+type verdict = {
+  invariant : string option;  (** First violated invariant, if any. *)
+  detail : string;            (** Rendered first violation. *)
+  violations : int;
+}
+
+val verdict_of : Pdq_exec.Scenario.checked -> verdict
+val verdict_codec : verdict Pdq_exec.Task.codec
+
+type campaign = {
+  cases : case list;
+  verdicts : verdict Pdq_exec.Task.t list;  (** In case order. *)
+  report : Pdq_exec.Sweep.report;
+}
+
+val cases :
+  runs:int ->
+  seed:int ->
+  ?protocols:string list ->
+  ?intensity:float ->
+  unit ->
+  case list
+(** The campaign's case list (deterministic in [seed]).
+    [intensity] defaults to [0.35]. *)
+
+val fuzz :
+  ?opts:Pdq_exec.Exec_opts.t ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?protocols:string list ->
+  ?intensity:float ->
+  ?on_event:(Pdq_exec.Sweep.event -> unit) ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  campaign
+(** Generate and run a campaign under {!Pdq_exec.Sweep.supervise}
+    ([opts] carries jobs and per-attempt budget; checkpoint slots are
+    keyed by {!key}). Verdicts are in case order regardless of the
+    worker count. *)
+
+val first_violation : campaign -> (int * case * string) option
+(** Lowest-index case whose run violated an invariant, with the
+    violated invariant id — the shrink target. *)
+
+(** {1 Shrinking} *)
+
+type shrunk = {
+  original : case;
+  minimal : case;
+  invariant : string;
+  runs_used : int;  (** Re-executions the shrinker spent. *)
+}
+
+val shrink :
+  ?opts:Pdq_exec.Exec_opts.t -> ?budget:int -> case -> invariant:string -> shrunk
+(** Greedy minimization holding the violation fixed: first remove plan
+    events one at a time (restarting after every successful deletion)
+    until no single deletion still reproduces [invariant], then halve
+    event parameters (probabilities, holds, delays, skews, loss rates
+    and durations) to a fixpoint. At most [budget] (default 150)
+    re-executions; on exhaustion the best case so far is returned.
+    [shrink] never returns a case that fails to reproduce: every
+    accepted mutation was verified. *)

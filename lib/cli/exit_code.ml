@@ -5,6 +5,7 @@ type t =
   | Invariant_violation
   | Timed_out
   | Run_failed
+  | Violation_found
   | Usage
 
 let to_int = function
@@ -14,17 +15,18 @@ let to_int = function
   | Invariant_violation -> 4
   | Timed_out -> 5
   | Run_failed -> 6
+  | Violation_found -> 7
   | Usage -> 124
 
 let all =
   [ Ok; Bad_trace; Fault_aborted; Invariant_violation; Timed_out; Run_failed;
-    Usage ]
+    Violation_found; Usage ]
 
 let of_int n = List.find_opt (fun c -> to_int c = n) all
 
 let describe = function
   | Ok -> "the run(s) completed (deadline misses are results, not errors)"
-  | Bad_trace -> "a recorded trace file could not be read or parsed"
+  | Bad_trace -> "a recorded trace or reproducer file could not be read or parsed"
   | Fault_aborted ->
       "at least one flow was aborted by its watchdog (faults cut every path)"
   | Invariant_violation -> "--check found invariant or oracle violations"
@@ -32,4 +34,6 @@ let describe = function
       "a run blew its --timeout/--max-events budget (and nothing worse \
        happened)"
   | Run_failed -> "a supervised sweep left crashed or skipped slots"
+  | Violation_found ->
+      "the chaos fuzzer found (and shrank) an invariant violation"
   | Usage -> "command-line usage error"

@@ -11,7 +11,8 @@ type t =
   | Ok  (** The run(s) completed; deadline misses are experiment
             results, not process failures. *)
   | Bad_trace
-      (** [forensics] could not read or parse a recorded trace file. *)
+      (** [forensics] could not read or parse a recorded trace file,
+          or [chaos --replay] could not read a reproducer. *)
   | Fault_aborted
       (** At least one flow was aborted by its watchdog (injected
           faults cut every path). *)
@@ -22,11 +23,14 @@ type t =
           nothing worse happened). *)
   | Run_failed
       (** A supervised sweep left crashed or skipped slots. *)
+  | Violation_found
+      (** The [chaos] fuzzer found an invariant violation and emitted
+          a (shrunk) reproducer. *)
   | Usage  (** Command-line usage error (cmdliner's default). *)
 
 val to_int : t -> int
 (** [Ok] 0, [Bad_trace] 1, [Fault_aborted] 3, [Invariant_violation] 4,
-    [Timed_out] 5, [Run_failed] 6, [Usage] 124. *)
+    [Timed_out] 5, [Run_failed] 6, [Violation_found] 7, [Usage] 124. *)
 
 val of_int : int -> t option
 (** Inverse of {!to_int}; [None] for integers outside the

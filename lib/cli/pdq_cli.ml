@@ -1120,6 +1120,252 @@ let forensics_cmd =
              components, or diff the attribution of two runs")
     forensics_term
 
+(* ------------------------------------------------------------------ *)
+(* pdq_sim chaos: adversarial fuzzing of the invariant monitors.
+   Random (scenario, fault plan, adversary plan) cases run through the
+   full validation stack on the supervised executor; a violating case
+   is shrunk to a minimal reproducer and written as replayable JSON.
+   Stdout is built entirely from the returned campaign, so it is
+   bit-identical for any --jobs value. *)
+
+module Fuzzer = Pdq_chaos.Fuzzer
+
+let exit_violation_found = Exit_code.(to_int Violation_found)
+
+let verdict_line (t : Fuzzer.verdict Task.t) =
+  match t with
+  | Task.Ok { Fuzzer.invariant = None; _ } -> "ok"
+  | Task.Ok { Fuzzer.invariant = Some inv; violations; _ } ->
+      Printf.sprintf "VIOLATION %s (%d violation%s)" inv violations
+        (if violations = 1 then "" else "s")
+  | Task.Failed f -> "failed: " ^ f.Task.exn
+  | Task.Timed_out b -> "timed out: " ^ b.Task.budget
+  | Task.Skipped -> "skipped"
+
+let write_repro path json =
+  let oc = open_out path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc
+
+let run_chaos_replay ~opts ~path =
+  let contents =
+    try Ok (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error msg -> Error msg
+  in
+  match Result.bind contents Fuzzer.case_of_json with
+  | Error msg ->
+      Printf.eprintf "pdq_sim chaos: cannot replay %s: %s\n%!" path msg;
+      exit_bad_trace
+  | Ok case -> (
+      Printf.printf "replaying %s\n" (Format.asprintf "%a" Fuzzer.pp_case case);
+      match Fuzzer.run_case ~opts case with
+      | Error msg ->
+          Printf.eprintf "pdq_sim chaos: %s\n%!" msg;
+          exit_bad_trace
+      | Ok checked ->
+          let violations = checked.Scenario.violations in
+          Format.printf "%a" Report.pp_list violations;
+          if violations = [] then begin
+            Printf.printf "replay: clean (no invariant violations)\n";
+            0
+          end
+          else begin
+            Printf.printf "replay: %d violation%s, first invariant %s\n"
+              (List.length violations)
+              (if List.length violations = 1 then "" else "s")
+              (match Fuzzer.signature checked with Some s -> s | None -> "?");
+            exit_violation_found
+          end)
+
+let run_chaos_fuzz ~opts ~runs ~seed ~intensity ~protocols ~shrink_budget
+    ~repro_out ~checkpoint ~resume ~report_out =
+  let campaign =
+    Fuzzer.fuzz ~opts ?checkpoint ?resume ~protocols ~intensity ~runs ~seed ()
+  in
+  List.iteri
+    (fun i (c, t) ->
+      Printf.printf "case %3d: %s: %s\n" i
+        (Format.asprintf "%a" Fuzzer.pp_case c)
+        (verdict_line t))
+    (List.combine campaign.Fuzzer.cases campaign.Fuzzer.verdicts);
+  let report = campaign.Fuzzer.report in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Sweep.report_to_json report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "sweep report written to %s\n" path)
+    report_out;
+  match Fuzzer.first_violation campaign with
+  | None ->
+      Printf.printf "chaos: %d runs, no invariant violations\n"
+        report.Sweep.total;
+      if report.Sweep.failed > 0 || report.Sweep.skipped > 0 then
+        exit_run_failed
+      else if report.Sweep.timed_out > 0 then exit_timed_out
+      else 0
+  | Some (index, case, invariant) ->
+      Printf.printf "chaos: violation of %S in case %d; shrinking...\n"
+        invariant index;
+      let shrunk =
+        Fuzzer.shrink ~opts ~budget:shrink_budget case ~invariant
+      in
+      let minimal = shrunk.Fuzzer.minimal in
+      Printf.printf
+        "shrunk %d fault + %d adversary events to %d + %d (%d re-runs)\n"
+        (Pdq_faults.Fault_plan.length case.Fuzzer.faults)
+        (Pdq_chaos.Adversary_plan.length case.Fuzzer.adversary)
+        (Pdq_faults.Fault_plan.length minimal.Fuzzer.faults)
+        (Pdq_chaos.Adversary_plan.length minimal.Fuzzer.adversary)
+        shrunk.Fuzzer.runs_used;
+      let json = Fuzzer.case_to_json minimal in
+      (match repro_out with
+      | Some path ->
+          write_repro path json;
+          Printf.printf "reproducer written to %s\n" path
+      | None -> Printf.printf "reproducer: %s\n" json);
+      exit_violation_found
+
+let chaos_term =
+  let make runs seed intensity protocols shrink_budget repro_out replay jobs
+      timeout max_events checkpoint resume report_out =
+    let ( let* ) = Result.bind in
+    let* () = if runs <= 0 then Error (`Msg "--runs must be > 0") else Ok () in
+    let* () =
+      if intensity <= 0. || intensity > 1. then
+        Error (`Msg "--intensity must be in (0, 1]")
+      else Ok ()
+    in
+    let* () =
+      if shrink_budget < 0 then Error (`Msg "--shrink-budget must be >= 0")
+      else Ok ()
+    in
+    let* protocols =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          match Scenario.protocol_of_string p with
+          | Ok _ -> Ok (acc @ [ p ])
+          | Error e -> Error (`Msg e))
+        (Ok []) protocols
+    in
+    let budget =
+      match (timeout, max_events) with
+      | None, None -> None
+      | wall, events -> Some (Sweep.budget ?wall ?events ())
+    in
+    let opts = Exec_opts.make ?jobs ?budget () in
+    Ok
+      (match replay with
+      | Some path -> run_chaos_replay ~opts ~path
+      | None ->
+          run_chaos_fuzz ~opts ~runs ~seed ~intensity ~protocols ~shrink_budget
+            ~repro_out ~checkpoint ~resume ~report_out)
+  in
+  let runs =
+    Arg.(value & opt int 25
+         & info [ "runs" ] ~doc:"Number of fuzzed cases" ~docv:"N")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"Master seed; the whole campaign is a deterministic \
+                   function of it"
+             ~docv:"S")
+  in
+  let intensity =
+    Arg.(value & opt float 0.35
+         & info [ "intensity" ]
+             ~doc:"Adversary intensity in (0, 1]: scales condition \
+                   probabilities, jitter and clock skew"
+             ~docv:"X")
+  in
+  let protocols =
+    Arg.(value & opt (list string) Fuzzer.default_protocols
+         & info [ "protocols" ]
+             ~doc:"Comma-separated protocol roster to draw cases from \
+                   (include pdq-broken to exercise the canary)"
+             ~docv:"P1,P2,...")
+  in
+  let shrink_budget =
+    Arg.(value & opt int 150
+         & info [ "shrink-budget" ]
+             ~doc:"Maximum re-executions the counterexample shrinker may \
+                   spend"
+             ~docv:"N")
+  in
+  let repro_out =
+    Arg.(value & opt (some string) None
+         & info [ "repro-out" ]
+             ~doc:"Write the shrunk reproducer case as JSON to $(docv) \
+                   (default: print it); replay with --replay"
+             ~docv:"FILE")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ]
+             ~doc:"Replay a reproducer case written by --repro-out through \
+                   the full validation stack instead of fuzzing; exit 7 if \
+                   it still violates"
+             ~docv:"FILE")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ]
+             ~doc:"Worker domains for the campaign (results and output are \
+                   identical for any value)"
+             ~docv:"N")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ]
+             ~doc:"Per-case wall-clock budget in seconds (cooperative; a \
+                   blown case settles as timed out)"
+             ~docv:"SEC")
+  in
+  let max_events =
+    Arg.(value & opt (some int) None
+         & info [ "max-events" ]
+             ~doc:"Per-case simulator event budget" ~docv:"N")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ]
+             ~doc:"Stream each completed case verdict to $(docv) as JSONL \
+                   keyed by case content hash"
+             ~docv:"FILE")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ]
+             ~doc:"Preload case verdicts from checkpoint $(docv) and \
+                   re-execute only the missing cases"
+             ~docv:"FILE")
+  in
+  let report_out =
+    Arg.(value & opt (some string) None
+         & info [ "report-out" ]
+             ~doc:"Write the campaign's sweep report as JSON to $(docv)"
+             ~docv:"FILE")
+  in
+  Term.term_result
+    Term.(
+      const make $ runs $ seed $ intensity $ protocols $ shrink_budget
+      $ repro_out $ replay $ jobs $ timeout $ max_events $ checkpoint $ resume
+      $ report_out)
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fuzz the invariant monitors with random adversarial packet \
+             conditions (reordering, duplication, header corruption, \
+             jitter, clock skew) plus fault plans; on a violation, shrink \
+             the case to a minimal reproducer and emit it as replayable \
+             JSON (exit 7)")
+    chaos_term
+
 let cmd =
   let resilience =
     Arg.(value & flag
@@ -1142,7 +1388,9 @@ let cmd =
        drift from the tested discipline. *)
     List.map
       (fun c -> Cmd.Exit.info ~doc:(Exit_code.describe c) (Exit_code.to_int c))
-      Exit_code.[ Fault_aborted; Invariant_violation; Timed_out; Run_failed ]
+      Exit_code.
+        [ Fault_aborted; Invariant_violation; Timed_out; Run_failed;
+          Violation_found ]
     @ Cmd.Exit.defaults
   in
   Cmd.group
@@ -1152,6 +1400,6 @@ let cmd =
         $ list_workloads)
     (Cmd.info "pdq_sim" ~exits
        ~doc:"Run one packet-level PDQ/RCP/D3/TCP experiment")
-    [ forensics_cmd ]
+    [ forensics_cmd; chaos_cmd ]
 
 let eval ?argv () = Cmd.eval' ?argv cmd

@@ -363,21 +363,26 @@ let build t =
   let built, specs, options, _ = build_ext t in
   (built, specs, options)
 
-let run ?(opts = Exec_opts.default) t =
+(* [prepare] runs between topology construction and execution — the
+   sanctioned hole where the chaos adversary interposes on the freshly
+   built links before any packet moves. *)
+let run ?(opts = Exec_opts.default) ?prepare t =
   Exec_opts.with_budget_opt opts (fun () ->
       let telemetry =
         Option.value opts.Exec_opts.telemetry ~default:Runner.no_telemetry
       in
       let built, specs, options = build t in
+      (match prepare with Some f -> f built | None -> ());
       let options = { options with Runner.telemetry } in
       Runner.execute ~options ~topo:built.Builder.topo t.protocol specs)
 
-let run_jobs ?(opts = Exec_opts.default) t =
+let run_jobs ?(opts = Exec_opts.default) ?prepare t =
   Exec_opts.with_budget_opt opts (fun () ->
       let telemetry =
         Option.value opts.Exec_opts.telemetry ~default:Runner.no_telemetry
       in
       let built, specs, options, tracker = build_ext t in
+      (match prepare with Some f -> f built | None -> ());
       let options = { options with Runner.telemetry } in
       let result =
         Runner.execute ~options ~topo:built.Builder.topo t.protocol specs
@@ -396,11 +401,13 @@ type checked = {
   job_report : Job_metrics.report option;
 }
 
-let run_checked ?(opts = Exec_opts.default) ?es_window ?capacity_slack t =
+let run_checked ?(opts = Exec_opts.default) ?es_window ?capacity_slack ?prepare
+    t =
   let telemetry =
     Option.value opts.Exec_opts.telemetry ~default:Runner.no_telemetry
   in
   let built, specs, options, tracker = build_ext t in
+  (match prepare with Some f -> f built | None -> ());
   let monitor = Pdq_check.Invariants.create ?es_window ?capacity_slack () in
   let options =
     {

@@ -237,17 +237,26 @@ val build_ext :
     for every non-{!Jobs} workload). For callers that execute the run
     themselves but still want {!Pdq_apps.Job_tracker.report}. *)
 
-val run : ?opts:Exec_opts.t -> t -> Pdq_transport.Runner.result
+val run :
+  ?opts:Exec_opts.t ->
+  ?prepare:(Pdq_topo.Builder.built -> unit) ->
+  t ->
+  Pdq_transport.Runner.result
 (** Build and simulate. Deterministic: same scenario (and telemetry
     sinks, which never perturb a run) ⇒ bit-for-bit identical result,
     on any domain. [opts] carries the run-time knobs ({!Exec_opts}):
     [telemetry] is passed here, not stored in the scenario, because
     sinks (channels, memory rings) are per-run mutable state; a
     non-empty [budget] bounds the run ([Sim.Cancelled] on a trip); the
-    [jobs] field is meaningless for a single run and ignored. *)
+    [jobs] field is meaningless for a single run and ignored.
+    [prepare] runs after the topology is built and before execution —
+    the sanctioned hook for layers that interpose on the fresh links
+    (the chaos adversary); like telemetry it is per-run state and not
+    part of the scenario's digest. *)
 
 val run_jobs :
   ?opts:Exec_opts.t ->
+  ?prepare:(Pdq_topo.Builder.built -> unit) ->
   t ->
   Pdq_transport.Runner.result * Pdq_apps.Job_metrics.report
 (** {!run}, also returning the job-level report. The result is
@@ -272,6 +281,7 @@ val run_checked :
   ?opts:Exec_opts.t ->
   ?es_window:float ->
   ?capacity_slack:float ->
+  ?prepare:(Pdq_topo.Builder.built -> unit) ->
   t ->
   checked
 (** {!run} with the validation subsystem attached: a

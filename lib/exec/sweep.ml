@@ -235,6 +235,7 @@ type report = {
   total : int;
   ok : int;
   resumed : int;
+  stale : int;
   failed : int;
   timed_out : int;
   skipped : int;
@@ -247,12 +248,13 @@ type report = {
 let with_notes r ~notes =
   { r with notes = List.sort (fun (a, _) (b, _) -> compare a b) notes }
 
-let report_of ~resumed ~attempts ~wall tasks =
+let report_of ~resumed ~stale ~attempts ~wall tasks =
   let count p = List.length (List.filter p tasks) in
   {
     total = List.length tasks;
     ok = count Task.is_ok;
     resumed;
+    stale;
     failed = count (function Task.Failed _ -> true | _ -> false);
     timed_out = count (function Task.Timed_out _ -> true | _ -> false);
     skipped = count (function Task.Skipped -> true | _ -> false);
@@ -273,6 +275,12 @@ let pp_report ppf r =
     r.ok r.total
     (if r.resumed > 0 then Printf.sprintf " (%d resumed)" r.resumed else "")
     r.failed r.timed_out r.skipped;
+  if r.stale > 0 then
+    Format.fprintf ppf
+      "  warning: %d checkpoint entr%s matched no scenario digest (stale \
+       checkpoint — inputs changed since it was written)@."
+      r.stale
+      (if r.stale = 1 then "y" else "ies");
   List.iter
     (fun (i, cause) -> Format.fprintf ppf "  slot %d: %s@." i cause)
     r.slots;
@@ -293,9 +301,11 @@ let report_to_json r =
             (List.init (String.length text) (String.get text))))
   in
   Printf.sprintf
-    "{\"total\":%d,\"ok\":%d,\"resumed\":%d,\"failed\":%d,\"timed_out\":%d,\
-     \"skipped\":%d,\"attempts\":%d,\"wall\":%.3f,\"slots\":[%s],\"notes\":[%s]}"
-    r.total r.ok r.resumed r.failed r.timed_out r.skipped r.attempts r.wall
+    "{\"total\":%d,\"ok\":%d,\"resumed\":%d,\"stale\":%d,\"failed\":%d,\
+     \"timed_out\":%d,\"skipped\":%d,\"attempts\":%d,\"wall\":%.3f,\
+     \"slots\":[%s],\"notes\":[%s]}"
+    r.total r.ok r.resumed r.stale r.failed r.timed_out r.skipped r.attempts
+    r.wall
     (String.concat "," (List.map (tagged "cause") r.slots))
     (String.concat "," (List.map (tagged "note") r.notes))
 
@@ -388,7 +398,7 @@ let supervise ?(opts = Exec_opts.default) ?(retry = no_retry)
   in
   (* Resume: settle every slot whose key has a decodable value in the
      checkpoint before any worker starts. *)
-  let resumed = ref 0 in
+  let resumed = ref 0 and stale = ref 0 in
   (match resume with
   | None -> ()
   | Some path ->
@@ -408,7 +418,25 @@ let supervise ?(opts = Exec_opts.default) ?(retry = no_retry)
                        { index = i; key = k; attempts = 0; elapsed = 0.;
                          resumed = true })
               | exception _ -> ()))
-        keys);
+        keys;
+      (* Checkpoint entries whose digest matches no slot: the inputs
+         changed since the checkpoint was written (edited scenario,
+         different seed grid, rebuilt binary re-keying closures). Those
+         slots silently re-execute — correct but expensive — so say so
+         loudly instead of looking like a quiet full re-run. *)
+      let wanted = Hashtbl.create (Array.length keys) in
+      Array.iter (fun k -> Hashtbl.replace wanted k ()) keys;
+      Hashtbl.iter
+        (fun k _ -> if not (Hashtbl.mem wanted k) then incr stale)
+        tbl;
+      if !stale > 0 then
+        Printf.eprintf
+          "sweep: warning: %d of %d checkpoint entr%s in %s match no \
+           scenario digest; those inputs changed and will re-execute from \
+           scratch\n%!"
+          !stale (Hashtbl.length tbl)
+          (if !stale = 1 then "y" else "ies")
+          path);
   let ckpt_chan =
     match checkpoint with
     | None -> None
@@ -561,7 +589,7 @@ let supervise ?(opts = Exec_opts.default) ?(retry = no_retry)
       (Array.map (function Some t -> t | None -> Task.Skipped) slots)
   in
   let report =
-    report_of ~resumed:!resumed ~attempts:(Atomic.get attempts_run)
+    report_of ~resumed:!resumed ~stale:!stale ~attempts:(Atomic.get attempts_run)
       ~wall:(Unix.gettimeofday () -. sweep_start)
       tasks
   in

@@ -158,6 +158,12 @@ type report = {
   ok : int;
   resumed : int;     (** Subset of [ok] satisfied from the
                          checkpoint. *)
+  stale : int;       (** Checkpoint entries whose digest matched no
+                         slot of this sweep — the inputs changed since
+                         the checkpoint was written, so those slots
+                         re-execute from scratch. A stderr warning is
+                         printed at resume time, and {!pp_report}
+                         repeats it when nonzero. *)
   failed : int;
   timed_out : int;
   skipped : int;

@@ -45,6 +45,79 @@ let pp_event ppf = function
   | Switch_reboot n -> Format.fprintf ppf "switch-reboot %d" n
 
 (* ------------------------------------------------------------------ *)
+(* JSON codec: one object per event, exact float round-trip via
+   [Plan_json.j_float], so [of_json (to_json t)] rebuilds the plan bit
+   for bit. The chaos fuzzer leans on this to emit replayable
+   reproducers. *)
+
+let event_fields = function
+  | Link_down { a; b } -> Printf.sprintf "\"ev\":\"link-down\",\"a\":%d,\"b\":%d" a b
+  | Link_up { a; b } -> Printf.sprintf "\"ev\":\"link-up\",\"a\":%d,\"b\":%d" a b
+  | Loss_burst { a; b; loss; duration } ->
+      Printf.sprintf
+        "\"ev\":\"loss-burst\",\"a\":%d,\"b\":%d,\"loss\":%s,\"duration\":%s" a b
+        (Plan_json.j_float loss)
+        (Plan_json.j_float duration)
+  | Gilbert_loss { a; b; ge } ->
+      Printf.sprintf
+        "\"ev\":\"gilbert-loss\",\"a\":%d,\"b\":%d,\"p_gb\":%s,\"p_bg\":%s,\
+         \"loss_good\":%s,\"loss_bad\":%s"
+        a b
+        (Plan_json.j_float ge.Link.p_gb)
+        (Plan_json.j_float ge.Link.p_bg)
+        (Plan_json.j_float ge.Link.loss_good)
+        (Plan_json.j_float ge.Link.loss_bad)
+  | Clear_loss { a; b } ->
+      Printf.sprintf "\"ev\":\"clear-loss\",\"a\":%d,\"b\":%d" a b
+  | Switch_reboot n -> Printf.sprintf "\"ev\":\"switch-reboot\",\"switch\":%d" n
+
+let to_json t =
+  let item { time; event } =
+    Printf.sprintf "{\"t\":%s,%s}" (Plan_json.j_float time) (event_fields event)
+  in
+  "[" ^ String.concat "," (List.map item t.events) ^ "]"
+
+let event_of_fields fields =
+  let int k = Plan_json.int fields k in
+  let flt k = Plan_json.float fields k in
+  match Plan_json.str fields "ev" with
+  | "link-down" -> Link_down { a = int "a"; b = int "b" }
+  | "link-up" -> Link_up { a = int "a"; b = int "b" }
+  | "loss-burst" ->
+      Loss_burst
+        { a = int "a"; b = int "b"; loss = flt "loss"; duration = flt "duration" }
+  | "gilbert-loss" ->
+      Gilbert_loss
+        {
+          a = int "a";
+          b = int "b";
+          ge =
+            {
+              Link.p_gb = flt "p_gb";
+              p_bg = flt "p_bg";
+              loss_good = flt "loss_good";
+              loss_bad = flt "loss_bad";
+            };
+        }
+  | "clear-loss" -> Clear_loss { a = int "a"; b = int "b" }
+  | "switch-reboot" -> Switch_reboot (int "switch")
+  | other -> raise (Plan_json.Parse_error ("unknown fault event " ^ other))
+
+let of_json s =
+  match
+    let items = Plan_json.(arr (parse s)) in
+    of_events
+      (List.map
+         (fun item ->
+           let fields = Plan_json.obj item in
+           (Plan_json.float fields "t", event_of_fields fields))
+         items)
+  with
+  | t -> Ok t
+  | exception Plan_json.Parse_error msg -> Error ("fault plan: " ^ msg)
+  | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
 (* Topology fault targets: generators take explicit node lists, these
    enumerate the usual ones. *)
 

@@ -48,6 +48,15 @@ val length : t -> int
 
 val pp_event : Format.formatter -> event -> unit
 
+val to_json : t -> string
+(** Compact JSON array, one object per event, floats in exact
+    round-trip form: [of_json (to_json t)] rebuilds the plan bit for
+    bit. *)
+
+val of_json : string -> (t, string) result
+(** Exact inverse of {!to_json}. Strict: malformed JSON, unknown event
+    names, wrong field types and negative times are all [Error]. *)
+
 val switch_cables : Pdq_net.Topology.t -> (int * int) list
 (** Undirected switch-switch cables as (a, b) pairs with a < b — the
     usual link-failure targets (host access links excluded). *)

@@ -1,0 +1,273 @@
+(* Minimal JSON support for the plan codecs (fault plans here, and the
+   adversary plans / chaos reproducer cases built on top of this
+   library). Emission stays hand-rolled sprintf at each call site; this
+   module supplies the exact float format plus a small recursive-descent
+   reader that keeps number literals raw, so [float_of_string] returns
+   the identical double and every codec is an exact inverse of its
+   printer. Not a general-purpose JSON library: no streaming, whole
+   value in memory, integers bounded by [int]. *)
+
+(* Shortest decimal form that round-trips the exact double (same
+   contract as the telemetry trace codec). Inputs are finite by
+   construction, so inf/nan never appear. *)
+let j_float x =
+  let s = Printf.sprintf "%.15g" x in
+  if float_of_string s = x then s
+  else
+    let s = Printf.sprintf "%.16g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then input.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail "expected %c at byte %d" c !pos;
+    advance ()
+  in
+  let scan_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' -> (
+          advance ();
+          match peek () with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char b (peek ());
+              advance ();
+              loop ()
+          | 'n' -> Buffer.add_char b '\n'; advance (); loop ()
+          | 'r' -> Buffer.add_char b '\r'; advance (); loop ()
+          | 't' -> Buffer.add_char b '\t'; advance (); loop ()
+          | 'b' -> Buffer.add_char b '\b'; advance (); loop ()
+          | 'f' -> Buffer.add_char b '\012'; advance (); loop ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub input !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* Plans only ever escape control characters; reject
+                 anything needing real UTF-8 encoding rather than
+                 emitting mojibake. *)
+              if code > 0x7f then fail "non-ASCII \\u escape unsupported";
+              Buffer.add_char b (Char.chr code);
+              loop ()
+          | c -> fail "bad escape \\%c" c)
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let scan_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char input.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number at byte %d" start;
+    String.sub input start (!pos - start)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub input !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal at byte %d" !pos
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (scan_string ())
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec pairs () =
+            skip_ws ();
+            let key = scan_string () in
+            expect ':';
+            let v = value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); pairs ()
+            | '}' -> advance ()
+            | c -> fail "expected , or } but got %c" c
+          in
+          pairs ();
+          Obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let items = ref [] in
+          let rec elems () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elems ()
+            | ']' -> advance ()
+            | c -> fail "expected , or ] but got %c" c
+          in
+          elems ();
+          Arr (List.rev !items)
+        end
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (scan_number ())
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes at %d" !pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Typed accessors: strict, like the trace parser — a malformed or
+   missing field is an error, never a guess. *)
+
+(* Compact re-emission; [Num] raw literals pass through verbatim, so
+   [to_string (parse s)] preserves every number bit-exactly. *)
+let to_string v =
+  let b = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num s -> Buffer.add_string b s
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            emit item)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            emit item)
+          fields;
+        Buffer.add_char b '}'
+  in
+  emit v;
+  Buffer.contents b
+
+let obj = function Obj fields -> fields | _ -> fail "expected object"
+let arr = function Arr items -> items | _ -> fail "expected array"
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> fail "missing field %S" k
+
+let str fields k =
+  match field fields k with
+  | Str s -> s
+  | _ -> fail "field %S is not a string" k
+
+let num fields k =
+  match field fields k with
+  | Num s -> s
+  | _ -> fail "field %S is not a number" k
+
+let int fields k =
+  let s = num fields k in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail "field %S is not an integer" k
+
+let float fields k =
+  let s = num fields k in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail "field %S is not a float" k
+
+let float_opt fields k =
+  match List.assoc_opt k fields with
+  | None -> None
+  | Some (Num s) -> (
+      match float_of_string_opt s with
+      | Some f -> Some f
+      | None -> fail "field %S is not a float" k)
+  | Some _ -> fail "field %S is not a number" k
+
+let int_default fields k d =
+  match List.assoc_opt k fields with
+  | None -> d
+  | Some (Num s) -> (
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> fail "field %S is not an integer" k)
+  | Some _ -> fail "field %S is not a number" k
+
+let str_default fields k d =
+  match List.assoc_opt k fields with
+  | None -> d
+  | Some (Str s) -> s
+  | Some _ -> fail "field %S is not a string" k

@@ -1,0 +1,46 @@
+(** Minimal JSON reader + exact float format shared by the plan codecs
+    ({!Fault_plan} and the adversary/chaos plans layered on this
+    library). Number literals are kept raw so parsing returns the
+    identical double that was printed — every plan codec is an exact
+    inverse of its printer. Internal support module, not a
+    general-purpose JSON library. *)
+
+val j_float : float -> string
+(** Shortest decimal form that parses back to the exact same double. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string  (** raw literal, preserved for exact round-trips *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a complete JSON value. Raises {!Parse_error} on malformed
+    input or trailing bytes. *)
+
+val to_string : t -> string
+(** Compact re-emission. [Num] literals pass through verbatim, so
+    [to_string (parse s)] preserves every number exactly — nested plan
+    codecs rely on this to extract a sub-document and hand it to the
+    sub-plan's [of_json]. *)
+
+(** Strict accessors: any shape mismatch or missing field raises
+    {!Parse_error}. *)
+
+val obj : t -> (string * t) list
+val arr : t -> t list
+val field : (string * t) list -> string -> t
+val str : (string * t) list -> string -> string
+val num : (string * t) list -> string -> string
+val int : (string * t) list -> string -> int
+val float : (string * t) list -> string -> float
+val float_opt : (string * t) list -> string -> float option
+val int_default : (string * t) list -> string -> int -> int
+val str_default : (string * t) list -> string -> string -> string

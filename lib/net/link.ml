@@ -119,6 +119,7 @@ let rate t = t.rate
 let prop_delay t = t.prop_delay
 let proc_delay t = t.proc_delay
 let set_receiver t f = t.receiver <- f
+let receiver t = t.receiver
 let queue_bytes t = t.queued_bytes
 let queue_packets t = Queue.length t.queue
 

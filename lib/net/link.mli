@@ -54,6 +54,11 @@ val set_receiver : t -> (Packet.t -> unit) -> unit
 (** Install the delivery callback (the destination node's packet
     handler). Must be called before the first {!send}. *)
 
+val receiver : t -> Packet.t -> unit
+(** The currently installed delivery callback. Lets an interposition
+    layer (the chaos adversary) wrap delivery:
+    [set_receiver l (wrap (receiver l))]. *)
+
 val send : t -> Packet.t -> unit
 (** Enqueue a packet. It is dropped when the link is down, when the
     loss process fires, or when the buffer would overflow (tail drop);

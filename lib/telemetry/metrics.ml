@@ -25,6 +25,7 @@ module Name = struct
   let port_flows_active link = Printf.sprintf "port.%d.flows_active" link
   let port_flows_paused link = Printf.sprintf "port.%d.flows_paused" link
   let flow_fct_ms = "flow.fct_ms"
+  let watchdog_abort cause = Printf.sprintf "watchdog.abort.%s" cause
 end
 
 type counter = int ref

@@ -35,6 +35,12 @@ module Name : sig
 
   val flow_fct_ms : string
   (** ["flow.fct_ms"] — histogram of flow completion times. *)
+
+  val watchdog_abort : string -> string
+  (** ["watchdog.abort.<cause>"] — live counter of sender-watchdog
+      aborts by cause, incremented at abort time (unlike the end-of-run
+      ["abort.<cause>"] tally fold), so chaos runs can assert on it by
+      stable name. *)
 end
 
 (** {1 Scalar instruments} *)

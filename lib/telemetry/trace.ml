@@ -39,6 +39,7 @@ type event =
   | Switch_rebuilt of { switch : int }
   | Packet_dropped of { link : int; cause : drop_cause }
   | Fault of { desc : string }
+  | Adversary of { target : int; action : string }
   | Sweep_task of {
       index : int;
       key : string;
@@ -57,6 +58,7 @@ let severity_of_event = function
     ->
       Info
   | Flow_aborted _ | Switch_flushed _ | Packet_dropped _ | Fault _ -> Warn
+  | Adversary _ -> Debug
   | Sweep_task { state; _ } -> (
       match state with
       | "failed" | "timed-out" | "crashed" -> Warn
@@ -134,6 +136,9 @@ let event_to_json ~time ev =
           link (drop_cause_name cause)
     | Fault { desc } ->
         Printf.sprintf "\"ev\":\"fault\",\"desc\":\"%s\"" (json_escape desc)
+    | Adversary { target; action } ->
+        Printf.sprintf "\"ev\":\"adversary\",\"target\":%d,\"action\":\"%s\""
+          target (json_escape action)
     | Sweep_task { index; key; state; attempts; elapsed; detail } ->
         Printf.sprintf
           "\"ev\":\"sweep_task\",\"slot\":%d,\"key\":\"%s\",\"state\":\"%s\",\
@@ -183,6 +188,8 @@ let pp_event ppf ev =
       Format.fprintf ppf "packet_dropped link=%d cause=%s" link
         (drop_cause_name cause)
   | Fault { desc } -> Format.fprintf ppf "fault %s" desc
+  | Adversary { target; action } ->
+      Format.fprintf ppf "adversary target=%d action=%s" target action
   | Sweep_task { index; key; state; attempts; detail; _ } ->
       Format.fprintf ppf "sweep_task slot=%d key=%s state=%s attempts=%d%s"
         index key state attempts
@@ -371,6 +378,8 @@ let event_of_json line =
               | None ->
                   fail (Printf.sprintf "unknown drop cause %S" (str "cause")))
           | "fault" -> Fault { desc = str "desc" }
+          | "adversary" ->
+              Adversary { target = int "target"; action = str "action" }
           | "sweep_task" ->
               Sweep_task
                 {

@@ -76,6 +76,11 @@ type event =
       (** Injected fault or fault-handling side effect (reroute
           failure, stale route, reboot), named by its tally key or
           plan-event description. *)
+  | Adversary of { target : int; action : string }
+      (** The chaos adversary layer acted on a packet: [target] is the
+          directed link id for packet actions (reorder / duplicate /
+          corrupt / jitter) or the switch id for clock skew; [action]
+          names what was done. *)
   | Sweep_task of {
       index : int;
       key : string;

@@ -50,6 +50,7 @@ type t = {
   tally : Pdq_engine.Stats.Tally.t;
   mutable open_flows : int;
   mutable all_complete_cb : (unit -> unit) option;
+  mutable abort_observer : (cause:string -> unit) option;
 }
 
 (* Subflow ids live far above experiment flow ids so route-table keys
@@ -79,6 +80,7 @@ let create ?(trace = Trace.null) ~sim ~topo ~rng ~init_rtt () =
       };
     open_flows = 0;
     all_complete_cb = None;
+    abort_observer = None;
   }
 
 let sim t = t.sim
@@ -308,11 +310,14 @@ let abort t flow ~cause =
   then begin
     flow.aborted <- true;
     Pdq_engine.Stats.Tally.incr t.tally ("abort." ^ cause);
+    (match t.abort_observer with Some f -> f ~cause | None -> ());
     if Trace.active t.trace then
       Trace.emit t.trace (Trace.Flow_aborted { flow = flow.id; cause });
     t.open_flows <- t.open_flows - 1;
     maybe_fire_all_complete t
   end
+
+let on_abort t f = t.abort_observer <- Some f
 
 let completed_count t =
   List.fold_left

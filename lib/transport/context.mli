@@ -116,6 +116,12 @@ val abort : t -> flow -> cause:string -> unit
 (** Record a terminal watchdog abort (idempotent): marks the flow
     aborted, tallies ["abort." ^ cause] and counts the flow closed. *)
 
+val on_abort : t -> (cause:string -> unit) -> unit
+(** Observer fired at every counted abort, before the trace event. The
+    runner wires it to the metrics registry
+    ({!Pdq_telemetry.Metrics.Name.watchdog_abort}) so live counters
+    track per-cause aborts as they happen; zero-cost when unset. *)
+
 (** {2 Fault handling} *)
 
 val reroute : t -> unit

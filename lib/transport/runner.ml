@@ -129,6 +129,14 @@ let execute ?(options = default_options) ~topo protocol specs =
   if Trace.active trace then
     Topology.iter_links (fun l -> Link.set_trace l trace) topo;
   let ctx = Context.create ~trace ~sim ~topo ~rng ~init_rtt:options.init_rtt () in
+  (* Live per-cause watchdog-abort counters: incremented the moment a
+     sender gives up, not just folded from the tally at the end, so a
+     chaos run can assert on them mid-flight by stable name. *)
+  (match options.telemetry.metrics with
+  | Some m ->
+      Context.on_abort ctx (fun ~cause ->
+          Metrics.incr (Metrics.counter m (Metrics.Name.watchdog_abort cause)) ())
+  | None -> ());
   (match options.loss with
   | Some (rate, links) ->
       List.iter

@@ -1,0 +1,289 @@
+(* Chaos harness: exact plan/case JSON round-trips, adversary
+   transparency and duplicate-delivery safety, and the fuzz → shrink →
+   replay pipeline on the seeded allocator bug. *)
+
+module Rng = Pdq_engine.Rng
+module Config = Pdq_core.Config
+module Header = Pdq_core.Header
+module Switch_port = Pdq_core.Switch_port
+module Flow_list = Pdq_core.Flow_list
+module Link = Pdq_net.Link
+module Fault_plan = Pdq_faults.Fault_plan
+module Runner = Pdq_transport.Runner
+module Scenario = Pdq_exec.Scenario
+module Task = Pdq_exec.Task
+module Adversary_plan = Pdq_chaos.Adversary_plan
+module Adversary = Pdq_chaos.Adversary
+module Fuzzer = Pdq_chaos.Fuzzer
+
+(* ------------------------------------------------------------------ *)
+(* Exact JSON round-trips (QCheck) *)
+
+let gen_node = QCheck.Gen.int_bound 15
+let gen_prob = QCheck.Gen.float_bound_inclusive 1.
+let gen_span = QCheck.Gen.float_bound_inclusive 0.05
+
+let gen_adversary_event =
+  let open QCheck.Gen in
+  oneof
+    [
+      map3
+        (fun a b (p, hold) -> Adversary_plan.Reorder { a; b; p; hold })
+        gen_node gen_node (pair gen_prob gen_span);
+      map3 (fun a b p -> Adversary_plan.Duplicate { a; b; p }) gen_node gen_node
+        gen_prob;
+      map3 (fun a b p -> Adversary_plan.Corrupt { a; b; p }) gen_node gen_node
+        gen_prob;
+      map3
+        (fun a b max_delay -> Adversary_plan.Jitter { a; b; max_delay })
+        gen_node gen_node gen_span;
+      map2 (fun a b -> Adversary_plan.Clear { a; b }) gen_node gen_node;
+      map2
+        (fun switch skew -> Adversary_plan.Clock_skew { switch; skew })
+        gen_node
+        (map (fun x -> x -. 2e-3) (float_bound_inclusive 4e-3));
+    ]
+
+let gen_fault_event =
+  let open QCheck.Gen in
+  oneof
+    [
+      map2 (fun a b -> Fault_plan.Link_down { a; b }) gen_node gen_node;
+      map2 (fun a b -> Fault_plan.Link_up { a; b }) gen_node gen_node;
+      map3
+        (fun a b (loss, duration) -> Fault_plan.Loss_burst { a; b; loss; duration })
+        gen_node gen_node (pair gen_prob gen_span);
+      map3
+        (fun a b (p_gb, p_bg, loss_good, loss_bad) ->
+          Fault_plan.Gilbert_loss
+            { a; b; ge = { Link.p_gb; p_bg; loss_good; loss_bad } })
+        gen_node gen_node
+        (quad gen_prob gen_prob gen_prob gen_prob);
+      map2 (fun a b -> Fault_plan.Clear_loss { a; b }) gen_node gen_node;
+      map (fun n -> Fault_plan.Switch_reboot n) gen_node;
+    ]
+
+let timed ev_gen = QCheck.Gen.(pair (float_bound_inclusive 5.) ev_gen)
+
+let arb_adversary_plan =
+  QCheck.make
+    ~print:(fun p -> Adversary_plan.to_json p)
+    QCheck.Gen.(map Adversary_plan.of_events
+                  (list_size (0 -- 12) (timed gen_adversary_event)))
+
+let arb_fault_plan =
+  QCheck.make
+    ~print:(fun p -> Fault_plan.to_json p)
+    QCheck.Gen.(map Fault_plan.of_events
+                  (list_size (0 -- 12) (timed gen_fault_event)))
+
+let qcheck_adversary_roundtrip =
+  QCheck.Test.make ~name:"adversary plan JSON round-trips exactly" ~count:300
+    arb_adversary_plan (fun p ->
+      match Adversary_plan.of_json (Adversary_plan.to_json p) with
+      | Ok p' -> Adversary_plan.events p' = Adversary_plan.events p
+      | Error _ -> false)
+
+let qcheck_fault_roundtrip =
+  QCheck.Test.make ~name:"fault plan JSON round-trips exactly" ~count:300
+    arb_fault_plan (fun p ->
+      match Fault_plan.of_json (Fault_plan.to_json p) with
+      | Ok p' -> Fault_plan.events p' = Fault_plan.events p
+      | Error _ -> false)
+
+(* Cases as the fuzzer itself draws them — nested plans included —
+   must survive the counterexample-artifact round trip, and the
+   checkpoint key must be a function of the JSON form alone. *)
+let test_case_roundtrip () =
+  let cases = Fuzzer.cases ~runs:12 ~seed:5 () in
+  Alcotest.(check int) "campaign size" 12 (List.length cases);
+  List.iter
+    (fun c ->
+      match Fuzzer.case_of_json (Fuzzer.case_to_json c) with
+      | Error e -> Alcotest.failf "case_of_json: %s" e
+      | Ok c' ->
+          Alcotest.(check bool) "case round-trips exactly" true (c = c');
+          Alcotest.(check string) "key stable" (Fuzzer.key c) (Fuzzer.key c'))
+    cases
+
+let test_case_of_json_strict () =
+  (match Fuzzer.case_of_json "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  match Fuzzer.case_of_json "{\"protocol\":\"pdq\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a truncated case"
+
+(* ------------------------------------------------------------------ *)
+(* Adversary semantics *)
+
+let base_case =
+  {
+    Fuzzer.protocol = "pdq";
+    topo = "tree";
+    pattern = "pairs";
+    flows = 6;
+    mean_bytes = 60_000;
+    deadlines = true;
+    seed = 11;
+    horizon = 0.4;
+    faults = Fault_plan.empty;
+    adversary = Adversary_plan.empty;
+  }
+
+let run_ok c =
+  match Fuzzer.run_case c with
+  | Ok ch -> ch
+  | Error e -> Alcotest.failf "run_case: %s" e
+
+let same_result (a : Runner.result) (b : Runner.result) =
+  a.Runner.flows = b.Runner.flows
+  && a.Runner.mean_fct = b.Runner.mean_fct
+  && a.Runner.application_throughput = b.Runner.application_throughput
+  && a.Runner.counters = b.Runner.counters
+  && a.Runner.sim_end = b.Runner.sim_end
+
+(* A duplicated SYN reaching the same port twice must not register the
+   flow twice (the receiver-side guard for this is the Rx_buffer seq
+   dedup; this is the switch-side guard). *)
+let test_dup_syn_single_entry () =
+  let port =
+    Switch_port.create ~config:Config.full ~switch_id:7 ~link_rate:1e9
+      ~init_rtt:1.5e-4 ()
+  in
+  let h () = Header.make ~rate:1e9 ~expected_tx_time:1e-3 ~rtt:1.5e-4 () in
+  Switch_port.process_forward port (h ()) ~flow_id:1 ~now:0.;
+  Switch_port.process_forward port (h ()) ~flow_id:1 ~now:1e-5;
+  Alcotest.(check int) "one stored entry" 1
+    (Flow_list.length (Switch_port.flow_list port));
+  Alcotest.(check (list string)) "port consistent" []
+    (Switch_port.invariant_errors port)
+
+(* End to end: aggressive duplication on every cable of a healthy PDQ
+   run must not trip any monitor — duplicates are deduplicated at the
+   receiver and re-registration is idempotent at the switch. *)
+let test_duplicate_storm_clean () =
+  let cables, _, _ = Fuzzer.targets_of_case base_case in
+  let c =
+    {
+      base_case with
+      Fuzzer.adversary = Adversary_plan.degrade ~links:cables ~duplicate:0.5 ();
+    }
+  in
+  let ch = run_ok c in
+  Alcotest.(check int) "no violations" 0
+    (List.length ch.Scenario.violations);
+  Alcotest.(check bool) "flows completed" true (ch.Scenario.result.Runner.completed > 0)
+
+(* A wrapped link whose conditions are all inactive must be
+   bit-transparent: a plan holding only a [Clear] event gives the same
+   run as no adversary at all (and consumes no randomness). *)
+let test_inactive_wrapper_transparent () =
+  let cables, _, _ = Fuzzer.targets_of_case base_case in
+  let a, b = List.hd cables in
+  let cleared =
+    {
+      base_case with
+      Fuzzer.adversary =
+        Adversary_plan.of_events [ (0., Adversary_plan.Clear { a; b }) ];
+    }
+  in
+  let r0 = (run_ok base_case).Scenario.result in
+  let r1 = (run_ok cleared).Scenario.result in
+  Alcotest.(check bool) "bit-identical run" true (same_result r0 r1)
+
+let test_case_run_deterministic () =
+  let cables, _, switches = Fuzzer.targets_of_case base_case in
+  let rng = Rng.create 21 in
+  let c =
+    {
+      base_case with
+      Fuzzer.adversary =
+        Adversary_plan.random rng ~cables ~switches ~until:base_case.Fuzzer.horizon
+          ~intensity:0.5 ~count:6;
+    }
+  in
+  let a = run_ok c and b = run_ok c in
+  Alcotest.(check bool) "same case, same run" true
+    (same_result a.Scenario.result b.Scenario.result);
+  Alcotest.(check bool) "same violations" true
+    (a.Scenario.violations = b.Scenario.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz → shrink → replay *)
+
+let test_campaign_deterministic_and_clean () =
+  let run () = Fuzzer.fuzz ~runs:4 ~seed:9 () in
+  let c1 = run () and c2 = run () in
+  Alcotest.(check bool) "same cases" true (c1.Fuzzer.cases = c2.Fuzzer.cases);
+  Alcotest.(check bool) "same verdicts" true
+    (c1.Fuzzer.verdicts = c2.Fuzzer.verdicts);
+  (match Fuzzer.first_violation c1 with
+  | None -> ()
+  | Some (i, _, inv) ->
+      Alcotest.failf "healthy campaign violated %s in case %d" inv i);
+  List.iter
+    (function
+      | Task.Ok _ -> ()
+      | _ -> Alcotest.fail "campaign task did not complete")
+    c1.Fuzzer.verdicts
+
+let test_canary_found_shrunk_replayed () =
+  let campaign =
+    Fuzzer.fuzz ~runs:4 ~seed:3 ~protocols:[ "pdq-broken" ] ()
+  in
+  match Fuzzer.first_violation campaign with
+  | None -> Alcotest.fail "fuzzer missed the seeded allocator bug"
+  | Some (_, case, invariant) ->
+      let s = Fuzzer.shrink ~budget:60 case ~invariant in
+      Alcotest.(check string) "shrink holds the violation fixed" invariant
+        s.Fuzzer.invariant;
+      Alcotest.(check bool) "shrinker stayed in budget" true
+        (s.Fuzzer.runs_used <= 60);
+      let plan_size c =
+        Fault_plan.length c.Fuzzer.faults
+        + Adversary_plan.length c.Fuzzer.adversary
+      in
+      Alcotest.(check bool) "minimal is no larger" true
+        (plan_size s.Fuzzer.minimal <= plan_size s.Fuzzer.original);
+      (* The shrunk case must replay to the same violation from its
+         JSON form — the artifact the CLI writes with --repro-out. *)
+      let replayed =
+        match Fuzzer.case_of_json (Fuzzer.case_to_json s.Fuzzer.minimal) with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "repro did not parse: %s" e
+      in
+      Alcotest.(check (option string)) "replay reproduces" (Some invariant)
+        (Fuzzer.signature (run_ok replayed))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "chaos.plan_json",
+      qsuite [ qcheck_fault_roundtrip; qcheck_adversary_roundtrip ]
+      @ [
+          Alcotest.test_case "fuzzer cases round-trip" `Quick
+            test_case_roundtrip;
+          Alcotest.test_case "case_of_json is strict" `Quick
+            test_case_of_json_strict;
+        ] );
+    ( "chaos.adversary",
+      [
+        Alcotest.test_case "dup SYN registers once" `Quick
+          test_dup_syn_single_entry;
+        Alcotest.test_case "duplicate storm stays clean" `Quick
+          test_duplicate_storm_clean;
+        Alcotest.test_case "inactive wrapper is transparent" `Quick
+          test_inactive_wrapper_transparent;
+        Alcotest.test_case "case runs are deterministic" `Quick
+          test_case_run_deterministic;
+      ] );
+    ( "chaos.fuzzer",
+      [
+        Alcotest.test_case "healthy campaign deterministic and clean" `Quick
+          test_campaign_deterministic_and_clean;
+        Alcotest.test_case "canary found, shrunk, replayed" `Quick
+          test_canary_found_shrunk_replayed;
+      ] );
+  ]

@@ -20,4 +20,5 @@ let () =
          Test_apps.suites;
          Test_cli.suites;
          Test_experiments.suites;
+         Test_chaos.suites;
        ])

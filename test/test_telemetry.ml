@@ -283,6 +283,7 @@ let tag = function
      part of the compact control-plane projection. *)
   | Trace.Flow_established _ | Trace.Flow_retransmit _ -> None
   | Trace.Fault _ -> Some "fault"
+  | Trace.Adversary _ -> Some "adversary"
   (* Supervisor lifecycle events ride a wall-clock bus, never a
      simulation trace. *)
   | Trace.Sweep_task _ -> None
